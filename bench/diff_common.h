@@ -1,0 +1,62 @@
+// Shared harness for the service-differentiation experiment (paper
+// Section V-B, Figure 8 testbed).
+//
+// Topology: a front-end Web server fans each client request through three
+// sequential stages; stage i is served by backend server i (a CGI service
+// with fixed processing time of i seconds, MaxClients = 5). In broker mode
+// each stage goes through its own service broker (distributed model,
+// UDP-grade IPC, threshold 20 outstanding, binary forward/drop by QoS
+// class); a drop answers the request immediately with a low-fidelity reply
+// and the remaining stages are skipped ("they are informed promptly without
+// any backend service"). In API mode the stages hit the backends directly,
+// FCFS, reconnecting per access.
+//
+// Three WebStone-style closed-loop client populations run at QoS levels 1,
+// 2 and 3 for a fixed virtual-time window. Everything is deterministic
+// given the seed.
+#pragma once
+
+#include <array>
+#include <memory>
+#include <vector>
+
+#include "srv/broker_host.h"
+#include "srv/cgi_backend.h"
+#include "wl/webstone_client.h"
+
+namespace sbroker::bench {
+
+struct DiffConfig {
+  int total_clients = 30;        ///< split evenly across the 3 QoS classes
+  double duration = 300.0;       ///< measurement window (virtual seconds)
+  double threshold = 20.0;       ///< broker outstanding threshold
+  size_t backend_capacity = 5;   ///< MaxClients per backend
+  bool use_broker = true;        ///< false = API-based baseline
+  /// Client <-> front-end round trip + front-end handling per request. This
+  /// bounds how fast a best-effort client can re-issue after a prompt
+  /// low-fidelity reply (WebStone still crossed the LAN and the Web server).
+  double client_overhead = 0.5;
+  uint64_t seed = 1234;
+};
+
+struct ClassResult {
+  uint64_t completed = 0;          ///< requests finished in the window
+  double mean_processing_time = 0; ///< client-observed seconds
+  double mean_stages = 0;          ///< fidelity proxy: stages served (0..3)
+};
+
+struct DiffResult {
+  std::array<ClassResult, 3> per_class;   // index 0 -> QoS 1
+  // drop_ratio[broker][class]: drops/issued at each broker (broker mode).
+  std::array<std::array<double, 3>, 3> drop_ratio{};
+  // issued[broker][class]: messages that reached each broker. Zero means the
+  // class was fully shed upstream (its requests terminated at an earlier
+  // stage), so the matching drop_ratio carries no information.
+  std::array<std::array<uint64_t, 3>, 3> issued{};
+  double mean_processing_time_all = 0;
+};
+
+/// Runs the experiment to completion and returns the aggregate results.
+DiffResult run_differentiation(const DiffConfig& config);
+
+}  // namespace sbroker::bench

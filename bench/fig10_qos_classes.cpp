@@ -1,0 +1,49 @@
+// Figure 10 — Average processing time for each QoS level.
+//
+// Same testbed as Figure 9, broken out per class, with the API baseline as
+// the fourth series. Expected shape: higher QoS class => longer processing
+// time (higher fidelity — more stages actually served); every broker curve
+// rises with load then declines once that class too gets shed; the ordering
+// QoS3 > QoS2 > QoS1 holds throughout.
+//
+// Usage: fig10_qos_classes [duration=300]
+#include <cstdio>
+
+#include "diff_common.h"
+#include "util/config.h"
+#include "util/table_printer.h"
+
+using namespace sbroker;
+
+int main(int argc, char** argv) {
+  util::Config cfg = util::Config::from_args(argc, argv);
+  double duration = cfg.get_double("duration", 150.0);
+
+  std::printf("Figure 10 — mean processing time (s) per QoS class vs number of clients\n\n");
+  util::TablePrinter table(
+      {"clients", "qos1_s", "qos2_s", "qos3_s", "api_s", "stages1", "stages2", "stages3"});
+  for (int clients : {10, 15, 20, 30, 40, 50, 60, 70}) {
+    bench::DiffConfig broker_cfg;
+    broker_cfg.total_clients = clients;
+    broker_cfg.duration = duration;
+    bench::DiffResult broker = bench::run_differentiation(broker_cfg);
+
+    bench::DiffConfig api_cfg = broker_cfg;
+    api_cfg.use_broker = false;
+    bench::DiffResult api = bench::run_differentiation(api_cfg);
+
+    table.add_row(
+        {std::to_string(clients),
+         util::TablePrinter::fmt(broker.per_class[0].mean_processing_time, 2),
+         util::TablePrinter::fmt(broker.per_class[1].mean_processing_time, 2),
+         util::TablePrinter::fmt(broker.per_class[2].mean_processing_time, 2),
+         util::TablePrinter::fmt(api.mean_processing_time_all, 2),
+         util::TablePrinter::fmt(broker.per_class[0].mean_stages, 2),
+         util::TablePrinter::fmt(broker.per_class[1].mean_stages, 2),
+         util::TablePrinter::fmt(broker.per_class[2].mean_stages, 2)});
+  }
+  std::fputs(table.render().c_str(), stdout);
+  std::printf("\nExpected paper shape: qos3 >= qos2 >= qos1 (fidelity ordering); each\n"
+              "broker curve rises then declines; 'stagesN' confirms fidelity ordering.\n");
+  return 0;
+}

@@ -1,0 +1,106 @@
+// Microbenchmarks — broker core data-path operations.
+#include <benchmark/benchmark.h>
+
+#include "core/admission.h"
+#include "core/cache.h"
+#include "core/cluster.h"
+#include "core/scheduler.h"
+#include "http/parser.h"
+#include "http/wire.h"
+
+using namespace sbroker;
+
+namespace {
+
+void BM_CacheGetHit(benchmark::State& state) {
+  core::ResultCache cache(4096, 0.0);
+  for (int i = 0; i < 1024; ++i) {
+    cache.put("key-" + std::to_string(i), "value-" + std::to_string(i), 0.0);
+  }
+  int i = 0;
+  for (auto _ : state) {
+    auto v = cache.get("key-" + std::to_string(i++ % 1024), 1.0);
+    benchmark::DoNotOptimize(v);
+  }
+}
+BENCHMARK(BM_CacheGetHit);
+
+void BM_CachePutEvicting(benchmark::State& state) {
+  core::ResultCache cache(256, 0.0);
+  int i = 0;
+  for (auto _ : state) {
+    cache.put("key-" + std::to_string(i++ % 4096), "value", 0.0);
+  }
+}
+BENCHMARK(BM_CachePutEvicting);
+
+void BM_SchedulerPushPop(benchmark::State& state) {
+  core::QosScheduler<int> scheduler;
+  int level = 0;
+  for (auto _ : state) {
+    scheduler.push(1 + (level++ % 3), 42);
+    benchmark::DoNotOptimize(scheduler.pop());
+  }
+}
+BENCHMARK(BM_SchedulerPushPop);
+
+void BM_AdmissionDecide(benchmark::State& state) {
+  core::AdmissionController ctl(core::QosRules{3, 20.0});
+  double load = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ctl.decide(2, load, 0.0));
+    load = load > 25 ? 0 : load + 0.1;
+  }
+}
+BENCHMARK(BM_AdmissionDecide);
+
+void BM_WireEncodeDecodeRequest(benchmark::State& state) {
+  http::BrokerRequest req;
+  req.request_id = 1;
+  req.qos_level = 2;
+  req.service = "db";
+  req.payload = "SELECT * FROM records WHERE id = 123456";
+  for (auto _ : state) {
+    std::string bytes = http::encode(req);
+    benchmark::DoNotOptimize(http::decode_request(bytes));
+  }
+}
+BENCHMARK(BM_WireEncodeDecodeRequest);
+
+void BM_HttpParseRequest(benchmark::State& state) {
+  std::string wire =
+      "GET /app/movie?id=42 HTTP/1.1\r\nHost: front\r\nX-QoS-Level: 2\r\n"
+      "Content-Length: 11\r\n\r\nhello world";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(http::parse_request(wire));
+  }
+}
+BENCHMARK(BM_HttpParseRequest);
+
+void BM_ClusterAddFlush(benchmark::State& state) {
+  size_t degree = static_cast<size_t>(state.range(0));
+  core::ClusterEngine engine(core::ClusterConfig{degree, 1e9});
+  uint64_t id = 0;
+  for (auto _ : state) {
+    auto batch = engine.add(id++, "SELECT * FROM records WHERE id = 1", 0.0);
+    benchmark::DoNotOptimize(batch);
+  }
+}
+BENCHMARK(BM_ClusterAddFlush)->Arg(1)->Arg(8)->Arg(40);
+
+void BM_ClusterSplitReply(benchmark::State& state) {
+  size_t parts = static_cast<size_t>(state.range(0));
+  core::Batch batch;
+  std::vector<std::string> payloads;
+  for (size_t i = 0; i < parts; ++i) {
+    batch.member_ids.push_back(i);
+    payloads.push_back("result chunk " + std::to_string(i));
+  }
+  std::string reply = core::ClusterEngine::join_payloads(payloads);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::ClusterEngine::split_reply(batch, reply));
+  }
+}
+BENCHMARK(BM_ClusterSplitReply)->Arg(8)->Arg(40);
+
+}  // namespace

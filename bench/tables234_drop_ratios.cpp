@@ -1,0 +1,47 @@
+// Tables II, III, IV — drop ratios at brokers 1, 2 and 3.
+//
+// Same testbed as Figures 9/10. Expected shape per broker: all-zero ratios
+// under light load (< ~20 clients), growing with load, and at any load the
+// ratios ordered inversely with priority (QoS1 >= QoS2 >= QoS3).
+//
+// Usage: tables234_drop_ratios [duration=300]
+#include <cstdio>
+
+#include "diff_common.h"
+#include "util/config.h"
+#include "util/table_printer.h"
+
+using namespace sbroker;
+
+int main(int argc, char** argv) {
+  util::Config cfg = util::Config::from_args(argc, argv);
+  double duration = cfg.get_double("duration", 150.0);
+
+  std::vector<int> client_points = {10, 15, 20, 30, 40, 50, 60, 70};
+  std::vector<bench::DiffResult> results;
+  for (int clients : client_points) {
+    bench::DiffConfig dcfg;
+    dcfg.total_clients = clients;
+    dcfg.duration = duration;
+    results.push_back(bench::run_differentiation(dcfg));
+  }
+
+  for (size_t broker = 0; broker < 3; ++broker) {
+    std::printf("Table %s — drop ratios at broker %zu\n\n",
+                broker == 0 ? "II" : broker == 1 ? "III" : "IV", broker + 1);
+    util::TablePrinter table({"clients", "qos1", "qos2", "qos3"});
+    for (size_t i = 0; i < client_points.size(); ++i) {
+      auto cell = [&](size_t cls) {
+        // "-": the class never reached this broker (fully shed upstream).
+        if (results[i].issued[broker][cls] == 0) return std::string("-");
+        return util::TablePrinter::fmt(results[i].drop_ratio[broker][cls], 3);
+      };
+      table.add_row({std::to_string(client_points[i]), cell(0), cell(1), cell(2)});
+    }
+    std::fputs(table.render().c_str(), stdout);
+    std::printf("\n");
+  }
+  std::printf("Expected paper shape: zero drops at light load; ratios grow with load\n"
+              "and are ordered qos1 >= qos2 >= qos3 at every point.\n");
+  return 0;
+}

@@ -1,0 +1,41 @@
+#include "core/admission.h"
+
+namespace sbroker::core {
+
+const char* admission_decision_name(AdmissionDecision d) {
+  switch (d) {
+    case AdmissionDecision::kForward:
+      return "forward";
+    case AdmissionDecision::kDropOverLimit:
+      return "drop-over-limit";
+    case AdmissionDecision::kDropContract:
+      return "drop-contract";
+  }
+  return "?";
+}
+
+AdmissionController::AdmissionController(QosRules rules)
+    : rules_(rules), contracts_(static_cast<size_t>(rules.num_levels)) {}
+
+void AdmissionController::set_contract(QosLevel level, double rate, double burst) {
+  level = rules_.clamp_level(level);
+  contracts_[static_cast<size_t>(level) - 1].emplace(rate, burst);
+}
+
+AdmissionDecision AdmissionController::decide(QosLevel level, double outstanding,
+                                              double now) {
+  level = rules_.clamp_level(level);
+  if (!rules_.admit(level, outstanding)) {
+    ++dropped_over_limit_;
+    return AdmissionDecision::kDropOverLimit;
+  }
+  auto& contract = contracts_[static_cast<size_t>(level) - 1];
+  if (contract && !contract->try_acquire(now)) {
+    ++dropped_contract_;
+    return AdmissionDecision::kDropContract;
+  }
+  ++forwarded_;
+  return AdmissionDecision::kForward;
+}
+
+}  // namespace sbroker::core

@@ -1,0 +1,34 @@
+// Backend abstraction the broker forwards to.
+//
+// The broker core is I/O-free: a Backend is anything that can asynchronously
+// answer a payload. The simulation substrate wraps a DES station + link +
+// database; the real-socket substrate wraps a TCP client. Completion
+// callbacks carry the caller's notion of *now* so the core never reads a
+// clock itself.
+#pragma once
+
+#include <functional>
+#include <string>
+
+namespace sbroker::core {
+
+class Backend {
+ public:
+  /// (now, ok, reply payload). `ok == false` means the backend failed or was
+  /// unreachable; `payload` may then carry a diagnostic.
+  using Completion = std::function<void(double now, bool ok, const std::string& payload)>;
+
+  struct Call {
+    std::string payload;
+    /// True when the connection pool opened a fresh physical connection for
+    /// this call; transports charge their setup latency accordingly.
+    bool needs_connection_setup = false;
+  };
+
+  virtual ~Backend() = default;
+
+  /// Issues `call`; `done` fires exactly once, later or re-entrantly.
+  virtual void invoke(const Call& call, Completion done) = 0;
+};
+
+}  // namespace sbroker::core

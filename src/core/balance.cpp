@@ -1,0 +1,71 @@
+#include "core/balance.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace sbroker::core {
+
+const char* balance_policy_name(BalancePolicy p) {
+  switch (p) {
+    case BalancePolicy::kRandom:
+      return "random";
+    case BalancePolicy::kRoundRobin:
+      return "round-robin";
+    case BalancePolicy::kLeastOutstanding:
+      return "least-outstanding";
+    case BalancePolicy::kWeighted:
+      return "weighted";
+  }
+  return "?";
+}
+
+LoadBalancer::LoadBalancer(BalancePolicy policy, util::Rng rng)
+    : policy_(policy), rng_(rng) {}
+
+size_t LoadBalancer::add_backend(double weight) {
+  outstanding_.push_back(0);
+  weights_.push_back(std::max(weight, 0.01));
+  picks_.push_back(0);
+  return outstanding_.size() - 1;
+}
+
+std::optional<size_t> LoadBalancer::pick() {
+  if (outstanding_.empty()) return std::nullopt;
+  size_t chosen = 0;
+  switch (policy_) {
+    case BalancePolicy::kRandom:
+      chosen = static_cast<size_t>(
+          rng_.uniform_int(0, static_cast<int64_t>(outstanding_.size()) - 1));
+      break;
+    case BalancePolicy::kRoundRobin:
+      chosen = rr_next_;
+      rr_next_ = (rr_next_ + 1) % outstanding_.size();
+      break;
+    case BalancePolicy::kLeastOutstanding:
+      for (size_t i = 1; i < outstanding_.size(); ++i) {
+        if (outstanding_[i] < outstanding_[chosen]) chosen = i;
+      }
+      break;
+    case BalancePolicy::kWeighted: {
+      double best = static_cast<double>(outstanding_[0]) / weights_[0];
+      for (size_t i = 1; i < outstanding_.size(); ++i) {
+        double load = static_cast<double>(outstanding_[i]) / weights_[i];
+        if (load < best) {
+          best = load;
+          chosen = i;
+        }
+      }
+      break;
+    }
+  }
+  ++outstanding_[chosen];
+  ++picks_[chosen];
+  return chosen;
+}
+
+void LoadBalancer::complete(size_t backend) {
+  assert(backend < outstanding_.size() && outstanding_[backend] > 0);
+  --outstanding_[backend];
+}
+
+}  // namespace sbroker::core

@@ -1,0 +1,55 @@
+// Backend load balancing.
+//
+// "In the API-based architecture, since no state information is shared in
+// individual accesses, it can only work in a speculative manner. The service
+// brokers can track the traffic and monitor their workload and accurately
+// distribute the workload among the backend servers" (Section III).
+//
+// kRandom and kRoundRobin are the speculative (stateless) policies the API
+// model is limited to; kLeastOutstanding uses the broker's accurate
+// per-backend in-flight counts; kWeighted additionally divides by a backend
+// capacity weight so heterogeneous replicas are loaded proportionally.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace sbroker::core {
+
+enum class BalancePolicy { kRandom, kRoundRobin, kLeastOutstanding, kWeighted };
+
+const char* balance_policy_name(BalancePolicy p);
+
+class LoadBalancer {
+ public:
+  LoadBalancer(BalancePolicy policy, util::Rng rng = util::Rng(7));
+
+  /// Registers a backend with a relative capacity weight (>= minimum 0.01).
+  /// Returns its index.
+  size_t add_backend(double weight = 1.0);
+
+  /// Picks a backend for the next request and charges it one in-flight
+  /// request. nullopt when no backends are registered.
+  std::optional<size_t> pick();
+
+  /// Marks a request complete on `backend`.
+  void complete(size_t backend);
+
+  size_t outstanding(size_t backend) const { return outstanding_.at(backend); }
+  size_t backend_count() const { return outstanding_.size(); }
+  uint64_t picks(size_t backend) const { return picks_.at(backend); }
+  BalancePolicy policy() const { return policy_; }
+
+ private:
+  BalancePolicy policy_;
+  util::Rng rng_;
+  std::vector<size_t> outstanding_;
+  std::vector<double> weights_;
+  std::vector<uint64_t> picks_;
+  size_t rr_next_ = 0;
+};
+
+}  // namespace sbroker::core

@@ -1,0 +1,270 @@
+#include "core/broker.h"
+
+#include <cassert>
+#include <stdexcept>
+
+#include "util/log.h"
+
+namespace sbroker::core {
+
+ServiceBroker::ServiceBroker(std::string name, BrokerConfig config)
+    : name_(std::move(name)),
+      config_(config),
+      admission_(config.rules),
+      cache_(config.cache_capacity, config.cache_ttl),
+      cluster_(config.cluster),
+      pool_(config.pool),
+      balancer_(config.balance, util::Rng(config.rng_seed)),
+      txn_(std::make_shared<TransactionTracker>(config.rules, config.txn)),
+      prefetcher_(config.prefetch_idle_threshold),
+      hotspot_(config.hotspot),
+      rewriter_(config.rewrite, config.rules),
+      metrics_(config.rules.num_levels) {}
+
+void ServiceBroker::add_backend(std::shared_ptr<Backend> backend, double weight) {
+  assert(backend != nullptr);
+  backends_.push_back(std::move(backend));
+  balancer_.add_backend(weight);
+}
+
+void ServiceBroker::share_transactions(std::shared_ptr<TransactionTracker> shared) {
+  assert(shared != nullptr);
+  txn_ = std::move(shared);
+}
+
+void ServiceBroker::submit(double now, const http::BrokerRequest& request,
+                           ReplyFn reply) {
+  QosLevel base_level = config_.rules.clamp_level(request.qos_level);
+  metrics_.at(base_level).issued += 1;
+
+  QosLevel effective =
+      txn_->effective_level(request.txn_id, request.txn_step, base_level, now);
+
+  // 1. Result cache.
+  if (config_.enable_cache) {
+    if (auto hit = cache_.get(request.payload, now)) {
+      auto& c = metrics_.at(base_level);
+      c.cache_hits += 1;
+      c.completed += 1;
+      c.response_time.add(0.0);
+      reply(http::BrokerReply{request.request_id, http::Fidelity::kCached, *hit});
+      return;
+    }
+  }
+
+  // 2. Admission.
+  AdmissionDecision decision =
+      admission_.decide(effective, static_cast<double>(outstanding_), now);
+  if (decision != AdmissionDecision::kForward) {
+    reply_drop(now, request, base_level, reply);
+    return;
+  }
+
+  if (backends_.empty()) {
+    auto& c = metrics_.at(base_level);
+    c.errors += 1;
+    c.completed += 1;
+    c.response_time.add(0.0);
+    reply(http::BrokerReply{request.request_id, http::Fidelity::kError,
+                            "no backend registered"});
+    return;
+  }
+
+  // 3. Forward path: degrade the query if the fidelity rules say so, then
+  //    track the member and feed the cluster engine.
+  RewriteOutcome rewritten =
+      rewriter_.apply(request.payload, effective, hotspot_.state());
+  ++outstanding_;
+  hotspot_.observe(static_cast<double>(outstanding_));
+  pending_.emplace(request.request_id,
+                   PendingMember{base_level, now, rewritten.payload,
+                                 rewritten.degraded, std::move(reply)});
+  effective_levels_[request.request_id] = effective;
+
+  if (auto batch = cluster_.add(request.request_id, std::move(rewritten.payload), now)) {
+    enqueue_batch(std::move(*batch), now);
+  }
+  pump(now);
+}
+
+void ServiceBroker::reply_drop(double now, const http::BrokerRequest& request,
+                               QosLevel base_level, ReplyFn& reply) {
+  auto& c = metrics_.at(base_level);
+  c.dropped += 1;
+  c.completed += 1;
+  c.response_time.add(0.0);
+  if (config_.serve_stale_on_drop) {
+    if (auto stale = cache_.get_stale(request.payload)) {
+      reply(http::BrokerReply{request.request_id, http::Fidelity::kCached, *stale});
+      return;
+    }
+  }
+  reply(http::BrokerReply{request.request_id, http::Fidelity::kBusy,
+                          "system is busy"});
+  (void)now;
+}
+
+void ServiceBroker::enqueue_batch(Batch batch, double now) {
+  ReadyBatch ready;
+  ready.priority = 1;
+  for (uint64_t id : batch.member_ids) {
+    auto it = effective_levels_.find(id);
+    if (it != effective_levels_.end()) {
+      ready.priority = std::max(ready.priority, it->second);
+      effective_levels_.erase(it);
+    }
+  }
+  ready.batch = std::move(batch);
+  dispatch_queue_.push(ready.priority, std::move(ready));
+  (void)now;
+}
+
+void ServiceBroker::pump(double now) {
+  while (!dispatch_queue_.empty() &&
+         (config_.dispatch_window == 0 || in_flight_batches_ < config_.dispatch_window)) {
+    auto next = dispatch_queue_.pop();
+    assert(next.has_value());
+    dispatch(std::move(*next), now);
+  }
+}
+
+void ServiceBroker::dispatch(ReadyBatch ready, double now) {
+  auto backend_index = balancer_.pick();
+  assert(backend_index.has_value());  // add_backend checked in submit
+
+  ConnectionPool::Lease lease = pool_.acquire();
+  if (!lease.granted) {
+    // Every connection is saturated: degrade the whole batch.
+    balancer_.complete(*backend_index);
+    for (size_t i = 0; i < ready.batch.member_ids.size(); ++i) {
+      uint64_t id = ready.batch.member_ids[i];
+      auto it = pending_.find(id);
+      if (it == pending_.end()) continue;
+      // Mirror the admission-drop bookkeeping: the request was admitted but
+      // cannot be carried, so it is shed with low fidelity.
+      PendingMember member = std::move(it->second);
+      pending_.erase(it);
+      assert(outstanding_ > 0);
+      --outstanding_;
+      auto& c = metrics_.at(member.base_level);
+      c.dropped += 1;
+      c.completed += 1;
+      c.response_time.add(now - member.submitted_at);
+      if (config_.serve_stale_on_drop) {
+        if (auto stale = cache_.get_stale(member.payload)) {
+          member.reply(http::BrokerReply{id, http::Fidelity::kCached, *stale});
+          continue;
+        }
+      }
+      member.reply(http::BrokerReply{id, http::Fidelity::kBusy, "system is busy"});
+    }
+    return;
+  }
+
+  ++in_flight_batches_;
+  Backend::Call call{ready.batch.combined_payload, lease.fresh};
+  std::shared_ptr<Backend> backend = backends_[*backend_index];
+  size_t backend_idx = *backend_index;
+  size_t connection = lease.connection;
+
+  // The batch is moved into the completion closure; member bookkeeping
+  // happens when the backend answers.
+  backend->invoke(call, [this, batch = std::move(ready.batch), backend_idx,
+                         connection](double done_now, bool ok,
+                                     const std::string& payload) {
+    pool_.release(connection);
+    balancer_.complete(backend_idx);
+    assert(in_flight_batches_ > 0);
+    --in_flight_batches_;
+
+    if (ok) {
+      std::vector<std::string> parts = ClusterEngine::split_reply(batch, payload);
+      for (size_t i = 0; i < batch.member_ids.size(); ++i) {
+        finish_member(batch.member_ids[i], done_now, http::Fidelity::kFull, parts[i],
+                      /*count_error=*/false);
+        if (config_.enable_cache) {
+          cache_.put(batch.member_payloads[i], parts[i], done_now);
+        }
+      }
+    } else {
+      for (uint64_t id : batch.member_ids) {
+        finish_member(id, done_now, http::Fidelity::kError, payload,
+                      /*count_error=*/true);
+      }
+    }
+    pump(done_now);
+  });
+}
+
+void ServiceBroker::finish_member(uint64_t id, double now, http::Fidelity fidelity,
+                                  const std::string& payload, bool count_error) {
+  auto it = pending_.find(id);
+  if (it == pending_.end()) {
+    SBROKER_WARN(name_) << "completion for unknown request id " << id;
+    return;
+  }
+  PendingMember member = std::move(it->second);
+  pending_.erase(it);
+  assert(outstanding_ > 0);
+  --outstanding_;
+  hotspot_.observe(static_cast<double>(outstanding_));
+
+  if (member.degraded && fidelity == http::Fidelity::kFull) {
+    fidelity = http::Fidelity::kDegraded;
+  }
+  auto& c = metrics_.at(member.base_level);
+  if (fidelity == http::Fidelity::kFull || fidelity == http::Fidelity::kCached ||
+      fidelity == http::Fidelity::kDegraded) {
+    c.forwarded += 1;
+  }
+  if (count_error) c.errors += 1;
+  c.completed += 1;
+  c.response_time.add(now - member.submitted_at);
+  member.reply(http::BrokerReply{id, fidelity, payload});
+}
+
+void ServiceBroker::tick(double now) {
+  if (auto batch = cluster_.flush(now)) {
+    enqueue_batch(std::move(*batch), now);
+    pump(now);
+  }
+  txn_->expire(now);
+
+  if (!backends_.empty()) {
+    for (const PrefetchEntry& entry :
+         prefetcher_.due(now, static_cast<double>(outstanding_))) {
+      issue_prefetch(entry, now);
+    }
+  }
+}
+
+void ServiceBroker::issue_prefetch(const PrefetchEntry& entry, double now) {
+  auto backend_index = balancer_.pick();
+  if (!backend_index) return;
+  ConnectionPool::Lease lease = pool_.acquire();
+  if (!lease.granted) {
+    balancer_.complete(*backend_index);
+    return;  // pool saturated — skip this cycle, the schedule already advanced
+  }
+  Backend::Call call{entry.payload, lease.fresh};
+  std::shared_ptr<Backend> backend = backends_[*backend_index];
+  size_t backend_idx = *backend_index;
+  size_t connection = lease.connection;
+  std::string cache_key = entry.cache_key;
+  backend->invoke(call, [this, backend_idx, connection, cache_key](
+                            double done_now, bool ok, const std::string& payload) {
+    pool_.release(connection);
+    balancer_.complete(backend_idx);
+    if (ok) cache_.put(cache_key, payload, done_now);
+  });
+  (void)now;
+}
+
+std::optional<double> ServiceBroker::next_deadline() const {
+  std::optional<double> deadline = cluster_.next_deadline();
+  std::optional<double> prefetch = prefetcher_.next_due();
+  if (deadline && prefetch) return std::min(*deadline, *prefetch);
+  return deadline ? deadline : prefetch;
+}
+
+}  // namespace sbroker::core

@@ -1,0 +1,163 @@
+// ServiceBroker: the paper's contribution, as a composable facade.
+//
+// One broker fronts one backend service ("It is per service based",
+// Section III). Web application processes pass it messages containing the
+// query and QoS specification; the broker answers every message exactly
+// once, with one of four fidelities:
+//
+//   kFull    — forwarded to a backend, fresh result
+//   kCached  — answered from the result cache (hit, or stale copy on drop)
+//   kBusy    — admission-dropped with a busy notice
+//   kError   — backend failure
+//
+// Internally: TransactionTracker computes the effective QoS level; the
+// ResultCache short-circuits repeats; the AdmissionController applies the
+// threshold/contract rules; admitted requests join the ClusterEngine, whose
+// batches wait in a QosScheduler (highest class first) for a dispatch-window
+// slot; the LoadBalancer picks a backend replica and the ConnectionPool
+// decides whether the call pays connection setup. The Prefetcher refreshes
+// registered keys from tick() while the broker is idle.
+//
+// Time is injected: every entry point takes `now` (seconds). The owner must
+// call tick(now) periodically (or whenever next_deadline() falls due) to
+// flush time-based cluster batches and run prefetch.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/admission.h"
+#include "core/backend.h"
+#include "core/balance.h"
+#include "core/cache.h"
+#include "core/cluster.h"
+#include "core/metrics.h"
+#include "core/pool.h"
+#include "core/hotspot.h"
+#include "core/prefetch.h"
+#include "core/qos.h"
+#include "core/rewrite.h"
+#include "core/scheduler.h"
+#include "core/txn.h"
+#include "http/wire.h"
+
+namespace sbroker::core {
+
+struct BrokerConfig {
+  QosRules rules;                  ///< levels + outstanding threshold
+  bool enable_cache = true;
+  size_t cache_capacity = 4096;
+  double cache_ttl = 5.0;          ///< seconds
+  bool serve_stale_on_drop = true; ///< low-fidelity cached reply on drops
+  ClusterConfig cluster;           ///< degree 1 = no clustering
+  PoolConfig pool;
+  BalancePolicy balance = BalancePolicy::kLeastOutstanding;
+  TxnConfig txn;
+  HotSpotConfig hotspot;    ///< thresholds for WARM/HOT load classification
+  RewriteConfig rewrite;    ///< fidelity-variation rules (disabled by default)
+  /// Max batches in flight to backends; 0 = unbounded (paper's distributed
+  /// model lets the backend queue; bound it to exercise the QoS scheduler).
+  size_t dispatch_window = 0;
+  double prefetch_idle_threshold = 1.0;
+  uint64_t rng_seed = 42;          ///< seeds the balancer's random policy
+};
+
+class ServiceBroker {
+ public:
+  using ReplyFn = std::function<void(const http::BrokerReply&)>;
+
+  ServiceBroker(std::string name, BrokerConfig config);
+
+  /// Registers a backend replica with a capacity weight. At least one
+  /// backend must be added before submit().
+  void add_backend(std::shared_ptr<Backend> backend, double weight = 1.0);
+
+  /// Broker-to-broker state exchange (Section III): brokers that share a
+  /// TransactionTracker see each other's transaction progress, so a step-2
+  /// access at broker B is escalated even though step 1 ran at broker A —
+  /// "transactions involving different backend servers are properly
+  /// protected". Call before traffic flows; replaces the private tracker.
+  void share_transactions(std::shared_ptr<TransactionTracker> shared);
+
+  /// Handles one request message. `reply` fires exactly once — possibly
+  /// re-entrantly (cache hit / drop) or later (backend completion).
+  void submit(double now, const http::BrokerRequest& request, ReplyFn reply);
+
+  /// Housekeeping: flushes overdue cluster batches, issues due prefetches,
+  /// expires idle transactions. Call at ~cluster.max_wait granularity.
+  void tick(double now);
+
+  /// Earliest time at which tick() has work (cluster deadline or prefetch
+  /// refresh); nullopt when nothing is pending.
+  std::optional<double> next_deadline() const;
+
+  /// Requests forwarded to backends (or buffered for batching) and not yet
+  /// answered — the quantity the admission threshold compares against.
+  size_t outstanding() const { return outstanding_; }
+
+  const std::string& name() const { return name_; }
+  const BrokerConfig& config() const { return config_; }
+  const BrokerMetrics& metrics() const { return metrics_; }
+  ResultCache& cache() { return cache_; }
+  const ResultCache& cache() const { return cache_; }
+  Prefetcher& prefetcher() { return prefetcher_; }
+  AdmissionController& admission() { return admission_; }
+  TransactionTracker& transactions() { return *txn_; }
+  HotSpotDetector& hotspot() { return hotspot_; }
+  /// Current load classification of this broker's backend service.
+  LoadState load_state() const { return hotspot_.state(); }
+  const QueryRewriter& rewriter() const { return rewriter_; }
+  const LoadBalancer& balancer() const { return balancer_; }
+  const ConnectionPool& connection_pool() const { return pool_; }
+  size_t backend_count() const { return backends_.size(); }
+
+ private:
+  struct PendingMember {
+    QosLevel base_level = 1;
+    double submitted_at = 0.0;
+    std::string payload;
+    bool degraded = false;  ///< rewritten to lower fidelity before forwarding
+    ReplyFn reply;
+  };
+
+  struct ReadyBatch {
+    Batch batch;
+    QosLevel priority = 1;  ///< max effective level among members
+  };
+
+  void enqueue_batch(Batch batch, double now);
+  void pump(double now);
+  void dispatch(ReadyBatch ready, double now);
+  void finish_member(uint64_t id, double now, http::Fidelity fidelity,
+                     const std::string& payload, bool count_error);
+  void reply_drop(double now, const http::BrokerRequest& request, QosLevel base_level,
+                  ReplyFn& reply);
+  void issue_prefetch(const PrefetchEntry& entry, double now);
+
+  std::string name_;
+  BrokerConfig config_;
+  AdmissionController admission_;
+  ResultCache cache_;
+  ClusterEngine cluster_;
+  QosScheduler<ReadyBatch> dispatch_queue_;
+  ConnectionPool pool_;
+  LoadBalancer balancer_;
+  std::shared_ptr<TransactionTracker> txn_;  ///< possibly shared across brokers
+  Prefetcher prefetcher_;
+  HotSpotDetector hotspot_;
+  QueryRewriter rewriter_;
+  BrokerMetrics metrics_;
+
+  std::vector<std::shared_ptr<Backend>> backends_;
+  std::unordered_map<uint64_t, PendingMember> pending_;
+  std::unordered_map<uint64_t, QosLevel> effective_levels_;  ///< for batch prio
+  size_t outstanding_ = 0;
+  size_t in_flight_batches_ = 0;
+};
+
+}  // namespace sbroker::core

@@ -1,0 +1,67 @@
+#include "core/cache.h"
+
+#include <cassert>
+
+namespace sbroker::core {
+
+ResultCache::ResultCache(size_t capacity, double ttl) : capacity_(capacity), ttl_(ttl) {
+  assert(capacity > 0);
+}
+
+std::optional<std::string> ResultCache::get(const std::string& key, double now) {
+  auto it = map_.find(key);
+  if (it == map_.end()) {
+    ++misses_;
+    return std::nullopt;
+  }
+  if (!fresh(*it->second, now)) {
+    ++expired_;
+    ++misses_;
+    // Keep the stale entry: get_stale may still serve it on drops; a later
+    // put() refreshes it in place.
+    return std::nullopt;
+  }
+  ++hits_;
+  lru_.splice(lru_.begin(), lru_, it->second);
+  return it->second->value;
+}
+
+std::optional<std::string> ResultCache::get_stale(const std::string& key) const {
+  auto it = map_.find(key);
+  if (it == map_.end()) return std::nullopt;
+  return it->second->value;
+}
+
+void ResultCache::put(const std::string& key, std::string value, double now) {
+  auto it = map_.find(key);
+  if (it != map_.end()) {
+    it->second->value = std::move(value);
+    it->second->stored_at = now;
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  if (map_.size() >= capacity_) {
+    // Evict the least recently used entry.
+    assert(!lru_.empty());
+    map_.erase(lru_.back().key);
+    lru_.pop_back();
+    ++evictions_;
+  }
+  lru_.push_front(Entry{key, std::move(value), now});
+  map_[key] = lru_.begin();
+}
+
+bool ResultCache::invalidate(const std::string& key) {
+  auto it = map_.find(key);
+  if (it == map_.end()) return false;
+  lru_.erase(it->second);
+  map_.erase(it);
+  return true;
+}
+
+void ResultCache::clear() {
+  lru_.clear();
+  map_.clear();
+}
+
+}  // namespace sbroker::core

@@ -1,0 +1,74 @@
+// Result cache.
+//
+// "Since service brokers receive all the query results from the same
+// backend servers, they can cache some of the results to serve similar
+// requests" (Section III). Entries are keyed by the canonical query text,
+// bounded by entry count with LRU eviction, and expire after a TTL. A
+// *stale* lookup path exists for the degraded reply the distributed model
+// sends on admission drops: "cached results from previous queries with lower
+// fidelity" (Section IV).
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+namespace sbroker::core {
+
+class ResultCache {
+ public:
+  /// `capacity` entries; `ttl` seconds of freshness (<=0 disables expiry).
+  ResultCache(size_t capacity, double ttl);
+
+  /// Fresh lookup: returns the value only when present and unexpired.
+  /// Refreshes LRU position on hit.
+  std::optional<std::string> get(const std::string& key, double now);
+
+  /// Stale-permitted lookup: returns the value even when expired (used for
+  /// low-fidelity replies). Does not count as a hit and does not refresh LRU.
+  std::optional<std::string> get_stale(const std::string& key) const;
+
+  /// Inserts/overwrites; evicts the LRU entry when full.
+  void put(const std::string& key, std::string value, double now);
+
+  /// Removes a key; returns true when something was erased.
+  bool invalidate(const std::string& key);
+  void clear();
+
+  size_t size() const { return map_.size(); }
+  size_t capacity() const { return capacity_; }
+  double ttl() const { return ttl_; }
+
+  uint64_t hits() const { return hits_; }
+  uint64_t misses() const { return misses_; }
+  uint64_t expired() const { return expired_; }
+  uint64_t evictions() const { return evictions_; }
+  double hit_ratio() const {
+    uint64_t total = hits_ + misses_;
+    return total == 0 ? 0.0 : static_cast<double>(hits_) / static_cast<double>(total);
+  }
+
+ private:
+  struct Entry {
+    std::string key;
+    std::string value;
+    double stored_at;
+  };
+
+  bool fresh(const Entry& e, double now) const {
+    return ttl_ <= 0.0 || now - e.stored_at <= ttl_;
+  }
+
+  size_t capacity_;
+  double ttl_;
+  std::list<Entry> lru_;  // front = most recent
+  std::unordered_map<std::string, std::list<Entry>::iterator> map_;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+  uint64_t expired_ = 0;
+  uint64_t evictions_ = 0;
+};
+
+}  // namespace sbroker::core

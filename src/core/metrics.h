@@ -1,0 +1,73 @@
+// Per-class broker metrics.
+//
+// Everything the evaluation section reports comes from these counters:
+// completed requests per class (Table I), drop ratios per broker per class
+// (Tables II-IV), and processing-time series (Figures 9 and 10).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/stats.h"
+
+namespace sbroker::core {
+
+class BrokerMetrics {
+ public:
+  explicit BrokerMetrics(int num_levels = 3) : per_class_(static_cast<size_t>(num_levels)) {}
+
+  struct ClassCounters {
+    uint64_t issued = 0;      ///< requests submitted to the broker
+    uint64_t forwarded = 0;   ///< sent to a backend
+    uint64_t dropped = 0;     ///< admission-dropped (busy / stale reply)
+    uint64_t cache_hits = 0;  ///< served from the result cache
+    uint64_t completed = 0;   ///< replies delivered (any fidelity)
+    uint64_t errors = 0;      ///< backend failures surfaced to the client
+    util::Summary response_time;  ///< submit -> reply, seconds
+
+    double drop_ratio() const {
+      return issued == 0 ? 0.0
+                         : static_cast<double>(dropped) / static_cast<double>(issued);
+    }
+  };
+
+  int num_levels() const { return static_cast<int>(per_class_.size()); }
+
+  ClassCounters& at(int level) {
+    return per_class_.at(static_cast<size_t>(clamp(level)) - 1);
+  }
+  const ClassCounters& at(int level) const {
+    return per_class_.at(static_cast<size_t>(clamp(level)) - 1);
+  }
+
+  /// Aggregates across classes.
+  ClassCounters total() const {
+    ClassCounters t;
+    for (const auto& c : per_class_) {
+      t.issued += c.issued;
+      t.forwarded += c.forwarded;
+      t.dropped += c.dropped;
+      t.cache_hits += c.cache_hits;
+      t.completed += c.completed;
+      t.errors += c.errors;
+      t.response_time.merge(c.response_time);
+    }
+    return t;
+  }
+
+  void reset() {
+    for (auto& c : per_class_) c = ClassCounters{};
+  }
+
+ private:
+  int clamp(int level) const {
+    if (level < 1) return 1;
+    if (level > num_levels()) return num_levels();
+    return level;
+  }
+
+  std::vector<ClassCounters> per_class_;
+};
+
+}  // namespace sbroker::core

@@ -1,0 +1,63 @@
+#include "core/pool.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace sbroker::core {
+
+ConnectionPool::ConnectionPool(PoolConfig config) : config_(config) {
+  assert(config_.max_connections > 0 && config_.multiplex_capacity > 0);
+}
+
+ConnectionPool::Lease ConnectionPool::acquire() {
+  if (!config_.persistent) {
+    // API model: every access opens (and later closes) its own connection.
+    if (transient_open_ >= config_.max_connections) {
+      ++rejections_;
+      return Lease{0, false, false};
+    }
+    ++transient_open_;
+    ++setups_;
+    return Lease{0, true, true};
+  }
+
+  // Persistent mode: pick the least-loaded connection with spare capacity.
+  size_t best = in_flight_.size();
+  for (size_t i = 0; i < in_flight_.size(); ++i) {
+    if (in_flight_[i] < config_.multiplex_capacity &&
+        (best == in_flight_.size() || in_flight_[i] < in_flight_[best])) {
+      best = i;
+    }
+  }
+  if (best < in_flight_.size()) {
+    ++in_flight_[best];
+    return Lease{best, false, true};
+  }
+  if (in_flight_.size() < config_.max_connections) {
+    in_flight_.push_back(1);
+    ++setups_;
+    return Lease{in_flight_.size() - 1, true, true};
+  }
+  ++rejections_;
+  return Lease{0, false, false};
+}
+
+void ConnectionPool::release(size_t connection) {
+  if (!config_.persistent) {
+    // Close the per-request connection.
+    assert(transient_open_ > 0);
+    --transient_open_;
+    return;
+  }
+  assert(connection < in_flight_.size() && in_flight_[connection] > 0);
+  --in_flight_[connection];
+}
+
+size_t ConnectionPool::in_flight_total() const {
+  if (!config_.persistent) return transient_open_;
+  size_t total = 0;
+  for (size_t n : in_flight_) total += n;
+  return total;
+}
+
+}  // namespace sbroker::core

@@ -1,0 +1,59 @@
+// Persistent connection pool / channel multiplexing accounting.
+//
+// "In the proposed approach, DB brokers maintain persistent connection thus
+// saving the cost of connection setup" and "a single connection between the
+// service broker and the backend server can be multiplexed to serve multiple
+// applications" (Section III). The pool is pure bookkeeping: it tells the
+// caller whether an acquire needs a fresh connection (so the caller charges
+// the setup latency exactly once per physical connection) and how many
+// in-flight requests each connection multiplexes.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace sbroker::core {
+
+struct PoolConfig {
+  size_t max_connections = 4;      ///< physical connections to one backend
+  size_t multiplex_capacity = 64;  ///< in-flight requests per connection
+  bool persistent = true;          ///< false models the API per-request cycle
+};
+
+class ConnectionPool {
+ public:
+  explicit ConnectionPool(PoolConfig config);
+
+  struct Lease {
+    size_t connection = 0;   ///< index of the connection used
+    bool fresh = true;       ///< true -> caller must pay setup cost
+    bool granted = false;    ///< false -> all connections saturated
+  };
+
+  /// Reserves an in-flight slot. Least-loaded connection wins; a new
+  /// physical connection is opened only when all existing ones are busy and
+  /// the limit allows. In non-persistent mode every lease is fresh.
+  Lease acquire();
+
+  /// Releases a slot. In non-persistent mode the connection closes (the
+  /// caller already paid teardown as part of the API cycle).
+  void release(size_t connection);
+
+  size_t open_connections() const {
+    return config_.persistent ? in_flight_.size() : transient_open_;
+  }
+  size_t in_flight_total() const;
+  uint64_t setups() const { return setups_; }
+  uint64_t rejections() const { return rejections_; }
+  const PoolConfig& config() const { return config_; }
+
+ private:
+  PoolConfig config_;
+  std::vector<size_t> in_flight_;  ///< per open persistent connection
+  size_t transient_open_ = 0;      ///< open per-request connections
+  uint64_t setups_ = 0;
+  uint64_t rejections_ = 0;
+};
+
+}  // namespace sbroker::core

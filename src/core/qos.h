@@ -1,0 +1,45 @@
+// QoS classes and the paper's threshold admission rule.
+//
+// Section V-B-1: "QoS level means that the request is forwarded to the
+// backend servers if the number of the outstanding requests is [below a
+// per-level fraction] of the threshold. ... The thresholds at each broker
+// were set to be 20."
+//
+// We implement the per-level fraction as level/num_levels: with 3 levels and
+// threshold 20, class 3 is admitted while outstanding < 20, class 2 while
+// outstanding < 13.33, class 1 while outstanding < 6.67. Higher classes thus
+// keep backend access longer as load grows, lower classes are shed first,
+// and the ordering of drop ratios in the paper's Tables II-IV follows.
+#pragma once
+
+#include <algorithm>
+#include <cassert>
+
+namespace sbroker::core {
+
+/// A QoS class. Classes are 1-based; higher value = higher priority.
+using QosLevel = int;
+
+struct QosRules {
+  int num_levels = 3;
+  /// Maximum outstanding (forwarded, uncompleted) requests per backend.
+  double threshold = 20.0;
+
+  /// Admission bound for `level`: the outstanding count below which a
+  /// request of this class may be forwarded.
+  double bound(QosLevel level) const {
+    level = clamp_level(level);
+    return threshold * static_cast<double>(level) / static_cast<double>(num_levels);
+  }
+
+  /// The paper's binary forward-or-drop rule.
+  bool admit(QosLevel level, double outstanding) const {
+    return outstanding < bound(level);
+  }
+
+  QosLevel clamp_level(QosLevel level) const {
+    return std::clamp(level, 1, num_levels);
+  }
+};
+
+}  // namespace sbroker::core

@@ -1,0 +1,94 @@
+// QoS-aware request scheduler.
+//
+// "Service brokers receive, sort and rewrite these messages according to
+// their QoS levels" (Section III): when the backend is busy, pending
+// requests wait here and are released highest-class-first, FIFO within a
+// class — a higher-priority arrival overtakes queued lower-priority work,
+// which is exactly the reshuffling that prevents priority inversion.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <optional>
+
+#include "core/qos.h"
+
+namespace sbroker::core {
+
+template <typename T>
+class QosScheduler {
+ public:
+  explicit QosScheduler(size_t per_class_limit = SIZE_MAX)
+      : per_class_limit_(per_class_limit) {}
+
+  /// Enqueues `item` at `level`. Returns false when the class queue is full.
+  bool push(QosLevel level, T item) {
+    auto& q = queues_[-level];
+    if (q.size() >= per_class_limit_) {
+      ++rejected_;
+      return false;
+    }
+    q.push_back(std::move(item));
+    ++size_;
+    return true;
+  }
+
+  /// Removes and returns the highest-priority item (FIFO within class).
+  std::optional<T> pop() {
+    if (size_ == 0) return std::nullopt;
+    auto it = queues_.begin();
+    while (it != queues_.end() && it->second.empty()) it = queues_.erase(it);
+    if (it == queues_.end()) return std::nullopt;
+    T item = std::move(it->second.front());
+    it->second.pop_front();
+    if (it->second.empty()) queues_.erase(it);
+    --size_;
+    return item;
+  }
+
+  /// Level of the item pop() would return; nullopt when empty.
+  std::optional<QosLevel> front_level() const {
+    for (const auto& [neg_level, q] : queues_) {
+      if (!q.empty()) return -neg_level;
+    }
+    return std::nullopt;
+  }
+
+  /// Drops up to `n` items from the *lowest* class upward (load shedding).
+  /// `on_drop` is invoked for each victim. Returns the number dropped.
+  size_t shed_lowest(size_t n, const std::function<void(QosLevel, T&)>& on_drop) {
+    size_t dropped = 0;
+    while (dropped < n && size_ > 0) {
+      auto it = queues_.rbegin();
+      while (it != queues_.rend() && it->second.empty()) ++it;
+      if (it == queues_.rend()) break;
+      QosLevel level = -it->first;
+      T item = std::move(it->second.front());
+      it->second.pop_front();
+      --size_;
+      on_drop(level, item);
+      ++dropped;
+    }
+    return dropped;
+  }
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  uint64_t rejected() const { return rejected_; }
+
+  size_t size_at(QosLevel level) const {
+    auto it = queues_.find(-level);
+    return it == queues_.end() ? 0 : it->second.size();
+  }
+
+ private:
+  // Key is -level so begin() is the highest class.
+  std::map<int, std::deque<T>> queues_;
+  size_t per_class_limit_;
+  size_t size_ = 0;
+  uint64_t rejected_ = 0;
+};
+
+}  // namespace sbroker::core

@@ -1,0 +1,41 @@
+#include "core/txn.h"
+
+#include <algorithm>
+
+namespace sbroker::core {
+
+TransactionTracker::TransactionTracker(QosRules rules, TxnConfig config)
+    : rules_(rules), config_(config) {}
+
+QosLevel TransactionTracker::effective_level(uint64_t txn_id, int step,
+                                             QosLevel base_level, double now) {
+  if (txn_id == 0) return rules_.clamp_level(base_level);
+  step = std::max(step, 1);
+  Entry& entry = txns_[txn_id];
+  entry.highest_step = std::max(entry.highest_step, step);
+  entry.last_seen = now;
+  int boosted = base_level + config_.boost_per_step * (entry.highest_step - 1);
+  return rules_.clamp_level(boosted);
+}
+
+void TransactionTracker::complete(uint64_t txn_id) { txns_.erase(txn_id); }
+
+size_t TransactionTracker::expire(double now) {
+  size_t removed = 0;
+  for (auto it = txns_.begin(); it != txns_.end();) {
+    if (now - it->second.last_seen > config_.idle_expiry) {
+      it = txns_.erase(it);
+      ++removed;
+    } else {
+      ++it;
+    }
+  }
+  return removed;
+}
+
+int TransactionTracker::highest_step(uint64_t txn_id) const {
+  auto it = txns_.find(txn_id);
+  return it == txns_.end() ? 0 : it->second.highest_step;
+}
+
+}  // namespace sbroker::core

@@ -1,0 +1,57 @@
+// Transaction integrity tracking.
+//
+// Paper Section III, "Transaction integrity assurance": a supply-chain
+// purchase touches vendors in several steps; brokers "recognize the subtlety
+// of each access by proper tagging and gradually increase the priority of
+// the subsequent accesses that belong to the same transaction", so a
+// transaction deep in its flow is not aborted by overload while a step-1
+// access may be shed.
+//
+// The tracker maps (transaction id, step) to an *effective* QoS level:
+//   effective = base + boost_per_step * (step - 1), clamped to max level.
+// It also remembers the highest step seen per transaction so out-of-order
+// tagging cannot demote an in-flight transaction, and expires idle entries.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "core/qos.h"
+
+namespace sbroker::core {
+
+struct TxnConfig {
+  int boost_per_step = 1;     ///< QoS levels gained per completed step
+  double idle_expiry = 60.0;  ///< seconds after which a quiet txn is dropped
+};
+
+class TransactionTracker {
+ public:
+  TransactionTracker(QosRules rules, TxnConfig config);
+
+  /// Effective QoS level for a request of class `base_level` that is step
+  /// `step` of transaction `txn_id` at time `now`. txn_id 0 (no transaction)
+  /// returns the base level unchanged. Records/advances the transaction.
+  QosLevel effective_level(uint64_t txn_id, int step, QosLevel base_level, double now);
+
+  /// Marks a transaction finished, releasing its state immediately.
+  void complete(uint64_t txn_id);
+
+  /// Removes transactions idle since before `now - idle_expiry`.
+  size_t expire(double now);
+
+  size_t active() const { return txns_.size(); }
+  int highest_step(uint64_t txn_id) const;
+
+ private:
+  struct Entry {
+    int highest_step = 1;
+    double last_seen = 0.0;
+  };
+
+  QosRules rules_;
+  TxnConfig config_;
+  std::unordered_map<uint64_t, Entry> txns_;
+};
+
+}  // namespace sbroker::core

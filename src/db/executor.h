@@ -1,0 +1,50 @@
+// Query executor: runs a SelectQuery against a Database.
+//
+// Plan selection is deliberately simple (this stands in for MySQL, it does
+// not compete with it): the executor picks the first equality predicate on a
+// hash-indexed column, else the first range predicate on an ordered-indexed
+// column, else a full scan. Remaining predicates are applied as filters.
+// `ExecStats` records the work done; the cost model converts it into a
+// simulated service time for the DES testbeds.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "db/query.h"
+#include "db/schema.h"
+#include "db/table.h"
+
+namespace sbroker::db {
+
+/// Work accounting for one execution (summed over REPEAT iterations).
+struct ExecStats {
+  uint64_t rows_examined = 0;  ///< rows touched by scan or index probe
+  uint64_t rows_returned = 0;
+  uint64_t repeats = 1;
+  bool used_index = false;
+};
+
+/// A materialized result.
+struct ResultSet {
+  std::vector<std::string> columns;
+  std::vector<Row> rows;
+  ExecStats stats;
+
+  /// Tab-separated rendering (header + rows) used by the HTTP layer.
+  std::string to_text() const;
+};
+
+class Database;  // defined in database.h
+
+/// Executes `q` against `db`. Throws std::invalid_argument for unknown
+/// tables/columns. REPEAT k runs the plan k times and concatenates results —
+/// this reproduces the paper's clustered-script behaviour where the backend
+/// "repeats the same workload multiple times".
+ResultSet execute(const Database& db, const SelectQuery& q);
+
+/// Parses `sql` then executes it.
+ResultSet execute_sql(const Database& db, std::string_view sql);
+
+}  // namespace sbroker::db

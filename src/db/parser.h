@@ -1,0 +1,21 @@
+// Recursive-descent parser for the SQL subset (see query.h for the grammar).
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+#include "db/query.h"
+
+namespace sbroker::db {
+
+/// Thrown on any syntax error; the message points at the offending token.
+class ParseError : public std::runtime_error {
+ public:
+  explicit ParseError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Parses one SELECT statement. Throws ParseError on malformed input.
+SelectQuery parse_select(std::string_view sql);
+
+}  // namespace sbroker::db

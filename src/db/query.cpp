@@ -1,0 +1,90 @@
+#include "db/query.h"
+
+namespace sbroker::db {
+
+const char* compare_op_name(CompareOp op) {
+  switch (op) {
+    case CompareOp::kEq:
+      return "=";
+    case CompareOp::kNe:
+      return "!=";
+    case CompareOp::kLt:
+      return "<";
+    case CompareOp::kLe:
+      return "<=";
+    case CompareOp::kGt:
+      return ">";
+    case CompareOp::kGe:
+      return ">=";
+  }
+  return "?";
+}
+
+bool eval_compare(CompareOp op, const Value& lhs, const Value& rhs) {
+  if (lhs.is_null() || rhs.is_null()) {
+    // SQL-lite semantics: NULL = NULL is true, NULL != x is true when x is
+    // non-NULL; ordering comparisons against NULL are false.
+    bool both = lhs.is_null() && rhs.is_null();
+    if (op == CompareOp::kEq) return both;
+    if (op == CompareOp::kNe) return !both;
+    return false;
+  }
+  int c = lhs.compare(rhs);
+  switch (op) {
+    case CompareOp::kEq:
+      return c == 0;
+    case CompareOp::kNe:
+      return c != 0;
+    case CompareOp::kLt:
+      return c < 0;
+    case CompareOp::kLe:
+      return c <= 0;
+    case CompareOp::kGt:
+      return c > 0;
+    case CompareOp::kGe:
+      return c >= 0;
+  }
+  return false;
+}
+
+namespace {
+
+std::string render(const SelectQuery& q, bool with_repeat) {
+  std::string out = "SELECT ";
+  if (q.count_only) {
+    out += "COUNT(*)";
+  } else if (q.columns.empty()) {
+    out += "*";
+  } else {
+    for (size_t i = 0; i < q.columns.size(); ++i) {
+      if (i) out += ", ";
+      out += q.columns[i];
+    }
+  }
+  out += " FROM " + q.table;
+  if (!q.where.empty()) {
+    out += " WHERE ";
+    for (size_t i = 0; i < q.where.size(); ++i) {
+      if (i) out += " AND ";
+      out += q.where[i].column;
+      out += " ";
+      out += compare_op_name(q.where[i].op);
+      out += " ";
+      out += q.where[i].literal.to_string();
+    }
+  }
+  if (q.order_by) {
+    out += " ORDER BY " + q.order_by->column + (q.order_by->descending ? " DESC" : " ASC");
+  }
+  if (q.limit) out += " LIMIT " + std::to_string(*q.limit);
+  if (with_repeat && q.repeat > 1) out += " REPEAT " + std::to_string(q.repeat);
+  return out;
+}
+
+}  // namespace
+
+std::string SelectQuery::to_string() const { return render(*this, /*with_repeat=*/true); }
+
+std::string SelectQuery::cache_key() const { return render(*this, /*with_repeat=*/false); }
+
+}  // namespace sbroker::db

@@ -1,0 +1,95 @@
+#include "http/message.h"
+
+#include "util/strings.h"
+
+namespace sbroker::http {
+
+void Headers::set(std::string name, std::string value) {
+  std::string key = util::to_lower(name);
+  entries_[std::move(key)] = {std::move(name), std::move(value)};
+}
+
+std::optional<std::string> Headers::get(std::string_view name) const {
+  auto it = entries_.find(util::to_lower(name));
+  if (it == entries_.end()) return std::nullopt;
+  return it->second.second;
+}
+
+void Headers::remove(std::string_view name) { entries_.erase(util::to_lower(name)); }
+
+namespace {
+
+void serialize_headers(const Headers& headers, const std::string& body, std::string& out) {
+  bool has_length = headers.has("Content-Length");
+  for (const auto& [key, entry] : headers.entries()) {
+    out += entry.first;
+    out += ": ";
+    out += entry.second;
+    out += "\r\n";
+  }
+  if (!has_length && !body.empty()) {
+    out += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+  }
+  out += "\r\n";
+  out += body;
+}
+
+}  // namespace
+
+std::string Request::serialize() const {
+  std::string out = method + " " + target + " " + version + "\r\n";
+  serialize_headers(headers, body, out);
+  return out;
+}
+
+int Request::qos_level(int def) const {
+  auto v = headers.get(kQosHeader);
+  if (!v) return def;
+  auto parsed = util::parse_int(*v);
+  return parsed ? static_cast<int>(*parsed) : def;
+}
+
+void Request::set_qos_level(int level) {
+  headers.set(std::string(kQosHeader), std::to_string(level));
+}
+
+std::string Response::serialize() const {
+  std::string out = version + " " + std::to_string(status) + " " + reason + "\r\n";
+  serialize_headers(headers, body, out);
+  return out;
+}
+
+std::string_view reason_phrase(int status) {
+  switch (status) {
+    case 200:
+      return "OK";
+    case 202:
+      return "Accepted";
+    case 206:
+      return "Partial Content";
+    case 400:
+      return "Bad Request";
+    case 404:
+      return "Not Found";
+    case 500:
+      return "Internal Server Error";
+    case 502:
+      return "Bad Gateway";
+    case 503:
+      return "Service Unavailable";
+    case 504:
+      return "Gateway Timeout";
+    default:
+      return "Unknown";
+  }
+}
+
+Response make_response(int status, std::string body) {
+  Response r;
+  r.status = status;
+  r.reason = std::string(reason_phrase(status));
+  r.body = std::move(body);
+  return r;
+}
+
+}  // namespace sbroker::http

@@ -1,0 +1,76 @@
+// HTTP/1.x message model (subset).
+//
+// Enough of HTTP for the testbeds: request line + headers + Content-Length
+// bodies. Header lookup is case-insensitive per RFC 9110. The model also
+// carries the two extensions the paper relies on:
+//   * the MGET batch method (Franks' MGET proposal, ref [11] in the paper)
+//   * the X-QoS-Level request header carrying the client's QoS class
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sbroker::http {
+
+/// Case-insensitive header map (preserves last-set spelling of the name).
+class Headers {
+ public:
+  void set(std::string name, std::string value);
+  /// nullopt when absent.
+  std::optional<std::string> get(std::string_view name) const;
+  bool has(std::string_view name) const { return get(name).has_value(); }
+  void remove(std::string_view name);
+  size_t size() const { return entries_.size(); }
+
+  /// Iteration in case-folded name order.
+  const std::map<std::string, std::pair<std::string, std::string>>& entries() const {
+    return entries_;
+  }
+
+ private:
+  // key: lower-cased name -> (original name, value)
+  std::map<std::string, std::pair<std::string, std::string>> entries_;
+};
+
+struct Request {
+  std::string method = "GET";
+  std::string target = "/";
+  std::string version = "HTTP/1.1";
+  Headers headers;
+  std::string body;
+
+  /// Serializes with a correct Content-Length (set iff body non-empty or a
+  /// length header was already present).
+  std::string serialize() const;
+
+  /// QoS class from X-QoS-Level; `def` when missing or malformed.
+  int qos_level(int def = 1) const;
+  void set_qos_level(int level);
+};
+
+struct Response {
+  int status = 200;
+  std::string reason = "OK";
+  std::string version = "HTTP/1.1";
+  Headers headers;
+  std::string body;
+
+  std::string serialize() const;
+};
+
+/// Standard reason phrase for the handful of codes this repo uses.
+std::string_view reason_phrase(int status);
+
+/// Builds a response with status/body and the right reason phrase.
+Response make_response(int status, std::string body);
+
+/// Header name constants.
+inline constexpr std::string_view kQosHeader = "X-QoS-Level";
+inline constexpr std::string_view kFidelityHeader = "X-Fidelity";
+inline constexpr std::string_view kMgetHeader = "X-MGET-URIs";
+
+}  // namespace sbroker::http

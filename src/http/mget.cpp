@@ -1,0 +1,74 @@
+#include "http/mget.h"
+
+#include "http/parser.h"
+#include "util/strings.h"
+
+namespace sbroker::http {
+
+Request make_mget_request(const std::vector<std::string>& targets) {
+  Request req;
+  req.method = std::string(kMgetMethod);
+  req.target = targets.empty() ? "/" : targets.front();
+  std::string joined;
+  for (size_t i = 0; i < targets.size(); ++i) {
+    if (i) joined += ',';
+    joined += targets[i];
+  }
+  req.headers.set(std::string(kMgetHeader), joined);
+  return req;
+}
+
+std::optional<std::vector<std::string>> parse_mget_targets(const Request& req) {
+  if (req.method != kMgetMethod) return std::nullopt;
+  auto header = req.headers.get(kMgetHeader);
+  if (!header || header->empty()) return std::nullopt;
+  std::vector<std::string> out;
+  for (auto piece : util::split_skip_empty(*header, ',')) {
+    out.emplace_back(util::trim(piece));
+  }
+  if (out.empty()) return std::nullopt;
+  return out;
+}
+
+Response make_mget_response(const std::vector<Response>& parts) {
+  // Body: for each part, a line "<length>\n" followed by the serialized
+  // part (status line + headers + body) of exactly that many bytes.
+  std::string body;
+  for (const Response& part : parts) {
+    std::string serialized = part.serialize();
+    body += std::to_string(serialized.size());
+    body += '\n';
+    body += serialized;
+  }
+  Response out = make_response(200, std::move(body));
+  out.headers.set("X-MGET-Count", std::to_string(parts.size()));
+  out.headers.set("Content-Type", "application/x-mget-parts");
+  return out;
+}
+
+std::optional<std::vector<Response>> split_mget_response(const Response& resp) {
+  auto count_header = resp.headers.get("X-MGET-Count");
+  if (!count_header) return std::nullopt;
+  auto count = util::parse_int(*count_header);
+  if (!count || *count < 0) return std::nullopt;
+
+  std::vector<Response> parts;
+  std::string_view body = resp.body;
+  size_t pos = 0;
+  while (pos < body.size()) {
+    size_t eol = body.find('\n', pos);
+    if (eol == std::string_view::npos) return std::nullopt;
+    auto length = util::parse_int(body.substr(pos, eol - pos));
+    if (!length || *length < 0) return std::nullopt;
+    size_t start = eol + 1;
+    if (start + static_cast<size_t>(*length) > body.size()) return std::nullopt;
+    auto part = parse_response(body.substr(start, static_cast<size_t>(*length)));
+    if (!part) return std::nullopt;
+    parts.push_back(std::move(*part));
+    pos = start + static_cast<size_t>(*length);
+  }
+  if (parts.size() != static_cast<size_t>(*count)) return std::nullopt;
+  return parts;
+}
+
+}  // namespace sbroker::http

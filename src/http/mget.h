@@ -1,0 +1,40 @@
+// MGET batch extension (paper ref [11], Franks' MGET proposal).
+//
+// The broker combines separate GETs for 1.html and 2.html into a single
+// "MGET URI:1.html URI:2.html" exchange, and "the results are appropriately
+// split and sent to the request initiators" (Section III). This module
+// implements both directions:
+//   * make_mget_request: fold N targets into one MGET request
+//   * parse_mget_targets: recover the target list at the server
+//   * make_mget_response: concatenate N responses into one multipart body
+//   * split_mget_response: split the multipart body back into N responses
+//
+// The multipart framing uses explicit per-part byte lengths rather than a
+// boundary string, so part bodies may contain anything.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "http/message.h"
+
+namespace sbroker::http {
+
+inline constexpr std::string_view kMgetMethod = "MGET";
+
+/// Builds the batched request. Requires at least one target.
+Request make_mget_request(const std::vector<std::string>& targets);
+
+/// Extracts targets from an MGET request; nullopt when the request is not a
+/// well-formed MGET (wrong method or missing/empty header).
+std::optional<std::vector<std::string>> parse_mget_targets(const Request& req);
+
+/// Concatenates per-target responses (in target order) into one 200 reply.
+Response make_mget_response(const std::vector<Response>& parts);
+
+/// Splits a batched reply; nullopt on framing errors or count mismatch with
+/// the X-MGET-Count header.
+std::optional<std::vector<Response>> split_mget_response(const Response& resp);
+
+}  // namespace sbroker::http

@@ -1,0 +1,168 @@
+#include "http/parser.h"
+
+#include "util/strings.h"
+
+namespace sbroker::http {
+namespace {
+
+/// Parses the header block starting after the start line. Returns the body
+/// offset (position just past the blank line) or npos when incomplete.
+/// Sets `error` on malformed header lines.
+size_t parse_header_block(std::string_view buffer, size_t start, Headers& headers,
+                          std::string* error) {
+  size_t pos = start;
+  while (true) {
+    size_t eol = buffer.find("\r\n", pos);
+    if (eol == std::string_view::npos) return std::string_view::npos;
+    if (eol == pos) return eol + 2;  // blank line: end of headers
+    std::string_view line = buffer.substr(pos, eol - pos);
+    size_t colon = line.find(':');
+    if (colon == std::string_view::npos) {
+      *error = "header line missing ':'";
+      return std::string_view::npos;
+    }
+    std::string_view name = util::trim(line.substr(0, colon));
+    std::string_view value = util::trim(line.substr(colon + 1));
+    if (name.empty()) {
+      *error = "empty header name";
+      return std::string_view::npos;
+    }
+    headers.set(std::string(name), std::string(value));
+    pos = eol + 2;
+  }
+}
+
+/// Returns body length from Content-Length (0 when absent); -1 on a
+/// malformed value.
+int64_t body_length(const Headers& headers) {
+  auto v = headers.get("Content-Length");
+  if (!v) return 0;
+  auto parsed = util::parse_int(*v);
+  if (!parsed || *parsed < 0) return -1;
+  return *parsed;
+}
+
+}  // namespace
+
+void RequestParser::feed(std::string_view bytes) { buffer_.append(bytes); }
+
+ParseResult RequestParser::next(Request& out) {
+  if (error_) return ParseResult::kError;
+  size_t line_end = buffer_.find("\r\n");
+  if (line_end == std::string::npos) return ParseResult::kNeedMore;
+
+  std::string_view start_line = std::string_view(buffer_).substr(0, line_end);
+  auto parts = util::split_skip_empty(start_line, ' ');
+  if (parts.size() != 3) {
+    error_ = true;
+    error_message_ = "malformed request line";
+    return ParseResult::kError;
+  }
+
+  Request req;
+  req.method = std::string(parts[0]);
+  req.target = std::string(parts[1]);
+  req.version = std::string(parts[2]);
+
+  std::string header_error;
+  size_t body_start =
+      parse_header_block(buffer_, line_end + 2, req.headers, &header_error);
+  if (body_start == std::string::npos) {
+    if (!header_error.empty()) {
+      error_ = true;
+      error_message_ = header_error;
+      return ParseResult::kError;
+    }
+    return ParseResult::kNeedMore;
+  }
+
+  int64_t length = body_length(req.headers);
+  if (length < 0) {
+    error_ = true;
+    error_message_ = "bad Content-Length";
+    return ParseResult::kError;
+  }
+  if (buffer_.size() < body_start + static_cast<size_t>(length)) {
+    return ParseResult::kNeedMore;
+  }
+  req.body = buffer_.substr(body_start, static_cast<size_t>(length));
+  buffer_.erase(0, body_start + static_cast<size_t>(length));
+  out = std::move(req);
+  return ParseResult::kMessage;
+}
+
+void ResponseParser::feed(std::string_view bytes) { buffer_.append(bytes); }
+
+ParseResult ResponseParser::next(Response& out) {
+  if (error_) return ParseResult::kError;
+  size_t line_end = buffer_.find("\r\n");
+  if (line_end == std::string::npos) return ParseResult::kNeedMore;
+
+  std::string_view start_line = std::string_view(buffer_).substr(0, line_end);
+  // Status line: VERSION SP STATUS SP REASON (reason may contain spaces).
+  size_t sp1 = start_line.find(' ');
+  size_t sp2 = sp1 == std::string_view::npos ? std::string_view::npos
+                                             : start_line.find(' ', sp1 + 1);
+  if (sp1 == std::string_view::npos) {
+    error_ = true;
+    error_message_ = "malformed status line";
+    return ParseResult::kError;
+  }
+  Response resp;
+  resp.version = std::string(start_line.substr(0, sp1));
+  std::string_view status_text = sp2 == std::string_view::npos
+                                     ? start_line.substr(sp1 + 1)
+                                     : start_line.substr(sp1 + 1, sp2 - sp1 - 1);
+  auto status = util::parse_int(status_text);
+  if (!status || *status < 100 || *status > 599) {
+    error_ = true;
+    error_message_ = "bad status code";
+    return ParseResult::kError;
+  }
+  resp.status = static_cast<int>(*status);
+  resp.reason = sp2 == std::string_view::npos ? "" : std::string(start_line.substr(sp2 + 1));
+
+  std::string header_error;
+  size_t body_start =
+      parse_header_block(buffer_, line_end + 2, resp.headers, &header_error);
+  if (body_start == std::string::npos) {
+    if (!header_error.empty()) {
+      error_ = true;
+      error_message_ = header_error;
+      return ParseResult::kError;
+    }
+    return ParseResult::kNeedMore;
+  }
+
+  int64_t length = body_length(resp.headers);
+  if (length < 0) {
+    error_ = true;
+    error_message_ = "bad Content-Length";
+    return ParseResult::kError;
+  }
+  if (buffer_.size() < body_start + static_cast<size_t>(length)) {
+    return ParseResult::kNeedMore;
+  }
+  resp.body = buffer_.substr(body_start, static_cast<size_t>(length));
+  buffer_.erase(0, body_start + static_cast<size_t>(length));
+  out = std::move(resp);
+  return ParseResult::kMessage;
+}
+
+std::optional<Request> parse_request(std::string_view text) {
+  RequestParser parser;
+  parser.feed(text);
+  Request req;
+  if (parser.next(req) != ParseResult::kMessage) return std::nullopt;
+  return req;
+}
+
+std::optional<Response> parse_response(std::string_view text) {
+  ResponseParser parser;
+  parser.feed(text);
+  Response resp;
+  if (parser.next(resp) != ParseResult::kMessage) return std::nullopt;
+  return resp;
+}
+
+}  // namespace sbroker::http

@@ -1,0 +1,58 @@
+// Incremental HTTP parser.
+//
+// Feed bytes as they arrive from a socket; complete messages pop out. Only
+// Content-Length framing is supported (no chunked encoding) — every peer in
+// this repo sends explicit lengths. Malformed input moves the parser into a
+// sticky error state; the connection owner should then close.
+#pragma once
+
+#include <deque>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "http/message.h"
+
+namespace sbroker::http {
+
+enum class ParseResult { kNeedMore, kMessage, kError };
+
+/// Parses a stream of HTTP requests (server side).
+class RequestParser {
+ public:
+  /// Appends bytes to the internal buffer.
+  void feed(std::string_view bytes);
+
+  /// Attempts to extract the next complete request.
+  ParseResult next(Request& out);
+
+  bool in_error() const { return error_; }
+  const std::string& error_message() const { return error_message_; }
+
+ private:
+  std::string buffer_;
+  bool error_ = false;
+  std::string error_message_;
+};
+
+/// Parses a stream of HTTP responses (client side).
+class ResponseParser {
+ public:
+  void feed(std::string_view bytes);
+  ParseResult next(Response& out);
+
+  bool in_error() const { return error_; }
+  const std::string& error_message() const { return error_message_; }
+
+ private:
+  std::string buffer_;
+  bool error_ = false;
+  std::string error_message_;
+};
+
+/// One-shot conveniences for tests and in-process use: parse a complete
+/// message from `text`; nullopt on incomplete or malformed input.
+std::optional<Request> parse_request(std::string_view text);
+std::optional<Response> parse_response(std::string_view text);
+
+}  // namespace sbroker::http

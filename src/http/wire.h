@@ -1,0 +1,64 @@
+// Broker wire protocol.
+//
+// Web application processes talk to service brokers "through lightweight
+// UDP" (paper Section V-B-1) by exchanging small messages carrying the query
+// and its QoS specification. This module defines that message pair and a
+// compact length-prefixed binary codec usable over UDP datagrams or a TCP
+// stream (each encoded message is self-delimiting).
+//
+// Layout (all integers little-endian):
+//   magic  u32  'SBRK'
+//   version u8  (1)
+//   kind   u8   (1 = request, 2 = reply)
+//   ... kind-specific fields, strings as u32 length + bytes
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace sbroker::http {
+
+/// What the broker did with a request — the "fidelity" of the reply.
+/// The paper: "longer the processing time a request undergoes, higher the
+/// fidelity it receives"; dropped requests get an immediate low-fidelity
+/// message (a cached result when available, else a busy notice).
+enum class Fidelity : uint8_t {
+  kFull = 0,      ///< forwarded to the backend, fresh result
+  kCached = 1,    ///< served from broker cache (possibly stale)
+  kBusy = 2,      ///< admission-dropped; "system is busy" notice
+  kError = 3,     ///< backend or protocol failure
+  kDegraded = 4,  ///< fresh but fidelity-reduced (rewritten under load)
+};
+
+const char* fidelity_name(Fidelity f);
+
+struct BrokerRequest {
+  uint64_t request_id = 0;
+  uint8_t qos_level = 1;      ///< 1..N, higher is more important
+  uint64_t txn_id = 0;        ///< 0 = not part of a transaction
+  uint8_t txn_step = 0;       ///< 1-based step within the transaction
+  std::string service;        ///< broker/service name, e.g. "db" or "backend1"
+  std::string payload;        ///< query text (SQL) or request target (URI)
+};
+
+struct BrokerReply {
+  uint64_t request_id = 0;
+  Fidelity fidelity = Fidelity::kFull;
+  std::string payload;        ///< result text, cached copy, or notice
+};
+
+/// Self-delimiting binary encodings.
+std::string encode(const BrokerRequest& msg);
+std::string encode(const BrokerReply& msg);
+
+/// Decodes one message from the front of `bytes`. On success returns the
+/// message and sets `*consumed` to the bytes used; returns nullopt when
+/// `bytes` is malformed or does not contain a full message of that kind.
+std::optional<BrokerRequest> decode_request(std::string_view bytes,
+                                            size_t* consumed = nullptr);
+std::optional<BrokerReply> decode_reply(std::string_view bytes,
+                                        size_t* consumed = nullptr);
+
+}  // namespace sbroker::http

@@ -1,0 +1,143 @@
+#include "ldap/sim_backend.h"
+
+#include "core/cluster.h"
+#include "util/strings.h"
+
+namespace sbroker::ldap {
+
+std::optional<SearchCommand> parse_search(const std::string& payload,
+                                          std::string* error) {
+  auto fail = [&](const char* what) {
+    if (error) *error = what;
+    return std::nullopt;
+  };
+
+  auto tokens = util::split_skip_empty(payload, ' ');
+  if (tokens.empty() || !util::iequals(tokens[0], "SEARCH")) {
+    return fail("expected SEARCH command");
+  }
+  SearchCommand cmd;
+  bool have_base = false, have_filter = false;
+  for (size_t i = 1; i < tokens.size(); ++i) {
+    std::string_view token = tokens[i];
+    if (util::starts_with(token, "base=")) {
+      cmd.base = std::string(token.substr(5));
+      have_base = true;
+    } else if (util::starts_with(token, "scope=")) {
+      std::string_view scope = token.substr(6);
+      if (util::iequals(scope, "base")) {
+        cmd.scope = Scope::kBase;
+      } else if (util::iequals(scope, "one")) {
+        cmd.scope = Scope::kOneLevel;
+      } else if (util::iequals(scope, "sub")) {
+        cmd.scope = Scope::kSubtree;
+      } else {
+        return fail("bad scope (expected base|one|sub)");
+      }
+    } else if (util::starts_with(token, "filter=")) {
+      auto filter = Filter::parse(token.substr(7));
+      if (!filter) return fail("malformed filter");
+      cmd.filter = *filter;
+      have_filter = true;
+    } else {
+      return fail("unknown SEARCH argument");
+    }
+  }
+  if (!have_base) return fail("missing base=");
+  if (!have_filter) return fail("missing filter=");
+  return cmd;
+}
+
+std::string render_entries(const std::vector<const Entry*>& entries) {
+  std::string out;
+  for (const Entry* entry : entries) {
+    out += entry->dn;
+    out += '\t';
+    bool first = true;
+    for (const auto& [name, value] : entry->attributes) {
+      if (!first) out += ';';
+      out += name + "=" + value;
+      first = false;
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+SimLdapBackend::SimLdapBackend(sim::Simulation& sim, Directory& dir,
+                               LdapBackendConfig config)
+    : sim_(sim),
+      dir_(dir),
+      config_(config),
+      station_(sim, config.capacity, config.queue_limit),
+      request_link_(sim, config.link, util::Rng(config.link_seed)),
+      response_link_(sim, config.link, util::Rng(config.link_seed + 1)) {}
+
+void SimLdapBackend::invoke(const Call& call, Completion done) {
+  ++calls_;
+  double setup = call.needs_connection_setup ? config_.connection_setup : 0.0;
+  std::string payload = call.payload;
+
+  if (request_link_.is_down()) {
+    ++failures_;
+    sim_.after(0.0,
+               [this, done = std::move(done)]() { done(sim_.now(), false, "link down"); });
+    return;
+  }
+
+  request_link_.deliver([this, payload = std::move(payload), setup,
+                         done = std::move(done)]() mutable {
+    // Execute every record of the (possibly batched) payload.
+    bool ok = true;
+    std::string reply;
+    uint64_t examined = 0;
+    uint64_t records = 0;
+    bool first = true;
+    for (const std::string& record : core::ClusterEngine::split_records(payload)) {
+      ++records;
+      std::string error;
+      auto cmd = parse_search(record, &error);
+      std::string chunk;
+      if (!cmd) {
+        ok = false;
+        chunk = "search error: " + error;
+      } else {
+        Directory::SearchStats stats;
+        chunk = render_entries(dir_.search(cmd->base, cmd->scope, cmd->filter, &stats));
+        examined += stats.entries_examined;
+      }
+      if (!first) reply += core::kRecordSep;
+      reply += chunk;
+      first = false;
+    }
+
+    double service_time = setup + config_.fixed_seconds * static_cast<double>(records) +
+                          config_.per_entry_examined * static_cast<double>(examined);
+
+    auto respond = [this](bool good, std::string body, Completion cb) {
+      if (response_link_.is_down()) {
+        sim_.after(0.0, [this, cb = std::move(cb)]() {
+          cb(sim_.now(), false, "response link down");
+        });
+        return;
+      }
+      response_link_.deliver([this, good, body = std::move(body),
+                              cb = std::move(cb)]() mutable {
+        cb(sim_.now(), good, body);
+      });
+    };
+
+    if (!station_.would_accept()) {
+      ++failures_;
+      respond(false, "backend queue full", std::move(done));
+      return;
+    }
+    if (!ok) ++failures_;
+    station_.submit(service_time, [respond, ok, reply = std::move(reply),
+                                   done = std::move(done)]() mutable {
+      respond(ok, std::move(reply), std::move(done));
+    });
+  });
+}
+
+}  // namespace sbroker::ldap

@@ -1,0 +1,71 @@
+// Simulated LDAP backend server.
+//
+// Speaks a textual search protocol over the broker's payload channel:
+//
+//   SEARCH base=<dn> scope=<base|one|sub> filter=(attr=value)
+//
+// and answers one line per matched entry: "<dn>\t<attr>=<value>;...".
+// Record-separated batch payloads execute each search and join the results
+// with the cluster record separator, like the other Sim backends. Service
+// time is fixed overhead + per-entry-examined cost (directory servers are
+// traversal-bound).
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "core/backend.h"
+#include "ldap/directory.h"
+#include "sim/link.h"
+#include "sim/simulation.h"
+#include "sim/station.h"
+
+namespace sbroker::ldap {
+
+struct LdapBackendConfig {
+  size_t capacity = 8;
+  size_t queue_limit = SIZE_MAX;
+  sim::Link::Params link = sim::lan_profile();
+  double connection_setup = 0.008;    ///< bind handshake when not pooled
+  double fixed_seconds = 0.002;       ///< decode + dispatch per request
+  double per_entry_examined = 0.00002;
+  uint64_t link_seed = 41;
+};
+
+/// Parses the SEARCH command; nullopt (with a diagnostic in `error`) on
+/// malformed input. Exposed for tests.
+struct SearchCommand {
+  std::string base;
+  Scope scope = Scope::kSubtree;
+  Filter filter;
+};
+std::optional<SearchCommand> parse_search(const std::string& payload,
+                                          std::string* error = nullptr);
+
+/// Renders matched entries one per line: dn\tattr=value;attr=value...
+std::string render_entries(const std::vector<const Entry*>& entries);
+
+class SimLdapBackend : public core::Backend {
+ public:
+  /// `dir` must outlive the backend.
+  SimLdapBackend(sim::Simulation& sim, Directory& dir, LdapBackendConfig config);
+
+  void invoke(const Call& call, Completion done) override;
+
+  uint64_t calls() const { return calls_; }
+  uint64_t failures() const { return failures_; }
+  sim::Link& request_link() { return request_link_; }
+  sim::Link& response_link() { return response_link_; }
+
+ private:
+  sim::Simulation& sim_;
+  Directory& dir_;
+  LdapBackendConfig config_;
+  sim::BoundedStation station_;
+  sim::Link request_link_;
+  sim::Link response_link_;
+  uint64_t calls_ = 0;
+  uint64_t failures_ = 0;
+};
+
+}  // namespace sbroker::ldap

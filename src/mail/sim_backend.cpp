@@ -1,0 +1,117 @@
+#include "mail/sim_backend.h"
+
+#include "core/cluster.h"
+#include "util/strings.h"
+
+namespace sbroker::mail {
+
+std::pair<bool, std::string> execute_command(MailStore& store,
+                                             const std::string& command) {
+  auto fields = util::split(command, '|');
+  const std::string_view op = fields.empty() ? std::string_view{} : fields[0];
+
+  if (util::iequals(op, "SEND")) {
+    if (fields.size() != 5) return {false, "SEND needs to|from|subject|body"};
+    uint64_t id = store.deliver(std::string(fields[1]), std::string(fields[2]),
+                                std::string(fields[3]), std::string(fields[4]));
+    return {true, "sent " + std::to_string(id)};
+  }
+  if (util::iequals(op, "LIST")) {
+    if (fields.size() != 2) return {false, "LIST needs user"};
+    std::string out;
+    for (const Header& h : store.list(std::string(fields[1]))) {
+      out += std::to_string(h.id) + "\t" + h.from + "\t" + h.subject + "\n";
+    }
+    return {true, out};
+  }
+  if (util::iequals(op, "FETCH")) {
+    if (fields.size() != 3) return {false, "FETCH needs user|id"};
+    auto id = util::parse_int(fields[2]);
+    if (!id || *id < 1) return {false, "bad message id"};
+    const Message* msg = store.fetch(std::string(fields[1]), static_cast<uint64_t>(*id));
+    if (!msg) return {false, "no such message"};
+    return {true, msg->body};
+  }
+  if (util::iequals(op, "DELETE")) {
+    if (fields.size() != 3) return {false, "DELETE needs user|id"};
+    auto id = util::parse_int(fields[2]);
+    if (!id || *id < 1) return {false, "bad message id"};
+    if (!store.erase(std::string(fields[1]), static_cast<uint64_t>(*id))) {
+      return {false, "no such message"};
+    }
+    return {true, "deleted"};
+  }
+  return {false, "unknown command"};
+}
+
+SimMailBackend::SimMailBackend(sim::Simulation& sim, MailStore& store,
+                               MailBackendConfig config)
+    : sim_(sim),
+      store_(store),
+      config_(config),
+      station_(sim, config.capacity, config.queue_limit),
+      request_link_(sim, config.link, util::Rng(config.link_seed)),
+      response_link_(sim, config.link, util::Rng(config.link_seed + 1)) {}
+
+void SimMailBackend::invoke(const Call& call, Completion done) {
+  ++calls_;
+  double setup = call.needs_connection_setup ? config_.connection_setup : 0.0;
+  std::string payload = call.payload;
+
+  if (request_link_.is_down()) {
+    ++failures_;
+    sim_.after(0.0,
+               [this, done = std::move(done)]() { done(sim_.now(), false, "link down"); });
+    return;
+  }
+
+  request_link_.deliver([this, payload = std::move(payload), setup,
+                         done = std::move(done)]() mutable {
+    bool ok = true;
+    std::string reply;
+    uint64_t records = 0;
+    uint64_t headers = 0;
+    bool first = true;
+    for (const std::string& record : core::ClusterEngine::split_records(payload)) {
+      ++records;
+      auto [record_ok, text] = execute_command(store_, record);
+      if (!record_ok) ok = false;
+      // LIST cost scales with headers rendered (one per line).
+      for (char c : text) {
+        if (c == '\n') ++headers;
+      }
+      if (!first) reply += core::kRecordSep;
+      reply += text;
+      first = false;
+    }
+
+    double service_time = setup + config_.fixed_seconds * static_cast<double>(records) +
+                          config_.per_header_listed * static_cast<double>(headers);
+
+    auto respond = [this](bool good, std::string body, Completion cb) {
+      if (response_link_.is_down()) {
+        sim_.after(0.0, [this, cb = std::move(cb)]() {
+          cb(sim_.now(), false, "response link down");
+        });
+        return;
+      }
+      response_link_.deliver([this, good, body = std::move(body),
+                              cb = std::move(cb)]() mutable {
+        cb(sim_.now(), good, body);
+      });
+    };
+
+    if (!station_.would_accept()) {
+      ++failures_;
+      respond(false, "backend queue full", std::move(done));
+      return;
+    }
+    if (!ok) ++failures_;
+    station_.submit(service_time, [respond, ok, reply = std::move(reply),
+                                   done = std::move(done)]() mutable {
+      respond(ok, std::move(reply), std::move(done));
+    });
+  });
+}
+
+}  // namespace sbroker::mail

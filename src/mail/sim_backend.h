@@ -1,0 +1,62 @@
+// Simulated mail backend server.
+//
+// Payload protocol (one command per record; fields are '|'-separated so
+// subjects and bodies may contain spaces):
+//
+//   SEND|<to>|<from>|<subject>|<body>      -> "sent <id>"
+//   LIST|<user>                            -> "<id>\t<from>\t<subject>" lines
+//   FETCH|<user>|<id>                      -> the message body
+//   DELETE|<user>|<id>                     -> "deleted"
+//
+// Unknown commands or missing messages fail the record; a failed record
+// fails the whole call, matching the other Sim backends.
+#pragma once
+
+#include <string>
+
+#include "core/backend.h"
+#include "mail/store.h"
+#include "sim/link.h"
+#include "sim/simulation.h"
+#include "sim/station.h"
+
+namespace sbroker::mail {
+
+struct MailBackendConfig {
+  size_t capacity = 6;
+  size_t queue_limit = SIZE_MAX;
+  sim::Link::Params link = sim::lan_profile();
+  double connection_setup = 0.012;  ///< SMTP/IMAP-ish handshake
+  double fixed_seconds = 0.003;     ///< per command
+  double per_header_listed = 0.00005;
+  uint64_t link_seed = 51;
+};
+
+/// Executes one command against the store. Exposed for tests.
+/// Returns {ok, reply text}.
+std::pair<bool, std::string> execute_command(MailStore& store, const std::string& command);
+
+class SimMailBackend : public core::Backend {
+ public:
+  /// `store` must outlive the backend.
+  SimMailBackend(sim::Simulation& sim, MailStore& store, MailBackendConfig config);
+
+  void invoke(const Call& call, Completion done) override;
+
+  uint64_t calls() const { return calls_; }
+  uint64_t failures() const { return failures_; }
+  sim::Link& request_link() { return request_link_; }
+  sim::Link& response_link() { return response_link_; }
+
+ private:
+  sim::Simulation& sim_;
+  MailStore& store_;
+  MailBackendConfig config_;
+  sim::BoundedStation station_;
+  sim::Link request_link_;
+  sim::Link response_link_;
+  uint64_t calls_ = 0;
+  uint64_t failures_ = 0;
+};
+
+}  // namespace sbroker::mail

@@ -1,0 +1,197 @@
+#include "net/broker_daemon.h"
+
+#include "core/cluster.h"
+#include "http/mget.h"
+#include "http/parser.h"
+#include "util/log.h"
+
+namespace sbroker::net {
+
+// ---------------------------------------------------------------------------
+// HttpBackend
+
+struct HttpBackend::Exchange {
+  http::ResponseParser parser;
+  Completion done;
+  size_t parts_expected = 1;
+  bool finished = false;
+};
+
+HttpBackend::HttpBackend(Reactor& reactor, uint16_t port)
+    : reactor_(reactor), port_(port) {}
+
+void HttpBackend::invoke(const Call& call, Completion done) {
+  ++calls_;
+  auto records = core::ClusterEngine::split_records(call.payload);
+  http::Request request;
+  if (records.size() == 1) {
+    request.method = "GET";
+    request.target = records[0];
+  } else {
+    request = http::make_mget_request(records);
+  }
+  request.headers.set("Host", "127.0.0.1");
+
+  std::shared_ptr<TcpConn> conn;
+  bool reused = false;
+  if (!call.needs_connection_setup) {
+    while (!idle_.empty()) {
+      auto candidate = idle_.back();
+      idle_.pop_back();
+      if (!candidate->closed()) {
+        conn = candidate;
+        reused = true;
+        break;
+      }
+    }
+  }
+  if (!conn) {
+    int fd;
+    try {
+      fd = connect_tcp(port_);
+    } catch (const std::exception& e) {
+      double now = reactor_.now();
+      reactor_.add_timer(0.0, [done, now, what = std::string(e.what())]() {
+        done(now, false, "backend connect failed: " + what);
+      });
+      return;
+    }
+    conn = TcpConn::adopt(reactor_, fd);
+    ++connections_opened_;
+  }
+
+  start_exchange(conn, reused, request.serialize(), records.size(), std::move(done));
+}
+
+void HttpBackend::start_exchange(std::shared_ptr<TcpConn> conn, bool reused,
+                                 const std::string& wire_request,
+                                 size_t parts_expected, Completion done) {
+  auto exchange = std::make_shared<Exchange>();
+  exchange->done = std::move(done);
+  exchange->parts_expected = parts_expected;
+
+  auto self = shared_from_this();
+  auto finish = [self, exchange, conn](bool ok, std::string payload, bool reusable) {
+    if (exchange->finished) return;
+    exchange->finished = true;
+    if (reusable && !conn->closed()) {
+      self->idle_.push_back(conn);
+    } else if (!conn->closed()) {
+      conn->abort();
+    }
+    exchange->done(self->reactor_.now(), ok, std::move(payload));
+  };
+
+  conn->start(
+      [exchange, finish](std::string_view bytes) {
+        if (exchange->finished) return;
+        exchange->parser.feed(bytes);
+        http::Response resp;
+        auto result = exchange->parser.next(resp);
+        if (result == http::ParseResult::kNeedMore) return;
+        if (result == http::ParseResult::kError) {
+          finish(false, "backend sent malformed response", false);
+          return;
+        }
+        if (exchange->parts_expected > 1) {
+          auto parts = http::split_mget_response(resp);
+          if (!parts || parts->size() != exchange->parts_expected) {
+            finish(false, "bad MGET framing from backend", false);
+            return;
+          }
+          std::vector<std::string> bodies;
+          bodies.reserve(parts->size());
+          for (auto& part : *parts) bodies.push_back(std::move(part.body));
+          finish(true, core::ClusterEngine::join_payloads(bodies), true);
+          return;
+        }
+        finish(resp.status == 200, std::move(resp.body), true);
+      },
+      [finish]() { finish(false, "backend connection closed", false); });
+  conn->send(wire_request);
+  (void)reused;
+}
+
+// ---------------------------------------------------------------------------
+// BrokerDaemon
+
+struct BrokerDaemon::Conn {
+  std::shared_ptr<TcpConn> tcp;
+  std::string inbox;
+};
+
+BrokerDaemon::BrokerDaemon(Reactor& reactor, std::string name,
+                           BrokerDaemonConfig config)
+    : reactor_(reactor),
+      broker_(std::move(name), config.broker),
+      tick_interval_(config.tick_interval),
+      listener_(reactor, config.listen_port, [this](int fd) {
+        auto conn = std::make_shared<Conn>();
+        conn->tcp = TcpConn::adopt(reactor_, fd);
+        conn->tcp->start(
+            [this, conn](std::string_view bytes) {
+              conn->inbox.append(bytes);
+              while (true) {
+                size_t consumed = 0;
+                auto request = http::decode_request(conn->inbox, &consumed);
+                if (!request) {
+                  // Either an incomplete message (wait for more bytes) or
+                  // garbage. Distinguish by magic: a buffer that cannot even
+                  // start a valid message will never become one.
+                  if (conn->inbox.size() >= 6 &&
+                      !(conn->inbox[0] == 'S' && conn->inbox[1] == 'B' &&
+                        conn->inbox[2] == 'R' && conn->inbox[3] == 'K')) {
+                    SBROKER_WARN("broker-daemon") << "malformed request; closing";
+                    conn->tcp->abort();
+                  }
+                  return;
+                }
+                conn->inbox.erase(0, consumed);
+                auto tcp = conn->tcp;
+                broker_.submit(reactor_.now(), *request,
+                               [tcp](const http::BrokerReply& reply) {
+                                 if (!tcp->closed()) tcp->send(http::encode(reply));
+                               });
+              }
+            },
+            [conn]() {});
+      }) {
+  if (config.enable_udp) {
+    udp_ = std::make_unique<UdpSocket>(
+        reactor_, config.udp_port,
+        [this](std::string_view payload, const sockaddr_in& from) {
+          on_datagram(payload, from);
+        });
+  }
+  schedule_tick();
+}
+
+void BrokerDaemon::on_datagram(std::string_view payload, const sockaddr_in& from) {
+  auto request = http::decode_request(payload);
+  if (!request) {
+    SBROKER_WARN("broker-daemon") << "undecodable datagram dropped";
+    return;
+  }
+  broker_.submit(reactor_.now(), *request, [this, from](const http::BrokerReply& reply) {
+    if (udp_) udp_->send_to(from, http::encode(reply));
+  });
+}
+
+BrokerDaemon::~BrokerDaemon() {
+  stopping_ = true;
+  reactor_.cancel_timer(tick_timer_);
+}
+
+void BrokerDaemon::add_backend(std::shared_ptr<core::Backend> backend, double weight) {
+  broker_.add_backend(std::move(backend), weight);
+}
+
+void BrokerDaemon::schedule_tick() {
+  tick_timer_ = reactor_.add_timer(tick_interval_, [this]() {
+    if (stopping_) return;
+    broker_.tick(reactor_.now());
+    schedule_tick();
+  });
+}
+
+}  // namespace sbroker::net

@@ -1,0 +1,91 @@
+// Real-socket service broker daemon.
+//
+// Runs the identical core::ServiceBroker logic that the simulation uses,
+// but over live TCP: web application processes connect and exchange the
+// binary wire protocol (http/wire.h), and the broker forwards to real HTTP
+// backend servers. This is the deployment shape of the paper's distributed
+// model (Figure 5) — admission, clustering, caching and differentiation all
+// happen in this process, in front of QoS-unaware backends.
+//
+// Everything runs on one Reactor thread; a periodic timer drives
+// broker.tick() for cluster-deadline flushes and prefetch.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/backend.h"
+#include "core/broker.h"
+#include "net/http_server.h"
+#include "net/tcp.h"
+#include "net/udp.h"
+
+namespace sbroker::net {
+
+/// core::Backend adapter that talks to a real HTTP server on localhost.
+///
+/// Payload convention: one or more request targets joined with
+/// core::kRecordSep. A multi-record payload is sent as a single MGET and the
+/// part bodies are re-joined with the separator, so the broker's batch
+/// splitting works unchanged over the real wire.
+class HttpBackend : public core::Backend,
+                    public std::enable_shared_from_this<HttpBackend> {
+ public:
+  HttpBackend(Reactor& reactor, uint16_t port);
+
+  void invoke(const Call& call, Completion done) override;
+
+  uint64_t connections_opened() const { return connections_opened_; }
+  uint64_t calls() const { return calls_; }
+
+ private:
+  struct Exchange;
+  void start_exchange(std::shared_ptr<TcpConn> conn, bool reused,
+                      const std::string& wire_request, size_t parts_expected,
+                      Completion done);
+
+  Reactor& reactor_;
+  uint16_t port_;
+  std::vector<std::shared_ptr<TcpConn>> idle_;
+  uint64_t connections_opened_ = 0;
+  uint64_t calls_ = 0;
+};
+
+struct BrokerDaemonConfig {
+  core::BrokerConfig broker;
+  uint16_t listen_port = 0;      ///< TCP port; 0 = ephemeral
+  bool enable_udp = true;        ///< the paper's "lightweight UDP" channel
+  uint16_t udp_port = 0;         ///< 0 = ephemeral
+  double tick_interval = 0.02;   ///< seconds between housekeeping ticks
+};
+
+class BrokerDaemon {
+ public:
+  BrokerDaemon(Reactor& reactor, std::string name, BrokerDaemonConfig config);
+  ~BrokerDaemon();
+  BrokerDaemon(const BrokerDaemon&) = delete;
+  BrokerDaemon& operator=(const BrokerDaemon&) = delete;
+
+  void add_backend(std::shared_ptr<core::Backend> backend, double weight = 1.0);
+
+  uint16_t port() const { return listener_.port(); }
+  /// UDP datagram port; 0 when UDP is disabled.
+  uint16_t udp_port() const { return udp_ ? udp_->port() : 0; }
+  core::ServiceBroker& broker() { return broker_; }
+  const core::ServiceBroker& broker() const { return broker_; }
+
+ private:
+  struct Conn;
+  void schedule_tick();
+  void on_datagram(std::string_view payload, const sockaddr_in& from);
+
+  Reactor& reactor_;
+  core::ServiceBroker broker_;
+  double tick_interval_;
+  Reactor::TimerId tick_timer_ = 0;
+  bool stopping_ = false;
+  TcpListener listener_;
+  std::unique_ptr<UdpSocket> udp_;
+};
+
+}  // namespace sbroker::net

@@ -1,0 +1,41 @@
+// Blocking HTTP and broker-protocol clients for tests and examples.
+//
+// These run on the *caller's* thread with ordinary blocking sockets — the
+// natural shape for a test driving a reactor that runs on another thread.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "http/message.h"
+#include "http/wire.h"
+
+namespace sbroker::net {
+
+/// One-shot HTTP exchange with 127.0.0.1:`port`. Opens a connection, sends
+/// `request`, reads one response. nullopt on connect/IO/parse failure or
+/// after `timeout_ms`.
+std::optional<http::Response> http_fetch(uint16_t port, const http::Request& request,
+                                         int timeout_ms = 5000);
+
+/// Persistent blocking connection speaking the broker wire protocol.
+class BrokerClient {
+ public:
+  /// Connects immediately; throws std::runtime_error on failure.
+  explicit BrokerClient(uint16_t port, int timeout_ms = 5000);
+  ~BrokerClient();
+  BrokerClient(const BrokerClient&) = delete;
+  BrokerClient& operator=(const BrokerClient&) = delete;
+
+  /// Sends a request and waits for the matching reply (replies arrive in
+  /// submission order on one connection). nullopt on IO error or timeout.
+  std::optional<http::BrokerReply> call(const http::BrokerRequest& request);
+
+ private:
+  int fd_;
+  int timeout_ms_;
+  std::string inbox_;
+};
+
+}  // namespace sbroker::net

@@ -1,0 +1,81 @@
+// Single-threaded epoll reactor.
+//
+// All socket I/O for the real broker daemon runs on one reactor thread:
+// callbacks for fd readiness plus a monotonic-clock timer heap. Everything
+// registered with the reactor is called from run(), so handlers need no
+// locking. stop() is safe to call from another thread (it writes an
+// eventfd).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace sbroker::net {
+
+class Reactor {
+ public:
+  using IoCallback = std::function<void(uint32_t epoll_events)>;
+  using TimerCallback = std::function<void()>;
+  using TimerId = uint64_t;
+
+  Reactor();
+  ~Reactor();
+  Reactor(const Reactor&) = delete;
+  Reactor& operator=(const Reactor&) = delete;
+
+  /// Registers `fd` for `events` (EPOLLIN/EPOLLOUT/...). The callback fires
+  /// with the ready event mask. The reactor does not own the fd.
+  void add_fd(int fd, uint32_t events, IoCallback cb);
+
+  /// Changes the interest mask of a registered fd.
+  void mod_fd(int fd, uint32_t events);
+
+  /// Unregisters. Safe to call from inside the fd's own callback.
+  void del_fd(int fd);
+
+  /// One-shot timer `delay` seconds from now.
+  TimerId add_timer(double delay, TimerCallback cb);
+  void cancel_timer(TimerId id);
+
+  /// Monotonic seconds (CLOCK_MONOTONIC).
+  double now() const;
+
+  /// Processes events until stop(). Must be called from one thread only.
+  void run();
+
+  /// Runs at most one epoll wait + dispatch cycle; `timeout_ms` -1 blocks.
+  /// Returns false after stop() was requested.
+  bool poll_once(int timeout_ms);
+
+  /// Thread-safe shutdown request.
+  void stop();
+
+ private:
+  struct Timer {
+    double deadline;
+    TimerId id;
+    bool operator>(const Timer& other) const {
+      if (deadline != other.deadline) return deadline > other.deadline;
+      return id > other.id;
+    }
+  };
+
+  void fire_due_timers();
+  int next_timeout_ms(int default_ms) const;
+
+  int epoll_fd_ = -1;
+  int wake_fd_ = -1;  // eventfd for stop()
+  std::atomic<bool> stopped_{false};
+  std::unordered_map<int, IoCallback> io_callbacks_;
+  TimerId next_timer_id_ = 1;
+  std::priority_queue<Timer, std::vector<Timer>, std::greater<Timer>> timers_;
+  std::unordered_map<TimerId, TimerCallback> timer_callbacks_;
+};
+
+}  // namespace sbroker::net

@@ -1,0 +1,209 @@
+#include "net/tcp.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+#include "util/log.h"
+
+namespace sbroker::net {
+namespace {
+
+void set_nonblocking(int fd) {
+  int flags = fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    throw std::runtime_error("fcntl O_NONBLOCK failed");
+  }
+}
+
+sockaddr_in loopback(uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  return addr;
+}
+
+}  // namespace
+
+std::pair<int, uint16_t> listen_tcp(uint16_t port) {
+  int fd = socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) throw std::runtime_error("socket failed");
+  int one = 1;
+  setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr = loopback(port);
+  if (bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    close(fd);
+    throw std::runtime_error(std::string("bind failed: ") + strerror(errno));
+  }
+  if (listen(fd, 128) != 0) {
+    close(fd);
+    throw std::runtime_error("listen failed");
+  }
+  socklen_t len = sizeof(addr);
+  if (getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    close(fd);
+    throw std::runtime_error("getsockname failed");
+  }
+  set_nonblocking(fd);
+  return {fd, ntohs(addr.sin_port)};
+}
+
+int connect_tcp(uint16_t port) {
+  int fd = socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) throw std::runtime_error("socket failed");
+  set_nonblocking(fd);
+  sockaddr_in addr = loopback(port);
+  int rc = connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+  if (rc != 0 && errno != EINPROGRESS) {
+    close(fd);
+    throw std::runtime_error(std::string("connect failed: ") + strerror(errno));
+  }
+  return fd;
+}
+
+std::shared_ptr<TcpConn> TcpConn::adopt(Reactor& reactor, int fd) {
+  return std::shared_ptr<TcpConn>(new TcpConn(reactor, fd));
+}
+
+TcpConn::TcpConn(Reactor& reactor, int fd) : reactor_(reactor), fd_(fd) {}
+
+TcpConn::~TcpConn() {
+  if (fd_ >= 0) {
+    reactor_.del_fd(fd_);
+    close(fd_);
+  }
+}
+
+void TcpConn::start(DataFn on_data, CloseFn on_close) {
+  on_data_ = std::move(on_data);
+  on_close_ = std::move(on_close);
+  if (registered_ || fd_ < 0) return;
+  registered_ = true;
+  auto self = shared_from_this();
+  reactor_.add_fd(fd_, EPOLLIN, [self](uint32_t events) { self->on_events(events); });
+}
+
+void TcpConn::on_events(uint32_t events) {
+  if (fd_ < 0) return;
+  if (events & (EPOLLHUP | EPOLLERR)) {
+    close_now();
+    return;
+  }
+  if (events & EPOLLOUT) {
+    flush();
+    if (fd_ < 0) return;
+  }
+  if (events & EPOLLIN) handle_readable();
+}
+
+void TcpConn::handle_readable() {
+  char buf[16384];
+  while (fd_ >= 0) {
+    ssize_t n = ::read(fd_, buf, sizeof(buf));
+    if (n > 0) {
+      if (on_data_) on_data_(std::string_view(buf, static_cast<size_t>(n)));
+      continue;
+    }
+    if (n == 0) {
+      close_now();
+      return;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+    if (errno == EINTR) continue;
+    close_now();
+    return;
+  }
+}
+
+void TcpConn::send(std::string_view bytes) {
+  if (fd_ < 0) return;
+  write_buffer_.append(bytes);
+  flush();
+}
+
+void TcpConn::flush() {
+  while (fd_ >= 0 && !write_buffer_.empty()) {
+    ssize_t n = ::write(fd_, write_buffer_.data(), write_buffer_.size());
+    if (n > 0) {
+      write_buffer_.erase(0, static_cast<size_t>(n));
+      continue;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    if (errno == EINTR) continue;
+    close_now();
+    return;
+  }
+  if (fd_ >= 0 && write_buffer_.empty() && shutdown_after_flush_) {
+    close_now();
+    return;
+  }
+  update_interest();
+}
+
+void TcpConn::update_interest() {
+  if (fd_ < 0) return;
+  bool need_write = !write_buffer_.empty();
+  if (need_write == want_write_) return;
+  want_write_ = need_write;
+  reactor_.mod_fd(fd_, EPOLLIN | (need_write ? EPOLLOUT : 0));
+}
+
+void TcpConn::shutdown() {
+  if (fd_ < 0) return;
+  if (write_buffer_.empty()) {
+    close_now();
+  } else {
+    shutdown_after_flush_ = true;
+  }
+}
+
+void TcpConn::abort() { close_now(); }
+
+void TcpConn::close_now() {
+  if (fd_ < 0) return;
+  reactor_.del_fd(fd_);
+  close(fd_);
+  fd_ = -1;
+  if (on_close_) {
+    CloseFn cb = std::move(on_close_);
+    on_close_ = nullptr;
+    cb();
+  }
+}
+
+TcpListener::TcpListener(Reactor& reactor, uint16_t port, AcceptFn on_accept)
+    : reactor_(reactor), on_accept_(std::move(on_accept)) {
+  auto [fd, actual_port] = listen_tcp(port);
+  fd_ = fd;
+  port_ = actual_port;
+  reactor_.add_fd(fd_, EPOLLIN, [this](uint32_t) {
+    while (true) {
+      int client = accept4(fd_, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
+      if (client < 0) {
+        if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+        if (errno == EINTR) continue;
+        SBROKER_WARN("tcp") << "accept failed: " << strerror(errno);
+        return;
+      }
+      int one = 1;
+      setsockopt(client, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      on_accept_(client);
+    }
+  });
+}
+
+TcpListener::~TcpListener() {
+  reactor_.del_fd(fd_);
+  close(fd_);
+}
+
+}  // namespace sbroker::net

@@ -1,0 +1,29 @@
+#include "sim/link.h"
+
+namespace sbroker::sim {
+
+Link::Link(Simulation& sim, Params params, util::Rng rng)
+    : sim_(sim), params_(params), rng_(rng) {}
+
+bool Link::deliver(std::function<void()> on_arrival, size_t bytes) {
+  if (down_) {
+    ++dropped_;
+    return false;
+  }
+  Duration delay = params_.latency;
+  if (params_.jitter > 0) delay += rng_.uniform_real(0.0, params_.jitter);
+  if (params_.bytes_per_second > 0 && bytes > 0) {
+    delay += static_cast<double>(bytes) / params_.bytes_per_second;
+  }
+  ++delivered_;
+  sim_.after(delay, std::move(on_arrival));
+  return true;
+}
+
+Link::Params lan_profile() { return Link::Params{0.0002, 0.0, 0.0}; }
+
+Link::Params wan_profile() { return Link::Params{0.040, 0.020, 0.0}; }
+
+Link::Params ipc_profile() { return Link::Params{0.00002, 0.0, 0.0}; }
+
+}  // namespace sbroker::sim

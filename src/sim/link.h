@@ -1,0 +1,55 @@
+// Network links for the simulated testbed.
+//
+// A `Link` delivers messages after a propagation latency plus optional
+// uniform jitter, and charges a per-byte transmission cost. LAN links are
+// sub-millisecond and jitter-free; WAN links (loosely coupled backends,
+// Section I of the paper) are tens of milliseconds with jitter. A link can
+// be taken down to inject failures: messages sent while down are dropped
+// (with an optional notification), matching the paper's congested-channel
+// transaction-abort scenario.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "sim/simulation.h"
+#include "util/rng.h"
+
+namespace sbroker::sim {
+
+class Link {
+ public:
+  struct Params {
+    Duration latency = 0.0002;        ///< one-way propagation delay (s)
+    Duration jitter = 0.0;            ///< max extra uniform delay (s)
+    double bytes_per_second = 0.0;    ///< 0 disables transmission delay
+  };
+
+  Link(Simulation& sim, Params params, util::Rng rng = util::Rng(1));
+
+  /// Delivers `on_arrival` after latency (+ jitter + size/bandwidth).
+  /// Returns false and drops the message when the link is down.
+  bool deliver(std::function<void()> on_arrival, size_t bytes = 0);
+
+  void set_down(bool down) { down_ = down; }
+  bool is_down() const { return down_; }
+
+  uint64_t delivered() const { return delivered_; }
+  uint64_t dropped() const { return dropped_; }
+  const Params& params() const { return params_; }
+
+ private:
+  Simulation& sim_;
+  Params params_;
+  util::Rng rng_;
+  bool down_ = false;
+  uint64_t delivered_ = 0;
+  uint64_t dropped_ = 0;
+};
+
+/// Canonical link profiles for the testbeds in this repo.
+Link::Params lan_profile();   ///< ~0.2 ms, no jitter — tightly coupled
+Link::Params wan_profile();   ///< ~40 ms ± 20 ms jitter — loosely coupled
+Link::Params ipc_profile();   ///< ~20 µs — web app process <-> local broker
+
+}  // namespace sbroker::sim

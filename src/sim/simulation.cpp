@@ -1,0 +1,64 @@
+#include "sim/simulation.h"
+
+#include <cassert>
+
+namespace sbroker::sim {
+
+EventId Simulation::at(Time t, Callback cb) {
+  if (t < now_) t = now_;
+  EventId id = next_id_++;
+  queue_.push(Event{t, next_seq_++, id});
+  callbacks_.emplace(id, std::move(cb));
+  return id;
+}
+
+void Simulation::cancel(EventId id) {
+  auto it = callbacks_.find(id);
+  if (it == callbacks_.end()) return;  // already fired or never existed
+  callbacks_.erase(it);
+  cancelled_.insert(id);
+}
+
+bool Simulation::step() {
+  while (!queue_.empty()) {
+    Event ev = queue_.top();
+    queue_.pop();
+    auto cancelled_it = cancelled_.find(ev.id);
+    if (cancelled_it != cancelled_.end()) {
+      cancelled_.erase(cancelled_it);
+      continue;
+    }
+    auto cb_it = callbacks_.find(ev.id);
+    assert(cb_it != callbacks_.end());
+    Callback cb = std::move(cb_it->second);
+    callbacks_.erase(cb_it);
+    assert(ev.t >= now_);
+    now_ = ev.t;
+    ++processed_;
+    cb();
+    return true;
+  }
+  return false;
+}
+
+void Simulation::run(uint64_t max_events) {
+  for (uint64_t i = 0; i < max_events; ++i) {
+    if (!step()) return;
+  }
+}
+
+void Simulation::run_until(Time t) {
+  while (!queue_.empty()) {
+    const Event& top = queue_.top();
+    if (cancelled_.count(top.id)) {
+      cancelled_.erase(top.id);
+      queue_.pop();
+      continue;
+    }
+    if (top.t > t) break;
+    step();
+  }
+  if (now_ < t) now_ = t;
+}
+
+}  // namespace sbroker::sim

@@ -1,0 +1,42 @@
+#include "srv/broker_host.h"
+
+namespace sbroker::srv {
+
+BrokerHost::BrokerHost(sim::Simulation& sim, std::string name,
+                       core::BrokerConfig config, sim::Link::Params ipc,
+                       uint64_t link_seed)
+    : sim_(sim),
+      broker_(std::move(name), config),
+      inbound_(sim, ipc, util::Rng(link_seed)),
+      outbound_(sim, ipc, util::Rng(link_seed + 1)) {}
+
+void BrokerHost::submit(const http::BrokerRequest& request, ReplyFn reply) {
+  if (inbound_.is_down()) return;  // UDP: a lost request is simply lost
+  inbound_.deliver([this, request, reply = std::move(reply)]() mutable {
+    broker_.submit(sim_.now(), request,
+                   [this, reply = std::move(reply)](const http::BrokerReply& br) {
+                     if (outbound_.is_down()) return;
+                     outbound_.deliver([reply, br]() { reply(br); });
+                   });
+    arm_timer();
+  });
+}
+
+void BrokerHost::kick() {
+  broker_.tick(sim_.now());
+  arm_timer();
+}
+
+void BrokerHost::arm_timer() {
+  auto deadline = broker_.next_deadline();
+  if (!deadline) return;
+  if (timer_armed_) sim_.cancel(timer_);
+  timer_armed_ = true;
+  timer_ = sim_.at(*deadline, [this]() {
+    timer_armed_ = false;
+    broker_.tick(sim_.now());
+    arm_timer();
+  });
+}
+
+}  // namespace sbroker::srv

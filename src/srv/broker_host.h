@@ -1,0 +1,50 @@
+// Hosts a core::ServiceBroker inside the discrete-event simulation.
+//
+// Web application processes and brokers "exchange request and response
+// messages through lightweight UDP" (Section V-B-1); the host models that
+// hop with an IPC-grade link in each direction and keeps the broker's
+// time-based machinery honest by scheduling tick() at the broker's
+// next_deadline() (cluster flush deadlines, prefetch refresh).
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "core/broker.h"
+#include "sim/link.h"
+#include "sim/simulation.h"
+
+namespace sbroker::srv {
+
+class BrokerHost {
+ public:
+  using ReplyFn = core::ServiceBroker::ReplyFn;
+
+  BrokerHost(sim::Simulation& sim, std::string name, core::BrokerConfig config,
+             sim::Link::Params ipc = sim::ipc_profile(), uint64_t link_seed = 31);
+
+  /// Sends a request message to the broker; `reply` is delivered back over
+  /// the IPC link when the broker answers.
+  void submit(const http::BrokerRequest& request, ReplyFn reply);
+
+  /// Runs a tick now and (re)arms the deadline timer. Call after registering
+  /// prefetch entries so their schedule starts without waiting for traffic.
+  void kick();
+
+  core::ServiceBroker& broker() { return broker_; }
+  const core::ServiceBroker& broker() const { return broker_; }
+  sim::Link& inbound_link() { return inbound_; }
+  sim::Link& outbound_link() { return outbound_; }
+
+ private:
+  void arm_timer();
+
+  sim::Simulation& sim_;
+  core::ServiceBroker broker_;
+  sim::Link inbound_;
+  sim::Link outbound_;
+  sim::EventId timer_ = 0;
+  bool timer_armed_ = false;
+};
+
+}  // namespace sbroker::srv

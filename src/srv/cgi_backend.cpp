@@ -1,0 +1,65 @@
+#include "srv/cgi_backend.h"
+
+#include "core/cluster.h"
+
+namespace sbroker::srv {
+
+SimCgiBackend::SimCgiBackend(sim::Simulation& sim, std::string name,
+                             CgiBackendConfig config)
+    : sim_(sim),
+      name_(std::move(name)),
+      config_(config),
+      station_(sim, config.capacity, config.queue_limit),
+      request_link_(sim, config.link, util::Rng(config.link_seed)),
+      response_link_(sim, config.link, util::Rng(config.link_seed + 1)) {}
+
+void SimCgiBackend::invoke(const Call& call, Completion done) {
+  ++calls_;
+  double setup = call.needs_connection_setup ? config_.connection_setup : 0.0;
+  std::string payload = call.payload;
+
+  if (request_link_.is_down()) {
+    ++failures_;
+    sim_.after(0.0,
+               [this, done = std::move(done)]() { done(sim_.now(), false, "link down"); });
+    return;
+  }
+
+  request_link_.deliver([this, payload = std::move(payload), setup,
+                         done = std::move(done)]() mutable {
+    auto records = core::ClusterEngine::split_records(payload);
+    // One worker runs every record of the batch back to back.
+    double service_time = setup + config_.processing_time * static_cast<double>(records.size());
+
+    std::string reply;
+    for (size_t i = 0; i < records.size(); ++i) {
+      if (i) reply += core::kRecordSep;
+      reply += "<html>" + name_ + " served " + records[i] + "</html>";
+    }
+
+    auto respond = [this](bool ok, std::string body, Completion cb) {
+      if (response_link_.is_down()) {
+        sim_.after(0.0, [this, cb = std::move(cb)]() {
+          cb(sim_.now(), false, "response link down");
+        });
+        return;
+      }
+      response_link_.deliver(
+          [this, ok, body = std::move(body), cb = std::move(cb)]() mutable {
+            cb(sim_.now(), ok, body);
+          });
+    };
+
+    if (!station_.would_accept()) {
+      ++failures_;
+      respond(false, "backend queue full", std::move(done));
+      return;
+    }
+    station_.submit(service_time,
+                    [respond, reply = std::move(reply), done = std::move(done)]() mutable {
+                      respond(true, std::move(reply), std::move(done));
+                    });
+  });
+}
+
+}  // namespace sbroker::srv

@@ -1,0 +1,59 @@
+// Simulated CGI backend server with bounded processing time.
+//
+// The differentiation testbed (paper Figure 8): "The backend services
+// provided by each backend servers are CGI requests with bounded processing
+// time. The processing time of each of the services is 1, 2 and 3 seconds at
+// the backend servers 1, 2 and 3. ... The maximum number of server processes
+// in each of the backend Web servers is set to be 5, therefore only 5
+// requests can be processed simultaneously and the rests are queued."
+//
+// The reply body is a canned page derived from the payload. Batched payloads
+// (record-separated) cost `processing_time` per record, serialized in one
+// worker, mirroring the clustered-script behaviour.
+#pragma once
+
+#include <string>
+
+#include "core/backend.h"
+#include "sim/link.h"
+#include "sim/simulation.h"
+#include "sim/station.h"
+
+namespace sbroker::srv {
+
+struct CgiBackendConfig {
+  double processing_time = 1.0;  ///< seconds per CGI request
+  size_t capacity = 5;           ///< MaxClients
+  size_t queue_limit = SIZE_MAX;
+  sim::Link::Params link = sim::lan_profile();
+  double connection_setup = 0.010;
+  uint64_t link_seed = 21;
+};
+
+class SimCgiBackend : public core::Backend {
+ public:
+  SimCgiBackend(sim::Simulation& sim, std::string name, CgiBackendConfig config);
+
+  void invoke(const Call& call, Completion done) override;
+
+  const sim::BoundedStation& station() const { return station_; }
+  uint64_t calls() const { return calls_; }
+  uint64_t failures() const { return failures_; }
+  const std::string& name() const { return name_; }
+
+  /// Failure injection: take the network paths up or down mid-run.
+  sim::Link& request_link() { return request_link_; }
+  sim::Link& response_link() { return response_link_; }
+
+ private:
+  sim::Simulation& sim_;
+  std::string name_;
+  CgiBackendConfig config_;
+  sim::BoundedStation station_;
+  sim::Link request_link_;
+  sim::Link response_link_;
+  uint64_t calls_ = 0;
+  uint64_t failures_ = 0;
+};
+
+}  // namespace sbroker::srv

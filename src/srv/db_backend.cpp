@@ -1,0 +1,105 @@
+#include "srv/db_backend.h"
+
+#include "core/cluster.h"
+#include "db/executor.h"
+#include "db/parser.h"
+
+namespace sbroker::srv {
+
+SimDbBackend::SimDbBackend(sim::Simulation& sim, db::Database& db,
+                           DbBackendConfig config)
+    : sim_(sim),
+      db_(db),
+      config_(config),
+      station_(sim, config.capacity, config.queue_limit),
+      request_link_(sim, config.link, util::Rng(config.link_seed)),
+      response_link_(sim, config.link, util::Rng(config.link_seed + 1)) {}
+
+SimDbBackend::Execution SimDbBackend::execute_payload(const std::string& payload) const {
+  Execution result;
+  db::ExecStats total;
+  total.repeats = 0;
+  std::string reply;
+  bool first_chunk = true;
+
+  auto append_chunk = [&](std::string chunk) {
+    if (!first_chunk) reply += core::kRecordSep;
+    reply += chunk;
+    first_chunk = false;
+  };
+
+  try {
+    for (const std::string& record : core::ClusterEngine::split_records(payload)) {
+      db::SelectQuery query = db::parse_select(record);
+      uint64_t repeats = query.repeat;
+      query.repeat = 1;
+      for (uint64_t i = 0; i < repeats; ++i) {
+        db::ResultSet rs = db::execute(db_, query);
+        total.rows_examined += rs.stats.rows_examined;
+        total.rows_returned += rs.stats.rows_returned;
+        total.repeats += 1;
+        append_chunk(rs.to_text());
+      }
+    }
+  } catch (const std::exception& e) {
+    result.ok = false;
+    result.reply = std::string("query error: ") + e.what();
+    // Even a failed query consumed the fixed overhead.
+    result.service_time = config_.cost.fixed_seconds;
+    return result;
+  }
+
+  result.ok = true;
+  result.reply = std::move(reply);
+  result.service_time = config_.cost.service_time(total);
+  return result;
+}
+
+void SimDbBackend::invoke(const Call& call, Completion done) {
+  ++calls_;
+  double setup = call.needs_connection_setup ? config_.connection_setup : 0.0;
+  std::string payload = call.payload;
+
+  // A downed link loses the request; surface it as a failure so the broker
+  // can answer the client instead of leaking the pending entry.
+  if (request_link_.is_down()) {
+    ++failures_;
+    sim_.after(0.0, [this, done = std::move(done)]() { done(sim_.now(), false, "link down"); });
+    return;
+  }
+
+  request_link_.deliver([this, payload = std::move(payload), setup,
+                                     done = std::move(done)]() mutable {
+    Execution exec = execute_payload(payload);
+    auto respond = [this](bool ok, std::string reply, Completion cb) {
+      if (response_link_.is_down()) {
+        // The reply is lost on the wire; fail the call so the caller's
+        // pending state resolves instead of hanging forever.
+        sim_.after(0.0, [this, cb = std::move(cb)]() {
+          cb(sim_.now(), false, "response link down");
+        });
+        return;
+      }
+      response_link_.deliver([this, ok, reply = std::move(reply),
+                              cb = std::move(cb)]() mutable {
+        cb(sim_.now(), ok, reply);
+      });
+    };
+    if (!station_.would_accept()) {
+      ++failures_;
+      respond(false, "backend queue full", std::move(done));
+      return;
+    }
+    double service_time = setup + exec.service_time;
+    bool exec_ok = exec.ok;
+    std::string reply = std::move(exec.reply);
+    station_.submit(service_time,
+                    [this, exec_ok, reply = std::move(reply), respond,
+                     done = std::move(done)]() mutable {
+                      if (!exec_ok) ++failures_;
+                      respond(exec_ok, std::move(reply), std::move(done));
+                    });
+  });
+}
+
+}  // namespace sbroker::srv

@@ -1,0 +1,72 @@
+// Simulated database backend server.
+//
+// Models the clustering-experiment backend (paper Figure 6): an Apache-like
+// bounded worker pool in front of a MySQL-like database. A call travels the
+// link, waits for one of `capacity` workers, executes its payload against
+// the in-memory engine (service time from the cost model), and the reply
+// travels the link back.
+//
+// Payload format: one or more SQL statements joined by the cluster record
+// separator (core::kRecordSep). A `... REPEAT n` statement is executed as n
+// single-shot runs whose result texts are joined with the record separator,
+// so the broker can split per-member results exactly. Parse/execution errors
+// fail the whole call (ok=false) with a diagnostic payload.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "core/backend.h"
+#include "db/cost_model.h"
+#include "db/database.h"
+#include "sim/link.h"
+#include "sim/simulation.h"
+#include "sim/station.h"
+
+namespace sbroker::srv {
+
+struct DbBackendConfig {
+  size_t capacity = 5;          ///< simultaneous requests (paper: "at most 5")
+  size_t queue_limit = SIZE_MAX;
+  sim::Link::Params link = sim::lan_profile();
+  double connection_setup = 0.010;  ///< TCP+auth handshake when not pooled
+  db::CostModel cost;
+  uint64_t link_seed = 11;
+};
+
+class SimDbBackend : public core::Backend {
+ public:
+  /// `db` must outlive the backend.
+  SimDbBackend(sim::Simulation& sim, db::Database& db, DbBackendConfig config);
+
+  void invoke(const Call& call, Completion done) override;
+
+  const sim::BoundedStation& station() const { return station_; }
+  uint64_t calls() const { return calls_; }
+  uint64_t failures() const { return failures_; }
+
+  /// Failure injection: take the network paths up or down mid-run.
+  sim::Link& request_link() { return request_link_; }
+  sim::Link& response_link() { return response_link_; }
+
+ private:
+  struct Execution {
+    bool ok = false;
+    std::string reply;
+    double service_time = 0.0;
+  };
+
+  /// Runs the payload against the engine, returning reply + service time.
+  Execution execute_payload(const std::string& payload) const;
+
+  sim::Simulation& sim_;
+  db::Database& db_;
+  DbBackendConfig config_;
+  sim::BoundedStation station_;
+  sim::Link request_link_;
+  sim::Link response_link_;
+  uint64_t calls_ = 0;
+  uint64_t failures_ = 0;
+};
+
+}  // namespace sbroker::srv

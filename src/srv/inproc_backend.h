@@ -1,0 +1,57 @@
+// In-process database backend (wall-clock, synchronous).
+//
+// For the real-socket daemon and the quickstart example: executes the SQL
+// payload against an embedded db::Database on the calling thread and
+// completes immediately. Batched (record-separated) and REPEAT payloads
+// behave exactly like srv::SimDbBackend, minus the simulated time.
+#pragma once
+
+#include <functional>
+
+#include "core/backend.h"
+#include "core/cluster.h"
+#include "db/database.h"
+#include "db/executor.h"
+#include "db/parser.h"
+
+namespace sbroker::srv {
+
+class InprocDbBackend : public core::Backend {
+ public:
+  using NowFn = std::function<double()>;
+
+  /// `now` supplies completion timestamps (e.g. the reactor clock, or a
+  /// monotonically increasing fake for unit tests).
+  InprocDbBackend(db::Database& db, NowFn now) : db_(db), now_(std::move(now)) {}
+
+  void invoke(const Call& call, Completion done) override {
+    std::string reply;
+    bool ok = true;
+    bool first = true;
+    auto append = [&](std::string chunk) {
+      if (!first) reply += core::kRecordSep;
+      reply += chunk;
+      first = false;
+    };
+    try {
+      for (const std::string& record : core::ClusterEngine::split_records(call.payload)) {
+        db::SelectQuery query = db::parse_select(record);
+        uint64_t repeats = query.repeat;
+        query.repeat = 1;
+        for (uint64_t i = 0; i < repeats; ++i) {
+          append(db::execute(db_, query).to_text());
+        }
+      }
+    } catch (const std::exception& e) {
+      ok = false;
+      reply = std::string("query error: ") + e.what();
+    }
+    done(now_(), ok, reply);
+  }
+
+ private:
+  db::Database& db_;
+  NowFn now_;
+};
+
+}  // namespace sbroker::srv

@@ -1,0 +1,50 @@
+#include "srv/worker_pool.h"
+
+#include <cassert>
+
+namespace sbroker::srv {
+
+WorkerPool::WorkerPool(sim::Simulation& sim, size_t max_workers, size_t backlog_limit)
+    : sim_(sim), max_workers_(max_workers), backlog_limit_(backlog_limit) {
+  assert(max_workers > 0);
+}
+
+bool WorkerPool::submit(Handler handler) {
+  if (busy_ < max_workers_) {
+    run(std::move(handler));
+    return true;
+  }
+  if (backlog_.size() >= backlog_limit_) {
+    ++refused_;
+    return false;
+  }
+  backlog_.push_back(Waiting{std::move(handler), sim_.now()});
+  return true;
+}
+
+void WorkerPool::run(Handler handler) {
+  ++busy_;
+  // One release token per worker occupation; shared_ptr flag makes the
+  // Release idempotent even if the handler copies it around.
+  auto released = std::make_shared<bool>(false);
+  Release release = [this, released]() {
+    if (*released) return;
+    *released = true;
+    on_release();
+  };
+  handler(std::move(release));
+}
+
+void WorkerPool::on_release() {
+  assert(busy_ > 0);
+  --busy_;
+  ++served_;
+  if (!backlog_.empty() && busy_ < max_workers_) {
+    Waiting next = std::move(backlog_.front());
+    backlog_.pop_front();
+    backlog_wait_.add(sim_.now() - next.enqueued_at);
+    run(std::move(next.handler));
+  }
+}
+
+}  // namespace sbroker::srv

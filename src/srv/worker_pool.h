@@ -1,0 +1,63 @@
+// Apache-style worker pool for the front-end Web server model.
+//
+// "In Apache Web server, each request is handled by a dedicated server
+// process. ... processes trapped in accessing overloaded backend resources
+// essentially exacerbate the overall performance" (Section II). Unlike
+// sim::BoundedStation, whose jobs have a fixed service time, a WorkerPool
+// worker is held across *asynchronous* work: the handler receives a release
+// functor and the worker stays occupied — exactly like an Apache child
+// blocked on a backend API call — until the handler releases it.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+
+#include "sim/simulation.h"
+#include "util/stats.h"
+
+namespace sbroker::srv {
+
+class WorkerPool {
+ public:
+  /// Call exactly once when the request handling finishes. Idempotent
+  /// (double release is ignored) so error paths can be sloppy safely.
+  using Release = std::function<void()>;
+  using Handler = std::function<void(Release)>;
+
+  WorkerPool(sim::Simulation& sim, size_t max_workers,
+             size_t backlog_limit = SIZE_MAX);
+
+  /// Runs `handler` on a worker, or queues it. Returns false when the
+  /// backlog is full (connection refused).
+  bool submit(Handler handler);
+
+  size_t busy() const { return busy_; }
+  size_t backlog() const { return backlog_.size(); }
+  size_t max_workers() const { return max_workers_; }
+  uint64_t served() const { return served_; }
+  uint64_t refused() const { return refused_; }
+  /// Time requests waited in the backlog before getting a worker.
+  const util::Summary& backlog_wait() const { return backlog_wait_; }
+
+ private:
+  struct Waiting {
+    Handler handler;
+    sim::Time enqueued_at;
+  };
+
+  void run(Handler handler);
+  void on_release();
+
+  sim::Simulation& sim_;
+  size_t max_workers_;
+  size_t backlog_limit_;
+  size_t busy_ = 0;
+  std::deque<Waiting> backlog_;
+  uint64_t served_ = 0;
+  uint64_t refused_ = 0;
+  util::Summary backlog_wait_;
+};
+
+}  // namespace sbroker::srv

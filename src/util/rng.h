@@ -1,0 +1,70 @@
+// Deterministic random number generation for workloads and simulation.
+//
+// All stochastic behaviour in this repo flows through `Rng` so that every
+// experiment is reproducible from a single seed. The generator is a
+// SplitMix64-seeded xoshiro256** — fast, high quality, and trivially
+// copyable so actors can fork independent streams.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace sbroker::util {
+
+/// xoshiro256** PRNG with convenience distributions.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  /// Uniform 64-bit value.
+  uint64_t next_u64();
+
+  /// Uniform in [0, 1).
+  double next_double();
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t uniform_int(int64_t lo, int64_t hi);
+
+  /// Uniform real in [lo, hi).
+  double uniform_real(double lo, double hi);
+
+  /// Exponentially distributed with the given mean (= 1/rate). mean > 0.
+  double exponential(double mean);
+
+  /// True with probability p (clamped to [0,1]).
+  bool bernoulli(double p);
+
+  /// Normal via Box–Muller; mean/stddev parameters.
+  double normal(double mean, double stddev);
+
+  /// Bounded Pareto-ish heavy tail used for service-time jitter experiments:
+  /// x = min * (1-u)^(-1/alpha), clipped at max. alpha > 0.
+  double bounded_pareto(double min, double max, double alpha);
+
+  /// Derives an independent stream (for per-actor RNGs).
+  Rng fork();
+
+ private:
+  uint64_t s_[4];
+};
+
+/// Zipf(1..n, theta) sampler using the standard inverse-CDF-over-precomputed-
+/// weights method. theta=0 is uniform; larger theta means more skew. Ranks
+/// are 1-based: rank 1 is the most popular item.
+class ZipfGenerator {
+ public:
+  ZipfGenerator(uint64_t n, double theta);
+
+  /// Returns a rank in [1, n].
+  uint64_t next(Rng& rng) const;
+
+  uint64_t n() const { return n_; }
+  double theta() const { return theta_; }
+
+ private:
+  uint64_t n_;
+  double theta_;
+  std::vector<double> cdf_;  // cumulative, normalized
+};
+
+}  // namespace sbroker::util

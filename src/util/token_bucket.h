@@ -1,0 +1,55 @@
+// Token-bucket rate limiter used for broker-side traffic contracts.
+//
+// The paper envisions loosely coupled backends being "contract-based: the
+// service availability is honored only when the incoming traffic are within
+// the contracted specifications" (Section I). The broker enforces such a
+// contract with this bucket before forwarding to a loosely coupled backend.
+//
+// Time is supplied by the caller (simulated seconds), so the same class
+// works inside the discrete-event simulator and in wall-clock code.
+#pragma once
+
+#include <algorithm>
+#include <cassert>
+
+namespace sbroker::util {
+
+class TokenBucket {
+ public:
+  /// `rate` tokens per second refill, capacity `burst` tokens, starts full.
+  TokenBucket(double rate, double burst) : rate_(rate), burst_(burst), tokens_(burst) {
+    assert(rate > 0 && burst > 0);
+  }
+
+  /// Attempts to take `cost` tokens at time `now` (seconds, monotone
+  /// non-decreasing across calls). Returns true and debits on success.
+  bool try_acquire(double now, double cost = 1.0) {
+    refill(now);
+    if (tokens_ + 1e-12 < cost) return false;
+    tokens_ -= cost;
+    return true;
+  }
+
+  /// Tokens currently available at time `now` (refills first).
+  double available(double now) {
+    refill(now);
+    return tokens_;
+  }
+
+  double rate() const { return rate_; }
+  double burst() const { return burst_; }
+
+ private:
+  void refill(double now) {
+    if (now <= last_) return;
+    tokens_ = std::min(burst_, tokens_ + rate_ * (now - last_));
+    last_ = now;
+  }
+
+  double rate_;
+  double burst_;
+  double tokens_;
+  double last_ = 0.0;
+};
+
+}  // namespace sbroker::util

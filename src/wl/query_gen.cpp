@@ -1,0 +1,33 @@
+#include "wl/query_gen.h"
+
+namespace sbroker::wl {
+
+QueryGenerator::QueryGenerator(uint64_t key_space, Popularity popularity, double theta)
+    : key_space_(key_space), popularity_(popularity), zipf_(key_space, theta) {}
+
+uint64_t QueryGenerator::draw_key(util::Rng& rng) {
+  if (popularity_ == Popularity::kZipf) {
+    return zipf_.next(rng) - 1;  // ranks are 1-based
+  }
+  return static_cast<uint64_t>(rng.uniform_int(0, static_cast<int64_t>(key_space_) - 1));
+}
+
+std::string QueryGenerator::next_point_query(util::Rng& rng) {
+  return "SELECT * FROM records WHERE id = " + std::to_string(draw_key(rng));
+}
+
+std::string QueryGenerator::next_category_query(util::Rng& rng, int64_t categories,
+                                                uint64_t limit) {
+  int64_t category = rng.uniform_int(0, categories - 1);
+  return "SELECT id, score FROM records WHERE category = " + std::to_string(category) +
+         " LIMIT " + std::to_string(limit);
+}
+
+std::string QueryGenerator::next_movie_query(util::Rng& rng, int64_t movies) {
+  // Zipf over movie ids when configured: blockbusters dominate at peak time.
+  uint64_t movie = draw_key(rng) % static_cast<uint64_t>(movies);
+  return "SELECT title, theater, showtime FROM schedule WHERE movie_id = " +
+         std::to_string(movie);
+}
+
+}  // namespace sbroker::wl

@@ -1,0 +1,42 @@
+// Query generators for the database workloads.
+//
+// The clustering experiment's backend script "was to generate a random query
+// command and retrieve the corresponding results from the database"; here
+// the generator produces those queries on the client side. Popularity is
+// configurable: uniform (the clustering experiment) or Zipf (the caching
+// ablation, where repeats make caching pay off).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "util/rng.h"
+
+namespace sbroker::wl {
+
+class QueryGenerator {
+ public:
+  enum class Popularity { kUniform, kZipf };
+
+  /// Queries select by id over [0, key_space). theta applies to kZipf.
+  QueryGenerator(uint64_t key_space, Popularity popularity = Popularity::kUniform,
+                 double theta = 0.9);
+
+  /// "SELECT * FROM records WHERE id = <k>" with k drawn per popularity.
+  std::string next_point_query(util::Rng& rng);
+
+  /// "SELECT id, score FROM records WHERE category = <c> LIMIT <n>".
+  std::string next_category_query(util::Rng& rng, int64_t categories, uint64_t limit);
+
+  /// Movie-schedule query for the caching example.
+  std::string next_movie_query(util::Rng& rng, int64_t movies);
+
+ private:
+  uint64_t draw_key(util::Rng& rng);
+
+  uint64_t key_space_;
+  Popularity popularity_;
+  util::ZipfGenerator zipf_;
+};
+
+}  // namespace sbroker::wl

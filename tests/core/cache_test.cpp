@@ -1,0 +1,125 @@
+#include "core/cache.h"
+
+#include <gtest/gtest.h>
+
+namespace sbroker::core {
+namespace {
+
+TEST(Cache, PutGetRoundTrip) {
+  ResultCache cache(4, 10.0);
+  cache.put("k", "v", 0.0);
+  EXPECT_EQ(cache.get("k", 1.0), "v");
+  EXPECT_EQ(cache.hits(), 1u);
+}
+
+TEST(Cache, MissOnAbsentKey) {
+  ResultCache cache(4, 10.0);
+  EXPECT_FALSE(cache.get("nope", 0.0).has_value());
+  EXPECT_EQ(cache.misses(), 1u);
+}
+
+TEST(Cache, TtlExpiry) {
+  ResultCache cache(4, 5.0);
+  cache.put("k", "v", 0.0);
+  EXPECT_TRUE(cache.get("k", 5.0).has_value());    // exactly at TTL: fresh
+  EXPECT_FALSE(cache.get("k", 5.01).has_value());  // past TTL: expired
+  EXPECT_EQ(cache.expired(), 1u);
+}
+
+TEST(Cache, ZeroTtlDisablesExpiry) {
+  ResultCache cache(4, 0.0);
+  cache.put("k", "v", 0.0);
+  EXPECT_TRUE(cache.get("k", 1e9).has_value());
+}
+
+TEST(Cache, StaleLookupServesExpiredEntries) {
+  ResultCache cache(4, 1.0);
+  cache.put("k", "v", 0.0);
+  EXPECT_FALSE(cache.get("k", 100.0).has_value());
+  EXPECT_EQ(cache.get_stale("k"), "v");
+  EXPECT_FALSE(cache.get_stale("absent").has_value());
+}
+
+TEST(Cache, PutRefreshesExpiredEntryInPlace) {
+  ResultCache cache(4, 1.0);
+  cache.put("k", "old", 0.0);
+  EXPECT_FALSE(cache.get("k", 10.0).has_value());
+  cache.put("k", "new", 10.0);
+  EXPECT_EQ(cache.get("k", 10.5), "new");
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(Cache, LruEvictionOrder) {
+  ResultCache cache(2, 0.0);
+  cache.put("a", "1", 0.0);
+  cache.put("b", "2", 0.0);
+  cache.get("a", 0.0);        // a becomes most recent
+  cache.put("c", "3", 0.0);   // evicts b
+  EXPECT_TRUE(cache.get("a", 0.0).has_value());
+  EXPECT_FALSE(cache.get("b", 0.0).has_value());
+  EXPECT_TRUE(cache.get("c", 0.0).has_value());
+  EXPECT_EQ(cache.evictions(), 1u);
+}
+
+TEST(Cache, CapacityNeverExceeded) {
+  ResultCache cache(3, 0.0);
+  for (int i = 0; i < 100; ++i) {
+    cache.put("k" + std::to_string(i), "v", 0.0);
+    EXPECT_LE(cache.size(), 3u);
+  }
+  EXPECT_EQ(cache.evictions(), 97u);
+}
+
+TEST(Cache, OverwriteDoesNotGrow) {
+  ResultCache cache(2, 0.0);
+  cache.put("k", "1", 0.0);
+  cache.put("k", "2", 1.0);
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.get("k", 1.0), "2");
+}
+
+TEST(Cache, Invalidate) {
+  ResultCache cache(4, 0.0);
+  cache.put("k", "v", 0.0);
+  EXPECT_TRUE(cache.invalidate("k"));
+  EXPECT_FALSE(cache.invalidate("k"));
+  EXPECT_FALSE(cache.get("k", 0.0).has_value());
+}
+
+TEST(Cache, Clear) {
+  ResultCache cache(4, 0.0);
+  cache.put("a", "1", 0.0);
+  cache.put("b", "2", 0.0);
+  cache.clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_FALSE(cache.get_stale("a").has_value());
+}
+
+TEST(Cache, HitRatio) {
+  ResultCache cache(4, 0.0);
+  cache.put("k", "v", 0.0);
+  cache.get("k", 0.0);
+  cache.get("k", 0.0);
+  cache.get("miss", 0.0);
+  cache.get("miss2", 0.0);
+  EXPECT_DOUBLE_EQ(cache.hit_ratio(), 0.5);
+}
+
+// Property: under arbitrary interleavings, get() never returns a value older
+// than TTL relative to the read time.
+TEST(Cache, NeverServesStaleOnFreshPath) {
+  ResultCache cache(8, 2.0);
+  double now = 0.0;
+  for (int i = 0; i < 1000; ++i) {
+    std::string key = "k" + std::to_string(i % 10);
+    if (i % 3 == 0) cache.put(key, std::to_string(now), now);
+    if (auto hit = cache.get(key, now)) {
+      double stored_at = std::stod(*hit);
+      EXPECT_LE(now - stored_at, 2.0);
+    }
+    now += 0.37;
+  }
+}
+
+}  // namespace
+}  // namespace sbroker::core

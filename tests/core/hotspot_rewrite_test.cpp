@@ -1,0 +1,245 @@
+#include <gtest/gtest.h>
+
+#include "core/broker.h"
+#include "core/hotspot.h"
+#include "core/rewrite.h"
+#include "db/parser.h"
+
+namespace sbroker::core {
+namespace {
+
+// --------------------------------------------------------------------------
+// HotSpotDetector
+
+HotSpotConfig fast_config() {
+  HotSpotConfig cfg;
+  cfg.warm_threshold = 10.0;
+  cfg.hot_threshold = 18.0;
+  cfg.alpha = 1.0;  // no smoothing: state follows the sample directly
+  cfg.hysteresis = 0.1;
+  return cfg;
+}
+
+TEST(HotSpot, StartsNormal) {
+  HotSpotDetector d(fast_config());
+  EXPECT_EQ(d.state(), LoadState::kNormal);
+  EXPECT_EQ(d.observe(0.0), LoadState::kNormal);
+}
+
+TEST(HotSpot, EscalatesThroughWarmToHot) {
+  HotSpotDetector d(fast_config());
+  EXPECT_EQ(d.observe(12.0), LoadState::kWarm);
+  EXPECT_EQ(d.observe(20.0), LoadState::kHot);
+}
+
+TEST(HotSpot, JumpsStraightToHot) {
+  HotSpotDetector d(fast_config());
+  EXPECT_EQ(d.observe(25.0), LoadState::kHot);
+}
+
+TEST(HotSpot, HysteresisPreventsFlapping) {
+  HotSpotDetector d(fast_config());
+  d.observe(12.0);  // WARM
+  // Dipping just below the threshold but inside the hysteresis band stays WARM.
+  EXPECT_EQ(d.observe(9.5), LoadState::kWarm);
+  // Falling below warm*0.9 = 9.0 de-escalates.
+  EXPECT_EQ(d.observe(8.5), LoadState::kNormal);
+}
+
+TEST(HotSpot, HotDeescalatesToWarmThenNormal) {
+  HotSpotDetector d(fast_config());
+  d.observe(20.0);  // HOT
+  EXPECT_EQ(d.observe(15.0), LoadState::kWarm);  // below hot*0.9=16.2
+  EXPECT_EQ(d.observe(5.0), LoadState::kNormal);
+}
+
+TEST(HotSpot, EwmaSmoothsSpikes) {
+  HotSpotConfig cfg = fast_config();
+  cfg.alpha = 0.1;
+  HotSpotDetector d(cfg);
+  d.observe(0.0);
+  // One spike of 100 moves the EWMA only to 10 — exactly WARM, not HOT.
+  EXPECT_EQ(d.observe(100.0), LoadState::kWarm);
+  EXPECT_NEAR(d.ewma(), 10.0, 1e-9);
+}
+
+TEST(HotSpot, TransitionCallbackFires) {
+  HotSpotDetector d(fast_config());
+  std::vector<std::pair<LoadState, LoadState>> seen;
+  d.set_on_transition([&](LoadState from, LoadState to) { seen.emplace_back(from, to); });
+  d.observe(12.0);
+  d.observe(20.0);
+  d.observe(0.0);
+  ASSERT_EQ(seen.size(), 3u);
+  EXPECT_EQ(seen[0], std::make_pair(LoadState::kNormal, LoadState::kWarm));
+  EXPECT_EQ(seen[1], std::make_pair(LoadState::kWarm, LoadState::kHot));
+  EXPECT_EQ(seen[2], std::make_pair(LoadState::kHot, LoadState::kNormal));
+  EXPECT_EQ(d.transitions(), 3u);
+}
+
+TEST(HotSpot, ResetReturnsToNormal) {
+  HotSpotDetector d(fast_config());
+  d.observe(25.0);
+  d.reset();
+  EXPECT_EQ(d.state(), LoadState::kNormal);
+  EXPECT_EQ(d.observe(1.0), LoadState::kNormal);
+  EXPECT_DOUBLE_EQ(d.ewma(), 1.0);  // re-primed
+}
+
+TEST(HotSpot, StateNames) {
+  EXPECT_STREQ(load_state_name(LoadState::kNormal), "normal");
+  EXPECT_STREQ(load_state_name(LoadState::kWarm), "warm");
+  EXPECT_STREQ(load_state_name(LoadState::kHot), "hot");
+}
+
+// --------------------------------------------------------------------------
+// QueryRewriter
+
+RewriteConfig rw_config() {
+  RewriteConfig cfg;
+  cfg.enabled = true;
+  cfg.warm_degrade_below = 2;
+  cfg.warm_limit = 50;
+  cfg.hot_limit = 10;
+  return cfg;
+}
+
+TEST(Rewrite, DisabledPassesThrough) {
+  QueryRewriter rw(RewriteConfig{}, QosRules{3, 20});
+  auto out = rw.apply("SELECT * FROM t", 1, LoadState::kHot);
+  EXPECT_FALSE(out.degraded);
+  EXPECT_EQ(out.payload, "SELECT * FROM t");
+}
+
+TEST(Rewrite, NormalLoadNeverDegrades) {
+  QueryRewriter rw(rw_config(), QosRules{3, 20});
+  auto out = rw.apply("SELECT * FROM t", 1, LoadState::kNormal);
+  EXPECT_FALSE(out.degraded);
+}
+
+TEST(Rewrite, WarmCapsLowClassesOnly) {
+  QueryRewriter rw(rw_config(), QosRules{3, 20});
+  auto low = rw.apply("SELECT * FROM t", 1, LoadState::kWarm);
+  EXPECT_TRUE(low.degraded);
+  EXPECT_EQ(db::parse_select(low.payload).limit, 50u);
+  auto mid = rw.apply("SELECT * FROM t", 2, LoadState::kWarm);
+  EXPECT_TRUE(mid.degraded);
+  auto high = rw.apply("SELECT * FROM t", 3, LoadState::kWarm);
+  EXPECT_FALSE(high.degraded);
+}
+
+TEST(Rewrite, HotCapsEveryClassButTop) {
+  QueryRewriter rw(rw_config(), QosRules{3, 20});
+  for (int level = 1; level <= 2; ++level) {
+    auto out = rw.apply("SELECT * FROM t", level, LoadState::kHot);
+    EXPECT_TRUE(out.degraded) << level;
+    EXPECT_EQ(db::parse_select(out.payload).limit, 10u);
+  }
+  EXPECT_FALSE(rw.apply("SELECT * FROM t", 3, LoadState::kHot).degraded);
+}
+
+TEST(Rewrite, ExistingTighterLimitKept) {
+  QueryRewriter rw(rw_config(), QosRules{3, 20});
+  auto out = rw.apply("SELECT * FROM t LIMIT 5", 1, LoadState::kHot);
+  EXPECT_FALSE(out.degraded);  // already cheaper than the cap
+}
+
+TEST(Rewrite, ExistingLooserLimitClamped) {
+  QueryRewriter rw(rw_config(), QosRules{3, 20});
+  auto out = rw.apply("SELECT * FROM t LIMIT 5000", 1, LoadState::kHot);
+  EXPECT_TRUE(out.degraded);
+  EXPECT_EQ(db::parse_select(out.payload).limit, 10u);
+}
+
+TEST(Rewrite, NonSqlPayloadUntouched) {
+  QueryRewriter rw(rw_config(), QosRules{3, 20});
+  auto out = rw.apply("/headlines", 1, LoadState::kHot);
+  EXPECT_FALSE(out.degraded);
+  EXPECT_EQ(out.payload, "/headlines");
+}
+
+TEST(Rewrite, PreservesPredicates) {
+  QueryRewriter rw(rw_config(), QosRules{3, 20});
+  auto out = rw.apply("SELECT id FROM t WHERE category = 3 AND score > 0.5", 1,
+                      LoadState::kWarm);
+  ASSERT_TRUE(out.degraded);
+  db::SelectQuery q = db::parse_select(out.payload);
+  ASSERT_EQ(q.where.size(), 2u);
+  EXPECT_EQ(q.where[0].column, "category");
+  EXPECT_EQ(q.where[1].column, "score");
+}
+
+// --------------------------------------------------------------------------
+// Broker integration: degraded replies carry the kDegraded fidelity.
+
+class CountingBackend : public Backend {
+ public:
+  void invoke(const Call& call, Completion done) override {
+    payloads.push_back(call.payload);
+    done(0.0, true, "ok");
+  }
+  std::vector<std::string> payloads;
+};
+
+TEST(BrokerFidelity, HotLoadDegradesLowClassQueries) {
+  BrokerConfig cfg;
+  cfg.rules = QosRules{3, 1000.0};  // no admission drops in this test
+  cfg.enable_cache = false;
+  cfg.rewrite.enabled = true;
+  cfg.rewrite.hot_limit = 7;
+  cfg.hotspot.warm_threshold = 1.0;
+  cfg.hotspot.hot_threshold = 2.0;
+  cfg.hotspot.alpha = 1.0;
+  ServiceBroker broker("b", cfg);
+  auto backend = std::make_shared<CountingBackend>();
+  broker.add_backend(backend);
+
+  // Force the detector HOT.
+  broker.hotspot().observe(10.0);
+  ASSERT_EQ(broker.load_state(), LoadState::kHot);
+
+  http::BrokerRequest req;
+  req.request_id = 1;
+  req.qos_level = 1;
+  req.payload = "SELECT * FROM t";
+  http::BrokerReply reply;
+  broker.submit(0.0, req, [&](const http::BrokerReply& r) { reply = r; });
+  EXPECT_EQ(reply.fidelity, http::Fidelity::kDegraded);
+  ASSERT_EQ(backend->payloads.size(), 1u);
+  EXPECT_EQ(db::parse_select(backend->payloads[0]).limit, 7u);
+  EXPECT_EQ(broker.rewriter().rewrites(), 1u);
+}
+
+TEST(BrokerFidelity, LoadStateTracksOutstanding) {
+  BrokerConfig cfg;
+  cfg.rules = QosRules{3, 1000.0};
+  cfg.enable_cache = false;
+  cfg.hotspot.warm_threshold = 2.0;
+  cfg.hotspot.hot_threshold = 4.0;
+  cfg.hotspot.alpha = 1.0;
+  ServiceBroker broker("b", cfg);
+
+  // Backend that never completes, so outstanding climbs.
+  class StuckBackend : public Backend {
+   public:
+    void invoke(const Call&, Completion done) override { held.push_back(std::move(done)); }
+    std::vector<Completion> held;
+  };
+  auto backend = std::make_shared<StuckBackend>();
+  broker.add_backend(backend);
+
+  for (uint64_t i = 1; i <= 5; ++i) {
+    http::BrokerRequest req;
+    req.request_id = i;
+    req.qos_level = 3;
+    req.payload = "q" + std::to_string(i);
+    broker.submit(0.0, req, [](const http::BrokerReply&) {});
+  }
+  EXPECT_EQ(broker.load_state(), LoadState::kHot);
+  // Draining returns the state to NORMAL.
+  for (auto& done : backend->held) done(1.0, true, "r");
+  EXPECT_EQ(broker.load_state(), LoadState::kNormal);
+}
+
+}  // namespace
+}  // namespace sbroker::core

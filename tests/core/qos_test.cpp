@@ -1,0 +1,73 @@
+#include "core/qos.h"
+
+#include <gtest/gtest.h>
+
+namespace sbroker::core {
+namespace {
+
+TEST(QosRules, BoundsScaleWithLevel) {
+  QosRules rules{3, 20.0};
+  EXPECT_NEAR(rules.bound(1), 20.0 / 3.0, 1e-9);
+  EXPECT_NEAR(rules.bound(2), 40.0 / 3.0, 1e-9);
+  EXPECT_NEAR(rules.bound(3), 20.0, 1e-9);
+}
+
+TEST(QosRules, TopClassAdmittedUpToThreshold) {
+  QosRules rules{3, 20.0};
+  EXPECT_TRUE(rules.admit(3, 19.0));
+  EXPECT_FALSE(rules.admit(3, 20.0));
+}
+
+TEST(QosRules, LowClassShedFirst) {
+  QosRules rules{3, 20.0};
+  double outstanding = 10.0;
+  EXPECT_FALSE(rules.admit(1, outstanding));  // bound 6.67
+  EXPECT_TRUE(rules.admit(2, outstanding));   // bound 13.33
+  EXPECT_TRUE(rules.admit(3, outstanding));
+}
+
+TEST(QosRules, ZeroOutstandingAdmitsEveryone) {
+  QosRules rules{3, 20.0};
+  for (int level = 1; level <= 3; ++level) EXPECT_TRUE(rules.admit(level, 0.0));
+}
+
+TEST(QosRules, ClampLevel) {
+  QosRules rules{3, 20.0};
+  EXPECT_EQ(rules.clamp_level(0), 1);
+  EXPECT_EQ(rules.clamp_level(-5), 1);
+  EXPECT_EQ(rules.clamp_level(4), 3);
+  EXPECT_EQ(rules.clamp_level(2), 2);
+}
+
+TEST(QosRules, OutOfRangeLevelUsesClampedBound) {
+  QosRules rules{3, 20.0};
+  EXPECT_DOUBLE_EQ(rules.bound(99), rules.bound(3));
+  EXPECT_DOUBLE_EQ(rules.bound(-1), rules.bound(1));
+}
+
+// Property: admission is monotone — if a level admits at load x, every
+// higher level admits at x, and it admits at every load below x.
+class QosMonotonicity : public ::testing::TestWithParam<int> {};
+
+TEST_P(QosMonotonicity, MonotoneInLevelAndLoad) {
+  int levels = GetParam();
+  QosRules rules{levels, 20.0};
+  for (double load = 0; load <= 25.0; load += 0.5) {
+    for (int level = 1; level < levels; ++level) {
+      if (rules.admit(level, load)) {
+        EXPECT_TRUE(rules.admit(level + 1, load))
+            << "level " << level + 1 << " rejected at load " << load;
+      }
+    }
+    for (int level = 1; level <= levels; ++level) {
+      if (rules.admit(level, load) && load >= 1.0) {
+        EXPECT_TRUE(rules.admit(level, load - 1.0));
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Levels, QosMonotonicity, ::testing::Values(2, 3, 4, 8));
+
+}  // namespace
+}  // namespace sbroker::core

@@ -1,0 +1,136 @@
+#include <gtest/gtest.h>
+
+#include "core/prefetch.h"
+#include "core/txn.h"
+
+namespace sbroker::core {
+namespace {
+
+// --------------------------------------------------------------------------
+// TransactionTracker
+
+TEST(Txn, NoTransactionKeepsBaseLevel) {
+  TransactionTracker t(QosRules{3, 20}, TxnConfig{});
+  EXPECT_EQ(t.effective_level(0, 5, 2, 0.0), 2);
+  EXPECT_EQ(t.active(), 0u);
+}
+
+TEST(Txn, StepEscalatesPriority) {
+  TransactionTracker t(QosRules{3, 20}, TxnConfig{1, 60.0});
+  EXPECT_EQ(t.effective_level(42, 1, 1, 0.0), 1);
+  EXPECT_EQ(t.effective_level(42, 2, 1, 0.0), 2);
+  EXPECT_EQ(t.effective_level(42, 3, 1, 0.0), 3);
+}
+
+TEST(Txn, EscalationClampsAtMaxLevel) {
+  TransactionTracker t(QosRules{3, 20}, TxnConfig{1, 60.0});
+  EXPECT_EQ(t.effective_level(42, 9, 2, 0.0), 3);
+}
+
+TEST(Txn, OutOfOrderStepsNeverDemote) {
+  TransactionTracker t(QosRules{5, 20}, TxnConfig{1, 60.0});
+  EXPECT_EQ(t.effective_level(7, 3, 1, 0.0), 3);
+  // A delayed step-1 message arrives late; effective level stays at 3.
+  EXPECT_EQ(t.effective_level(7, 1, 1, 1.0), 3);
+}
+
+TEST(Txn, BoostPerStepConfig) {
+  TransactionTracker t(QosRules{9, 20}, TxnConfig{2, 60.0});
+  EXPECT_EQ(t.effective_level(1, 3, 1, 0.0), 5);  // 1 + 2*(3-1)
+}
+
+TEST(Txn, CompleteReleasesState) {
+  TransactionTracker t(QosRules{3, 20}, TxnConfig{});
+  t.effective_level(42, 3, 1, 0.0);
+  EXPECT_EQ(t.active(), 1u);
+  t.complete(42);
+  EXPECT_EQ(t.active(), 0u);
+  // Starts over from step 1 semantics.
+  EXPECT_EQ(t.effective_level(42, 1, 1, 0.0), 1);
+}
+
+TEST(Txn, ExpireRemovesIdleTransactions) {
+  TransactionTracker t(QosRules{3, 20}, TxnConfig{1, 10.0});
+  t.effective_level(1, 1, 1, 0.0);
+  t.effective_level(2, 1, 1, 8.0);
+  EXPECT_EQ(t.expire(15.0), 1u);  // txn 1 idle > 10s
+  EXPECT_EQ(t.active(), 1u);
+  EXPECT_EQ(t.highest_step(1), 0);
+  EXPECT_EQ(t.highest_step(2), 1);
+}
+
+TEST(Txn, DistinctTransactionsIndependent) {
+  TransactionTracker t(QosRules{3, 20}, TxnConfig{});
+  EXPECT_EQ(t.effective_level(1, 3, 1, 0.0), 3);
+  EXPECT_EQ(t.effective_level(2, 1, 1, 0.0), 1);
+}
+
+// --------------------------------------------------------------------------
+// Prefetcher
+
+TEST(Prefetch, FirstFetchDueImmediately) {
+  Prefetcher p(1.0);
+  p.add("headlines", "GET /headlines", 10.0);
+  auto due = p.due(0.0, 0.0);
+  ASSERT_EQ(due.size(), 1u);
+  EXPECT_EQ(due[0].cache_key, "headlines");
+  EXPECT_EQ(p.issued(), 1u);
+}
+
+TEST(Prefetch, RespectsPeriod) {
+  Prefetcher p(1.0);
+  p.add("k", "q", 10.0);
+  p.due(0.0, 0.0);
+  EXPECT_TRUE(p.due(5.0, 0.0).empty());
+  EXPECT_EQ(p.due(10.0, 0.0).size(), 1u);
+}
+
+TEST(Prefetch, SkipsWhenBusy) {
+  Prefetcher p(/*idle_threshold=*/2.0);
+  p.add("k", "q", 10.0);
+  EXPECT_TRUE(p.due(0.0, /*current_load=*/5.0).empty());
+  // Still due once idle again.
+  EXPECT_EQ(p.due(1.0, 0.0).size(), 1u);
+}
+
+TEST(Prefetch, NextDueTracksEarliest) {
+  Prefetcher p(1.0);
+  EXPECT_FALSE(p.next_due().has_value());
+  p.add("a", "qa", 10.0);
+  p.add("b", "qb", 3.0);
+  p.due(0.0, 0.0);  // both fetched; next dues 10 and 3
+  EXPECT_DOUBLE_EQ(p.next_due().value(), 3.0);
+}
+
+TEST(Prefetch, MultipleEntriesIndependentSchedules) {
+  Prefetcher p(1.0);
+  p.add("a", "qa", 2.0);
+  p.add("b", "qb", 5.0);
+  p.due(0.0, 0.0);
+  auto due2 = p.due(2.0, 0.0);
+  ASSERT_EQ(due2.size(), 1u);
+  EXPECT_EQ(due2[0].cache_key, "a");
+  auto due5 = p.due(5.0, 0.0);
+  ASSERT_EQ(due5.size(), 2u);  // a due again at 4, b at 5
+}
+
+TEST(Prefetch, Remove) {
+  Prefetcher p(1.0);
+  p.add("k", "q", 1.0);
+  EXPECT_TRUE(p.remove("k"));
+  EXPECT_FALSE(p.remove("k"));
+  EXPECT_TRUE(p.due(100.0, 0.0).empty());
+}
+
+TEST(Prefetch, ScheduleAdvancesEvenWhenFetchSkippedByCaller) {
+  // due() advancing next_due regardless of fetch outcome prevents retry
+  // storms: the contract is periodic refresh, not guaranteed delivery.
+  Prefetcher p(1.0);
+  p.add("k", "q", 10.0);
+  auto first = p.due(0.0, 0.0);
+  ASSERT_EQ(first.size(), 1u);
+  EXPECT_TRUE(p.due(0.5, 0.0).empty());
+}
+
+}  // namespace
+}  // namespace sbroker::core

@@ -1,0 +1,149 @@
+// ORDER BY and COUNT(*) — parsing, execution, and interaction with LIMIT,
+// REPEAT, indexes and the query rewriter's canonical form.
+#include <gtest/gtest.h>
+
+#include "db/cost_model.h"
+#include "db/database.h"
+#include "db/dataset.h"
+#include "db/executor.h"
+#include "db/parser.h"
+#include "util/rng.h"
+
+namespace sbroker::db {
+namespace {
+
+class OrderCountTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    util::Rng rng(77);
+    load_benchmark_table(db_, rng, 500, 10);
+  }
+  Database db_;
+};
+
+TEST_F(OrderCountTest, ParseOrderBy) {
+  SelectQuery q = parse_select("SELECT id FROM records ORDER BY score DESC LIMIT 5");
+  ASSERT_TRUE(q.order_by.has_value());
+  EXPECT_EQ(q.order_by->column, "score");
+  EXPECT_TRUE(q.order_by->descending);
+  EXPECT_EQ(q.limit, 5u);
+
+  SelectQuery asc = parse_select("SELECT id FROM records ORDER BY id");
+  ASSERT_TRUE(asc.order_by.has_value());
+  EXPECT_FALSE(asc.order_by->descending);
+
+  SelectQuery explicit_asc = parse_select("SELECT id FROM records ORDER BY id ASC");
+  EXPECT_FALSE(explicit_asc.order_by->descending);
+}
+
+TEST_F(OrderCountTest, ParseCount) {
+  SelectQuery q = parse_select("SELECT COUNT(*) FROM records WHERE category = 3");
+  EXPECT_TRUE(q.count_only);
+  EXPECT_TRUE(q.columns.empty());
+}
+
+TEST_F(OrderCountTest, ParseErrors) {
+  EXPECT_THROW(parse_select("SELECT id FROM t ORDER score"), ParseError);
+  EXPECT_THROW(parse_select("SELECT id FROM t ORDER BY"), ParseError);
+  EXPECT_THROW(parse_select("SELECT COUNT(x) FROM t"), ParseError);
+  EXPECT_THROW(parse_select("SELECT COUNT(* FROM t"), ParseError);
+  EXPECT_THROW(parse_select("SELECT COUNT FROM t"), ParseError);
+}
+
+TEST_F(OrderCountTest, RoundTripRendering) {
+  for (const char* sql :
+       {"SELECT COUNT(*) FROM records WHERE category = 3",
+        "SELECT id FROM records ORDER BY score DESC LIMIT 5",
+        "SELECT id, score FROM records WHERE id < 100 ORDER BY score ASC REPEAT 2"}) {
+    SelectQuery q1 = parse_select(sql);
+    SelectQuery q2 = parse_select(q1.to_string());
+    EXPECT_EQ(q1.to_string(), q2.to_string()) << sql;
+  }
+}
+
+TEST_F(OrderCountTest, CountMatchesRowCount) {
+  ResultSet all = execute_sql(db_, "SELECT id FROM records WHERE category = 4");
+  ResultSet counted = execute_sql(db_, "SELECT COUNT(*) FROM records WHERE category = 4");
+  ASSERT_EQ(counted.rows.size(), 1u);
+  ASSERT_EQ(counted.columns, std::vector<std::string>{"count"});
+  EXPECT_EQ(counted.rows[0][0].as_int(), static_cast<int64_t>(all.rows.size()));
+}
+
+TEST_F(OrderCountTest, CountWholeTable) {
+  ResultSet counted = execute_sql(db_, "SELECT COUNT(*) FROM records");
+  EXPECT_EQ(counted.rows[0][0].as_int(), 500);
+}
+
+TEST_F(OrderCountTest, CountZeroMatches) {
+  ResultSet counted = execute_sql(db_, "SELECT COUNT(*) FROM records WHERE id = 99999");
+  EXPECT_EQ(counted.rows[0][0].as_int(), 0);
+}
+
+TEST_F(OrderCountTest, OrderByAscending) {
+  ResultSet rs = execute_sql(db_, "SELECT score FROM records ORDER BY score LIMIT 20");
+  ASSERT_EQ(rs.rows.size(), 20u);
+  for (size_t i = 1; i < rs.rows.size(); ++i) {
+    EXPECT_LE(rs.rows[i - 1][0].as_real(), rs.rows[i][0].as_real());
+  }
+}
+
+TEST_F(OrderCountTest, OrderByDescendingTopK) {
+  ResultSet rs =
+      execute_sql(db_, "SELECT id, score FROM records ORDER BY score DESC LIMIT 3");
+  ASSERT_EQ(rs.rows.size(), 3u);
+  // The first row really is the global maximum.
+  ResultSet all = execute_sql(db_, "SELECT score FROM records");
+  double max_score = 0;
+  for (const Row& row : all.rows) max_score = std::max(max_score, row[0].as_real());
+  EXPECT_DOUBLE_EQ(rs.rows[0][1].as_real(), max_score);
+}
+
+TEST_F(OrderCountTest, OrderByWithPredicateAndIndex) {
+  ResultSet rs = execute_sql(
+      db_, "SELECT id, score FROM records WHERE category = 2 ORDER BY id DESC");
+  EXPECT_TRUE(rs.stats.used_index);
+  for (size_t i = 1; i < rs.rows.size(); ++i) {
+    EXPECT_GT(rs.rows[i - 1][0].as_int(), rs.rows[i][0].as_int());
+  }
+}
+
+TEST_F(OrderCountTest, OrderBySeesAllMatchesDespiteLimit) {
+  // LIMIT must apply after the sort: the smallest id overall, not the
+  // smallest among the first rows scanned.
+  ResultSet rs = execute_sql(db_, "SELECT id FROM records ORDER BY id ASC LIMIT 1");
+  ASSERT_EQ(rs.rows.size(), 1u);
+  EXPECT_EQ(rs.rows[0][0].as_int(), 0);
+  ResultSet top = execute_sql(db_, "SELECT id FROM records ORDER BY id DESC LIMIT 1");
+  EXPECT_EQ(top.rows[0][0].as_int(), 499);
+}
+
+TEST_F(OrderCountTest, OrderByWithRepeatKeepsPerRepeatLimit) {
+  ResultSet rs =
+      execute_sql(db_, "SELECT id FROM records ORDER BY id ASC LIMIT 2 REPEAT 3");
+  ASSERT_EQ(rs.rows.size(), 6u);
+  for (size_t r = 0; r < 3; ++r) {
+    EXPECT_EQ(rs.rows[r * 2][0].as_int(), 0);
+    EXPECT_EQ(rs.rows[r * 2 + 1][0].as_int(), 1);
+  }
+}
+
+TEST_F(OrderCountTest, OrderByUnknownColumnThrows) {
+  EXPECT_THROW(execute_sql(db_, "SELECT id FROM records ORDER BY nope"),
+               std::invalid_argument);
+}
+
+TEST_F(OrderCountTest, CountUsesIndexWhenAvailable) {
+  ResultSet rs = execute_sql(db_, "SELECT COUNT(*) FROM records WHERE id = 5");
+  EXPECT_TRUE(rs.stats.used_index);
+  EXPECT_EQ(rs.rows[0][0].as_int(), 1);
+}
+
+TEST_F(OrderCountTest, OrderByTextColumn) {
+  ResultSet rs =
+      execute_sql(db_, "SELECT payload FROM records ORDER BY payload ASC LIMIT 2");
+  ASSERT_EQ(rs.rows.size(), 2u);
+  EXPECT_LE(rs.rows[0][0].as_text(), rs.rows[1][0].as_text());
+}
+
+}  // namespace
+}  // namespace sbroker::db

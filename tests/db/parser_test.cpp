@@ -1,0 +1,132 @@
+#include "db/parser.h"
+
+#include <gtest/gtest.h>
+
+namespace sbroker::db {
+namespace {
+
+TEST(Parser, SelectStar) {
+  SelectQuery q = parse_select("SELECT * FROM records");
+  EXPECT_TRUE(q.columns.empty());
+  EXPECT_EQ(q.table, "records");
+  EXPECT_TRUE(q.where.empty());
+  EXPECT_FALSE(q.limit.has_value());
+  EXPECT_EQ(q.repeat, 1u);
+}
+
+TEST(Parser, ColumnList) {
+  SelectQuery q = parse_select("SELECT id, name FROM t");
+  ASSERT_EQ(q.columns.size(), 2u);
+  EXPECT_EQ(q.columns[0], "id");
+  EXPECT_EQ(q.columns[1], "name");
+}
+
+TEST(Parser, WhereConjunction) {
+  SelectQuery q =
+      parse_select("SELECT * FROM t WHERE id = 5 AND score >= 0.5 AND name != 'bob'");
+  ASSERT_EQ(q.where.size(), 3u);
+  EXPECT_EQ(q.where[0].column, "id");
+  EXPECT_EQ(q.where[0].op, CompareOp::kEq);
+  EXPECT_EQ(q.where[0].literal.as_int(), 5);
+  EXPECT_EQ(q.where[1].op, CompareOp::kGe);
+  EXPECT_DOUBLE_EQ(q.where[1].literal.as_real(), 0.5);
+  EXPECT_EQ(q.where[2].op, CompareOp::kNe);
+  EXPECT_EQ(q.where[2].literal.as_text(), "bob");
+}
+
+TEST(Parser, AllOperators) {
+  struct Case {
+    const char* op;
+    CompareOp expected;
+  } cases[] = {{"=", CompareOp::kEq}, {"!=", CompareOp::kNe}, {"<>", CompareOp::kNe},
+               {"<", CompareOp::kLt}, {"<=", CompareOp::kLe}, {">", CompareOp::kGt},
+               {">=", CompareOp::kGe}};
+  for (const auto& c : cases) {
+    SelectQuery q =
+        parse_select(std::string("SELECT * FROM t WHERE x ") + c.op + " 1");
+    EXPECT_EQ(q.where[0].op, c.expected) << c.op;
+  }
+}
+
+TEST(Parser, LimitAndRepeat) {
+  SelectQuery q = parse_select("SELECT * FROM t LIMIT 10 REPEAT 4");
+  EXPECT_EQ(q.limit, 10u);
+  EXPECT_EQ(q.repeat, 4u);
+}
+
+TEST(Parser, NegativeNumberLiteral) {
+  SelectQuery q = parse_select("SELECT * FROM t WHERE x > -5");
+  EXPECT_EQ(q.where[0].literal.as_int(), -5);
+}
+
+TEST(Parser, CaseInsensitiveKeywords) {
+  SelectQuery q = parse_select("select id from T where X = 1 limit 2 repeat 3");
+  EXPECT_EQ(q.columns[0], "id");
+  EXPECT_EQ(q.table, "T");
+  EXPECT_EQ(q.limit, 2u);
+  EXPECT_EQ(q.repeat, 3u);
+}
+
+TEST(Parser, TrailingSemicolonAccepted) {
+  EXPECT_NO_THROW(parse_select("SELECT * FROM t;"));
+}
+
+TEST(Parser, StringWithSpaces) {
+  SelectQuery q = parse_select("SELECT * FROM t WHERE name = 'hello world'");
+  EXPECT_EQ(q.where[0].literal.as_text(), "hello world");
+}
+
+TEST(Parser, Errors) {
+  EXPECT_THROW(parse_select(""), ParseError);
+  EXPECT_THROW(parse_select("UPDATE t SET x = 1"), ParseError);
+  EXPECT_THROW(parse_select("SELECT FROM t"), ParseError);
+  EXPECT_THROW(parse_select("SELECT * FROM"), ParseError);
+  EXPECT_THROW(parse_select("SELECT * FROM t WHERE"), ParseError);
+  EXPECT_THROW(parse_select("SELECT * FROM t WHERE x ="), ParseError);
+  EXPECT_THROW(parse_select("SELECT * FROM t WHERE x 5"), ParseError);
+  EXPECT_THROW(parse_select("SELECT * FROM t LIMIT"), ParseError);
+  EXPECT_THROW(parse_select("SELECT * FROM t REPEAT 0"), ParseError);
+  EXPECT_THROW(parse_select("SELECT * FROM t garbage"), ParseError);
+  EXPECT_THROW(parse_select("SELECT * FROM t WHERE s = 'unterminated"), ParseError);
+  EXPECT_THROW(parse_select("SELECT * FROM t WHERE x = 1 AND"), ParseError);
+  EXPECT_THROW(parse_select("SELECT * FROM t @"), ParseError);
+}
+
+TEST(Query, ToStringRoundTrips) {
+  const char* queries[] = {
+      "SELECT * FROM t",
+      "SELECT id, name FROM t WHERE id = 5 AND score >= 0.5 LIMIT 3 REPEAT 2",
+      "SELECT * FROM t WHERE name = 'x y'",
+  };
+  for (const char* sql : queries) {
+    SelectQuery q1 = parse_select(sql);
+    SelectQuery q2 = parse_select(q1.to_string());
+    EXPECT_EQ(q1.to_string(), q2.to_string()) << sql;
+  }
+}
+
+TEST(Query, CacheKeyIgnoresRepeat) {
+  SelectQuery a = parse_select("SELECT * FROM t WHERE id = 1");
+  SelectQuery b = parse_select("SELECT * FROM t WHERE id = 1 REPEAT 8");
+  EXPECT_EQ(a.cache_key(), b.cache_key());
+  EXPECT_NE(a.to_string(), b.to_string());
+}
+
+TEST(EvalCompare, NullSemantics) {
+  EXPECT_TRUE(eval_compare(CompareOp::kEq, Value(), Value()));
+  EXPECT_FALSE(eval_compare(CompareOp::kEq, Value(), Value(1)));
+  EXPECT_TRUE(eval_compare(CompareOp::kNe, Value(), Value(1)));
+  EXPECT_FALSE(eval_compare(CompareOp::kLt, Value(), Value(1)));
+  EXPECT_FALSE(eval_compare(CompareOp::kGe, Value(1), Value()));
+}
+
+TEST(EvalCompare, OrderingOps) {
+  EXPECT_TRUE(eval_compare(CompareOp::kLt, Value(1), Value(2)));
+  EXPECT_TRUE(eval_compare(CompareOp::kLe, Value(2), Value(2)));
+  EXPECT_TRUE(eval_compare(CompareOp::kGt, Value(3), Value(2)));
+  EXPECT_TRUE(eval_compare(CompareOp::kGe, Value(2), Value(2)));
+  EXPECT_FALSE(eval_compare(CompareOp::kNe, Value(2), Value(2.0)));
+}
+
+}  // namespace
+}  // namespace sbroker::db

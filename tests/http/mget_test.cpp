@@ -1,0 +1,82 @@
+#include "http/mget.h"
+
+#include <gtest/gtest.h>
+
+namespace sbroker::http {
+namespace {
+
+TEST(Mget, RequestRoundTrip) {
+  Request req = make_mget_request({"/1.html", "/2.html", "/3.html"});
+  EXPECT_EQ(req.method, "MGET");
+  auto targets = parse_mget_targets(req);
+  ASSERT_TRUE(targets.has_value());
+  EXPECT_EQ(*targets, (std::vector<std::string>{"/1.html", "/2.html", "/3.html"}));
+}
+
+TEST(Mget, NonMgetRequestRejected) {
+  Request req;
+  req.method = "GET";
+  EXPECT_FALSE(parse_mget_targets(req).has_value());
+}
+
+TEST(Mget, MissingHeaderRejected) {
+  Request req;
+  req.method = "MGET";
+  EXPECT_FALSE(parse_mget_targets(req).has_value());
+}
+
+TEST(Mget, ResponseRoundTrip) {
+  std::vector<Response> parts;
+  parts.push_back(make_response(200, "first"));
+  parts.push_back(make_response(404, "missing"));
+  parts.push_back(make_response(200, "third with \r\n newlines \n inside"));
+  Response combined = make_mget_response(parts);
+  auto split = split_mget_response(combined);
+  ASSERT_TRUE(split.has_value());
+  ASSERT_EQ(split->size(), 3u);
+  EXPECT_EQ((*split)[0].body, "first");
+  EXPECT_EQ((*split)[1].status, 404);
+  EXPECT_EQ((*split)[2].body, "third with \r\n newlines \n inside");
+}
+
+TEST(Mget, EmptyPartsRoundTrip) {
+  Response combined = make_mget_response({});
+  auto split = split_mget_response(combined);
+  ASSERT_TRUE(split.has_value());
+  EXPECT_TRUE(split->empty());
+}
+
+TEST(Mget, SplitRejectsCountMismatch) {
+  std::vector<Response> parts = {make_response(200, "a")};
+  Response combined = make_mget_response(parts);
+  combined.headers.set("X-MGET-Count", "2");
+  EXPECT_FALSE(split_mget_response(combined).has_value());
+}
+
+TEST(Mget, SplitRejectsCorruptFraming) {
+  Response bogus = make_response(200, "not-a-length\nrest");
+  bogus.headers.set("X-MGET-Count", "1");
+  EXPECT_FALSE(split_mget_response(bogus).has_value());
+}
+
+TEST(Mget, SplitRejectsMissingCountHeader) {
+  Response resp = make_response(200, "");
+  EXPECT_FALSE(split_mget_response(resp).has_value());
+}
+
+TEST(Mget, SplitRejectsTruncatedPart) {
+  std::vector<Response> parts = {make_response(200, "abc")};
+  Response combined = make_mget_response(parts);
+  combined.body = combined.body.substr(0, combined.body.size() - 2);
+  EXPECT_FALSE(split_mget_response(combined).has_value());
+}
+
+TEST(Mget, RequestSerializesParseably) {
+  Request req = make_mget_request({"/a", "/b"});
+  std::string wire = req.serialize();
+  EXPECT_NE(wire.find("MGET /a HTTP/1.1"), std::string::npos);
+  EXPECT_NE(wire.find("X-MGET-URIs: /a,/b"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sbroker::http

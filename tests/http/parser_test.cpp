@@ -1,0 +1,109 @@
+#include "http/parser.h"
+
+#include <gtest/gtest.h>
+
+namespace sbroker::http {
+namespace {
+
+TEST(RequestParser, ParsesCompleteRequest) {
+  auto req = parse_request("GET /x HTTP/1.1\r\nHost: a\r\n\r\n");
+  ASSERT_TRUE(req.has_value());
+  EXPECT_EQ(req->method, "GET");
+  EXPECT_EQ(req->target, "/x");
+  EXPECT_EQ(req->version, "HTTP/1.1");
+  EXPECT_EQ(req->headers.get("host"), "a");
+  EXPECT_TRUE(req->body.empty());
+}
+
+TEST(RequestParser, ParsesBodyWithContentLength) {
+  auto req = parse_request("POST /q HTTP/1.1\r\nContent-Length: 4\r\n\r\nabcd");
+  ASSERT_TRUE(req.has_value());
+  EXPECT_EQ(req->body, "abcd");
+}
+
+TEST(RequestParser, IncrementalFeeding) {
+  RequestParser parser;
+  Request req;
+  std::string wire = "GET /p HTTP/1.1\r\nContent-Length: 3\r\n\r\nxyz";
+  for (char c : wire.substr(0, wire.size() - 1)) {
+    parser.feed(std::string_view(&c, 1));
+    EXPECT_EQ(parser.next(req), ParseResult::kNeedMore);
+  }
+  parser.feed(wire.substr(wire.size() - 1));
+  EXPECT_EQ(parser.next(req), ParseResult::kMessage);
+  EXPECT_EQ(req.body, "xyz");
+}
+
+TEST(RequestParser, PipelinedRequests) {
+  RequestParser parser;
+  parser.feed("GET /1 HTTP/1.1\r\n\r\nGET /2 HTTP/1.1\r\n\r\n");
+  Request req;
+  ASSERT_EQ(parser.next(req), ParseResult::kMessage);
+  EXPECT_EQ(req.target, "/1");
+  ASSERT_EQ(parser.next(req), ParseResult::kMessage);
+  EXPECT_EQ(req.target, "/2");
+  EXPECT_EQ(parser.next(req), ParseResult::kNeedMore);
+}
+
+TEST(RequestParser, MalformedRequestLineIsStickyError) {
+  RequestParser parser;
+  parser.feed("NOT A VALID LINE EXTRA WORDS\r\n\r\n");
+  Request req;
+  EXPECT_EQ(parser.next(req), ParseResult::kError);
+  EXPECT_TRUE(parser.in_error());
+  parser.feed("GET / HTTP/1.1\r\n\r\n");
+  EXPECT_EQ(parser.next(req), ParseResult::kError);  // sticky
+}
+
+TEST(RequestParser, BadContentLength) {
+  RequestParser parser;
+  parser.feed("GET / HTTP/1.1\r\nContent-Length: banana\r\n\r\n");
+  Request req;
+  EXPECT_EQ(parser.next(req), ParseResult::kError);
+}
+
+TEST(RequestParser, HeaderWithoutColonIsError) {
+  RequestParser parser;
+  parser.feed("GET / HTTP/1.1\r\nbadheader\r\n\r\n");
+  Request req;
+  EXPECT_EQ(parser.next(req), ParseResult::kError);
+}
+
+TEST(ResponseParser, ParsesResponse) {
+  auto resp = parse_response("HTTP/1.1 200 OK\r\nContent-Length: 2\r\n\r\nhi");
+  ASSERT_TRUE(resp.has_value());
+  EXPECT_EQ(resp->status, 200);
+  EXPECT_EQ(resp->reason, "OK");
+  EXPECT_EQ(resp->body, "hi");
+}
+
+TEST(ResponseParser, ReasonWithSpaces) {
+  auto resp = parse_response("HTTP/1.1 503 Service Unavailable\r\n\r\n");
+  ASSERT_TRUE(resp.has_value());
+  EXPECT_EQ(resp->reason, "Service Unavailable");
+}
+
+TEST(ResponseParser, BadStatusCode) {
+  ResponseParser parser;
+  parser.feed("HTTP/1.1 9999 Weird\r\n\r\n");
+  Response resp;
+  EXPECT_EQ(parser.next(resp), ParseResult::kError);
+}
+
+TEST(ResponseParser, RoundTripSerializeParse) {
+  Response original = make_response(206, "partial body");
+  original.headers.set("X-Fidelity", "cached");
+  auto parsed = parse_response(original.serialize());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->status, 206);
+  EXPECT_EQ(parsed->body, "partial body");
+  EXPECT_EQ(parsed->headers.get("x-fidelity"), "cached");
+}
+
+TEST(OneShot, IncompleteReturnsNullopt) {
+  EXPECT_FALSE(parse_request("GET / HTTP/1.1\r\n").has_value());
+  EXPECT_FALSE(parse_response("HTTP/1.1 200 OK\r\nContent-Length: 10\r\n\r\nshort").has_value());
+}
+
+}  // namespace
+}  // namespace sbroker::http

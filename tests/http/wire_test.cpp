@@ -1,0 +1,110 @@
+#include "http/wire.h"
+
+#include <gtest/gtest.h>
+
+namespace sbroker::http {
+namespace {
+
+BrokerRequest sample_request() {
+  BrokerRequest req;
+  req.request_id = 12345;
+  req.qos_level = 2;
+  req.txn_id = 777;
+  req.txn_step = 3;
+  req.service = "db";
+  req.payload = "SELECT * FROM records WHERE id = 9";
+  return req;
+}
+
+TEST(Wire, RequestRoundTrip) {
+  std::string bytes = encode(sample_request());
+  size_t consumed = 0;
+  auto decoded = decode_request(bytes, &consumed);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(consumed, bytes.size());
+  EXPECT_EQ(decoded->request_id, 12345u);
+  EXPECT_EQ(decoded->qos_level, 2);
+  EXPECT_EQ(decoded->txn_id, 777u);
+  EXPECT_EQ(decoded->txn_step, 3);
+  EXPECT_EQ(decoded->service, "db");
+  EXPECT_EQ(decoded->payload, "SELECT * FROM records WHERE id = 9");
+}
+
+TEST(Wire, ReplyRoundTrip) {
+  BrokerReply reply{42, Fidelity::kCached, "payload with \x1e separator"};
+  std::string bytes = encode(reply);
+  size_t consumed = 0;
+  auto decoded = decode_reply(bytes, &consumed);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(consumed, bytes.size());
+  EXPECT_EQ(decoded->request_id, 42u);
+  EXPECT_EQ(decoded->fidelity, Fidelity::kCached);
+  EXPECT_EQ(decoded->payload, "payload with \x1e separator");
+}
+
+TEST(Wire, SelfDelimitingInStream) {
+  std::string stream = encode(sample_request()) + encode(sample_request());
+  size_t consumed = 0;
+  auto first = decode_request(stream, &consumed);
+  ASSERT_TRUE(first.has_value());
+  auto second = decode_request(std::string_view(stream).substr(consumed));
+  ASSERT_TRUE(second.has_value());
+  EXPECT_EQ(second->request_id, 12345u);
+}
+
+TEST(Wire, TruncatedReturnsNullopt) {
+  std::string bytes = encode(sample_request());
+  for (size_t cut = 0; cut < bytes.size(); ++cut) {
+    EXPECT_FALSE(decode_request(std::string_view(bytes).substr(0, cut)).has_value())
+        << "cut=" << cut;
+  }
+}
+
+TEST(Wire, WrongMagicRejected) {
+  std::string bytes = encode(sample_request());
+  bytes[0] = 'X';
+  EXPECT_FALSE(decode_request(bytes).has_value());
+}
+
+TEST(Wire, KindMismatchRejected) {
+  std::string request_bytes = encode(sample_request());
+  EXPECT_FALSE(decode_reply(request_bytes).has_value());
+  std::string reply_bytes = encode(BrokerReply{1, Fidelity::kFull, "x"});
+  EXPECT_FALSE(decode_request(reply_bytes).has_value());
+}
+
+TEST(Wire, CorruptLengthRejected) {
+  BrokerReply reply{1, Fidelity::kFull, "abc"};
+  std::string bytes = encode(reply);
+  // The payload length field sits 4+1+1+8+1 = 15 bytes in; blow it up.
+  bytes[15] = '\xff';
+  bytes[16] = '\xff';
+  bytes[17] = '\xff';
+  bytes[18] = '\xff';
+  EXPECT_FALSE(decode_reply(bytes).has_value());
+}
+
+TEST(Wire, InvalidFidelityRejected) {
+  BrokerReply reply{1, Fidelity::kFull, ""};
+  std::string bytes = encode(reply);
+  bytes[14] = 9;  // fidelity byte after magic(4)+ver+kind+id(8)
+  EXPECT_FALSE(decode_reply(bytes).has_value());
+}
+
+TEST(Wire, EmptyStringsSupported) {
+  BrokerRequest req;
+  auto decoded = decode_request(encode(req));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_TRUE(decoded->service.empty());
+  EXPECT_TRUE(decoded->payload.empty());
+}
+
+TEST(Wire, FidelityNames) {
+  EXPECT_STREQ(fidelity_name(Fidelity::kFull), "full");
+  EXPECT_STREQ(fidelity_name(Fidelity::kCached), "cached");
+  EXPECT_STREQ(fidelity_name(Fidelity::kBusy), "busy");
+  EXPECT_STREQ(fidelity_name(Fidelity::kError), "error");
+}
+
+}  // namespace
+}  // namespace sbroker::http

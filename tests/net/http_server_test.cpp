@@ -1,0 +1,128 @@
+// Integration: real sockets on localhost. The reactor runs on a background
+// thread; the test thread drives blocking clients.
+#include "net/http_server.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "http/mget.h"
+#include "net/http_client.h"
+
+namespace sbroker::net {
+namespace {
+
+class HttpServerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    server_ = std::make_unique<HttpServer>(
+        reactor_, 0, [](const http::Request& req, HttpServer::Responder respond) {
+          respond(http::make_response(404, "no route for " + req.target));
+        });
+    server_->route("/hello", [](const http::Request&, HttpServer::Responder respond) {
+      respond(http::make_response(200, "world"));
+    });
+    server_->route("/echo-qos", [](const http::Request& req,
+                                   HttpServer::Responder respond) {
+      respond(http::make_response(200, std::to_string(req.qos_level(0))));
+    });
+    thread_ = std::thread([this] { reactor_.run(); });
+  }
+
+  void TearDown() override {
+    reactor_.stop();
+    thread_.join();
+  }
+
+  http::Request get(std::string target) {
+    http::Request req;
+    req.target = std::move(target);
+    return req;
+  }
+
+  Reactor reactor_;
+  std::unique_ptr<HttpServer> server_;
+  std::thread thread_;
+};
+
+TEST_F(HttpServerTest, RoutedTarget) {
+  auto resp = http_fetch(server_->port(), get("/hello"));
+  ASSERT_TRUE(resp.has_value());
+  EXPECT_EQ(resp->status, 200);
+  EXPECT_EQ(resp->body, "world");
+}
+
+TEST_F(HttpServerTest, FallbackHandles404) {
+  auto resp = http_fetch(server_->port(), get("/missing"));
+  ASSERT_TRUE(resp.has_value());
+  EXPECT_EQ(resp->status, 404);
+  EXPECT_EQ(resp->body, "no route for /missing");
+}
+
+TEST_F(HttpServerTest, QosHeaderVisibleToHandler) {
+  http::Request req = get("/echo-qos");
+  req.set_qos_level(3);
+  auto resp = http_fetch(server_->port(), req);
+  ASSERT_TRUE(resp.has_value());
+  EXPECT_EQ(resp->body, "3");
+}
+
+TEST_F(HttpServerTest, MgetFansOutAndRecombines) {
+  http::Request req = http::make_mget_request({"/hello", "/missing", "/hello"});
+  auto resp = http_fetch(server_->port(), req);
+  ASSERT_TRUE(resp.has_value());
+  auto parts = http::split_mget_response(*resp);
+  ASSERT_TRUE(parts.has_value());
+  ASSERT_EQ(parts->size(), 3u);
+  EXPECT_EQ((*parts)[0].body, "world");
+  EXPECT_EQ((*parts)[1].status, 404);
+  EXPECT_EQ((*parts)[2].body, "world");
+}
+
+TEST_F(HttpServerTest, ManySequentialClients) {
+  for (int i = 0; i < 20; ++i) {
+    auto resp = http_fetch(server_->port(), get("/hello"));
+    ASSERT_TRUE(resp.has_value()) << "iteration " << i;
+    EXPECT_EQ(resp->body, "world");
+  }
+  EXPECT_GE(server_->requests_served(), 20u);
+}
+
+TEST_F(HttpServerTest, ConcurrentClients) {
+  std::vector<std::thread> clients;
+  std::atomic<int> ok{0};
+  for (int i = 0; i < 8; ++i) {
+    clients.emplace_back([&] {
+      auto resp = http_fetch(server_->port(), get("/hello"));
+      if (resp && resp->body == "world") ++ok;
+    });
+  }
+  for (auto& t : clients) t.join();
+  EXPECT_EQ(ok, 8);
+}
+
+TEST_F(HttpServerTest, DeferredResponseViaTimer) {
+  server_ = nullptr;  // tear down default server first
+  reactor_.stop();
+  thread_.join();
+
+  Reactor reactor2;
+  HttpServer server(reactor2, 0,
+                    [&reactor2](const http::Request&, HttpServer::Responder respond) {
+                      reactor2.add_timer(0.05, [respond] {
+                        respond(http::make_response(200, "late"));
+                      });
+                    });
+  std::thread t([&] { reactor2.run(); });
+  auto resp = http_fetch(server.port(), get("/anything"));
+  reactor2.stop();
+  t.join();
+  ASSERT_TRUE(resp.has_value());
+  EXPECT_EQ(resp->body, "late");
+
+  // Re-arm members so TearDown has something valid to stop.
+  thread_ = std::thread([this] { reactor_.run(); });
+}
+
+}  // namespace
+}  // namespace sbroker::net

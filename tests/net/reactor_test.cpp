@@ -1,0 +1,105 @@
+#include "net/reactor.h"
+
+#include <gtest/gtest.h>
+#include <sys/epoll.h>
+#include <unistd.h>
+
+#include <thread>
+
+namespace sbroker::net {
+namespace {
+
+TEST(Reactor, TimerFires) {
+  Reactor reactor;
+  bool fired = false;
+  reactor.add_timer(0.01, [&] {
+    fired = true;
+    reactor.stop();
+  });
+  reactor.run();
+  EXPECT_TRUE(fired);
+}
+
+TEST(Reactor, TimersFireInOrder) {
+  Reactor reactor;
+  std::vector<int> order;
+  reactor.add_timer(0.03, [&] {
+    order.push_back(3);
+    reactor.stop();
+  });
+  reactor.add_timer(0.01, [&] { order.push_back(1); });
+  reactor.add_timer(0.02, [&] { order.push_back(2); });
+  reactor.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Reactor, CancelledTimerDoesNotFire) {
+  Reactor reactor;
+  bool fired = false;
+  auto id = reactor.add_timer(0.01, [&] { fired = true; });
+  reactor.cancel_timer(id);
+  reactor.add_timer(0.03, [&] { reactor.stop(); });
+  reactor.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(Reactor, PipeReadinessDispatches) {
+  Reactor reactor;
+  int fds[2];
+  ASSERT_EQ(pipe(fds), 0);
+  std::string received;
+  reactor.add_fd(fds[0], EPOLLIN, [&](uint32_t) {
+    char buf[64];
+    ssize_t n = read(fds[0], buf, sizeof(buf));
+    if (n > 0) received.assign(buf, static_cast<size_t>(n));
+    reactor.stop();
+  });
+  ASSERT_EQ(write(fds[1], "ping", 4), 4);
+  reactor.run();
+  EXPECT_EQ(received, "ping");
+  reactor.del_fd(fds[0]);
+  close(fds[0]);
+  close(fds[1]);
+}
+
+TEST(Reactor, StopFromAnotherThread) {
+  Reactor reactor;
+  std::thread stopper([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    reactor.stop();
+  });
+  reactor.run();  // must return
+  stopper.join();
+  SUCCEED();
+}
+
+TEST(Reactor, NowIsMonotone) {
+  Reactor reactor;
+  double a = reactor.now();
+  double b = reactor.now();
+  EXPECT_GE(b, a);
+}
+
+TEST(Reactor, PollOnceReturnsFalseAfterStop) {
+  Reactor reactor;
+  reactor.stop();
+  EXPECT_FALSE(reactor.poll_once(0));
+}
+
+TEST(Reactor, RepeatingTimerChain) {
+  Reactor reactor;
+  int count = 0;
+  std::function<void()> again = [&] {
+    if (++count >= 5) {
+      reactor.stop();
+      return;
+    }
+    reactor.add_timer(0.005, again);
+  };
+  reactor.add_timer(0.005, again);
+  reactor.run();
+  EXPECT_EQ(count, 5);
+}
+
+}  // namespace
+}  // namespace sbroker::net

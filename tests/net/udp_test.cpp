@@ -1,0 +1,134 @@
+// UDP transport tests: raw socket echo and the broker daemon's datagram path
+// (the paper's "lightweight UDP" broker channel).
+#include "net/udp.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "net/broker_daemon.h"
+#include "net/http_client.h"
+#include "net/http_server.h"
+
+namespace sbroker::net {
+namespace {
+
+TEST(Udp, EchoRoundTrip) {
+  Reactor reactor;
+  UdpSocket server(reactor, 0, [&](std::string_view payload, const sockaddr_in& from) {
+    server.send_to(from, "echo:" + std::string(payload));
+  });
+  std::thread t([&] { reactor.run(); });
+  auto reply = udp_exchange(server.port(), "ping");
+  reactor.stop();
+  t.join();
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_EQ(*reply, "echo:ping");
+  EXPECT_EQ(server.received(), 1u);
+  EXPECT_EQ(server.sent(), 1u);
+}
+
+TEST(Udp, MultipleDatagramsOneSocket) {
+  Reactor reactor;
+  UdpSocket server(reactor, 0, [&](std::string_view payload, const sockaddr_in& from) {
+    server.send_to(from, std::string(payload));
+  });
+  std::thread t([&] { reactor.run(); });
+  for (int i = 0; i < 10; ++i) {
+    auto reply = udp_exchange(server.port(), "msg" + std::to_string(i));
+    ASSERT_TRUE(reply.has_value()) << i;
+    EXPECT_EQ(*reply, "msg" + std::to_string(i));
+  }
+  reactor.stop();
+  t.join();
+}
+
+TEST(Udp, ExchangeTimesOutWithoutServer) {
+  // An unbound high port: nothing answers.
+  auto reply = udp_exchange(1, "void", /*timeout_ms=*/200);
+  EXPECT_FALSE(reply.has_value());
+}
+
+class UdpDaemonTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    backend_server_ = std::make_unique<HttpServer>(
+        reactor_, 0, [](const http::Request& req, HttpServer::Responder respond) {
+          respond(http::make_response(200, "udp-served " + req.target));
+        });
+    BrokerDaemonConfig cfg;
+    cfg.broker.rules = core::QosRules{3, 20.0};
+    cfg.broker.enable_cache = true;
+    cfg.broker.cache_ttl = 30.0;
+    cfg.enable_udp = true;
+    daemon_ = std::make_unique<BrokerDaemon>(reactor_, "udp-broker", cfg);
+    daemon_->add_backend(
+        std::make_shared<HttpBackend>(reactor_, backend_server_->port()));
+    thread_ = std::thread([this] { reactor_.run(); });
+  }
+
+  void TearDown() override {
+    reactor_.stop();
+    thread_.join();
+  }
+
+  std::optional<http::BrokerReply> call(uint64_t id, int qos, std::string target) {
+    http::BrokerRequest req;
+    req.request_id = id;
+    req.qos_level = static_cast<uint8_t>(qos);
+    req.payload = std::move(target);
+    auto raw = udp_exchange(daemon_->udp_port(), http::encode(req));
+    if (!raw) return std::nullopt;
+    return http::decode_reply(*raw);
+  }
+
+  Reactor reactor_;
+  std::unique_ptr<HttpServer> backend_server_;
+  std::unique_ptr<BrokerDaemon> daemon_;
+  std::thread thread_;
+};
+
+TEST_F(UdpDaemonTest, DatagramRequestRoundTrip) {
+  ASSERT_NE(daemon_->udp_port(), 0);
+  auto reply = call(1, 3, "/page");
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_EQ(reply->request_id, 1u);
+  EXPECT_EQ(reply->fidelity, http::Fidelity::kFull);
+  EXPECT_EQ(reply->payload, "udp-served /page");
+}
+
+TEST_F(UdpDaemonTest, CacheWorksOverUdp) {
+  auto first = call(1, 3, "/cached");
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(first->fidelity, http::Fidelity::kFull);
+  auto second = call(2, 3, "/cached");
+  ASSERT_TRUE(second.has_value());
+  EXPECT_EQ(second->fidelity, http::Fidelity::kCached);
+}
+
+TEST_F(UdpDaemonTest, GarbageDatagramIsDroppedSilently) {
+  auto raw = udp_exchange(daemon_->udp_port(), "this is not the wire protocol", 200);
+  EXPECT_FALSE(raw.has_value());  // no reply — UDP drop semantics
+  // Daemon still healthy.
+  auto reply = call(3, 3, "/after-garbage");
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_EQ(reply->payload, "udp-served /after-garbage");
+}
+
+TEST_F(UdpDaemonTest, TcpAndUdpShareOneBroker) {
+  auto udp_reply = call(1, 3, "/shared");
+  ASSERT_TRUE(udp_reply.has_value());
+  EXPECT_EQ(udp_reply->fidelity, http::Fidelity::kFull);
+  // The same key over TCP hits the cache the UDP request populated.
+  BrokerClient tcp(daemon_->port());
+  http::BrokerRequest req;
+  req.request_id = 2;
+  req.qos_level = 3;
+  req.payload = "/shared";
+  auto tcp_reply = tcp.call(req);
+  ASSERT_TRUE(tcp_reply.has_value());
+  EXPECT_EQ(tcp_reply->fidelity, http::Fidelity::kCached);
+}
+
+}  // namespace
+}  // namespace sbroker::net

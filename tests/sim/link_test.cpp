@@ -1,0 +1,69 @@
+#include "sim/link.h"
+
+#include <gtest/gtest.h>
+
+namespace sbroker::sim {
+namespace {
+
+TEST(Link, DeliversAfterLatency) {
+  Simulation sim;
+  Link link(sim, Link::Params{0.5, 0.0, 0.0});
+  double arrived = -1;
+  link.deliver([&] { arrived = sim.now(); });
+  sim.run();
+  EXPECT_DOUBLE_EQ(arrived, 0.5);
+  EXPECT_EQ(link.delivered(), 1u);
+}
+
+TEST(Link, JitterBoundedAndVarying) {
+  Simulation sim;
+  Link link(sim, Link::Params{0.1, 0.2, 0.0}, util::Rng(5));
+  std::vector<double> arrivals;
+  for (int i = 0; i < 50; ++i) {
+    link.deliver([&] { arrivals.push_back(sim.now()); });
+  }
+  sim.run();
+  ASSERT_EQ(arrivals.size(), 50u);
+  bool varies = false;
+  for (double t : arrivals) {
+    EXPECT_GE(t, 0.1);
+    EXPECT_LE(t, 0.3 + 1e-12);
+    if (t != arrivals[0]) varies = true;
+  }
+  EXPECT_TRUE(varies);
+}
+
+TEST(Link, BandwidthAddsTransmissionDelay) {
+  Simulation sim;
+  Link link(sim, Link::Params{0.0, 0.0, 1000.0});  // 1000 B/s
+  double arrived = -1;
+  link.deliver([&] { arrived = sim.now(); }, 500);
+  sim.run();
+  EXPECT_DOUBLE_EQ(arrived, 0.5);
+}
+
+TEST(Link, DownLinkDropsMessages) {
+  Simulation sim;
+  Link link(sim, lan_profile());
+  link.set_down(true);
+  bool arrived = false;
+  EXPECT_FALSE(link.deliver([&] { arrived = true; }));
+  sim.run();
+  EXPECT_FALSE(arrived);
+  EXPECT_EQ(link.dropped(), 1u);
+  link.set_down(false);
+  EXPECT_TRUE(link.deliver([&] { arrived = true; }));
+  sim.run();
+  EXPECT_TRUE(arrived);
+}
+
+TEST(Link, ProfilesAreOrdered) {
+  // IPC < LAN < WAN in latency; WAN has jitter.
+  EXPECT_LT(ipc_profile().latency, lan_profile().latency);
+  EXPECT_LT(lan_profile().latency, wan_profile().latency);
+  EXPECT_GT(wan_profile().jitter, 0.0);
+  EXPECT_DOUBLE_EQ(lan_profile().jitter, 0.0);
+}
+
+}  // namespace
+}  // namespace sbroker::sim

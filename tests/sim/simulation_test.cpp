@@ -1,0 +1,140 @@
+#include "sim/simulation.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace sbroker::sim {
+namespace {
+
+TEST(Simulation, StartsAtZero) {
+  Simulation sim;
+  EXPECT_DOUBLE_EQ(sim.now(), 0.0);
+  EXPECT_EQ(sim.pending(), 0u);
+}
+
+TEST(Simulation, EventsFireInTimeOrder) {
+  Simulation sim;
+  std::vector<int> order;
+  sim.at(3.0, [&] { order.push_back(3); });
+  sim.at(1.0, [&] { order.push_back(1); });
+  sim.at(2.0, [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(sim.now(), 3.0);
+}
+
+TEST(Simulation, TiesBreakFifo) {
+  Simulation sim;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    sim.at(1.0, [&, i] { order.push_back(i); });
+  }
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Simulation, AfterIsRelative) {
+  Simulation sim;
+  double fired_at = -1;
+  sim.at(5.0, [&] { sim.after(2.5, [&] { fired_at = sim.now(); }); });
+  sim.run();
+  EXPECT_DOUBLE_EQ(fired_at, 7.5);
+}
+
+TEST(Simulation, PastTimesClampToNow) {
+  Simulation sim;
+  double fired_at = -1;
+  sim.at(10.0, [&] { sim.at(3.0, [&] { fired_at = sim.now(); }); });
+  sim.run();
+  EXPECT_DOUBLE_EQ(fired_at, 10.0);
+}
+
+TEST(Simulation, CancelPreventsFiring) {
+  Simulation sim;
+  bool fired = false;
+  EventId id = sim.at(1.0, [&] { fired = true; });
+  sim.cancel(id);
+  sim.run();
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(sim.events_processed(), 0u);
+}
+
+TEST(Simulation, CancelUnknownIdIsNoop) {
+  Simulation sim;
+  sim.cancel(9999);
+  EXPECT_EQ(sim.pending(), 0u);
+}
+
+TEST(Simulation, CancelFiredIdIsNoop) {
+  Simulation sim;
+  EventId id = sim.at(1.0, [] {});
+  sim.run();
+  sim.cancel(id);  // must not crash or corrupt state
+  EXPECT_EQ(sim.events_processed(), 1u);
+}
+
+TEST(Simulation, RunUntilStopsAtBoundaryAndAdvancesClock) {
+  Simulation sim;
+  std::vector<double> fired;
+  for (double t : {1.0, 2.0, 3.0, 4.0}) {
+    sim.at(t, [&, t] { fired.push_back(t); });
+  }
+  sim.run_until(2.5);
+  EXPECT_EQ(fired, (std::vector<double>{1.0, 2.0}));
+  EXPECT_DOUBLE_EQ(sim.now(), 2.5);
+  sim.run();
+  EXPECT_EQ(fired.size(), 4u);
+}
+
+TEST(Simulation, RunUntilIncludesBoundaryEvents) {
+  Simulation sim;
+  bool fired = false;
+  sim.at(2.0, [&] { fired = true; });
+  sim.run_until(2.0);
+  EXPECT_TRUE(fired);
+}
+
+TEST(Simulation, EventsScheduledDuringRunExecute) {
+  Simulation sim;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 10) sim.after(1.0, recurse);
+  };
+  sim.after(1.0, recurse);
+  sim.run();
+  EXPECT_EQ(depth, 10);
+  EXPECT_DOUBLE_EQ(sim.now(), 10.0);
+}
+
+TEST(Simulation, MaxEventsBoundsRun) {
+  Simulation sim;
+  int count = 0;
+  std::function<void()> forever = [&] {
+    ++count;
+    sim.after(1.0, forever);
+  };
+  sim.after(1.0, forever);
+  sim.run(100);
+  EXPECT_EQ(count, 100);
+}
+
+TEST(Simulation, StepReturnsFalseWhenEmpty) {
+  Simulation sim;
+  EXPECT_FALSE(sim.step());
+  sim.at(1.0, [] {});
+  EXPECT_TRUE(sim.step());
+  EXPECT_FALSE(sim.step());
+}
+
+TEST(Simulation, PendingExcludesCancelled) {
+  Simulation sim;
+  EventId a = sim.at(1.0, [] {});
+  sim.at(2.0, [] {});
+  EXPECT_EQ(sim.pending(), 2u);
+  sim.cancel(a);
+  EXPECT_EQ(sim.pending(), 1u);
+}
+
+}  // namespace
+}  // namespace sbroker::sim

@@ -1,0 +1,109 @@
+#include "srv/broker_host.h"
+
+#include <gtest/gtest.h>
+
+#include "db/dataset.h"
+#include "srv/db_backend.h"
+
+namespace sbroker::srv {
+namespace {
+
+class BrokerHostTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    util::Rng rng(3);
+    db::load_benchmark_table(db_, rng, 500, 10);
+    backend_ = std::make_shared<SimDbBackend>(sim_, db_, DbBackendConfig{});
+  }
+
+  core::BrokerConfig config() {
+    core::BrokerConfig cfg;
+    cfg.rules = core::QosRules{3, 20.0};
+    cfg.enable_cache = false;
+    return cfg;
+  }
+
+  http::BrokerRequest request(uint64_t id, int level, std::string payload) {
+    http::BrokerRequest req;
+    req.request_id = id;
+    req.qos_level = static_cast<uint8_t>(level);
+    req.payload = std::move(payload);
+    return req;
+  }
+
+  sim::Simulation sim_;
+  db::Database db_;
+  std::shared_ptr<SimDbBackend> backend_;
+};
+
+TEST_F(BrokerHostTest, EndToEndQueryThroughHost) {
+  BrokerHost host(sim_, "db-broker", config());
+  host.broker().add_backend(backend_);
+  std::optional<http::BrokerReply> reply;
+  host.submit(request(1, 3, "SELECT id FROM records WHERE id = 9"),
+              [&](const http::BrokerReply& r) { reply = r; });
+  sim_.run();
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_EQ(reply->fidelity, http::Fidelity::kFull);
+  EXPECT_EQ(reply->payload, "id\n9\n");
+}
+
+TEST_F(BrokerHostTest, IpcLatencyAppearsInResponseTime) {
+  sim::Link::Params slow_ipc{0.25, 0.0, 0.0};
+  BrokerHost host(sim_, "db-broker", config(), slow_ipc);
+  host.broker().add_backend(backend_);
+  double replied_at = -1;
+  host.submit(request(1, 3, "SELECT id FROM records WHERE id = 1"),
+              [&](const http::BrokerReply&) { replied_at = sim_.now(); });
+  sim_.run();
+  EXPECT_GE(replied_at, 0.5);  // 0.25 each way
+}
+
+TEST_F(BrokerHostTest, ClusterDeadlineFiresWithoutExtraTraffic) {
+  core::BrokerConfig cfg = config();
+  cfg.cluster = core::ClusterConfig{8, 0.05};
+  BrokerHost host(sim_, "db-broker", cfg);
+  host.broker().add_backend(backend_);
+  std::optional<http::BrokerReply> reply;
+  host.submit(request(1, 3, "SELECT id FROM records WHERE id = 2"),
+              [&](const http::BrokerReply& r) { reply = r; });
+  sim_.run();  // the host's timer must flush the partial batch
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_EQ(reply->fidelity, http::Fidelity::kFull);
+}
+
+TEST_F(BrokerHostTest, PrefetchRunsFromKick) {
+  core::BrokerConfig cfg = config();
+  cfg.enable_cache = true;
+  cfg.cache_ttl = 1000.0;
+  BrokerHost host(sim_, "db-broker", cfg);
+  host.broker().add_backend(backend_);
+  host.broker().prefetcher().add("SELECT id FROM records WHERE id = 4",
+                                 "SELECT id FROM records WHERE id = 4", 30.0);
+  host.kick();
+  sim_.run_until(1.0);
+  std::optional<http::BrokerReply> reply;
+  host.submit(request(1, 2, "SELECT id FROM records WHERE id = 4"),
+              [&](const http::BrokerReply& r) { reply = r; });
+  // run_until, not run(): the periodic prefetch timer keeps the event queue
+  // non-empty forever.
+  sim_.run_until(2.0);
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_EQ(reply->fidelity, http::Fidelity::kCached);
+  EXPECT_EQ(reply->payload, "id\n4\n");
+}
+
+TEST_F(BrokerHostTest, DownInboundLinkLosesRequestSilently) {
+  BrokerHost host(sim_, "db-broker", config());
+  host.broker().add_backend(backend_);
+  host.inbound_link().set_down(true);
+  bool replied = false;
+  host.submit(request(1, 3, "SELECT id FROM records WHERE id = 1"),
+              [&](const http::BrokerReply&) { replied = true; });
+  sim_.run();
+  EXPECT_FALSE(replied);  // UDP semantics: lost, no error channel
+  EXPECT_EQ(host.broker().metrics().total().issued, 0u);
+}
+
+}  // namespace
+}  // namespace sbroker::srv

@@ -1,0 +1,100 @@
+#include "srv/worker_pool.h"
+
+#include <gtest/gtest.h>
+
+namespace sbroker::srv {
+namespace {
+
+TEST(WorkerPool, RunsUpToMaxWorkers) {
+  sim::Simulation sim;
+  WorkerPool pool(sim, 2);
+  int running = 0;
+  std::vector<WorkerPool::Release> releases;
+  for (int i = 0; i < 4; ++i) {
+    pool.submit([&](WorkerPool::Release release) {
+      ++running;
+      releases.push_back(std::move(release));
+    });
+  }
+  EXPECT_EQ(running, 2);
+  EXPECT_EQ(pool.busy(), 2u);
+  EXPECT_EQ(pool.backlog(), 2u);
+  releases[0]();
+  EXPECT_EQ(running, 3);  // backlog drained into the free worker
+  releases[1]();
+  releases[2]();
+  releases[3]();
+  EXPECT_EQ(pool.busy(), 0u);
+  EXPECT_EQ(pool.served(), 4u);
+}
+
+TEST(WorkerPool, DoubleReleaseIsIdempotent) {
+  sim::Simulation sim;
+  WorkerPool pool(sim, 1);
+  WorkerPool::Release saved;
+  pool.submit([&](WorkerPool::Release release) { saved = std::move(release); });
+  saved();
+  saved();  // second call must be a no-op
+  EXPECT_EQ(pool.busy(), 0u);
+  EXPECT_EQ(pool.served(), 1u);
+}
+
+TEST(WorkerPool, BacklogLimitRefuses) {
+  sim::Simulation sim;
+  WorkerPool pool(sim, 1, 1);
+  WorkerPool::Release holder;
+  EXPECT_TRUE(pool.submit([&](WorkerPool::Release r) { holder = std::move(r); }));
+  EXPECT_TRUE(pool.submit([](WorkerPool::Release r) { r(); }));   // backlogged
+  EXPECT_FALSE(pool.submit([](WorkerPool::Release r) { r(); }));  // refused
+  EXPECT_EQ(pool.refused(), 1u);
+  holder();
+  EXPECT_EQ(pool.served(), 2u);
+}
+
+TEST(WorkerPool, WorkerHeldAcrossAsyncWork) {
+  sim::Simulation sim;
+  WorkerPool pool(sim, 1);
+  bool second_ran = false;
+  pool.submit([&](WorkerPool::Release release) {
+    // Hold the worker across a simulated backend access.
+    sim.after(5.0, [release = std::move(release)]() { release(); });
+  });
+  pool.submit([&](WorkerPool::Release release) {
+    second_ran = true;
+    release();
+  });
+  EXPECT_FALSE(second_ran);
+  sim.run_until(4.9);
+  EXPECT_FALSE(second_ran);  // worker still blocked on "backend"
+  sim.run();
+  EXPECT_TRUE(second_ran);
+}
+
+TEST(WorkerPool, BacklogWaitMeasured) {
+  sim::Simulation sim;
+  WorkerPool pool(sim, 1);
+  pool.submit([&](WorkerPool::Release release) {
+    sim.after(3.0, [release = std::move(release)]() { release(); });
+  });
+  pool.submit([](WorkerPool::Release release) { release(); });
+  sim.run();
+  EXPECT_EQ(pool.backlog_wait().count(), 1u);
+  EXPECT_DOUBLE_EQ(pool.backlog_wait().max(), 3.0);
+}
+
+TEST(WorkerPool, ReleaseInsideHandlerAllowsReuse) {
+  sim::Simulation sim;
+  WorkerPool pool(sim, 1);
+  int count = 0;
+  for (int i = 0; i < 10; ++i) {
+    pool.submit([&](WorkerPool::Release release) {
+      ++count;
+      release();
+    });
+  }
+  EXPECT_EQ(count, 10);
+  EXPECT_EQ(pool.served(), 10u);
+}
+
+}  // namespace
+}  // namespace sbroker::srv

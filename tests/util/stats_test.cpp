@@ -1,0 +1,103 @@
+#include "util/stats.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace sbroker::util {
+namespace {
+
+TEST(Summary, EmptyIsZero) {
+  Summary s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 0.0);
+  EXPECT_DOUBLE_EQ(s.max(), 0.0);
+}
+
+TEST(Summary, MeanVarianceMinMax) {
+  Summary s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(Summary, MergeMatchesCombinedStream) {
+  Rng rng(1);
+  Summary all, a, b;
+  for (int i = 0; i < 1000; ++i) {
+    double x = rng.uniform_real(-5, 5);
+    all.add(x);
+    (i % 2 ? a : b).add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(Summary, MergeWithEmptySides) {
+  Summary a, b;
+  a.add(1.0);
+  a.merge(b);  // empty other
+  EXPECT_EQ(a.count(), 1u);
+  b.merge(a);  // empty self
+  EXPECT_EQ(b.count(), 1u);
+  EXPECT_DOUBLE_EQ(b.mean(), 1.0);
+}
+
+TEST(Histogram, PercentilesExact) {
+  Histogram h;
+  for (int i = 1; i <= 100; ++i) h.add(static_cast<double>(i));
+  EXPECT_DOUBLE_EQ(h.percentile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(h.median(), 50.0);
+  EXPECT_DOUBLE_EQ(h.p90(), 90.0);
+  EXPECT_DOUBLE_EQ(h.p99(), 99.0);
+  EXPECT_DOUBLE_EQ(h.percentile(1.0), 100.0);
+}
+
+TEST(Histogram, EmptyPercentileIsZero) {
+  Histogram h;
+  EXPECT_DOUBLE_EQ(h.median(), 0.0);
+}
+
+TEST(Histogram, AddAfterPercentileStaysCorrect) {
+  Histogram h;
+  h.add(10);
+  EXPECT_DOUBLE_EQ(h.median(), 10.0);
+  h.add(1);
+  h.add(2);
+  EXPECT_DOUBLE_EQ(h.median(), 2.0);
+}
+
+TEST(Histogram, Bucketize) {
+  Histogram h;
+  for (int i = 0; i < 10; ++i) h.add(static_cast<double>(i));
+  auto buckets = h.bucketize(3);
+  ASSERT_EQ(buckets.size(), 3u);
+  uint64_t total = 0;
+  for (auto c : buckets) total += c;
+  EXPECT_EQ(total, 10u);
+}
+
+TEST(Histogram, BucketizeConstantSeries) {
+  Histogram h;
+  for (int i = 0; i < 5; ++i) h.add(3.0);
+  auto buckets = h.bucketize(4);
+  EXPECT_EQ(buckets[0], 5u);
+}
+
+TEST(SafeRatio, ZeroDenominator) {
+  EXPECT_DOUBLE_EQ(safe_ratio(5, 0), 0.0);
+  EXPECT_DOUBLE_EQ(safe_ratio(6, 3), 2.0);
+}
+
+}  // namespace
+}  // namespace sbroker::util

@@ -1,0 +1,46 @@
+#include "util/token_bucket.h"
+
+#include <gtest/gtest.h>
+
+namespace sbroker::util {
+namespace {
+
+TEST(TokenBucket, StartsFull) {
+  TokenBucket tb(1.0, 5.0);
+  for (int i = 0; i < 5; ++i) EXPECT_TRUE(tb.try_acquire(0.0));
+  EXPECT_FALSE(tb.try_acquire(0.0));
+}
+
+TEST(TokenBucket, RefillsAtRate) {
+  TokenBucket tb(2.0, 4.0);  // 2 tokens/s
+  for (int i = 0; i < 4; ++i) EXPECT_TRUE(tb.try_acquire(0.0));
+  EXPECT_FALSE(tb.try_acquire(0.0));
+  EXPECT_FALSE(tb.try_acquire(0.4));   // only 0.8 tokens back
+  EXPECT_TRUE(tb.try_acquire(0.6));    // 1.2 tokens back
+  EXPECT_FALSE(tb.try_acquire(0.6));   // 0.2 left
+}
+
+TEST(TokenBucket, CapsAtBurst) {
+  TokenBucket tb(100.0, 3.0);
+  EXPECT_TRUE(tb.try_acquire(0.0));
+  // A long idle period cannot exceed the burst.
+  EXPECT_NEAR(tb.available(1000.0), 3.0, 1e-9);
+}
+
+TEST(TokenBucket, FractionalCost) {
+  TokenBucket tb(1.0, 1.0);
+  EXPECT_TRUE(tb.try_acquire(0.0, 0.5));
+  EXPECT_TRUE(tb.try_acquire(0.0, 0.5));
+  EXPECT_FALSE(tb.try_acquire(0.0, 0.5));
+}
+
+TEST(TokenBucket, NonMonotoneNowIsIgnoredForRefill) {
+  TokenBucket tb(1.0, 2.0);
+  EXPECT_TRUE(tb.try_acquire(5.0));
+  EXPECT_TRUE(tb.try_acquire(5.0));
+  // Going "back in time" must not mint tokens.
+  EXPECT_FALSE(tb.try_acquire(1.0));
+}
+
+}  // namespace
+}  // namespace sbroker::util
