@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_balance.dir/ablation_balance.cpp.o"
+  "CMakeFiles/ablation_balance.dir/ablation_balance.cpp.o.d"
+  "ablation_balance"
+  "ablation_balance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_balance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_centralized.dir/ablation_centralized.cpp.o"
+  "CMakeFiles/ablation_centralized.dir/ablation_centralized.cpp.o.d"
+  "ablation_centralized"
+  "ablation_centralized.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_centralized.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_connpool.dir/ablation_connpool.cpp.o"
+  "CMakeFiles/ablation_connpool.dir/ablation_connpool.cpp.o.d"
+  "ablation_connpool"
+  "ablation_connpool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_connpool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

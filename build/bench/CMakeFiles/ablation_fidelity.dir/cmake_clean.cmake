@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_fidelity.dir/ablation_fidelity.cpp.o"
+  "CMakeFiles/ablation_fidelity.dir/ablation_fidelity.cpp.o.d"
+  "ablation_fidelity"
+  "ablation_fidelity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_fidelity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

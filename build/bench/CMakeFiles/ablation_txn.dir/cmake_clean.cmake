@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_txn.dir/ablation_txn.cpp.o"
+  "CMakeFiles/ablation_txn.dir/ablation_txn.cpp.o.d"
+  "ablation_txn"
+  "ablation_txn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_txn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

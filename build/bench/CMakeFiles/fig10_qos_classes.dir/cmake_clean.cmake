@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_qos_classes.dir/diff_common.cpp.o"
+  "CMakeFiles/fig10_qos_classes.dir/diff_common.cpp.o.d"
+  "CMakeFiles/fig10_qos_classes.dir/fig10_qos_classes.cpp.o"
+  "CMakeFiles/fig10_qos_classes.dir/fig10_qos_classes.cpp.o.d"
+  "fig10_qos_classes"
+  "fig10_qos_classes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_qos_classes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

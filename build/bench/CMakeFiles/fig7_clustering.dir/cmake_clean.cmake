@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_clustering.dir/fig7_clustering.cpp.o"
+  "CMakeFiles/fig7_clustering.dir/fig7_clustering.cpp.o.d"
+  "fig7_clustering"
+  "fig7_clustering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_clustering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_api_vs_broker.dir/diff_common.cpp.o"
+  "CMakeFiles/fig9_api_vs_broker.dir/diff_common.cpp.o.d"
+  "CMakeFiles/fig9_api_vs_broker.dir/fig9_api_vs_broker.cpp.o"
+  "CMakeFiles/fig9_api_vs_broker.dir/fig9_api_vs_broker.cpp.o.d"
+  "fig9_api_vs_broker"
+  "fig9_api_vs_broker.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_api_vs_broker.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

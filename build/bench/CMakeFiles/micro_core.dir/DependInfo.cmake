@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/micro_core.cpp" "bench/CMakeFiles/micro_core.dir/micro_core.cpp.o" "gcc" "bench/CMakeFiles/micro_core.dir/micro_core.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/sbroker_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/sbroker_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/db/CMakeFiles/sbroker_db.dir/DependInfo.cmake"
+  "/root/repo/build/src/http/CMakeFiles/sbroker_http.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/sbroker_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

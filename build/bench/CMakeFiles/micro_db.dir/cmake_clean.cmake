@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_db.dir/micro_db.cpp.o"
+  "CMakeFiles/micro_db.dir/micro_db.cpp.o.d"
+  "micro_db"
+  "micro_db.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_db.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

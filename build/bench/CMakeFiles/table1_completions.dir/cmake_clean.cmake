@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_completions.dir/diff_common.cpp.o"
+  "CMakeFiles/table1_completions.dir/diff_common.cpp.o.d"
+  "CMakeFiles/table1_completions.dir/table1_completions.cpp.o"
+  "CMakeFiles/table1_completions.dir/table1_completions.cpp.o.d"
+  "table1_completions"
+  "table1_completions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_completions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

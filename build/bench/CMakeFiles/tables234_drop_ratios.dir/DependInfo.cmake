@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/diff_common.cpp" "bench/CMakeFiles/tables234_drop_ratios.dir/diff_common.cpp.o" "gcc" "bench/CMakeFiles/tables234_drop_ratios.dir/diff_common.cpp.o.d"
+  "/root/repo/bench/tables234_drop_ratios.cpp" "bench/CMakeFiles/tables234_drop_ratios.dir/tables234_drop_ratios.cpp.o" "gcc" "bench/CMakeFiles/tables234_drop_ratios.dir/tables234_drop_ratios.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/sbroker_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/srv/CMakeFiles/sbroker_srv.dir/DependInfo.cmake"
+  "/root/repo/build/src/wl/CMakeFiles/sbroker_wl.dir/DependInfo.cmake"
+  "/root/repo/build/src/ldap/CMakeFiles/sbroker_ldap.dir/DependInfo.cmake"
+  "/root/repo/build/src/mail/CMakeFiles/sbroker_mail.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/sbroker_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/sbroker_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/db/CMakeFiles/sbroker_db.dir/DependInfo.cmake"
+  "/root/repo/build/src/http/CMakeFiles/sbroker_http.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/sbroker_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

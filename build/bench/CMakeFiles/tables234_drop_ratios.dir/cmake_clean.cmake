@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tables234_drop_ratios.dir/diff_common.cpp.o"
+  "CMakeFiles/tables234_drop_ratios.dir/diff_common.cpp.o.d"
+  "CMakeFiles/tables234_drop_ratios.dir/tables234_drop_ratios.cpp.o"
+  "CMakeFiles/tables234_drop_ratios.dir/tables234_drop_ratios.cpp.o.d"
+  "tables234_drop_ratios"
+  "tables234_drop_ratios.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tables234_drop_ratios.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for tables234_drop_ratios.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/intranet_portal.dir/intranet_portal.cpp.o"
+  "CMakeFiles/intranet_portal.dir/intranet_portal.cpp.o.d"
+  "intranet_portal"
+  "intranet_portal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/intranet_portal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

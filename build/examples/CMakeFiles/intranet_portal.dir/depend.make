@@ -1,0 +1,2 @@
+# Empty dependencies file for intranet_portal.
+# This may be replaced when dependencies are built.

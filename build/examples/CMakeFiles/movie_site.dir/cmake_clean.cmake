@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/movie_site.dir/movie_site.cpp.o"
+  "CMakeFiles/movie_site.dir/movie_site.cpp.o.d"
+  "movie_site"
+  "movie_site.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/movie_site.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/news_portal.dir/news_portal.cpp.o"
+  "CMakeFiles/news_portal.dir/news_portal.cpp.o.d"
+  "news_portal"
+  "news_portal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/news_portal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

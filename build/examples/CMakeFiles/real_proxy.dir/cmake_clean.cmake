@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/real_proxy.dir/real_proxy.cpp.o"
+  "CMakeFiles/real_proxy.dir/real_proxy.cpp.o.d"
+  "real_proxy"
+  "real_proxy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/real_proxy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for travel_agency.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for travel_agency.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/admission.cpp" "src/core/CMakeFiles/sbroker_core.dir/admission.cpp.o" "gcc" "src/core/CMakeFiles/sbroker_core.dir/admission.cpp.o.d"
+  "/root/repo/src/core/balance.cpp" "src/core/CMakeFiles/sbroker_core.dir/balance.cpp.o" "gcc" "src/core/CMakeFiles/sbroker_core.dir/balance.cpp.o.d"
+  "/root/repo/src/core/broker.cpp" "src/core/CMakeFiles/sbroker_core.dir/broker.cpp.o" "gcc" "src/core/CMakeFiles/sbroker_core.dir/broker.cpp.o.d"
+  "/root/repo/src/core/cache.cpp" "src/core/CMakeFiles/sbroker_core.dir/cache.cpp.o" "gcc" "src/core/CMakeFiles/sbroker_core.dir/cache.cpp.o.d"
+  "/root/repo/src/core/centralized.cpp" "src/core/CMakeFiles/sbroker_core.dir/centralized.cpp.o" "gcc" "src/core/CMakeFiles/sbroker_core.dir/centralized.cpp.o.d"
+  "/root/repo/src/core/cluster.cpp" "src/core/CMakeFiles/sbroker_core.dir/cluster.cpp.o" "gcc" "src/core/CMakeFiles/sbroker_core.dir/cluster.cpp.o.d"
+  "/root/repo/src/core/hotspot.cpp" "src/core/CMakeFiles/sbroker_core.dir/hotspot.cpp.o" "gcc" "src/core/CMakeFiles/sbroker_core.dir/hotspot.cpp.o.d"
+  "/root/repo/src/core/pool.cpp" "src/core/CMakeFiles/sbroker_core.dir/pool.cpp.o" "gcc" "src/core/CMakeFiles/sbroker_core.dir/pool.cpp.o.d"
+  "/root/repo/src/core/prefetch.cpp" "src/core/CMakeFiles/sbroker_core.dir/prefetch.cpp.o" "gcc" "src/core/CMakeFiles/sbroker_core.dir/prefetch.cpp.o.d"
+  "/root/repo/src/core/rewrite.cpp" "src/core/CMakeFiles/sbroker_core.dir/rewrite.cpp.o" "gcc" "src/core/CMakeFiles/sbroker_core.dir/rewrite.cpp.o.d"
+  "/root/repo/src/core/txn.cpp" "src/core/CMakeFiles/sbroker_core.dir/txn.cpp.o" "gcc" "src/core/CMakeFiles/sbroker_core.dir/txn.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/sbroker_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/http/CMakeFiles/sbroker_http.dir/DependInfo.cmake"
+  "/root/repo/build/src/db/CMakeFiles/sbroker_db.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sbroker_core.dir/admission.cpp.o"
+  "CMakeFiles/sbroker_core.dir/admission.cpp.o.d"
+  "CMakeFiles/sbroker_core.dir/balance.cpp.o"
+  "CMakeFiles/sbroker_core.dir/balance.cpp.o.d"
+  "CMakeFiles/sbroker_core.dir/broker.cpp.o"
+  "CMakeFiles/sbroker_core.dir/broker.cpp.o.d"
+  "CMakeFiles/sbroker_core.dir/cache.cpp.o"
+  "CMakeFiles/sbroker_core.dir/cache.cpp.o.d"
+  "CMakeFiles/sbroker_core.dir/centralized.cpp.o"
+  "CMakeFiles/sbroker_core.dir/centralized.cpp.o.d"
+  "CMakeFiles/sbroker_core.dir/cluster.cpp.o"
+  "CMakeFiles/sbroker_core.dir/cluster.cpp.o.d"
+  "CMakeFiles/sbroker_core.dir/hotspot.cpp.o"
+  "CMakeFiles/sbroker_core.dir/hotspot.cpp.o.d"
+  "CMakeFiles/sbroker_core.dir/pool.cpp.o"
+  "CMakeFiles/sbroker_core.dir/pool.cpp.o.d"
+  "CMakeFiles/sbroker_core.dir/prefetch.cpp.o"
+  "CMakeFiles/sbroker_core.dir/prefetch.cpp.o.d"
+  "CMakeFiles/sbroker_core.dir/rewrite.cpp.o"
+  "CMakeFiles/sbroker_core.dir/rewrite.cpp.o.d"
+  "CMakeFiles/sbroker_core.dir/txn.cpp.o"
+  "CMakeFiles/sbroker_core.dir/txn.cpp.o.d"
+  "libsbroker_core.a"
+  "libsbroker_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sbroker_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

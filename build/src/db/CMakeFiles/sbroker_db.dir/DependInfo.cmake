@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/db/database.cpp" "src/db/CMakeFiles/sbroker_db.dir/database.cpp.o" "gcc" "src/db/CMakeFiles/sbroker_db.dir/database.cpp.o.d"
+  "/root/repo/src/db/dataset.cpp" "src/db/CMakeFiles/sbroker_db.dir/dataset.cpp.o" "gcc" "src/db/CMakeFiles/sbroker_db.dir/dataset.cpp.o.d"
+  "/root/repo/src/db/executor.cpp" "src/db/CMakeFiles/sbroker_db.dir/executor.cpp.o" "gcc" "src/db/CMakeFiles/sbroker_db.dir/executor.cpp.o.d"
+  "/root/repo/src/db/parser.cpp" "src/db/CMakeFiles/sbroker_db.dir/parser.cpp.o" "gcc" "src/db/CMakeFiles/sbroker_db.dir/parser.cpp.o.d"
+  "/root/repo/src/db/query.cpp" "src/db/CMakeFiles/sbroker_db.dir/query.cpp.o" "gcc" "src/db/CMakeFiles/sbroker_db.dir/query.cpp.o.d"
+  "/root/repo/src/db/table.cpp" "src/db/CMakeFiles/sbroker_db.dir/table.cpp.o" "gcc" "src/db/CMakeFiles/sbroker_db.dir/table.cpp.o.d"
+  "/root/repo/src/db/value.cpp" "src/db/CMakeFiles/sbroker_db.dir/value.cpp.o" "gcc" "src/db/CMakeFiles/sbroker_db.dir/value.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/sbroker_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

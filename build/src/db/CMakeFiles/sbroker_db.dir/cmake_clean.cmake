@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sbroker_db.dir/database.cpp.o"
+  "CMakeFiles/sbroker_db.dir/database.cpp.o.d"
+  "CMakeFiles/sbroker_db.dir/dataset.cpp.o"
+  "CMakeFiles/sbroker_db.dir/dataset.cpp.o.d"
+  "CMakeFiles/sbroker_db.dir/executor.cpp.o"
+  "CMakeFiles/sbroker_db.dir/executor.cpp.o.d"
+  "CMakeFiles/sbroker_db.dir/parser.cpp.o"
+  "CMakeFiles/sbroker_db.dir/parser.cpp.o.d"
+  "CMakeFiles/sbroker_db.dir/query.cpp.o"
+  "CMakeFiles/sbroker_db.dir/query.cpp.o.d"
+  "CMakeFiles/sbroker_db.dir/table.cpp.o"
+  "CMakeFiles/sbroker_db.dir/table.cpp.o.d"
+  "CMakeFiles/sbroker_db.dir/value.cpp.o"
+  "CMakeFiles/sbroker_db.dir/value.cpp.o.d"
+  "libsbroker_db.a"
+  "libsbroker_db.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sbroker_db.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

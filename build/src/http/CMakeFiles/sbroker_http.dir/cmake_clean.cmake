@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sbroker_http.dir/message.cpp.o"
+  "CMakeFiles/sbroker_http.dir/message.cpp.o.d"
+  "CMakeFiles/sbroker_http.dir/mget.cpp.o"
+  "CMakeFiles/sbroker_http.dir/mget.cpp.o.d"
+  "CMakeFiles/sbroker_http.dir/parser.cpp.o"
+  "CMakeFiles/sbroker_http.dir/parser.cpp.o.d"
+  "CMakeFiles/sbroker_http.dir/wire.cpp.o"
+  "CMakeFiles/sbroker_http.dir/wire.cpp.o.d"
+  "libsbroker_http.a"
+  "libsbroker_http.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sbroker_http.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sbroker_ldap.dir/directory.cpp.o"
+  "CMakeFiles/sbroker_ldap.dir/directory.cpp.o.d"
+  "CMakeFiles/sbroker_ldap.dir/sim_backend.cpp.o"
+  "CMakeFiles/sbroker_ldap.dir/sim_backend.cpp.o.d"
+  "libsbroker_ldap.a"
+  "libsbroker_ldap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sbroker_ldap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

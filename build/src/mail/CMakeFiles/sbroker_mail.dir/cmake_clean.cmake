@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sbroker_mail.dir/sim_backend.cpp.o"
+  "CMakeFiles/sbroker_mail.dir/sim_backend.cpp.o.d"
+  "CMakeFiles/sbroker_mail.dir/store.cpp.o"
+  "CMakeFiles/sbroker_mail.dir/store.cpp.o.d"
+  "libsbroker_mail.a"
+  "libsbroker_mail.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sbroker_mail.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/broker_daemon.cpp" "src/net/CMakeFiles/sbroker_net.dir/broker_daemon.cpp.o" "gcc" "src/net/CMakeFiles/sbroker_net.dir/broker_daemon.cpp.o.d"
+  "/root/repo/src/net/http_client.cpp" "src/net/CMakeFiles/sbroker_net.dir/http_client.cpp.o" "gcc" "src/net/CMakeFiles/sbroker_net.dir/http_client.cpp.o.d"
+  "/root/repo/src/net/http_server.cpp" "src/net/CMakeFiles/sbroker_net.dir/http_server.cpp.o" "gcc" "src/net/CMakeFiles/sbroker_net.dir/http_server.cpp.o.d"
+  "/root/repo/src/net/reactor.cpp" "src/net/CMakeFiles/sbroker_net.dir/reactor.cpp.o" "gcc" "src/net/CMakeFiles/sbroker_net.dir/reactor.cpp.o.d"
+  "/root/repo/src/net/tcp.cpp" "src/net/CMakeFiles/sbroker_net.dir/tcp.cpp.o" "gcc" "src/net/CMakeFiles/sbroker_net.dir/tcp.cpp.o.d"
+  "/root/repo/src/net/udp.cpp" "src/net/CMakeFiles/sbroker_net.dir/udp.cpp.o" "gcc" "src/net/CMakeFiles/sbroker_net.dir/udp.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/sbroker_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/http/CMakeFiles/sbroker_http.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/sbroker_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/db/CMakeFiles/sbroker_db.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sbroker_net.dir/broker_daemon.cpp.o"
+  "CMakeFiles/sbroker_net.dir/broker_daemon.cpp.o.d"
+  "CMakeFiles/sbroker_net.dir/http_client.cpp.o"
+  "CMakeFiles/sbroker_net.dir/http_client.cpp.o.d"
+  "CMakeFiles/sbroker_net.dir/http_server.cpp.o"
+  "CMakeFiles/sbroker_net.dir/http_server.cpp.o.d"
+  "CMakeFiles/sbroker_net.dir/reactor.cpp.o"
+  "CMakeFiles/sbroker_net.dir/reactor.cpp.o.d"
+  "CMakeFiles/sbroker_net.dir/tcp.cpp.o"
+  "CMakeFiles/sbroker_net.dir/tcp.cpp.o.d"
+  "CMakeFiles/sbroker_net.dir/udp.cpp.o"
+  "CMakeFiles/sbroker_net.dir/udp.cpp.o.d"
+  "libsbroker_net.a"
+  "libsbroker_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sbroker_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

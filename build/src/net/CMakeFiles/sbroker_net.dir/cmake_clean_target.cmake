@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsbroker_net.a"
+)

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sbroker_sim.dir/link.cpp.o"
+  "CMakeFiles/sbroker_sim.dir/link.cpp.o.d"
+  "CMakeFiles/sbroker_sim.dir/simulation.cpp.o"
+  "CMakeFiles/sbroker_sim.dir/simulation.cpp.o.d"
+  "CMakeFiles/sbroker_sim.dir/station.cpp.o"
+  "CMakeFiles/sbroker_sim.dir/station.cpp.o.d"
+  "libsbroker_sim.a"
+  "libsbroker_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sbroker_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

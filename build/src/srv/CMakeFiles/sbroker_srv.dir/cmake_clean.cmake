@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sbroker_srv.dir/broker_host.cpp.o"
+  "CMakeFiles/sbroker_srv.dir/broker_host.cpp.o.d"
+  "CMakeFiles/sbroker_srv.dir/cgi_backend.cpp.o"
+  "CMakeFiles/sbroker_srv.dir/cgi_backend.cpp.o.d"
+  "CMakeFiles/sbroker_srv.dir/db_backend.cpp.o"
+  "CMakeFiles/sbroker_srv.dir/db_backend.cpp.o.d"
+  "CMakeFiles/sbroker_srv.dir/worker_pool.cpp.o"
+  "CMakeFiles/sbroker_srv.dir/worker_pool.cpp.o.d"
+  "libsbroker_srv.a"
+  "libsbroker_srv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sbroker_srv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

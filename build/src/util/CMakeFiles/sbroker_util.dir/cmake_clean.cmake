@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sbroker_util.dir/config.cpp.o"
+  "CMakeFiles/sbroker_util.dir/config.cpp.o.d"
+  "CMakeFiles/sbroker_util.dir/log.cpp.o"
+  "CMakeFiles/sbroker_util.dir/log.cpp.o.d"
+  "CMakeFiles/sbroker_util.dir/rng.cpp.o"
+  "CMakeFiles/sbroker_util.dir/rng.cpp.o.d"
+  "CMakeFiles/sbroker_util.dir/stats.cpp.o"
+  "CMakeFiles/sbroker_util.dir/stats.cpp.o.d"
+  "CMakeFiles/sbroker_util.dir/strings.cpp.o"
+  "CMakeFiles/sbroker_util.dir/strings.cpp.o.d"
+  "CMakeFiles/sbroker_util.dir/table_printer.cpp.o"
+  "CMakeFiles/sbroker_util.dir/table_printer.cpp.o.d"
+  "libsbroker_util.a"
+  "libsbroker_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sbroker_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/wl/ab_client.cpp" "src/wl/CMakeFiles/sbroker_wl.dir/ab_client.cpp.o" "gcc" "src/wl/CMakeFiles/sbroker_wl.dir/ab_client.cpp.o.d"
+  "/root/repo/src/wl/query_gen.cpp" "src/wl/CMakeFiles/sbroker_wl.dir/query_gen.cpp.o" "gcc" "src/wl/CMakeFiles/sbroker_wl.dir/query_gen.cpp.o.d"
+  "/root/repo/src/wl/webstone_client.cpp" "src/wl/CMakeFiles/sbroker_wl.dir/webstone_client.cpp.o" "gcc" "src/wl/CMakeFiles/sbroker_wl.dir/webstone_client.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/sbroker_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/sbroker_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

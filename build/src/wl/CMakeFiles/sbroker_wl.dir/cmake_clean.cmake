@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sbroker_wl.dir/ab_client.cpp.o"
+  "CMakeFiles/sbroker_wl.dir/ab_client.cpp.o.d"
+  "CMakeFiles/sbroker_wl.dir/query_gen.cpp.o"
+  "CMakeFiles/sbroker_wl.dir/query_gen.cpp.o.d"
+  "CMakeFiles/sbroker_wl.dir/webstone_client.cpp.o"
+  "CMakeFiles/sbroker_wl.dir/webstone_client.cpp.o.d"
+  "libsbroker_wl.a"
+  "libsbroker_wl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sbroker_wl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,38 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/admission_test.cpp" "tests/CMakeFiles/core_test.dir/core/admission_test.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/admission_test.cpp.o.d"
+  "/root/repo/tests/core/broker_test.cpp" "tests/CMakeFiles/core_test.dir/core/broker_test.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/broker_test.cpp.o.d"
+  "/root/repo/tests/core/cache_test.cpp" "tests/CMakeFiles/core_test.dir/core/cache_test.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/cache_test.cpp.o.d"
+  "/root/repo/tests/core/cluster_test.cpp" "tests/CMakeFiles/core_test.dir/core/cluster_test.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/cluster_test.cpp.o.d"
+  "/root/repo/tests/core/hotspot_rewrite_test.cpp" "tests/CMakeFiles/core_test.dir/core/hotspot_rewrite_test.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/hotspot_rewrite_test.cpp.o.d"
+  "/root/repo/tests/core/metrics_centralized_test.cpp" "tests/CMakeFiles/core_test.dir/core/metrics_centralized_test.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/metrics_centralized_test.cpp.o.d"
+  "/root/repo/tests/core/pool_balance_test.cpp" "tests/CMakeFiles/core_test.dir/core/pool_balance_test.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/pool_balance_test.cpp.o.d"
+  "/root/repo/tests/core/qos_test.cpp" "tests/CMakeFiles/core_test.dir/core/qos_test.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/qos_test.cpp.o.d"
+  "/root/repo/tests/core/scheduler_test.cpp" "tests/CMakeFiles/core_test.dir/core/scheduler_test.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/scheduler_test.cpp.o.d"
+  "/root/repo/tests/core/txn_prefetch_test.cpp" "tests/CMakeFiles/core_test.dir/core/txn_prefetch_test.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/core/txn_prefetch_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/sbroker_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/srv/CMakeFiles/sbroker_srv.dir/DependInfo.cmake"
+  "/root/repo/build/src/wl/CMakeFiles/sbroker_wl.dir/DependInfo.cmake"
+  "/root/repo/build/src/ldap/CMakeFiles/sbroker_ldap.dir/DependInfo.cmake"
+  "/root/repo/build/src/mail/CMakeFiles/sbroker_mail.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/sbroker_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/sbroker_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/db/CMakeFiles/sbroker_db.dir/DependInfo.cmake"
+  "/root/repo/build/src/http/CMakeFiles/sbroker_http.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/sbroker_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

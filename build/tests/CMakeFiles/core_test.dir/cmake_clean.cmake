@@ -1,0 +1,30 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_test.dir/core/admission_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/admission_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/broker_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/broker_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/cache_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/cache_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/cluster_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/cluster_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/hotspot_rewrite_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/hotspot_rewrite_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/metrics_centralized_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/metrics_centralized_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/pool_balance_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/pool_balance_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/qos_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/qos_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/scheduler_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/scheduler_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/txn_prefetch_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/txn_prefetch_test.cpp.o.d"
+  "core_test"
+  "core_test.pdb"
+  "core_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

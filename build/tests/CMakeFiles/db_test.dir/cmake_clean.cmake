@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/db_test.dir/db/executor_test.cpp.o"
+  "CMakeFiles/db_test.dir/db/executor_test.cpp.o.d"
+  "CMakeFiles/db_test.dir/db/orderby_count_test.cpp.o"
+  "CMakeFiles/db_test.dir/db/orderby_count_test.cpp.o.d"
+  "CMakeFiles/db_test.dir/db/parser_test.cpp.o"
+  "CMakeFiles/db_test.dir/db/parser_test.cpp.o.d"
+  "CMakeFiles/db_test.dir/db/table_test.cpp.o"
+  "CMakeFiles/db_test.dir/db/table_test.cpp.o.d"
+  "CMakeFiles/db_test.dir/db/value_test.cpp.o"
+  "CMakeFiles/db_test.dir/db/value_test.cpp.o.d"
+  "db_test"
+  "db_test.pdb"
+  "db_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/db_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

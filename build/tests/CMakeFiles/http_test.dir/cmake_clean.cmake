@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/http_test.dir/http/message_test.cpp.o"
+  "CMakeFiles/http_test.dir/http/message_test.cpp.o.d"
+  "CMakeFiles/http_test.dir/http/mget_test.cpp.o"
+  "CMakeFiles/http_test.dir/http/mget_test.cpp.o.d"
+  "CMakeFiles/http_test.dir/http/parser_test.cpp.o"
+  "CMakeFiles/http_test.dir/http/parser_test.cpp.o.d"
+  "CMakeFiles/http_test.dir/http/wire_test.cpp.o"
+  "CMakeFiles/http_test.dir/http/wire_test.cpp.o.d"
+  "http_test"
+  "http_test.pdb"
+  "http_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/http_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

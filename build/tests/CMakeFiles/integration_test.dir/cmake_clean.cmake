@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration_test.dir/integration/centralized_model_test.cpp.o"
+  "CMakeFiles/integration_test.dir/integration/centralized_model_test.cpp.o.d"
+  "CMakeFiles/integration_test.dir/integration/failure_injection_test.cpp.o"
+  "CMakeFiles/integration_test.dir/integration/failure_injection_test.cpp.o.d"
+  "CMakeFiles/integration_test.dir/integration/properties_test.cpp.o"
+  "CMakeFiles/integration_test.dir/integration/properties_test.cpp.o.d"
+  "CMakeFiles/integration_test.dir/integration/sim_end_to_end_test.cpp.o"
+  "CMakeFiles/integration_test.dir/integration/sim_end_to_end_test.cpp.o.d"
+  "integration_test"
+  "integration_test.pdb"
+  "integration_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

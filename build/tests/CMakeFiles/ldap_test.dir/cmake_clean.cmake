@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ldap_test.dir/ldap/directory_test.cpp.o"
+  "CMakeFiles/ldap_test.dir/ldap/directory_test.cpp.o.d"
+  "CMakeFiles/ldap_test.dir/ldap/sim_backend_test.cpp.o"
+  "CMakeFiles/ldap_test.dir/ldap/sim_backend_test.cpp.o.d"
+  "ldap_test"
+  "ldap_test.pdb"
+  "ldap_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ldap_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

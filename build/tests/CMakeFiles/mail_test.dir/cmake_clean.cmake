@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mail_test.dir/mail/mail_test.cpp.o"
+  "CMakeFiles/mail_test.dir/mail/mail_test.cpp.o.d"
+  "mail_test"
+  "mail_test.pdb"
+  "mail_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mail_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

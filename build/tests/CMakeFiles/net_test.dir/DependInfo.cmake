@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/net/broker_daemon_test.cpp" "tests/CMakeFiles/net_test.dir/net/broker_daemon_test.cpp.o" "gcc" "tests/CMakeFiles/net_test.dir/net/broker_daemon_test.cpp.o.d"
+  "/root/repo/tests/net/http_server_test.cpp" "tests/CMakeFiles/net_test.dir/net/http_server_test.cpp.o" "gcc" "tests/CMakeFiles/net_test.dir/net/http_server_test.cpp.o.d"
+  "/root/repo/tests/net/reactor_test.cpp" "tests/CMakeFiles/net_test.dir/net/reactor_test.cpp.o" "gcc" "tests/CMakeFiles/net_test.dir/net/reactor_test.cpp.o.d"
+  "/root/repo/tests/net/udp_test.cpp" "tests/CMakeFiles/net_test.dir/net/udp_test.cpp.o" "gcc" "tests/CMakeFiles/net_test.dir/net/udp_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/sbroker_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/srv/CMakeFiles/sbroker_srv.dir/DependInfo.cmake"
+  "/root/repo/build/src/wl/CMakeFiles/sbroker_wl.dir/DependInfo.cmake"
+  "/root/repo/build/src/ldap/CMakeFiles/sbroker_ldap.dir/DependInfo.cmake"
+  "/root/repo/build/src/mail/CMakeFiles/sbroker_mail.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/sbroker_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/sbroker_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/db/CMakeFiles/sbroker_db.dir/DependInfo.cmake"
+  "/root/repo/build/src/http/CMakeFiles/sbroker_http.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/sbroker_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

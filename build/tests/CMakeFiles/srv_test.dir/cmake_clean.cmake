@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/srv_test.dir/srv/backend_test.cpp.o"
+  "CMakeFiles/srv_test.dir/srv/backend_test.cpp.o.d"
+  "CMakeFiles/srv_test.dir/srv/broker_host_test.cpp.o"
+  "CMakeFiles/srv_test.dir/srv/broker_host_test.cpp.o.d"
+  "CMakeFiles/srv_test.dir/srv/worker_pool_test.cpp.o"
+  "CMakeFiles/srv_test.dir/srv/worker_pool_test.cpp.o.d"
+  "srv_test"
+  "srv_test.pdb"
+  "srv_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/srv_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wl_test.dir/wl/workload_test.cpp.o"
+  "CMakeFiles/wl_test.dir/wl/workload_test.cpp.o.d"
+  "wl_test"
+  "wl_test.pdb"
+  "wl_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wl_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
