@@ -1,0 +1,247 @@
+// Closed-loop multi-connection load generator for the sharded broker daemon.
+//
+// Drives a ShardedBrokerDaemon over real TCP sockets: M client threads, each
+// with one persistent wire-protocol connection, issue requests back-to-back
+// for a fixed wall-clock window. Sweeping the shard count on one identical
+// trace shows how throughput scales with reactor threads while the shared
+// striped cache keeps the hit ratio — and the shared load counter keeps the
+// per-class drop ratios — independent of N.
+//
+//   $ daemon_loadgen shards=1,2,4 clients=8 seconds=2 keys=512 \
+//         out=BENCH_daemon.json
+//
+// key=value parameters (util::Config):
+//   shards    comma list of shard counts to sweep     (default "1,2,4")
+//   clients   concurrent closed-loop connections      (default 8)
+//   seconds   measurement window per run              (default 2.0)
+//   keys      distinct request targets (cache keyspace, default 512)
+//   threshold admission threshold (QoS rules)         (default 64)
+//   fallback  1 = force the round-robin acceptor path (default 0)
+//   out       JSON result file; "" = stdout only      (default BENCH_daemon.json)
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/http_server.h"
+#include "net/http_client.h"
+#include "net/sharded_daemon.h"
+#include "util/config.h"
+#include "util/json.h"
+#include "util/stats.h"
+
+using namespace sbroker;
+
+namespace {
+
+struct RunResult {
+  size_t shards = 0;
+  bool kernel_accept_sharding = false;
+  uint64_t requests = 0;   // replies received by clients
+  uint64_t failures = 0;   // timeouts / io errors
+  double seconds = 0.0;
+  double rps = 0.0;
+  util::Histogram latency;  // seconds
+  double hit_ratio = 0.0;
+  core::BrokerMetrics metrics;
+};
+
+double monotonic_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+RunResult run_one(size_t shards, size_t clients, double seconds, uint64_t keys,
+                  double threshold, bool fallback, uint16_t backend_port) {
+  net::ShardedBrokerDaemonConfig cfg;
+  cfg.broker.rules = core::QosRules{3, threshold};
+  cfg.broker.enable_cache = true;
+  cfg.broker.cache_capacity = 4096;
+  cfg.broker.cache_ttl = 3600.0;  // no expiry inside the window
+  cfg.shards = shards;
+  cfg.enable_udp = false;
+  cfg.force_acceptor_fallback = fallback;
+  net::ShardedBrokerDaemon daemon("loadgen-broker", cfg);
+  daemon.add_backend([backend_port](net::Reactor& reactor, size_t) {
+    return std::make_shared<net::HttpBackend>(reactor, backend_port);
+  });
+  daemon.start();
+
+  std::atomic<bool> stop_flag{false};
+  std::vector<uint64_t> counts(clients, 0);
+  std::vector<uint64_t> failures(clients, 0);
+  std::vector<std::vector<double>> latencies(clients);
+  std::vector<std::thread> threads;
+  threads.reserve(clients);
+
+  double t0 = monotonic_seconds();
+  for (size_t c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c]() {
+      net::BrokerClient client(daemon.port());
+      // Per-thread LCG so every sweep runs the identical trace per thread.
+      uint64_t rng = 0x9e3779b97f4a7c15ULL + c;
+      uint64_t id = c << 32;
+      latencies[c].reserve(1 << 16);
+      while (!stop_flag.load(std::memory_order_relaxed)) {
+        rng = rng * 6364136223846793005ULL + 1442695040888963407ULL;
+        uint64_t key = (rng >> 33) % keys;
+        http::BrokerRequest req;
+        req.request_id = ++id;
+        req.qos_level = static_cast<uint8_t>(1 + key % 3);
+        req.service = "web";
+        req.payload = "/object-" + std::to_string(key);
+        double start = monotonic_seconds();
+        auto reply = client.call(req);
+        double elapsed = monotonic_seconds() - start;
+        if (reply && reply->request_id == req.request_id) {
+          ++counts[c];
+          latencies[c].push_back(elapsed);
+        } else {
+          ++failures[c];
+          if (!reply) break;  // connection is gone; stop this client
+        }
+      }
+    });
+  }
+
+  std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+  stop_flag.store(true, std::memory_order_relaxed);
+  for (auto& t : threads) t.join();
+  double wall = monotonic_seconds() - t0;
+
+  RunResult r;
+  r.shards = shards;
+  r.kernel_accept_sharding = daemon.kernel_accept_sharding();
+  r.seconds = wall;
+  for (size_t c = 0; c < clients; ++c) {
+    r.requests += counts[c];
+    r.failures += failures[c];
+    for (double s : latencies[c]) r.latency.add(s);
+  }
+  r.rps = wall > 0 ? static_cast<double>(r.requests) / wall : 0.0;
+  r.hit_ratio = daemon.shared_cache().hit_ratio();
+  r.metrics = daemon.aggregate_metrics();
+  daemon.stop();
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Config cfg = util::Config::from_args(argc, argv);
+  std::string shard_list = cfg.get_string("shards", "1,2,4");
+  size_t clients = static_cast<size_t>(cfg.get_int("clients", 8));
+  double seconds = cfg.get_double("seconds", 2.0);
+  uint64_t keys = static_cast<uint64_t>(cfg.get_int("keys", 512));
+  double threshold = cfg.get_double("threshold", 64.0);
+  bool fallback = cfg.get_bool("fallback", false);
+  std::string out = cfg.get_string("out", "BENCH_daemon.json");
+
+  std::vector<size_t> sweep;
+  for (size_t pos = 0; pos < shard_list.size();) {
+    size_t comma = shard_list.find(',', pos);
+    if (comma == std::string::npos) comma = shard_list.size();
+    std::string token = shard_list.substr(pos, comma - pos);
+    try {
+      size_t consumed = 0;
+      size_t n = std::stoul(token, &consumed);
+      if (consumed != token.size() || n == 0) throw std::invalid_argument(token);
+      sweep.push_back(n);
+    } catch (const std::exception&) {
+      std::fprintf(stderr,
+                   "error: shards=%s is not a comma list of positive counts "
+                   "(e.g. shards=1,2,4)\n", shard_list.c_str());
+      return 1;
+    }
+    pos = comma + 1;
+  }
+  if (sweep.empty() || clients == 0 || seconds <= 0.0 || keys == 0) {
+    std::fprintf(stderr,
+                 "error: need non-empty shards=, clients>=1, seconds>0, keys>=1\n");
+    return 1;
+  }
+
+  // One shared zero-delay HTTP backend on its own reactor thread.
+  net::Reactor backend_reactor;
+  net::HttpServer backend(backend_reactor, 0,
+                          [](const http::Request& req,
+                             net::HttpServer::Responder respond) {
+                            respond(http::make_response(200, "body of " + req.target));
+                          });
+  std::thread backend_thread([&] { backend_reactor.run(); });
+
+  unsigned cpus = std::thread::hardware_concurrency();
+  std::printf("daemon_loadgen: %zu clients, %.1fs per run, %llu keys, %u cpus\n",
+              clients, seconds, static_cast<unsigned long long>(keys), cpus);
+  std::printf("%-7s %-8s %10s %10s %9s %9s %9s %10s\n", "shards", "accept",
+              "requests", "req/s", "p50 ms", "p99 ms", "hit%", "dropped");
+
+  std::vector<RunResult> results;
+  for (size_t shards : sweep) {
+    RunResult r = run_one(shards, clients, seconds, keys, threshold, fallback,
+                          backend.port());
+    core::BrokerMetrics::ClassCounters total = r.metrics.total();
+    std::printf("%-7zu %-8s %10llu %10.0f %9.3f %9.3f %8.1f%% %10llu\n",
+                r.shards, r.kernel_accept_sharding ? "kernel" : "rrobin",
+                static_cast<unsigned long long>(r.requests), r.rps,
+                r.latency.percentile(0.5) * 1e3, r.latency.p99() * 1e3,
+                r.hit_ratio * 100.0,
+                static_cast<unsigned long long>(total.dropped));
+    results.push_back(std::move(r));
+  }
+
+  backend_reactor.stop();
+  backend_thread.join();
+
+  util::JsonWriter json;
+  json.begin_object()
+      .field("bench", "daemon_loadgen")
+      .field("host_cpus", static_cast<uint64_t>(cpus))
+      .field("clients", clients)
+      .field("window_seconds", seconds)
+      .field("keys", keys)
+      .field("threshold", threshold)
+      .key("runs")
+      .begin_array();
+  for (const RunResult& r : results) {
+    core::BrokerMetrics::ClassCounters total = r.metrics.total();
+    json.begin_object()
+        .field("shards", r.shards)
+        .field("kernel_accept_sharding", r.kernel_accept_sharding)
+        .field("requests", r.requests)
+        .field("failures", r.failures)
+        .field("seconds", r.seconds)
+        .field("rps", r.rps)
+        .field("latency_mean_ms", r.latency.mean() * 1e3)
+        .field("latency_p50_ms", r.latency.percentile(0.5) * 1e3)
+        .field("latency_p99_ms", r.latency.p99() * 1e3)
+        .field("cache_hit_ratio", r.hit_ratio)
+        .field("issued", total.issued)
+        .field("forwarded", total.forwarded)
+        .field("dropped", total.dropped)
+        .field("cache_hits", total.cache_hits)
+        .field("errors", total.errors)
+        .key("drop_ratio_per_class")
+        .begin_array();
+    for (int level = 1; level <= r.metrics.num_levels(); ++level) {
+      json.value(r.metrics.at(level).drop_ratio());
+    }
+    json.end_array().end_object();
+  }
+  json.end_array().end_object();
+
+  if (!out.empty()) {
+    if (json.write_file(out)) {
+      std::printf("\nwrote %s\n", out.c_str());
+    } else {
+      std::fprintf(stderr, "failed to write %s\n", out.c_str());
+      return 1;
+    }
+  } else {
+    std::printf("%s\n", json.str().c_str());
+  }
+  return 0;
+}

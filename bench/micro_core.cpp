@@ -1,10 +1,14 @@
 // Microbenchmarks — broker core data-path operations.
 #include <benchmark/benchmark.h>
 
+#include <string>
+#include <vector>
+
 #include "core/admission.h"
 #include "core/cache.h"
 #include "core/cluster.h"
 #include "core/scheduler.h"
+#include "core/striped_cache.h"
 #include "http/parser.h"
 #include "http/wire.h"
 
@@ -12,27 +16,72 @@ using namespace sbroker;
 
 namespace {
 
+// Keys are pre-generated outside the timed loops: building
+// "key-" + std::to_string(i) inside them measured the allocator and
+// integer formatting, not the cache.
+std::vector<std::string> make_keys(size_t n) {
+  std::vector<std::string> keys;
+  keys.reserve(n);
+  for (size_t i = 0; i < n; ++i) keys.push_back("key-" + std::to_string(i));
+  return keys;
+}
+
 void BM_CacheGetHit(benchmark::State& state) {
   core::ResultCache cache(4096, 0.0);
-  for (int i = 0; i < 1024; ++i) {
-    cache.put("key-" + std::to_string(i), "value-" + std::to_string(i), 0.0);
+  std::vector<std::string> keys = make_keys(1024);
+  for (size_t i = 0; i < keys.size(); ++i) {
+    cache.put(keys[i], "value-" + std::to_string(i), 0.0);
   }
-  int i = 0;
+  size_t i = 0;
   for (auto _ : state) {
-    auto v = cache.get("key-" + std::to_string(i++ % 1024), 1.0);
+    auto v = cache.get(keys[i++ % keys.size()], 1.0);
     benchmark::DoNotOptimize(v);
   }
 }
 BENCHMARK(BM_CacheGetHit);
 
+void BM_CacheGetHitStringView(benchmark::State& state) {
+  // The broker probes with the request payload it already holds — the
+  // transparent-lookup path must not allocate a temporary key.
+  core::ResultCache cache(4096, 0.0);
+  std::vector<std::string> keys = make_keys(1024);
+  for (const std::string& k : keys) cache.put(k, "value", 0.0);
+  std::vector<std::string_view> views(keys.begin(), keys.end());
+  size_t i = 0;
+  for (auto _ : state) {
+    auto v = cache.get(views[i++ % views.size()], 1.0);
+    benchmark::DoNotOptimize(v);
+  }
+}
+BENCHMARK(BM_CacheGetHitStringView);
+
 void BM_CachePutEvicting(benchmark::State& state) {
   core::ResultCache cache(256, 0.0);
-  int i = 0;
+  std::vector<std::string> keys = make_keys(4096);
+  size_t i = 0;
   for (auto _ : state) {
-    cache.put("key-" + std::to_string(i++ % 4096), "value", 0.0);
+    cache.put(keys[i++ % keys.size()], "value", 0.0);
   }
 }
 BENCHMARK(BM_CachePutEvicting);
+
+void BM_StripedCacheGetHit(benchmark::State& state) {
+  // Shared across shard threads; google-benchmark's ->Threads(N) exercises
+  // the stripe locks under contention. Magic statics make initialization
+  // thread-safe; the instances live for the whole process.
+  static const std::vector<std::string>& keys = *new std::vector<std::string>(make_keys(1024));
+  static core::StripedResultCache& cache = *[] {
+    auto* c = new core::StripedResultCache(4096, 0.0, 8);
+    for (const std::string& k : keys) c->put(k, "value", 0.0);
+    return c;
+  }();
+  size_t i = static_cast<size_t>(state.thread_index()) * 37;
+  for (auto _ : state) {
+    auto v = cache.get(keys[i++ % keys.size()], 1.0);
+    benchmark::DoNotOptimize(v);
+  }
+}
+BENCHMARK(BM_StripedCacheGetHit)->Threads(1)->Threads(4);
 
 void BM_SchedulerPushPop(benchmark::State& state) {
   core::QosScheduler<int> scheduler;

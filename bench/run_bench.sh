@@ -1,0 +1,38 @@
+#!/bin/sh
+# Perf trajectory runner: regenerates BENCH_core.json (micro benches) and
+# BENCH_daemon.json (real-socket sharded daemon loadgen) at the repo root so
+# every PR can be compared against its predecessors.
+#
+#   bench/run_bench.sh [build-dir]           # default build dir: ./build
+#
+# Environment knobs for the loadgen sweep:
+#   BENCH_SHARDS   comma list of shard counts   (default 1,2,4)
+#   BENCH_CLIENTS  concurrent connections       (default 8)
+#   BENCH_SECONDS  seconds per run              (default 2)
+#   BENCH_KEYS     distinct request targets     (default 512)
+set -eu
+
+repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+build_dir=${1:-"$repo_root/build"}
+
+if [ ! -x "$build_dir/bench/micro_core" ] || [ ! -x "$build_dir/bench/daemon_loadgen" ]; then
+  echo "error: bench binaries not found under $build_dir/bench — build first:" >&2
+  echo "  cmake -B build -S . && cmake --build build -j" >&2
+  exit 1
+fi
+
+echo "== micro benches -> BENCH_core.json"
+"$build_dir/bench/micro_core" \
+  --benchmark_format=json \
+  --benchmark_out="$repo_root/BENCH_core.json" \
+  --benchmark_out_format=json
+
+echo "== daemon loadgen -> BENCH_daemon.json"
+"$build_dir/bench/daemon_loadgen" \
+  "shards=${BENCH_SHARDS:-1,2,4}" \
+  "clients=${BENCH_CLIENTS:-8}" \
+  "seconds=${BENCH_SECONDS:-2}" \
+  "keys=${BENCH_KEYS:-512}" \
+  "out=$repo_root/BENCH_daemon.json"
+
+echo "== wrote $repo_root/BENCH_core.json and $repo_root/BENCH_daemon.json"

@@ -1,45 +1,56 @@
-// Real-socket broker daemon — the distributed model on live TCP.
+// Real-socket broker daemon — the distributed model on live TCP, sharded.
 //
-// Starts (in one process, on localhost): a mini HTTP backend server, a
-// BrokerDaemon running the identical core::ServiceBroker the simulations
-// use, and a few wire-protocol clients. Shows full/cached/busy fidelities
-// over real sockets.
+// Starts (in one process, on localhost): a mini HTTP backend server and a
+// ShardedBrokerDaemon — two reactor threads, each running the identical
+// single-threaded core::ServiceBroker the simulations use, both accepting on
+// one shared port. The shards share one striped result cache and one global
+// outstanding-request counter, so a result fetched through one shard serves
+// a repeat arriving at the other, and the QoS thresholds apply to the
+// service's total load. Shows full/cached/busy fidelities over real sockets.
 //
 //   $ ./real_proxy
 #include <chrono>
 #include <cstdio>
 #include <thread>
+#include <vector>
 
-#include "net/broker_daemon.h"
 #include "net/http_client.h"
 #include "net/http_server.h"
+#include "net/sharded_daemon.h"
 
 using namespace sbroker;
 
 int main() {
-  net::Reactor reactor;
-
-  // backend: a slow-ish page plus a fast one.
-  net::HttpServer backend(reactor, 0,
+  // backend: a slow-ish page plus fast ones, on its own reactor thread.
+  net::Reactor backend_reactor;
+  net::HttpServer backend(backend_reactor, 0,
                           [&](const http::Request& req, net::HttpServer::Responder respond) {
                             respond(http::make_response(200, "page " + req.target));
                           });
   backend.route("/slow", [&](const http::Request&, net::HttpServer::Responder respond) {
-    reactor.add_timer(0.2, [respond] {
+    backend_reactor.add_timer(0.2, [respond] {
       respond(http::make_response(200, "slow content"));
     });
   });
+  std::thread backend_thread([&] { backend_reactor.run(); });
 
-  net::BrokerDaemonConfig cfg;
+  net::ShardedBrokerDaemonConfig cfg;
+  cfg.shards = 2;
   cfg.broker.rules = core::QosRules{3, 6.0};  // small threshold: easy to overload
   cfg.broker.enable_cache = true;
   cfg.broker.cache_ttl = 5.0;
-  net::BrokerDaemon daemon(reactor, "web-broker", cfg);
-  daemon.add_backend(std::make_shared<net::HttpBackend>(reactor, backend.port()));
+  net::ShardedBrokerDaemon daemon("web-broker", cfg);
+  // One HttpBackend per shard, bound to that shard's reactor — backends are
+  // shard-local; only the cache and the load count are shared.
+  daemon.add_backend([&](net::Reactor& reactor, size_t) {
+    return std::make_shared<net::HttpBackend>(reactor, backend.port());
+  });
+  daemon.start();
 
-  std::thread reactor_thread([&] { reactor.run(); });
-  std::printf("backend on 127.0.0.1:%u, broker daemon on 127.0.0.1:%u\n\n",
-              backend.port(), daemon.port());
+  std::printf("backend on 127.0.0.1:%u, broker daemon on 127.0.0.1:%u "
+              "(%zu shards, %s accept sharding)\n\n",
+              backend.port(), daemon.port(), daemon.shards(),
+              daemon.kernel_accept_sharding() ? "kernel SO_REUSEPORT" : "round-robin");
 
   auto call = [&](uint64_t id, int qos, const std::string& target) {
     net::BrokerClient client(daemon.port());
@@ -56,11 +67,13 @@ int main() {
     }
   };
 
-  std::printf("-- first fetch forwards, repeat is served from the broker cache\n");
+  std::printf("-- first fetch forwards; the repeat (a fresh connection, so "
+              "possibly\n-- another shard) is served from the shared cache\n");
   call(1, 2, "/front-page");
   call(2, 2, "/front-page");
 
-  std::printf("\n-- saturate with slow fetches, then watch class 1 get shed\n");
+  std::printf("\n-- saturate with slow fetches, then watch class 1 get shed:\n"
+              "-- the threshold counts outstanding requests across BOTH shards\n");
   std::vector<std::thread> slow_clients;
   for (int i = 0; i < 4; ++i) {
     slow_clients.emplace_back([&, i] {
@@ -72,20 +85,24 @@ int main() {
       client.call(req);
     });
   }
-  // Give the slow calls a moment to occupy the broker's outstanding window.
+  // Give the slow calls a moment to occupy the global outstanding window.
   std::this_thread::sleep_for(std::chrono::milliseconds(60));
-  call(200, 1, "/low-priority");   // bound 4/3 -> busy
-  call(201, 3, "/high-priority");  // bound 4   -> forwarded
+  call(200, 1, "/low-priority");   // bound 6*1/3 = 2 -> busy
+  call(201, 3, "/high-priority");  // bound 6       -> forwarded
   for (auto& t : slow_clients) t.join();
 
-  reactor.stop();
-  reactor_thread.join();
+  core::BrokerMetrics m = daemon.aggregate_metrics();
+  daemon.stop();
+  backend_reactor.stop();
+  backend_thread.join();
 
-  const core::BrokerMetrics& m = daemon.broker().metrics();
-  std::printf("\nbroker totals: issued=%llu forwarded=%llu dropped=%llu cached=%llu\n",
+  std::printf("\nbroker totals (all shards): issued=%llu forwarded=%llu "
+              "dropped=%llu cached=%llu\n",
               static_cast<unsigned long long>(m.total().issued),
               static_cast<unsigned long long>(m.total().forwarded),
               static_cast<unsigned long long>(m.total().dropped),
               static_cast<unsigned long long>(m.total().cache_hits));
+  std::printf("shared cache: %zu entries, hit ratio %.2f\n",
+              daemon.shared_cache().size(), daemon.shared_cache().hit_ratio());
   return 0;
 }

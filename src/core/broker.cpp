@@ -11,7 +11,8 @@ ServiceBroker::ServiceBroker(std::string name, BrokerConfig config)
     : name_(std::move(name)),
       config_(config),
       admission_(config.rules),
-      cache_(config.cache_capacity, config.cache_ttl),
+      cache_(std::make_shared<ResultCache>(config.cache_capacity, config.cache_ttl)),
+      load_(std::make_shared<LoadTracker>()),
       cluster_(config.cluster),
       pool_(config.pool),
       balancer_(config.balance, util::Rng(config.rng_seed)),
@@ -32,6 +33,17 @@ void ServiceBroker::share_transactions(std::shared_ptr<TransactionTracker> share
   txn_ = std::move(shared);
 }
 
+void ServiceBroker::share_cache(std::shared_ptr<ResultCacheBase> shared) {
+  assert(shared != nullptr);
+  cache_ = std::move(shared);
+}
+
+void ServiceBroker::share_load(std::shared_ptr<LoadTracker> shared) {
+  assert(shared != nullptr);
+  assert(outstanding_ == 0);  // swapping mid-traffic would corrupt the count
+  load_ = std::move(shared);
+}
+
 void ServiceBroker::submit(double now, const http::BrokerRequest& request,
                            ReplyFn reply) {
   QosLevel base_level = config_.rules.clamp_level(request.qos_level);
@@ -42,7 +54,7 @@ void ServiceBroker::submit(double now, const http::BrokerRequest& request,
 
   // 1. Result cache.
   if (config_.enable_cache) {
-    if (auto hit = cache_.get(request.payload, now)) {
+    if (auto hit = cache_->get(request.payload, now)) {
       auto& c = metrics_.at(base_level);
       c.cache_hits += 1;
       c.completed += 1;
@@ -52,9 +64,8 @@ void ServiceBroker::submit(double now, const http::BrokerRequest& request,
     }
   }
 
-  // 2. Admission.
-  AdmissionDecision decision =
-      admission_.decide(effective, static_cast<double>(outstanding_), now);
+  // 2. Admission, against the (possibly cross-shard) outstanding count.
+  AdmissionDecision decision = admission_.decide(effective, load_->load(), now);
   if (decision != AdmissionDecision::kForward) {
     reply_drop(now, request, base_level, reply);
     return;
@@ -75,7 +86,8 @@ void ServiceBroker::submit(double now, const http::BrokerRequest& request,
   RewriteOutcome rewritten =
       rewriter_.apply(request.payload, effective, hotspot_.state());
   ++outstanding_;
-  hotspot_.observe(static_cast<double>(outstanding_));
+  load_->inc();
+  hotspot_.observe(load_->load());
   pending_.emplace(request.request_id,
                    PendingMember{base_level, now, rewritten.payload,
                                  rewritten.degraded, std::move(reply)});
@@ -94,7 +106,7 @@ void ServiceBroker::reply_drop(double now, const http::BrokerRequest& request,
   c.completed += 1;
   c.response_time.add(0.0);
   if (config_.serve_stale_on_drop) {
-    if (auto stale = cache_.get_stale(request.payload)) {
+    if (auto stale = cache_->get_stale(request.payload)) {
       reply(http::BrokerReply{request.request_id, http::Fidelity::kCached, *stale});
       return;
     }
@@ -146,12 +158,13 @@ void ServiceBroker::dispatch(ReadyBatch ready, double now) {
       pending_.erase(it);
       assert(outstanding_ > 0);
       --outstanding_;
+      load_->dec();
       auto& c = metrics_.at(member.base_level);
       c.dropped += 1;
       c.completed += 1;
       c.response_time.add(now - member.submitted_at);
       if (config_.serve_stale_on_drop) {
-        if (auto stale = cache_.get_stale(member.payload)) {
+        if (auto stale = cache_->get_stale(member.payload)) {
           member.reply(http::BrokerReply{id, http::Fidelity::kCached, *stale});
           continue;
         }
@@ -183,7 +196,7 @@ void ServiceBroker::dispatch(ReadyBatch ready, double now) {
         finish_member(batch.member_ids[i], done_now, http::Fidelity::kFull, parts[i],
                       /*count_error=*/false);
         if (config_.enable_cache) {
-          cache_.put(batch.member_payloads[i], parts[i], done_now);
+          cache_->put(batch.member_payloads[i], parts[i], done_now);
         }
       }
     } else {
@@ -207,7 +220,8 @@ void ServiceBroker::finish_member(uint64_t id, double now, http::Fidelity fideli
   pending_.erase(it);
   assert(outstanding_ > 0);
   --outstanding_;
-  hotspot_.observe(static_cast<double>(outstanding_));
+  load_->dec();
+  hotspot_.observe(load_->load());
 
   if (member.degraded && fidelity == http::Fidelity::kFull) {
     fidelity = http::Fidelity::kDegraded;
@@ -255,7 +269,7 @@ void ServiceBroker::issue_prefetch(const PrefetchEntry& entry, double now) {
                             double done_now, bool ok, const std::string& payload) {
     pool_.release(connection);
     balancer_.complete(backend_idx);
-    if (ok) cache_.put(cache_key, payload, done_now);
+    if (ok) cache_->put(cache_key, payload, done_now);
   });
   (void)now;
 }

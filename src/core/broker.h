@@ -36,6 +36,7 @@
 #include "core/balance.h"
 #include "core/cache.h"
 #include "core/cluster.h"
+#include "core/load.h"
 #include "core/metrics.h"
 #include "core/pool.h"
 #include "core/hotspot.h"
@@ -84,6 +85,16 @@ class ServiceBroker {
   /// protected". Call before traffic flows; replaces the private tracker.
   void share_transactions(std::shared_ptr<TransactionTracker> shared);
 
+  /// Replaces the private result cache with one shared across broker shards
+  /// (a thread-safe StripedResultCache), so a result fetched by one shard
+  /// serves repeats arriving at any other. Call before traffic flows.
+  void share_cache(std::shared_ptr<ResultCacheBase> shared);
+
+  /// Replaces the private outstanding-load counter with one shared across
+  /// broker shards, so the admission threshold applies to the *global*
+  /// outstanding count rather than 1/N of it. Call before traffic flows.
+  void share_load(std::shared_ptr<LoadTracker> shared);
+
   /// Handles one request message. `reply` fires exactly once — possibly
   /// re-entrantly (cache hit / drop) or later (backend completion).
   void submit(double now, const http::BrokerRequest& request, ReplyFn reply);
@@ -97,14 +108,17 @@ class ServiceBroker {
   std::optional<double> next_deadline() const;
 
   /// Requests forwarded to backends (or buffered for batching) and not yet
-  /// answered — the quantity the admission threshold compares against.
+  /// answered *by this broker*. The admission threshold compares against the
+  /// LoadTracker's count, which equals this unless share_load() installed a
+  /// cross-shard counter.
   size_t outstanding() const { return outstanding_; }
 
   const std::string& name() const { return name_; }
   const BrokerConfig& config() const { return config_; }
   const BrokerMetrics& metrics() const { return metrics_; }
-  ResultCache& cache() { return cache_; }
-  const ResultCache& cache() const { return cache_; }
+  ResultCacheBase& cache() { return *cache_; }
+  const ResultCacheBase& cache() const { return *cache_; }
+  LoadTracker& load_tracker() { return *load_; }
   Prefetcher& prefetcher() { return prefetcher_; }
   AdmissionController& admission() { return admission_; }
   TransactionTracker& transactions() { return *txn_; }
@@ -142,7 +156,8 @@ class ServiceBroker {
   std::string name_;
   BrokerConfig config_;
   AdmissionController admission_;
-  ResultCache cache_;
+  std::shared_ptr<ResultCacheBase> cache_;  ///< possibly shared across shards
+  std::shared_ptr<LoadTracker> load_;       ///< possibly shared across shards
   ClusterEngine cluster_;
   QosScheduler<ReadyBatch> dispatch_queue_;
   ConnectionPool pool_;

@@ -8,7 +8,7 @@ ResultCache::ResultCache(size_t capacity, double ttl) : capacity_(capacity), ttl
   assert(capacity > 0);
 }
 
-std::optional<std::string> ResultCache::get(const std::string& key, double now) {
+std::optional<std::string> ResultCache::get(std::string_view key, double now) {
   auto it = map_.find(key);
   if (it == map_.end()) {
     ++misses_;
@@ -26,13 +26,13 @@ std::optional<std::string> ResultCache::get(const std::string& key, double now) 
   return it->second->value;
 }
 
-std::optional<std::string> ResultCache::get_stale(const std::string& key) const {
+std::optional<std::string> ResultCache::get_stale(std::string_view key) const {
   auto it = map_.find(key);
   if (it == map_.end()) return std::nullopt;
   return it->second->value;
 }
 
-void ResultCache::put(const std::string& key, std::string value, double now) {
+void ResultCache::put(std::string_view key, std::string value, double now) {
   auto it = map_.find(key);
   if (it != map_.end()) {
     it->second->value = std::move(value);
@@ -47,11 +47,11 @@ void ResultCache::put(const std::string& key, std::string value, double now) {
     lru_.pop_back();
     ++evictions_;
   }
-  lru_.push_front(Entry{key, std::move(value), now});
-  map_[key] = lru_.begin();
+  lru_.push_front(Entry{std::string(key), std::move(value), now});
+  map_[lru_.front().key] = lru_.begin();
 }
 
-bool ResultCache::invalidate(const std::string& key) {
+bool ResultCache::invalidate(std::string_view key) {
   auto it = map_.find(key);
   if (it == map_.end()) return false;
   lru_.erase(it->second);

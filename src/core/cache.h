@@ -7,54 +7,95 @@
 // *stale* lookup path exists for the degraded reply the distributed model
 // sends on admission drops: "cached results from previous queries with lower
 // fidelity" (Section IV).
+//
+// `ResultCacheBase` is the interface the broker programs against; the
+// single-threaded `ResultCache` here is the default implementation, and
+// `StripedResultCache` (striped_cache.h) is the thread-safe one shared by
+// the shards of a multi-threaded broker daemon.
 #pragma once
 
 #include <cstdint>
 #include <list>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 
 namespace sbroker::core {
 
-class ResultCache {
+/// Interface over the result cache: everything the broker data path and the
+/// benchmark harnesses touch. Keys are `string_view` so hot-path probes do
+/// not allocate. Implementations state their own thread-safety.
+class ResultCacheBase {
+ public:
+  virtual ~ResultCacheBase() = default;
+
+  /// Fresh lookup: returns the value only when present and unexpired.
+  /// Refreshes LRU position on hit.
+  virtual std::optional<std::string> get(std::string_view key, double now) = 0;
+
+  /// Stale-permitted lookup: returns the value even when expired (used for
+  /// low-fidelity replies). Does not count as a hit and does not refresh LRU.
+  virtual std::optional<std::string> get_stale(std::string_view key) const = 0;
+
+  /// Inserts/overwrites; evicts the LRU entry when full.
+  virtual void put(std::string_view key, std::string value, double now) = 0;
+
+  /// Removes a key; returns true when something was erased.
+  virtual bool invalidate(std::string_view key) = 0;
+  virtual void clear() = 0;
+
+  virtual size_t size() const = 0;
+  virtual size_t capacity() const = 0;
+  virtual double ttl() const = 0;
+
+  virtual uint64_t hits() const = 0;
+  virtual uint64_t misses() const = 0;
+  virtual uint64_t expired() const = 0;
+  virtual uint64_t evictions() const = 0;
+
+  double hit_ratio() const {
+    uint64_t total = hits() + misses();
+    return total == 0 ? 0.0
+                      : static_cast<double>(hits()) / static_cast<double>(total);
+  }
+};
+
+/// Single-threaded LRU+TTL cache. `final` so direct calls devirtualize.
+class ResultCache final : public ResultCacheBase {
  public:
   /// `capacity` entries; `ttl` seconds of freshness (<=0 disables expiry).
   ResultCache(size_t capacity, double ttl);
 
-  /// Fresh lookup: returns the value only when present and unexpired.
-  /// Refreshes LRU position on hit.
-  std::optional<std::string> get(const std::string& key, double now);
+  std::optional<std::string> get(std::string_view key, double now) override;
+  std::optional<std::string> get_stale(std::string_view key) const override;
+  void put(std::string_view key, std::string value, double now) override;
+  bool invalidate(std::string_view key) override;
+  void clear() override;
 
-  /// Stale-permitted lookup: returns the value even when expired (used for
-  /// low-fidelity replies). Does not count as a hit and does not refresh LRU.
-  std::optional<std::string> get_stale(const std::string& key) const;
+  size_t size() const override { return map_.size(); }
+  size_t capacity() const override { return capacity_; }
+  double ttl() const override { return ttl_; }
 
-  /// Inserts/overwrites; evicts the LRU entry when full.
-  void put(const std::string& key, std::string value, double now);
-
-  /// Removes a key; returns true when something was erased.
-  bool invalidate(const std::string& key);
-  void clear();
-
-  size_t size() const { return map_.size(); }
-  size_t capacity() const { return capacity_; }
-  double ttl() const { return ttl_; }
-
-  uint64_t hits() const { return hits_; }
-  uint64_t misses() const { return misses_; }
-  uint64_t expired() const { return expired_; }
-  uint64_t evictions() const { return evictions_; }
-  double hit_ratio() const {
-    uint64_t total = hits_ + misses_;
-    return total == 0 ? 0.0 : static_cast<double>(hits_) / static_cast<double>(total);
-  }
+  uint64_t hits() const override { return hits_; }
+  uint64_t misses() const override { return misses_; }
+  uint64_t expired() const override { return expired_; }
+  uint64_t evictions() const override { return evictions_; }
 
  private:
   struct Entry {
     std::string key;
     std::string value;
     double stored_at;
+  };
+
+  // Transparent hash/equal: get()/get_stale() probe with the request payload
+  // as a string_view without materializing a temporary std::string.
+  struct KeyHash {
+    using is_transparent = void;
+    size_t operator()(std::string_view s) const {
+      return std::hash<std::string_view>{}(s);
+    }
   };
 
   bool fresh(const Entry& e, double now) const {
@@ -64,7 +105,9 @@ class ResultCache {
   size_t capacity_;
   double ttl_;
   std::list<Entry> lru_;  // front = most recent
-  std::unordered_map<std::string, std::list<Entry>::iterator> map_;
+  std::unordered_map<std::string, std::list<Entry>::iterator, KeyHash,
+                     std::equal_to<>>
+      map_;
   uint64_t hits_ = 0;
   uint64_t misses_ = 0;
   uint64_t expired_ = 0;

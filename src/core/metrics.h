@@ -60,6 +60,25 @@ class BrokerMetrics {
     for (auto& c : per_class_) c = ClassCounters{};
   }
 
+  /// Accumulates another broker's counters class-by-class — the sharded
+  /// daemon folds its per-shard metrics into one report with this.
+  void merge(const BrokerMetrics& other) {
+    if (other.per_class_.size() > per_class_.size()) {
+      per_class_.resize(other.per_class_.size());
+    }
+    for (size_t i = 0; i < other.per_class_.size(); ++i) {
+      ClassCounters& mine = per_class_[i];
+      const ClassCounters& theirs = other.per_class_[i];
+      mine.issued += theirs.issued;
+      mine.forwarded += theirs.forwarded;
+      mine.dropped += theirs.dropped;
+      mine.cache_hits += theirs.cache_hits;
+      mine.completed += theirs.completed;
+      mine.errors += theirs.errors;
+      mine.response_time.merge(theirs.response_time);
+    }
+  }
+
  private:
   int clamp(int level) const {
     if (level < 1) return 1;

@@ -1,0 +1,68 @@
+// Thread-safe striped result cache.
+//
+// The sharded broker daemon runs one single-threaded ServiceBroker per
+// reactor thread, but the result cache must stay *global*: a result fetched
+// through shard A has to serve the identical request arriving at shard B, or
+// sharding divides the hit rate by the shard count. This wraps the existing
+// LRU+TTL `ResultCache` logic in K independently-locked stripes. A key maps
+// to one stripe by hash, so concurrent probes for different keys rarely
+// contend, and the single-stripe critical section is exactly the old
+// single-threaded code path.
+//
+// Capacity is divided across stripes (ceil(capacity / stripes) each), so the
+// total resident entry count is bounded by `capacity + stripes - 1` in the
+// worst hash skew. LRU is per-stripe: eviction order is approximate with
+// respect to the global access order, which is the standard striped-LRU
+// trade-off.
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "core/cache.h"
+
+namespace sbroker::core {
+
+class StripedResultCache final : public ResultCacheBase {
+ public:
+  /// `capacity` total entries split over `stripes` locks; `ttl` as ResultCache.
+  StripedResultCache(size_t capacity, double ttl, size_t stripes = 8);
+
+  std::optional<std::string> get(std::string_view key, double now) override;
+  std::optional<std::string> get_stale(std::string_view key) const override;
+  void put(std::string_view key, std::string value, double now) override;
+  bool invalidate(std::string_view key) override;
+  void clear() override;
+
+  size_t size() const override;
+  size_t capacity() const override { return capacity_; }
+  double ttl() const override { return ttl_; }
+
+  uint64_t hits() const override;
+  uint64_t misses() const override;
+  uint64_t expired() const override;
+  uint64_t evictions() const override;
+
+  size_t stripes() const { return stripes_.size(); }
+  /// Hard bound on size() regardless of hash skew.
+  size_t max_resident() const { return per_stripe_capacity_ * stripes_.size(); }
+
+ private:
+  struct Stripe {
+    mutable std::mutex mu;
+    ResultCache cache;
+    explicit Stripe(size_t cap, double ttl) : cache(cap, ttl) {}
+  };
+
+  Stripe& stripe_for(std::string_view key) const {
+    return *stripes_[std::hash<std::string_view>{}(key) % stripes_.size()];
+  }
+
+  size_t capacity_;
+  size_t per_stripe_capacity_;
+  double ttl_;
+  std::vector<std::unique_ptr<Stripe>> stripes_;
+};
+
+}  // namespace sbroker::core

@@ -125,45 +125,49 @@ BrokerDaemon::BrokerDaemon(Reactor& reactor, std::string name,
     : reactor_(reactor),
       broker_(std::move(name), config.broker),
       tick_interval_(config.tick_interval),
-      listener_(reactor, config.listen_port, [this](int fd) {
-        auto conn = std::make_shared<Conn>();
-        conn->tcp = TcpConn::adopt(reactor_, fd);
-        conn->tcp->start(
-            [this, conn](std::string_view bytes) {
-              conn->inbox.append(bytes);
-              while (true) {
-                size_t consumed = 0;
-                auto request = http::decode_request(conn->inbox, &consumed);
-                if (!request) {
-                  // Either an incomplete message (wait for more bytes) or
-                  // garbage. Distinguish by magic: a buffer that cannot even
-                  // start a valid message will never become one.
-                  if (conn->inbox.size() >= 6 &&
-                      !(conn->inbox[0] == 'S' && conn->inbox[1] == 'B' &&
-                        conn->inbox[2] == 'R' && conn->inbox[3] == 'K')) {
-                    SBROKER_WARN("broker-daemon") << "malformed request; closing";
-                    conn->tcp->abort();
-                  }
-                  return;
-                }
-                conn->inbox.erase(0, consumed);
-                auto tcp = conn->tcp;
-                broker_.submit(reactor_.now(), *request,
-                               [tcp](const http::BrokerReply& reply) {
-                                 if (!tcp->closed()) tcp->send(http::encode(reply));
-                               });
-              }
-            },
-            [conn]() {});
-      }) {
+      listener_(reactor, config.listen_port,
+                [this](int fd) { adopt_client(fd); }, config.reuse_port) {
   if (config.enable_udp) {
     udp_ = std::make_unique<UdpSocket>(
         reactor_, config.udp_port,
         [this](std::string_view payload, const sockaddr_in& from) {
           on_datagram(payload, from);
-        });
+        },
+        config.reuse_port);
   }
   schedule_tick();
+}
+
+void BrokerDaemon::adopt_client(int fd) {
+  auto conn = std::make_shared<Conn>();
+  conn->tcp = TcpConn::adopt(reactor_, fd);
+  conn->tcp->start(
+      [this, conn](std::string_view bytes) {
+        conn->inbox.append(bytes);
+        while (true) {
+          size_t consumed = 0;
+          auto request = http::decode_request(conn->inbox, &consumed);
+          if (!request) {
+            // Either an incomplete message (wait for more bytes) or
+            // garbage. Distinguish by magic: a buffer that cannot even
+            // start a valid message will never become one.
+            if (conn->inbox.size() >= 6 &&
+                !(conn->inbox[0] == 'S' && conn->inbox[1] == 'B' &&
+                  conn->inbox[2] == 'R' && conn->inbox[3] == 'K')) {
+              SBROKER_WARN("broker-daemon") << "malformed request; closing";
+              conn->tcp->abort();
+            }
+            return;
+          }
+          conn->inbox.erase(0, consumed);
+          auto tcp = conn->tcp;
+          broker_.submit(reactor_.now(), *request,
+                         [tcp](const http::BrokerReply& reply) {
+                           if (!tcp->closed()) tcp->send(http::encode(reply));
+                         });
+        }
+      },
+      [conn]() {});
 }
 
 void BrokerDaemon::on_datagram(std::string_view payload, const sockaddr_in& from) {

@@ -57,6 +57,9 @@ struct BrokerDaemonConfig {
   bool enable_udp = true;        ///< the paper's "lightweight UDP" channel
   uint16_t udp_port = 0;         ///< 0 = ephemeral
   double tick_interval = 0.02;   ///< seconds between housekeeping ticks
+  /// SO_REUSEPORT on both listeners, so several daemons (the shards of a
+  /// ShardedBrokerDaemon) can accept on one shared port.
+  bool reuse_port = false;
 };
 
 class BrokerDaemon {
@@ -67,6 +70,12 @@ class BrokerDaemon {
   BrokerDaemon& operator=(const BrokerDaemon&) = delete;
 
   void add_backend(std::shared_ptr<core::Backend> backend, double weight = 1.0);
+
+  /// Adopts an already-accepted client socket (non-blocking fd) as a
+  /// wire-protocol connection, exactly as if this daemon's own listener had
+  /// accepted it. Must be called on this daemon's reactor thread; the
+  /// sharded daemon's acceptor fallback posts fds here.
+  void adopt_client(int fd);
 
   uint16_t port() const { return listener_.port(); }
   /// UDP datagram port; 0 when UDP is disabled.

@@ -95,6 +95,15 @@ int Reactor::next_timeout_ms(int default_ms) const {
   return ms;
 }
 
+void Reactor::drain_posted() {
+  std::vector<std::function<void()>> tasks;
+  {
+    std::lock_guard<std::mutex> lock(post_mu_);
+    tasks.swap(posted_);
+  }
+  for (auto& task : tasks) task();
+}
+
 bool Reactor::poll_once(int timeout_ms) {
   if (stopped_) return false;
   epoll_event events[64];
@@ -111,6 +120,7 @@ bool Reactor::poll_once(int timeout_ms) {
     IoCallback cb = it->second;
     cb(events[i].events);
   }
+  drain_posted();
   fire_due_timers();
   return !stopped_;
 }
@@ -124,6 +134,15 @@ void Reactor::stop() {
   stopped_ = true;
   uint64_t one = 1;
   // Best effort: wake the epoll_wait.
+  [[maybe_unused]] ssize_t n = write(wake_fd_, &one, sizeof(one));
+}
+
+void Reactor::post(std::function<void()> fn) {
+  {
+    std::lock_guard<std::mutex> lock(post_mu_);
+    posted_.push_back(std::move(fn));
+  }
+  uint64_t one = 1;
   [[maybe_unused]] ssize_t n = write(wake_fd_, &one, sizeof(one));
 }
 

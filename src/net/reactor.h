@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <queue>
 #include <unordered_map>
 #include <unordered_set>
@@ -56,6 +57,12 @@ class Reactor {
   /// Thread-safe shutdown request.
   void stop();
 
+  /// Thread-safe task handoff: `fn` runs on the reactor thread during its
+  /// next dispatch cycle. This is the only way for another thread to touch
+  /// state owned by this reactor (the sharded daemon uses it for metric
+  /// snapshots and for the round-robin accept fallback).
+  void post(std::function<void()> fn);
+
  private:
   struct Timer {
     double deadline;
@@ -67,6 +74,7 @@ class Reactor {
   };
 
   void fire_due_timers();
+  void drain_posted();
   int next_timeout_ms(int default_ms) const;
 
   int epoll_fd_ = -1;
@@ -76,6 +84,8 @@ class Reactor {
   TimerId next_timer_id_ = 1;
   std::priority_queue<Timer, std::vector<Timer>, std::greater<Timer>> timers_;
   std::unordered_map<TimerId, TimerCallback> timer_callbacks_;
+  std::mutex post_mu_;
+  std::vector<std::function<void()>> posted_;
 };
 
 }  // namespace sbroker::net

@@ -1,0 +1,141 @@
+#include "net/sharded_daemon.h"
+
+#include <unistd.h>
+
+#include <future>
+#include <utility>
+
+#include "util/log.h"
+
+namespace sbroker::net {
+namespace {
+
+/// One-shot probe: can this kernel bind two sockets to one port?
+bool reuseport_supported() {
+  try {
+    auto [fd, port] = listen_tcp(0, /*reuse_port=*/true);
+    auto [fd2, port2] = listen_tcp(port, /*reuse_port=*/true);
+    close(fd2);
+    close(fd);
+    (void)port2;
+    return true;
+  } catch (const std::exception&) {
+    return false;
+  }
+}
+
+}  // namespace
+
+ShardedBrokerDaemon::ShardedBrokerDaemon(std::string name,
+                                         ShardedBrokerDaemonConfig config)
+    : name_(std::move(name)), config_(std::move(config)) {
+  if (config_.shards == 0) config_.shards = 1;
+  cache_ = std::make_shared<core::StripedResultCache>(
+      config_.broker.cache_capacity, config_.broker.cache_ttl,
+      config_.cache_stripes);
+  load_ = std::make_shared<core::LoadTracker>();
+
+  bool kernel_sharding =
+      !config_.force_acceptor_fallback && reuseport_supported();
+  if (!kernel_sharding && !config_.force_acceptor_fallback) {
+    SBROKER_WARN(name_) << "SO_REUSEPORT unavailable; using acceptor fallback";
+  }
+
+  shards_.reserve(config_.shards);
+  for (size_t i = 0; i < config_.shards; ++i) {
+    auto shard = std::make_unique<Shard>();
+    shard->reactor = std::make_unique<Reactor>();
+
+    BrokerDaemonConfig cfg;
+    cfg.broker = config_.broker;
+    // De-correlate the shards' random balancer choices.
+    cfg.broker.rng_seed = config_.broker.rng_seed + i;
+    cfg.tick_interval = config_.tick_interval;
+    if (kernel_sharding) {
+      cfg.reuse_port = true;
+      cfg.listen_port = i == 0 ? config_.listen_port : port_;
+      cfg.enable_udp = config_.enable_udp;
+      cfg.udp_port = i == 0 ? config_.udp_port : udp_port_;
+    } else {
+      // Private ephemeral listener (unused); the shared acceptor feeds fds
+      // in via adopt_client. UDP cannot be shared without SO_REUSEPORT, so
+      // shard 0 owns the datagram channel alone.
+      cfg.reuse_port = false;
+      cfg.listen_port = 0;
+      cfg.enable_udp = config_.enable_udp && i == 0;
+      cfg.udp_port = config_.udp_port;
+    }
+
+    shard->daemon = std::make_unique<BrokerDaemon>(
+        *shard->reactor, name_ + "#" + std::to_string(i), cfg);
+    shard->daemon->broker().share_cache(cache_);
+    shard->daemon->broker().share_load(load_);
+
+    if (i == 0) {
+      if (kernel_sharding) port_ = shard->daemon->port();
+      udp_port_ = shard->daemon->udp_port();
+    }
+    shards_.push_back(std::move(shard));
+  }
+
+  if (!kernel_sharding) {
+    acceptor_ = std::make_unique<TcpListener>(
+        *shards_[0]->reactor, config_.listen_port,
+        [this](int fd) { dispatch_accepted(fd); });
+    port_ = acceptor_->port();
+  }
+}
+
+ShardedBrokerDaemon::~ShardedBrokerDaemon() { stop(); }
+
+void ShardedBrokerDaemon::dispatch_accepted(int fd) {
+  // Runs on shard 0's reactor thread; next_shard_ is only touched here.
+  Shard& target = *shards_[next_shard_++ % shards_.size()];
+  target.reactor->post(
+      [daemon = target.daemon.get(), fd]() { daemon->adopt_client(fd); });
+}
+
+void ShardedBrokerDaemon::add_backend(const BackendFactory& factory,
+                                      double weight) {
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    shards_[i]->daemon->add_backend(factory(*shards_[i]->reactor, i), weight);
+  }
+}
+
+void ShardedBrokerDaemon::start() {
+  if (running_) return;
+  running_ = true;
+  for (auto& shard : shards_) {
+    shard->thread = std::thread([reactor = shard->reactor.get()]() {
+      reactor->run();
+    });
+  }
+}
+
+void ShardedBrokerDaemon::stop() {
+  if (!running_) return;
+  for (auto& shard : shards_) shard->reactor->stop();
+  for (auto& shard : shards_) {
+    if (shard->thread.joinable()) shard->thread.join();
+  }
+  running_ = false;
+}
+
+core::BrokerMetrics ShardedBrokerDaemon::aggregate_metrics() {
+  core::BrokerMetrics total(config_.broker.rules.num_levels);
+  if (!running_) {
+    for (auto& shard : shards_) total.merge(shard->daemon->broker().metrics());
+    return total;
+  }
+  for (auto& shard : shards_) {
+    std::promise<core::BrokerMetrics> snapshot;
+    auto done = snapshot.get_future();
+    shard->reactor->post([&snapshot, daemon = shard->daemon.get()]() {
+      snapshot.set_value(daemon->broker().metrics());
+    });
+    total.merge(done.get());
+  }
+  return total;
+}
+
+}  // namespace sbroker::net

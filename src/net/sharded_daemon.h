@@ -1,0 +1,119 @@
+// Multi-threaded sharded broker daemon.
+//
+// One BrokerDaemon per reactor thread ("shard"), all serving the same
+// TCP/UDP port. Each shard keeps the single-threaded core::ServiceBroker
+// invariant — no locks anywhere on a shard's data path — and two pieces of
+// state are deliberately global so the paper's semantics survive sharding:
+//
+//   * the result cache is a StripedResultCache shared by every shard, so a
+//     result fetched through shard A serves the identical request arriving
+//     at shard B (otherwise sharding divides the hit rate by N);
+//   * the outstanding-request count is a shared atomic LoadTracker, so each
+//     shard's AdmissionController enforces the QoS thresholds against the
+//     *global* load rather than 1/N of it.
+//
+// Connection distribution: every shard opens its own listening socket on
+// the shared port with SO_REUSEPORT and the kernel spreads incoming
+// connections across them (the HAProxy multi-worker pattern). Where
+// SO_REUSEPORT is unavailable — or when the config forces it — a fallback
+// acceptor on shard 0 accepts everything and hands fds round-robin to the
+// shard reactors via Reactor::post().
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/backend.h"
+#include "core/broker.h"
+#include "core/load.h"
+#include "core/striped_cache.h"
+#include "net/broker_daemon.h"
+#include "net/reactor.h"
+#include "net/tcp.h"
+
+namespace sbroker::net {
+
+struct ShardedBrokerDaemonConfig {
+  core::BrokerConfig broker;     ///< per-shard broker configuration
+  size_t shards = 1;             ///< reactor threads; clamped to >= 1
+  uint16_t listen_port = 0;      ///< shared TCP port; 0 = ephemeral
+  bool enable_udp = true;        ///< shared UDP port (shard 0 only in fallback)
+  uint16_t udp_port = 0;         ///< 0 = ephemeral
+  double tick_interval = 0.02;   ///< per-shard housekeeping tick, seconds
+  size_t cache_stripes = 8;      ///< lock stripes of the shared result cache
+  /// Skip SO_REUSEPORT and use the single-acceptor round-robin path even
+  /// when the kernel supports accept sharding (used by tests).
+  bool force_acceptor_fallback = false;
+};
+
+class ShardedBrokerDaemon {
+ public:
+  /// Builds one backend instance per shard, bound to that shard's reactor.
+  /// Backends are per-shard because they (like everything else a shard owns)
+  /// are only ever touched from that shard's thread.
+  using BackendFactory =
+      std::function<std::shared_ptr<core::Backend>(Reactor& reactor, size_t shard)>;
+
+  /// Binds all listeners; call add_backend() then start().
+  ShardedBrokerDaemon(std::string name, ShardedBrokerDaemonConfig config);
+  ~ShardedBrokerDaemon();  ///< stops and joins if still running
+  ShardedBrokerDaemon(const ShardedBrokerDaemon&) = delete;
+  ShardedBrokerDaemon& operator=(const ShardedBrokerDaemon&) = delete;
+
+  /// Registers a backend replica (one instance per shard). Before start().
+  void add_backend(const BackendFactory& factory, double weight = 1.0);
+
+  /// Launches the shard reactor threads.
+  void start();
+
+  /// Stops every shard reactor and joins the threads. Idempotent. In-flight
+  /// requests are abandoned (their connections close with the reactors).
+  void stop();
+
+  bool running() const { return running_; }
+  size_t shards() const { return shards_.size(); }
+  uint16_t port() const { return port_; }
+  /// Shared UDP datagram port; 0 when UDP is disabled.
+  uint16_t udp_port() const { return udp_port_; }
+  /// True when kernel accept sharding (SO_REUSEPORT) is active, false when
+  /// the round-robin acceptor fallback is in use.
+  bool kernel_accept_sharding() const { return !acceptor_; }
+
+  core::StripedResultCache& shared_cache() { return *cache_; }
+  const core::StripedResultCache& shared_cache() const { return *cache_; }
+  core::LoadTracker& shared_load() { return *load_; }
+
+  /// Direct access to one shard (its broker, its counters). Only safe while
+  /// stopped, or from that shard's own reactor thread.
+  BrokerDaemon& shard(size_t i) { return *shards_.at(i)->daemon; }
+
+  /// Per-class metrics folded across all shards. Safe from any non-shard
+  /// thread: while running it snapshots each shard via Reactor::post(),
+  /// when stopped it reads directly.
+  core::BrokerMetrics aggregate_metrics();
+
+ private:
+  struct Shard {
+    std::unique_ptr<Reactor> reactor;
+    std::unique_ptr<BrokerDaemon> daemon;
+    std::thread thread;
+  };
+
+  void dispatch_accepted(int fd);
+
+  std::string name_;
+  ShardedBrokerDaemonConfig config_;
+  std::shared_ptr<core::StripedResultCache> cache_;
+  std::shared_ptr<core::LoadTracker> load_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::unique_ptr<TcpListener> acceptor_;  ///< fallback mode only
+  size_t next_shard_ = 0;                  ///< fallback round-robin cursor
+  uint16_t port_ = 0;
+  uint16_t udp_port_ = 0;
+  bool running_ = false;
+};
+
+}  // namespace sbroker::net

@@ -19,7 +19,10 @@ namespace sbroker::net {
 
 /// Creates a non-blocking listening socket on 127.0.0.1:`port` (0 picks a
 /// free port). Returns {fd, actual port}; throws std::runtime_error.
-std::pair<int, uint16_t> listen_tcp(uint16_t port);
+/// With `reuse_port`, SO_REUSEPORT is set before bind so several sockets
+/// (one per broker shard) can listen on the same port and let the kernel
+/// spread incoming connections across them.
+std::pair<int, uint16_t> listen_tcp(uint16_t port, bool reuse_port = false);
 
 /// Non-blocking connect to 127.0.0.1:`port`. Returns the fd (connection may
 /// still be in progress); throws std::runtime_error on immediate failure.
@@ -79,8 +82,10 @@ class TcpListener {
   /// Called with each accepted (already non-blocking) fd.
   using AcceptFn = std::function<void(int fd)>;
 
-  /// Listens on 127.0.0.1:`port` (0 = ephemeral).
-  TcpListener(Reactor& reactor, uint16_t port, AcceptFn on_accept);
+  /// Listens on 127.0.0.1:`port` (0 = ephemeral). `reuse_port` enables
+  /// SO_REUSEPORT kernel accept-sharding (see listen_tcp).
+  TcpListener(Reactor& reactor, uint16_t port, AcceptFn on_accept,
+              bool reuse_port = false);
   ~TcpListener();
   TcpListener(const TcpListener&) = delete;
   TcpListener& operator=(const TcpListener&) = delete;

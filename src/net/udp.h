@@ -24,7 +24,10 @@ class UdpSocket {
   using DatagramFn = std::function<void(std::string_view, const sockaddr_in&)>;
 
   /// Binds 127.0.0.1:`port` (0 = ephemeral) and registers with the reactor.
-  UdpSocket(Reactor& reactor, uint16_t port, DatagramFn on_datagram);
+  /// `reuse_port` enables SO_REUSEPORT so the shards of a sharded daemon can
+  /// share one datagram port (the kernel picks a socket per sender).
+  UdpSocket(Reactor& reactor, uint16_t port, DatagramFn on_datagram,
+            bool reuse_port = false);
   ~UdpSocket();
   UdpSocket(const UdpSocket&) = delete;
   UdpSocket& operator=(const UdpSocket&) = delete;

@@ -1,0 +1,191 @@
+#include "util/json.h"
+
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+
+namespace sbroker::util {
+
+namespace {
+
+std::string format_double(double v) {
+  if (!std::isfinite(v)) return "null";  // JSON has no inf/nan
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  // Trim to the shortest representation that round-trips.
+  for (int precision = 1; precision < 17; ++precision) {
+    char shorter[32];
+    std::snprintf(shorter, sizeof(shorter), "%.*g", precision, v);
+    double parsed = 0.0;
+    std::sscanf(shorter, "%lf", &parsed);
+    if (parsed == v) return shorter;
+  }
+  return buf;
+}
+
+}  // namespace
+
+std::string JsonWriter::escape(std::string_view raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (char c : raw) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void JsonWriter::comma_if_needed() {
+  if (after_key_) {
+    // The value completing a `"key":` never takes a separator.
+    after_key_ = false;
+    return;
+  }
+  if (first_in_scope_.empty()) return;
+  if (first_in_scope_.back()) {
+    first_in_scope_.back() = false;
+  } else {
+    out_ += ',';
+  }
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  comma_if_needed();
+  out_ += '{';
+  first_in_scope_.push_back(true);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  assert(!first_in_scope_.empty());
+  first_in_scope_.pop_back();
+  out_ += '}';
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  comma_if_needed();
+  out_ += '[';
+  first_in_scope_.push_back(true);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  assert(!first_in_scope_.empty());
+  first_in_scope_.pop_back();
+  out_ += ']';
+  return *this;
+}
+
+JsonWriter& JsonWriter::key(std::string_view name) {
+  comma_if_needed();
+  out_ += '"';
+  out_ += escape(name);
+  out_ += "\":";
+  after_key_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::field(std::string_view name, std::string_view value) {
+  comma_if_needed();
+  out_ += '"';
+  out_ += escape(name);
+  out_ += "\":\"";
+  out_ += escape(value);
+  out_ += '"';
+  return *this;
+}
+
+JsonWriter& JsonWriter::field(std::string_view name, const char* value) {
+  return field(name, std::string_view(value));
+}
+
+JsonWriter& JsonWriter::field(std::string_view name, double value) {
+  comma_if_needed();
+  out_ += '"';
+  out_ += escape(name);
+  out_ += "\":";
+  out_ += format_double(value);
+  return *this;
+}
+
+JsonWriter& JsonWriter::field(std::string_view name, uint64_t value) {
+  comma_if_needed();
+  out_ += '"';
+  out_ += escape(name);
+  out_ += "\":";
+  out_ += std::to_string(value);
+  return *this;
+}
+
+JsonWriter& JsonWriter::field(std::string_view name, int64_t value) {
+  comma_if_needed();
+  out_ += '"';
+  out_ += escape(name);
+  out_ += "\":";
+  out_ += std::to_string(value);
+  return *this;
+}
+
+JsonWriter& JsonWriter::field(std::string_view name, int value) {
+  return field(name, static_cast<int64_t>(value));
+}
+
+JsonWriter& JsonWriter::field(std::string_view name, bool value) {
+  comma_if_needed();
+  out_ += '"';
+  out_ += escape(name);
+  out_ += "\":";
+  out_ += value ? "true" : "false";
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::string_view v) {
+  comma_if_needed();
+  out_ += '"';
+  out_ += escape(v);
+  out_ += '"';
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(double v) {
+  comma_if_needed();
+  out_ += format_double(v);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(uint64_t v) {
+  comma_if_needed();
+  out_ += std::to_string(v);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool v) {
+  comma_if_needed();
+  out_ += v ? "true" : "false";
+  return *this;
+}
+
+bool JsonWriter::write_file(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) return false;
+  bool ok = std::fwrite(out_.data(), 1, out_.size(), f) == out_.size();
+  ok = std::fputc('\n', f) != EOF && ok;
+  ok = std::fclose(f) == 0 && ok;
+  return ok;
+}
+
+}  // namespace sbroker::util

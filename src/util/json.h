@@ -1,0 +1,56 @@
+// Minimal JSON writer for benchmark result files.
+//
+// The perf trajectory lives in BENCH_*.json files at the repo root so every
+// PR can be compared against its predecessors. This is a write-only,
+// streaming builder — push objects/arrays, set scalar fields, render once.
+// It escapes strings, prints doubles round-trippably, and rejects nothing:
+// malformed nesting is a programming error caught by assert.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sbroker::util {
+
+class JsonWriter {
+ public:
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  /// Object-member forms: emit `"key": value`.
+  JsonWriter& key(std::string_view name);
+  JsonWriter& field(std::string_view name, std::string_view value);
+  JsonWriter& field(std::string_view name, const char* value);
+  JsonWriter& field(std::string_view name, double value);
+  JsonWriter& field(std::string_view name, uint64_t value);
+  JsonWriter& field(std::string_view name, int64_t value);
+  JsonWriter& field(std::string_view name, int value);
+  JsonWriter& field(std::string_view name, bool value);
+
+  /// Array-element scalar forms.
+  JsonWriter& value(std::string_view v);
+  JsonWriter& value(double v);
+  JsonWriter& value(uint64_t v);
+  JsonWriter& value(bool v);
+
+  /// The document accumulated so far.
+  const std::string& str() const { return out_; }
+
+  /// Writes str() to `path` (truncating) with a trailing newline; returns
+  /// false on IO failure.
+  bool write_file(const std::string& path) const;
+
+  static std::string escape(std::string_view raw);
+
+ private:
+  void comma_if_needed();
+  std::string out_;
+  std::vector<bool> first_in_scope_;  // per open scope
+  bool after_key_ = false;            // next value completes a "key":
+};
+
+}  // namespace sbroker::util

@@ -1,0 +1,245 @@
+// StripedResultCache: same LRU+TTL semantics as ResultCache per stripe, plus
+// the cross-shard guarantees the sharded daemon depends on — bounded total
+// size under any hash skew and integrity under concurrent put/get.
+#include "core/striped_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/broker.h"
+#include "core/load.h"
+
+namespace sbroker::core {
+namespace {
+
+TEST(StripedCacheTest, PutGetRoundTripAcrossManyKeys) {
+  // Per-stripe capacity is 64 for 100 keys: no realistic hash skew puts 65
+  // of them in one stripe, so no evictions interfere with the round trip.
+  StripedResultCache cache(512, 0.0, 8);
+  for (int i = 0; i < 100; ++i) {
+    cache.put("key-" + std::to_string(i), "value-" + std::to_string(i), 0.0);
+  }
+  for (int i = 0; i < 100; ++i) {
+    auto v = cache.get("key-" + std::to_string(i), 1.0);
+    ASSERT_TRUE(v.has_value()) << i;
+    EXPECT_EQ(*v, "value-" + std::to_string(i));
+  }
+  EXPECT_EQ(cache.size(), 100u);
+  EXPECT_EQ(cache.hits(), 100u);
+  EXPECT_EQ(cache.misses(), 0u);
+}
+
+TEST(StripedCacheTest, EvictionBoundHoldsUnderAnyHashSkew) {
+  constexpr size_t kCapacity = 64;
+  constexpr size_t kStripes = 8;
+  StripedResultCache cache(kCapacity, 0.0, kStripes);
+  // 50x capacity of distinct keys: every stripe overflows many times over.
+  for (int i = 0; i < 3200; ++i) {
+    cache.put("overflow-" + std::to_string(i), "v", 0.0);
+  }
+  EXPECT_LE(cache.size(), cache.max_resident());
+  // max_resident == stripes * ceil(capacity/stripes); with divisible numbers
+  // it equals the configured capacity exactly.
+  EXPECT_EQ(cache.max_resident(), kCapacity);
+  EXPECT_GT(cache.evictions(), 0u);
+}
+
+TEST(StripedCacheTest, StripeCountClampedToCapacity) {
+  StripedResultCache tiny(3, 0.0, 16);  // more stripes than entries
+  EXPECT_LE(tiny.stripes(), 3u);
+  tiny.put("a", "1", 0.0);
+  tiny.put("b", "2", 0.0);
+  EXPECT_EQ(tiny.size(), 2u);
+}
+
+TEST(StripedCacheTest, TtlExpiryAndStaleLookup) {
+  StripedResultCache cache(32, 1.0, 4);
+  cache.put("k", "fresh", 0.0);
+  EXPECT_TRUE(cache.get("k", 0.5).has_value());
+  EXPECT_FALSE(cache.get("k", 2.0).has_value());  // expired
+  EXPECT_EQ(cache.expired(), 1u);
+  // Stale path still serves the value for low-fidelity drop replies.
+  auto stale = cache.get_stale("k");
+  ASSERT_TRUE(stale.has_value());
+  EXPECT_EQ(*stale, "fresh");
+}
+
+TEST(StripedCacheTest, InvalidateAndClear) {
+  StripedResultCache cache(32, 0.0, 4);
+  cache.put("gone", "v", 0.0);
+  EXPECT_TRUE(cache.invalidate("gone"));
+  EXPECT_FALSE(cache.invalidate("gone"));
+  cache.put("a", "1", 0.0);
+  cache.put("b", "2", 0.0);
+  cache.clear();
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(StripedCacheTest, ConcurrentPutGetKeepsValueIntegrity) {
+  // 4 writer/reader threads over a shared keyspace: every observed value
+  // must match its key (no torn entries, no cross-key bleed), and the
+  // hit/miss accounting must equal the number of probes.
+  StripedResultCache cache(256, 0.0, 8);
+  constexpr int kThreads = 4;
+  constexpr int kOpsPerThread = 20000;
+  constexpr int kKeys = 64;
+  std::atomic<int> mismatches{0};
+  std::atomic<uint64_t> probes{0};
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t]() {
+      uint64_t rng = 1234567ULL * (t + 1);
+      for (int op = 0; op < kOpsPerThread; ++op) {
+        rng = rng * 6364136223846793005ULL + 1442695040888963407ULL;
+        int k = static_cast<int>((rng >> 33) % kKeys);
+        std::string key = "k" + std::to_string(k);
+        if (rng & 1) {
+          cache.put(key, "v" + std::to_string(k), 0.0);
+        } else {
+          probes.fetch_add(1, std::memory_order_relaxed);
+          auto v = cache.get(key, 1.0);
+          if (v && *v != "v" + std::to_string(k)) {
+            mismatches.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(mismatches.load(), 0);
+  EXPECT_EQ(cache.hits() + cache.misses(), probes.load());
+  EXPECT_LE(cache.size(), cache.max_resident());
+}
+
+TEST(StripedCacheTest, TtlExpiryUnderConcurrentPutGet) {
+  // Writers refresh keys with advancing timestamps while readers probe with
+  // a clock far enough ahead that entries keep expiring: exercises the
+  // expired-entry path under contention. The invariant is accounting-level:
+  // every probe is classified exactly once.
+  StripedResultCache cache(128, 0.5, 8);
+  constexpr int kThreads = 4;
+  constexpr int kOps = 10000;
+  std::atomic<uint64_t> probes{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t]() {
+      for (int op = 0; op < kOps; ++op) {
+        std::string key = "k" + std::to_string(op % 32);
+        double now = static_cast<double>(op) * 0.01;
+        if (t % 2 == 0) {
+          cache.put(key, "v", now);
+        } else {
+          probes.fetch_add(1, std::memory_order_relaxed);
+          // Probe 10 virtual seconds ahead: usually expired.
+          (void)cache.get(key, now + 10.0);
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(cache.hits() + cache.misses(), probes.load());
+  EXPECT_GT(cache.expired(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// The two share_* hooks the sharded daemon installs.
+
+std::shared_ptr<Backend> never_completing_backend() {
+  struct Silent : Backend {
+    void invoke(const Call&, Completion) override {}  // never answers
+  };
+  return std::make_shared<Silent>();
+}
+
+TEST(SharedLoadTest, AdmissionAppliesToGlobalLoadAcrossBrokers) {
+  // Two broker shards share one LoadTracker. Saturating shard A must make
+  // shard B drop low-priority work even though B itself is idle — the
+  // paper's threshold applies to the service, not to one shard's slice.
+  BrokerConfig cfg;
+  cfg.rules = QosRules{3, 6.0};
+  cfg.enable_cache = false;
+  ServiceBroker a("shard-a", cfg);
+  ServiceBroker b("shard-b", cfg);
+  auto load = std::make_shared<LoadTracker>();
+  a.share_load(load);
+  b.share_load(load);
+  a.add_backend(never_completing_backend());
+  b.add_backend(never_completing_backend());
+
+  auto request = [](uint64_t id, int level) {
+    http::BrokerRequest r;
+    r.request_id = id;
+    r.qos_level = static_cast<uint8_t>(level);
+    r.payload = "q" + std::to_string(id);
+    return r;
+  };
+
+  // Fill the global window through shard A (class 3 bound = threshold = 6).
+  for (uint64_t i = 0; i < 6; ++i) {
+    a.submit(0.0, request(i, 3), [](const http::BrokerReply&) {});
+  }
+  EXPECT_EQ(load->outstanding(), 6);
+
+  // Shard B has zero local outstanding, but the global count is at the
+  // threshold: a class-3 request must be dropped.
+  bool dropped = false;
+  b.submit(0.0, request(100, 3), [&](const http::BrokerReply& reply) {
+    dropped = reply.fidelity == http::Fidelity::kBusy;
+  });
+  EXPECT_TRUE(dropped);
+  EXPECT_EQ(b.outstanding(), 0u);
+
+  // Without sharing (fresh broker), the same request would be admitted.
+  ServiceBroker lone("lone", cfg);
+  lone.add_backend(never_completing_backend());
+  bool admitted = true;
+  lone.submit(0.0, request(101, 3), [&](const http::BrokerReply& reply) {
+    admitted = reply.fidelity != http::Fidelity::kBusy;
+  });
+  EXPECT_EQ(lone.outstanding(), 1u);  // forwarded, still pending
+  (void)admitted;
+}
+
+TEST(SharedCacheTest, ResultFetchedByOneBrokerServesAnother) {
+  struct Echo : Backend {
+    void invoke(const Call& call, Completion done) override {
+      done(0.0, true, "result:" + call.payload);
+    }
+  };
+  BrokerConfig cfg;
+  cfg.enable_cache = true;
+  ServiceBroker a("shard-a", cfg);
+  ServiceBroker b("shard-b", cfg);
+  auto shared = std::make_shared<StripedResultCache>(64, 30.0, 4);
+  a.share_cache(shared);
+  b.share_cache(shared);
+  a.add_backend(std::make_shared<Echo>());
+  b.add_backend(std::make_shared<Echo>());
+
+  http::BrokerRequest req;
+  req.request_id = 1;
+  req.qos_level = 3;
+  req.payload = "SELECT 1";
+
+  http::Fidelity first = http::Fidelity::kError;
+  a.submit(0.0, req, [&](const http::BrokerReply& r) { first = r.fidelity; });
+  EXPECT_EQ(first, http::Fidelity::kFull);
+
+  req.request_id = 2;
+  http::Fidelity second = http::Fidelity::kError;
+  std::string payload;
+  b.submit(0.1, req, [&](const http::BrokerReply& r) {
+    second = r.fidelity;
+    payload = r.payload;
+  });
+  EXPECT_EQ(second, http::Fidelity::kCached);
+  EXPECT_EQ(payload, "result:SELECT 1");
+}
+
+}  // namespace
+}  // namespace sbroker::core

@@ -102,9 +102,12 @@ TEST_F(HttpServerTest, ConcurrentClients) {
 }
 
 TEST_F(HttpServerTest, DeferredResponseViaTimer) {
-  server_ = nullptr;  // tear down default server first
+  // Stop the reactor thread before tearing down the default server: the
+  // server's destructor deregisters fds on reactor_, which is only safe once
+  // no other thread is polling it.
   reactor_.stop();
   thread_.join();
+  server_ = nullptr;
 
   Reactor reactor2;
   HttpServer server(reactor2, 0,
