@@ -2,21 +2,30 @@
 //
 // Drives a ShardedBrokerDaemon over real TCP sockets: M client threads, each
 // with one persistent wire-protocol connection, issue requests back-to-back
-// for a fixed wall-clock window. Sweeping the shard count on one identical
-// trace shows how throughput scales with reactor threads while the shared
-// striped cache keeps the hit ratio — and the shared load counter keeps the
-// per-class drop ratios — independent of N.
+// for a fixed wall-clock window. The sweep is the cross product of shard
+// counts and backend-channel modes: pipeline=0 uses the stop-and-wait
+// HttpBackend (one outstanding request per connection), pipeline=1 the
+// PipelinedBackend (few persistent connections, many in-flight exchanges
+// each, coalesced writes). Comparing connections_opened and req/s between
+// the modes is the wire-level check of the paper's "a single connection ...
+// can be multiplexed to serve multiple applications" claim.
 //
-//   $ daemon_loadgen shards=1,2,4 clients=8 seconds=2 keys=512 \
-//         out=BENCH_daemon.json
+//   $ daemon_loadgen shards=1,2,4 pipeline=0,1 clients=64 seconds=2 cache=0
 //
 // key=value parameters (util::Config):
 //   shards    comma list of shard counts to sweep     (default "1,2,4")
+//   pipeline  comma list of channel modes, 0 and/or 1 (default "0,1")
 //   clients   concurrent closed-loop connections      (default 8)
 //   seconds   measurement window per run              (default 2.0)
 //   keys      distinct request targets (cache keyspace, default 512)
 //   threshold admission threshold (QoS rules)         (default 64)
+//   cache     1 = result cache on; 0 off, so every request rides the
+//             broker->backend channel under test       (default 1)
 //   fallback  1 = force the round-robin acceptor path (default 0)
+//   check     1 = verify conservation (issued == completed, issued ==
+//             forwarded + dropped + cached + errors) and zero client
+//             failures after every run; exit 1 on violation — this is the
+//             ctest smoke mode that keeps the bench binary honest
 //   out       JSON result file; "" = stdout only      (default BENCH_daemon.json)
 #include <atomic>
 #include <chrono>
@@ -27,6 +36,7 @@
 
 #include "net/http_server.h"
 #include "net/http_client.h"
+#include "net/pipelined_backend.h"
 #include "net/sharded_daemon.h"
 #include "util/config.h"
 #include "util/json.h"
@@ -38,6 +48,7 @@ namespace {
 
 struct RunResult {
   size_t shards = 0;
+  bool pipelined = false;
   bool kernel_accept_sharding = false;
   uint64_t requests = 0;   // replies received by clients
   uint64_t failures = 0;   // timeouts / io errors
@@ -45,7 +56,7 @@ struct RunResult {
   double rps = 0.0;
   util::Histogram latency;  // seconds
   double hit_ratio = 0.0;
-  core::BrokerMetrics metrics;
+  core::BrokerMetrics metrics;  // metrics.transport carries the channel stats
 };
 
 double monotonic_seconds() {
@@ -54,18 +65,27 @@ double monotonic_seconds() {
       .count();
 }
 
-RunResult run_one(size_t shards, size_t clients, double seconds, uint64_t keys,
-                  double threshold, bool fallback, uint16_t backend_port) {
+RunResult run_one(size_t shards, bool pipelined, size_t clients, double seconds,
+                  uint64_t keys, double threshold, bool cache, bool fallback,
+                  uint16_t backend_port) {
   net::ShardedBrokerDaemonConfig cfg;
   cfg.broker.rules = core::QosRules{3, threshold};
-  cfg.broker.enable_cache = true;
+  cfg.broker.enable_cache = cache;
   cfg.broker.cache_capacity = 4096;
   cfg.broker.cache_ttl = 3600.0;  // no expiry inside the window
   cfg.shards = shards;
   cfg.enable_udp = false;
   cfg.force_acceptor_fallback = fallback;
   net::ShardedBrokerDaemon daemon("loadgen-broker", cfg);
-  daemon.add_backend([backend_port](net::Reactor& reactor, size_t) {
+  core::PoolConfig pool = cfg.broker.pool;
+  daemon.add_backend([backend_port, pipelined, pool](net::Reactor& reactor,
+                                                     size_t) -> std::shared_ptr<core::Backend> {
+    if (pipelined) {
+      // Same caps as the broker's ConnectionPool, so the wire enforces the
+      // bounds the core accounting already promised.
+      return std::make_shared<net::PipelinedBackend>(
+          reactor, backend_port, net::PipelinedBackend::Config::from_pool(pool));
+    }
     return std::make_shared<net::HttpBackend>(reactor, backend_port);
   });
   daemon.start();
@@ -114,6 +134,7 @@ RunResult run_one(size_t shards, size_t clients, double seconds, uint64_t keys,
 
   RunResult r;
   r.shards = shards;
+  r.pipelined = pipelined;
   r.kernel_accept_sharding = daemon.kernel_accept_sharding();
   r.seconds = wall;
   for (size_t c = 0; c < clients; ++c) {
@@ -128,39 +149,99 @@ RunResult run_one(size_t shards, size_t clients, double seconds, uint64_t keys,
   return r;
 }
 
+/// Parses a comma list of unsigned values; empty result means a parse error.
+std::vector<size_t> parse_list(const std::string& list, size_t min_value) {
+  std::vector<size_t> values;
+  for (size_t pos = 0; pos < list.size();) {
+    size_t comma = list.find(',', pos);
+    if (comma == std::string::npos) comma = list.size();
+    std::string token = list.substr(pos, comma - pos);
+    try {
+      size_t consumed = 0;
+      size_t n = std::stoul(token, &consumed);
+      if (consumed != token.size() || n < min_value) {
+        throw std::invalid_argument(token);
+      }
+      values.push_back(n);
+    } catch (const std::exception&) {
+      return {};
+    }
+    pos = comma + 1;
+  }
+  return values;
+}
+
+/// The bench smoke invariants: every request issued at some shard was
+/// answered exactly once, partitioned cleanly into the four outcomes, and
+/// every client got every reply it waited for.
+bool conservation_holds(const RunResult& r) {
+  core::BrokerMetrics::ClassCounters total = r.metrics.total();
+  bool ok = true;
+  if (r.failures != 0) {
+    std::fprintf(stderr, "conservation: %llu client-side failures\n",
+                 static_cast<unsigned long long>(r.failures));
+    ok = false;
+  }
+  if (total.issued != r.requests) {
+    std::fprintf(stderr, "conservation: issued %llu != client replies %llu\n",
+                 static_cast<unsigned long long>(total.issued),
+                 static_cast<unsigned long long>(r.requests));
+    ok = false;
+  }
+  if (total.completed != total.issued) {
+    std::fprintf(stderr, "conservation: completed %llu != issued %llu\n",
+                 static_cast<unsigned long long>(total.completed),
+                 static_cast<unsigned long long>(total.issued));
+    ok = false;
+  }
+  if (total.forwarded + total.dropped + total.cache_hits + total.errors !=
+      total.issued) {
+    std::fprintf(stderr,
+                 "conservation: forwarded %llu + dropped %llu + cached %llu + "
+                 "errors %llu != issued %llu\n",
+                 static_cast<unsigned long long>(total.forwarded),
+                 static_cast<unsigned long long>(total.dropped),
+                 static_cast<unsigned long long>(total.cache_hits),
+                 static_cast<unsigned long long>(total.errors),
+                 static_cast<unsigned long long>(total.issued));
+    ok = false;
+  }
+  return ok;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   util::Config cfg = util::Config::from_args(argc, argv);
   std::string shard_list = cfg.get_string("shards", "1,2,4");
+  std::string pipeline_list = cfg.get_string("pipeline", "0,1");
   size_t clients = static_cast<size_t>(cfg.get_int("clients", 8));
   double seconds = cfg.get_double("seconds", 2.0);
   uint64_t keys = static_cast<uint64_t>(cfg.get_int("keys", 512));
   double threshold = cfg.get_double("threshold", 64.0);
+  bool cache = cfg.get_bool("cache", true);
   bool fallback = cfg.get_bool("fallback", false);
+  bool check = cfg.get_bool("check", false);
   std::string out = cfg.get_string("out", "BENCH_daemon.json");
 
-  std::vector<size_t> sweep;
-  for (size_t pos = 0; pos < shard_list.size();) {
-    size_t comma = shard_list.find(',', pos);
-    if (comma == std::string::npos) comma = shard_list.size();
-    std::string token = shard_list.substr(pos, comma - pos);
-    try {
-      size_t consumed = 0;
-      size_t n = std::stoul(token, &consumed);
-      if (consumed != token.size() || n == 0) throw std::invalid_argument(token);
-      sweep.push_back(n);
-    } catch (const std::exception&) {
-      std::fprintf(stderr,
-                   "error: shards=%s is not a comma list of positive counts "
-                   "(e.g. shards=1,2,4)\n", shard_list.c_str());
-      return 1;
-    }
-    pos = comma + 1;
-  }
-  if (sweep.empty() || clients == 0 || seconds <= 0.0 || keys == 0) {
+  std::vector<size_t> sweep = parse_list(shard_list, 1);
+  if (sweep.empty()) {
     std::fprintf(stderr,
-                 "error: need non-empty shards=, clients>=1, seconds>0, keys>=1\n");
+                 "error: shards=%s is not a comma list of positive counts "
+                 "(e.g. shards=1,2,4)\n", shard_list.c_str());
+    return 1;
+  }
+  std::vector<size_t> modes = parse_list(pipeline_list, 0);
+  for (size_t m : modes) {
+    if (m > 1) modes.clear();
+  }
+  if (modes.empty()) {
+    std::fprintf(stderr, "error: pipeline=%s must be a comma list of 0/1\n",
+                 pipeline_list.c_str());
+    return 1;
+  }
+  if (clients == 0 || seconds <= 0.0 || keys == 0) {
+    std::fprintf(stderr, "error: need clients>=1, seconds>0, keys>=1\n");
     return 1;
   }
 
@@ -174,23 +255,37 @@ int main(int argc, char** argv) {
   std::thread backend_thread([&] { backend_reactor.run(); });
 
   unsigned cpus = std::thread::hardware_concurrency();
-  std::printf("daemon_loadgen: %zu clients, %.1fs per run, %llu keys, %u cpus\n",
-              clients, seconds, static_cast<unsigned long long>(keys), cpus);
-  std::printf("%-7s %-8s %10s %10s %9s %9s %9s %10s\n", "shards", "accept",
-              "requests", "req/s", "p50 ms", "p99 ms", "hit%", "dropped");
+  std::printf(
+      "daemon_loadgen: %zu clients, %.1fs per run, %llu keys, cache=%d, %u cpus\n",
+      clients, seconds, static_cast<unsigned long long>(keys), cache ? 1 : 0,
+      cpus);
+  std::printf("%-7s %-9s %-8s %10s %10s %9s %9s %9s %10s %9s\n", "shards",
+              "channel", "accept", "requests", "req/s", "p50 ms", "p99 ms",
+              "hit%", "dropped", "conns");
 
+  bool conservation_ok = true;
   std::vector<RunResult> results;
   for (size_t shards : sweep) {
-    RunResult r = run_one(shards, clients, seconds, keys, threshold, fallback,
-                          backend.port());
-    core::BrokerMetrics::ClassCounters total = r.metrics.total();
-    std::printf("%-7zu %-8s %10llu %10.0f %9.3f %9.3f %8.1f%% %10llu\n",
-                r.shards, r.kernel_accept_sharding ? "kernel" : "rrobin",
-                static_cast<unsigned long long>(r.requests), r.rps,
-                r.latency.percentile(0.5) * 1e3, r.latency.p99() * 1e3,
-                r.hit_ratio * 100.0,
-                static_cast<unsigned long long>(total.dropped));
-    results.push_back(std::move(r));
+    for (size_t mode : modes) {
+      RunResult r = run_one(shards, mode != 0, clients, seconds, keys,
+                            threshold, cache, fallback, backend.port());
+      core::BrokerMetrics::ClassCounters total = r.metrics.total();
+      std::printf("%-7zu %-9s %-8s %10llu %10.0f %9.3f %9.3f %8.1f%% %10llu %9llu\n",
+                  r.shards, r.pipelined ? "pipeline" : "stopwait",
+                  r.kernel_accept_sharding ? "kernel" : "rrobin",
+                  static_cast<unsigned long long>(r.requests), r.rps,
+                  r.latency.percentile(0.5) * 1e3, r.latency.p99() * 1e3,
+                  r.hit_ratio * 100.0,
+                  static_cast<unsigned long long>(total.dropped),
+                  static_cast<unsigned long long>(
+                      r.metrics.transport.connections_opened));
+      if (check && !conservation_holds(r)) {
+        std::fprintf(stderr, "conservation violated: shards=%zu pipeline=%zu\n",
+                     shards, mode);
+        conservation_ok = false;
+      }
+      results.push_back(std::move(r));
+    }
   }
 
   backend_reactor.stop();
@@ -204,12 +299,14 @@ int main(int argc, char** argv) {
       .field("window_seconds", seconds)
       .field("keys", keys)
       .field("threshold", threshold)
+      .field("cache", cache)
       .key("runs")
       .begin_array();
   for (const RunResult& r : results) {
     core::BrokerMetrics::ClassCounters total = r.metrics.total();
     json.begin_object()
         .field("shards", r.shards)
+        .field("pipelined", r.pipelined)
         .field("kernel_accept_sharding", r.kernel_accept_sharding)
         .field("requests", r.requests)
         .field("failures", r.failures)
@@ -224,6 +321,13 @@ int main(int argc, char** argv) {
         .field("dropped", total.dropped)
         .field("cache_hits", total.cache_hits)
         .field("errors", total.errors)
+        .field("connections_opened", r.metrics.transport.connections_opened)
+        .field("open_connections", r.metrics.transport.open_connections)
+        .field("write_flushes", r.metrics.transport.flushes)
+        .field("requests_written", r.metrics.transport.requests_written)
+        .field("channel_rejections", r.metrics.transport.rejections)
+        .field("channel_retries", r.metrics.transport.retries)
+        .field("peak_pipeline_depth", r.metrics.transport.peak_in_flight)
         .key("drop_ratio_per_class")
         .begin_array();
     for (int level = 1; level <= r.metrics.num_levels(); ++level) {
@@ -242,6 +346,13 @@ int main(int argc, char** argv) {
     }
   } else {
     std::printf("%s\n", json.str().c_str());
+  }
+  if (check) {
+    if (!conservation_ok) {
+      std::fprintf(stderr, "conservation check FAILED\n");
+      return 1;
+    }
+    std::printf("conservation check passed for %zu runs\n", results.size());
   }
   return 0;
 }

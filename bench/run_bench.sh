@@ -7,9 +7,12 @@
 #
 # Environment knobs for the loadgen sweep:
 #   BENCH_SHARDS   comma list of shard counts   (default 1,2,4)
-#   BENCH_CLIENTS  concurrent connections       (default 8)
+#   BENCH_PIPELINE backend channel modes        (default 0,1)
+#   BENCH_CLIENTS  concurrent connections       (default 64)
 #   BENCH_SECONDS  seconds per run              (default 2)
 #   BENCH_KEYS     distinct request targets     (default 512)
+#   BENCH_CACHE    result cache on/off          (default 0, so every request
+#                  exercises the broker->backend channel under comparison)
 set -eu
 
 repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
@@ -30,9 +33,11 @@ echo "== micro benches -> BENCH_core.json"
 echo "== daemon loadgen -> BENCH_daemon.json"
 "$build_dir/bench/daemon_loadgen" \
   "shards=${BENCH_SHARDS:-1,2,4}" \
-  "clients=${BENCH_CLIENTS:-8}" \
+  "pipeline=${BENCH_PIPELINE:-0,1}" \
+  "clients=${BENCH_CLIENTS:-64}" \
   "seconds=${BENCH_SECONDS:-2}" \
   "keys=${BENCH_KEYS:-512}" \
+  "cache=${BENCH_CACHE:-0}" \
   "out=$repo_root/BENCH_daemon.json"
 
 echo "== wrote $repo_root/BENCH_core.json and $repo_root/BENCH_daemon.json"

@@ -16,6 +16,7 @@
 
 #include "net/http_client.h"
 #include "net/http_server.h"
+#include "net/pipelined_backend.h"
 #include "net/sharded_daemon.h"
 
 using namespace sbroker;
@@ -40,10 +41,14 @@ int main() {
   cfg.broker.enable_cache = true;
   cfg.broker.cache_ttl = 5.0;
   net::ShardedBrokerDaemon daemon("web-broker", cfg);
-  // One HttpBackend per shard, bound to that shard's reactor — backends are
-  // shard-local; only the cache and the load count are shared.
-  daemon.add_backend([&](net::Reactor& reactor, size_t) {
-    return std::make_shared<net::HttpBackend>(reactor, backend.port());
+  // One pipelined channel per shard, bound to that shard's reactor — backends
+  // are shard-local; only the cache and the load count are shared. The
+  // channel mirrors the broker's ConnectionPool bounds, so each shard keeps a
+  // handful of multiplexed sockets instead of one per in-flight request.
+  core::PoolConfig pool = cfg.broker.pool;
+  daemon.add_backend([&, pool](net::Reactor& reactor, size_t) {
+    return std::make_shared<net::PipelinedBackend>(
+        reactor, backend.port(), net::PipelinedBackend::Config::from_pool(pool));
   });
   daemon.start();
 
@@ -104,5 +109,9 @@ int main() {
               static_cast<unsigned long long>(m.total().cache_hits));
   std::printf("shared cache: %zu entries, hit ratio %.2f\n",
               daemon.shared_cache().size(), daemon.shared_cache().hit_ratio());
+  std::printf("backend channel: %llu backend calls multiplexed over %llu "
+              "connections\n",
+              static_cast<unsigned long long>(m.transport.calls),
+              static_cast<unsigned long long>(m.transport.connections_opened));
   return 0;
 }

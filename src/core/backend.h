@@ -7,10 +7,38 @@
 // clock itself.
 #pragma once
 
+#include <algorithm>
+#include <cstdint>
 #include <functional>
 #include <string>
 
 namespace sbroker::core {
+
+/// Wire-level counters a transport-backed Backend can report. Pure data so
+/// the I/O-free core can aggregate them (BrokerMetrics carries one per
+/// broker) without knowing anything about sockets. Backends without a real
+/// transport (simulation, in-process) report all-zero stats.
+struct ChannelStats {
+  uint64_t calls = 0;               ///< invoke() count
+  uint64_t connections_opened = 0;  ///< physical connection setups
+  uint64_t open_connections = 0;    ///< currently open physical connections
+  uint64_t flushes = 0;             ///< coalesced write flushes to sockets
+  uint64_t requests_written = 0;    ///< requests carried by those flushes
+  uint64_t rejections = 0;          ///< channel-saturated backpressure failures
+  uint64_t retries = 0;             ///< exchanges re-issued after connection loss
+  uint64_t peak_in_flight = 0;      ///< deepest pipeline seen on one connection
+
+  void merge(const ChannelStats& other) {
+    calls += other.calls;
+    connections_opened += other.connections_opened;
+    open_connections += other.open_connections;
+    flushes += other.flushes;
+    requests_written += other.requests_written;
+    rejections += other.rejections;
+    retries += other.retries;
+    peak_in_flight = std::max(peak_in_flight, other.peak_in_flight);
+  }
+};
 
 class Backend {
  public:
@@ -29,6 +57,10 @@ class Backend {
 
   /// Issues `call`; `done` fires exactly once, later or re-entrantly.
   virtual void invoke(const Call& call, Completion done) = 0;
+
+  /// Wire-level counters for transport-backed implementations; the default
+  /// (simulated / in-process backends) reports zeros.
+  virtual ChannelStats channel_stats() const { return {}; }
 };
 
 }  // namespace sbroker::core

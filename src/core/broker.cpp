@@ -274,6 +274,12 @@ void ServiceBroker::issue_prefetch(const PrefetchEntry& entry, double now) {
   (void)now;
 }
 
+ChannelStats ServiceBroker::channel_stats() const {
+  ChannelStats total;
+  for (const auto& backend : backends_) total.merge(backend->channel_stats());
+  return total;
+}
+
 std::optional<double> ServiceBroker::next_deadline() const {
   std::optional<double> deadline = cluster_.next_deadline();
   std::optional<double> prefetch = prefetcher_.next_due();

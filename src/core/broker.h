@@ -116,6 +116,10 @@ class ServiceBroker {
   const std::string& name() const { return name_; }
   const BrokerConfig& config() const { return config_; }
   const BrokerMetrics& metrics() const { return metrics_; }
+  /// Wire-level channel counters summed across this broker's backends
+  /// (all-zero for simulated backends). The real-socket daemons fold this
+  /// into their metrics snapshots.
+  ChannelStats channel_stats() const;
   ResultCacheBase& cache() { return *cache_; }
   const ResultCacheBase& cache() const { return *cache_; }
   LoadTracker& load_tracker() { return *load_; }

@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "core/backend.h"
 #include "util/stats.h"
 
 namespace sbroker::core {
@@ -58,7 +59,13 @@ class BrokerMetrics {
 
   void reset() {
     for (auto& c : per_class_) c = ClassCounters{};
+    transport = ChannelStats{};
   }
+
+  /// Wire-level channel counters, filled in by the owner of the transport
+  /// (the real-socket daemon folds its backends' ChannelStats in when it
+  /// snapshots metrics). Always zero for pure-simulation brokers.
+  ChannelStats transport;
 
   /// Accumulates another broker's counters class-by-class — the sharded
   /// daemon folds its per-shard metrics into one report with this.
@@ -77,6 +84,7 @@ class BrokerMetrics {
       mine.errors += theirs.errors;
       mine.response_time.merge(theirs.response_time);
     }
+    transport.merge(other.transport);
   }
 
  private:

@@ -31,11 +31,14 @@ ConnectionPool::Lease ConnectionPool::acquire() {
   }
   if (best < in_flight_.size()) {
     ++in_flight_[best];
+    ++multiplexed_acquires_;
+    peak_in_flight_ = std::max(peak_in_flight_, in_flight_[best]);
     return Lease{best, false, true};
   }
   if (in_flight_.size() < config_.max_connections) {
     in_flight_.push_back(1);
     ++setups_;
+    peak_in_flight_ = std::max<size_t>(peak_in_flight_, 1);
     return Lease{in_flight_.size() - 1, true, true};
   }
   ++rejections_;

@@ -46,12 +46,21 @@ class ConnectionPool {
   size_t in_flight_total() const;
   uint64_t setups() const { return setups_; }
   uint64_t rejections() const { return rejections_; }
+  /// Deepest multiplexing any single connection reached — how far the
+  /// "single connection ... multiplexed to serve multiple applications"
+  /// claim was actually exercised. The real pipelined channel reports the
+  /// matching wire-side number in its ChannelStats.
+  size_t peak_in_flight() const { return peak_in_flight_; }
+  /// Leases granted on an already-open connection (no setup paid).
+  uint64_t multiplexed_acquires() const { return multiplexed_acquires_; }
   const PoolConfig& config() const { return config_; }
 
  private:
   PoolConfig config_;
   std::vector<size_t> in_flight_;  ///< per open persistent connection
   size_t transient_open_ = 0;      ///< open per-request connections
+  size_t peak_in_flight_ = 0;
+  uint64_t multiplexed_acquires_ = 0;
   uint64_t setups_ = 0;
   uint64_t rejections_ = 0;
 };

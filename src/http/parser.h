@@ -43,6 +43,11 @@ class ResponseParser {
 
   bool in_error() const { return error_; }
   const std::string& error_message() const { return error_message_; }
+  /// Bytes fed but not yet consumed by a complete message. Non-zero after
+  /// draining next() means a response is partially received — a pipelined
+  /// client uses this to tell "head exchange was mid-response" from "clean
+  /// boundary" when the connection dies.
+  size_t buffered() const { return buffer_.size(); }
 
  private:
   std::string buffer_;

@@ -1,5 +1,7 @@
 #include "net/broker_daemon.h"
 
+#include <algorithm>
+
 #include "core/cluster.h"
 #include "http/mget.h"
 #include "http/parser.h"
@@ -18,7 +20,25 @@ struct HttpBackend::Exchange {
 };
 
 HttpBackend::HttpBackend(Reactor& reactor, uint16_t port)
-    : reactor_(reactor), port_(port) {}
+    : HttpBackend(reactor, port, IdleConfig()) {}
+
+HttpBackend::HttpBackend(Reactor& reactor, uint16_t port, IdleConfig idle)
+    : reactor_(reactor), port_(port), idle_config_(idle) {
+  if (idle_config_.max_idle == 0) idle_config_.max_idle = 1;
+}
+
+core::ChannelStats HttpBackend::channel_stats() const {
+  core::ChannelStats s;
+  s.calls = calls_;
+  s.connections_opened = connections_opened_;
+  s.open_connections = idle_.size();
+  // Stop-and-wait: every request is its own un-coalesced write and no
+  // connection ever carries more than one exchange.
+  s.flushes = calls_;
+  s.requests_written = calls_;
+  s.peak_in_flight = calls_ > 0 ? 1 : 0;
+  return s;
+}
 
 void HttpBackend::invoke(const Call& call, Completion done) {
   ++calls_;
@@ -36,7 +56,7 @@ void HttpBackend::invoke(const Call& call, Completion done) {
   bool reused = false;
   if (!call.needs_connection_setup) {
     while (!idle_.empty()) {
-      auto candidate = idle_.back();
+      auto candidate = idle_.back().conn;  // most recent: most likely alive
       idle_.pop_back();
       if (!candidate->closed()) {
         conn = candidate;
@@ -75,7 +95,7 @@ void HttpBackend::start_exchange(std::shared_ptr<TcpConn> conn, bool reused,
     if (exchange->finished) return;
     exchange->finished = true;
     if (reusable && !conn->closed()) {
-      self->idle_.push_back(conn);
+      self->park_idle(conn);
     } else if (!conn->closed()) {
       conn->abort();
     }
@@ -110,6 +130,51 @@ void HttpBackend::start_exchange(std::shared_ptr<TcpConn> conn, bool reused,
       [finish]() { finish(false, "backend connection closed", false); });
   conn->send(wire_request);
   (void)reused;
+}
+
+void HttpBackend::park_idle(std::shared_ptr<TcpConn> conn) {
+  // Replace the finished exchange's callbacks (they capture the connection,
+  // a cycle that would outlive the pool) with idle-watch ones: a server
+  // that sends while we owe it nothing, or closes, retires the connection.
+  std::weak_ptr<TcpConn> weak = conn;
+  conn->start(
+      [weak](std::string_view) {
+        if (auto c = weak.lock()) c->abort();
+      },
+      []() {});
+  idle_.push_back(IdleConn{std::move(conn), reactor_.now()});
+  while (idle_.size() > idle_config_.max_idle) {
+    if (!idle_.front().conn->closed()) idle_.front().conn->abort();
+    idle_.pop_front();
+  }
+  schedule_prune();
+}
+
+void HttpBackend::schedule_prune() {
+  if (prune_scheduled_) return;
+  prune_scheduled_ = true;
+  // weak_ptr: the timer must not keep the backend alive past its broker.
+  std::weak_ptr<HttpBackend> weak = weak_from_this();
+  reactor_.add_timer(std::max(0.01, idle_config_.idle_ttl / 2.0),
+                     [weak]() {
+                       if (auto self = weak.lock()) self->prune_idle();
+                     });
+}
+
+void HttpBackend::prune_idle() {
+  prune_scheduled_ = false;
+  double now = reactor_.now();
+  std::deque<IdleConn> kept;
+  for (IdleConn& entry : idle_) {
+    if (entry.conn->closed()) continue;
+    if (now - entry.since >= idle_config_.idle_ttl) {
+      entry.conn->abort();
+      continue;
+    }
+    kept.push_back(std::move(entry));
+  }
+  idle_.swap(kept);
+  if (!idle_.empty()) schedule_prune();
 }
 
 // ---------------------------------------------------------------------------

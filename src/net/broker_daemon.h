@@ -11,6 +11,7 @@
 // broker.tick() for cluster-deadline flushes and prefetch.
 #pragma once
 
+#include <deque>
 #include <memory>
 #include <vector>
 
@@ -31,22 +32,43 @@ namespace sbroker::net {
 class HttpBackend : public core::Backend,
                     public std::enable_shared_from_this<HttpBackend> {
  public:
-  HttpBackend(Reactor& reactor, uint16_t port);
+  /// Bounds on the idle-connection pool: at most `max_idle` connections are
+  /// kept for reuse (oldest evicted beyond that) and any connection idle
+  /// longer than `idle_ttl` seconds is closed by a background prune, rather
+  /// than lingering until a later acquire discovers it dead.
+  struct IdleConfig {
+    size_t max_idle = 64;
+    double idle_ttl = 30.0;  ///< seconds
+  };
+
+  HttpBackend(Reactor& reactor, uint16_t port);  ///< default IdleConfig
+  HttpBackend(Reactor& reactor, uint16_t port, IdleConfig idle);
 
   void invoke(const Call& call, Completion done) override;
+  core::ChannelStats channel_stats() const override;
 
   uint64_t connections_opened() const { return connections_opened_; }
   uint64_t calls() const { return calls_; }
+  size_t idle_connections() const { return idle_.size(); }
 
  private:
   struct Exchange;
+  struct IdleConn {
+    std::shared_ptr<TcpConn> conn;
+    double since = 0.0;  ///< reactor time the connection went idle
+  };
   void start_exchange(std::shared_ptr<TcpConn> conn, bool reused,
                       const std::string& wire_request, size_t parts_expected,
                       Completion done);
+  void park_idle(std::shared_ptr<TcpConn> conn);
+  void schedule_prune();
+  void prune_idle();
 
   Reactor& reactor_;
   uint16_t port_;
-  std::vector<std::shared_ptr<TcpConn>> idle_;
+  IdleConfig idle_config_;
+  std::deque<IdleConn> idle_;  ///< front = oldest idle
+  bool prune_scheduled_ = false;
   uint64_t connections_opened_ = 0;
   uint64_t calls_ = 0;
 };

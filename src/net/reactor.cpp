@@ -28,6 +28,14 @@ Reactor::Reactor() {
 }
 
 Reactor::~Reactor() {
+  // An fd callback may own the object it serves (TcpConn::start registers a
+  // closure holding the connection's shared_ptr), and that object's
+  // destructor calls del_fd(). Detach the map before destroying the
+  // callbacks so those re-entrant erases hit an empty member map instead of
+  // the hashtable node currently being torn down.
+  std::unordered_map<int, IoCallback> callbacks;
+  callbacks.swap(io_callbacks_);
+  callbacks.clear();
   if (wake_fd_ >= 0) close(wake_fd_);
   if (epoll_fd_ >= 0) close(epoll_fd_);
 }

@@ -123,15 +123,23 @@ void ShardedBrokerDaemon::stop() {
 
 core::BrokerMetrics ShardedBrokerDaemon::aggregate_metrics() {
   core::BrokerMetrics total(config_.broker.rules.num_levels);
+  // Each snapshot folds the shard's wire-level ChannelStats (connections
+  // opened, coalesced flushes, pipeline depth) into metrics.transport.
   if (!running_) {
-    for (auto& shard : shards_) total.merge(shard->daemon->broker().metrics());
+    for (auto& shard : shards_) {
+      core::BrokerMetrics m = shard->daemon->broker().metrics();
+      m.transport.merge(shard->daemon->broker().channel_stats());
+      total.merge(m);
+    }
     return total;
   }
   for (auto& shard : shards_) {
     std::promise<core::BrokerMetrics> snapshot;
     auto done = snapshot.get_future();
     shard->reactor->post([&snapshot, daemon = shard->daemon.get()]() {
-      snapshot.set_value(daemon->broker().metrics());
+      core::BrokerMetrics m = daemon->broker().metrics();
+      m.transport.merge(daemon->broker().channel_stats());
+      snapshot.set_value(std::move(m));
     });
     total.merge(done.get());
   }

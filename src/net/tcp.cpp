@@ -67,6 +67,10 @@ int connect_tcp(uint16_t port) {
   int fd = socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
   if (fd < 0) throw std::runtime_error("socket failed");
   set_nonblocking(fd);
+  // Broker->backend traffic is many small pipelined writes; without this
+  // they would sit out Nagle delays (accepted sockets already set it).
+  int one = 1;
+  setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
   sockaddr_in addr = loopback(port);
   int rc = connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
   if (rc != 0 && errno != EINPROGRESS) {
@@ -90,6 +94,12 @@ TcpConn::~TcpConn() {
 }
 
 void TcpConn::start(DataFn on_data, CloseFn on_close) {
+  // Callbacks may be re-armed from inside the currently-running data
+  // callback (e.g. a backend parking a finished connection); destroying
+  // that closure mid-invocation would free captures its frame still uses.
+  if (on_data_) {
+    reactor_.add_timer(0.0, [keep = std::move(on_data_)]() {});
+  }
   on_data_ = std::move(on_data);
   on_close_ = std::move(on_close);
   if (registered_ || fd_ < 0) return;
@@ -160,7 +170,7 @@ void TcpConn::update_interest() {
   bool need_write = !write_buffer_.empty();
   if (need_write == want_write_) return;
   want_write_ = need_write;
-  reactor_.mod_fd(fd_, EPOLLIN | (need_write ? EPOLLOUT : 0));
+  reactor_.mod_fd(fd_, EPOLLIN | (need_write ? static_cast<uint32_t>(EPOLLOUT) : 0u));
 }
 
 void TcpConn::shutdown() {
@@ -179,6 +189,15 @@ void TcpConn::close_now() {
   reactor_.del_fd(fd_);
   close(fd_);
   fd_ = -1;
+  // Drop the data callback: it commonly captures this connection's owner
+  // (which holds the connection right back), so keeping it past close would
+  // pin the whole cycle in memory for the reactor's lifetime. close_now()
+  // is often reached from inside that very callback, so its destruction is
+  // parked on a zero-delay timer until the current stack unwinds.
+  if (on_data_) {
+    reactor_.add_timer(0.0, [keep = std::move(on_data_)]() {});
+    on_data_ = nullptr;
+  }
   if (on_close_) {
     CloseFn cb = std::move(on_close_);
     on_close_ = nullptr;

@@ -65,6 +65,19 @@ TEST(Pool, LeastLoadedConnectionWins) {
   (void)a;
 }
 
+TEST(Pool, TracksPeakDepthAndMultiplexedAcquires) {
+  ConnectionPool pool(PoolConfig{2, 4, true});
+  auto a = pool.acquire();  // conn0: depth 1, fresh
+  pool.acquire();           // conn0: depth 2, multiplexed
+  pool.acquire();           // conn0: depth 3, multiplexed
+  EXPECT_EQ(pool.peak_in_flight(), 3u);
+  EXPECT_EQ(pool.multiplexed_acquires(), 2u);
+  pool.release(a.connection);
+  pool.acquire();  // back to depth 3: peak unchanged
+  EXPECT_EQ(pool.peak_in_flight(), 3u);
+  EXPECT_EQ(pool.multiplexed_acquires(), 3u);
+}
+
 TEST(Pool, NonPersistentAlwaysFresh) {
   ConnectionPool pool(PoolConfig{3, 64, false});
   auto a = pool.acquire();

@@ -5,6 +5,8 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
+#include <future>
 #include <thread>
 
 #include "db/dataset.h"
@@ -137,6 +139,53 @@ TEST_F(BrokerDaemonTest, MalformedBytesCloseConnection) {
   auto reply = good.call(request(5, 3, "/still-alive"));
   ASSERT_TRUE(reply.has_value());
   EXPECT_EQ(reply->payload, "content of /still-alive");
+}
+
+TEST(HttpBackendIdlePool, CapsParkedConnectionsAndPrunesByTtl) {
+  Reactor reactor;
+  HttpServer server(reactor, 0,
+                    [](const http::Request& req, HttpServer::Responder respond) {
+                      respond(http::make_response(200, "body of " + req.target));
+                    });
+  HttpBackend::IdleConfig idle;
+  idle.max_idle = 2;
+  idle.idle_ttl = 0.06;
+  auto backend = std::make_shared<HttpBackend>(reactor, server.port(), idle);
+  std::thread thread([&] { reactor.run(); });
+
+  // Three overlapping calls force three physical connections; all three park
+  // on completion, so the cap must evict the oldest down to two.
+  std::atomic<int> completions{0};
+  std::promise<void> issued;
+  reactor.post([&]() {
+    for (int i = 0; i < 3; ++i) {
+      core::Backend::Call call;
+      call.payload = "/idle-" + std::to_string(i);
+      backend->invoke(call, [&](double, bool ok, const std::string&) {
+        if (ok) ++completions;
+      });
+    }
+    issued.set_value();
+  });
+  issued.get_future().get();
+  for (int spin = 0; spin < 1000 && completions.load() < 3; ++spin) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  ASSERT_EQ(completions.load(), 3);
+
+  std::promise<size_t> parked;
+  reactor.post([&]() { parked.set_value(backend->idle_connections()); });
+  EXPECT_EQ(parked.get_future().get(), 2u);
+  EXPECT_EQ(backend->connections_opened(), 3u);  // reactor quiescent: safe read
+
+  // Past the TTL the background prune closes the survivors too.
+  std::this_thread::sleep_for(std::chrono::milliseconds(150));
+  std::promise<size_t> after_ttl;
+  reactor.post([&]() { after_ttl.set_value(backend->idle_connections()); });
+  EXPECT_EQ(after_ttl.get_future().get(), 0u);
+
+  reactor.stop();
+  thread.join();
 }
 
 TEST_F(BrokerDaemonTest, InprocDbBackendServesSql) {
