@@ -22,6 +22,13 @@
 //   cache     1 = result cache on; 0 off, so every request rides the
 //             broker->backend channel under test       (default 1)
 //   fallback  1 = force the round-robin acceptor path (default 0)
+//   timeout   per-request deadline in ms; 0 = none    (default 0)
+//   stallpct  percent of the keyspace routed to a never-replying backend
+//             route (half-open stall injection). Requires timeout>0, or
+//             stalled requests would block their closed-loop client forever
+//             (default 0)
+//   attempts  broker attempt budget (lifecycle.max_attempts; >1 enables
+//             retry-with-backoff against the channel)   (default 1)
 //   check     1 = verify conservation (issued == completed, issued ==
 //             forwarded + dropped + cached + errors) and zero client
 //             failures after every run; exit 1 on violation — this is the
@@ -67,12 +74,14 @@ double monotonic_seconds() {
 
 RunResult run_one(size_t shards, bool pipelined, size_t clients, double seconds,
                   uint64_t keys, double threshold, bool cache, bool fallback,
+                  uint32_t timeout_ms, uint64_t stallpct, int attempts,
                   uint16_t backend_port) {
   net::ShardedBrokerDaemonConfig cfg;
   cfg.broker.rules = core::QosRules{3, threshold};
   cfg.broker.enable_cache = cache;
   cfg.broker.cache_capacity = 4096;
   cfg.broker.cache_ttl = 3600.0;  // no expiry inside the window
+  cfg.broker.lifecycle.max_attempts = attempts;
   cfg.shards = shards;
   cfg.enable_udp = false;
   cfg.force_acceptor_fallback = fallback;
@@ -112,7 +121,12 @@ RunResult run_one(size_t shards, bool pipelined, size_t clients, double seconds,
         req.request_id = ++id;
         req.qos_level = static_cast<uint8_t>(1 + key % 3);
         req.service = "web";
-        req.payload = "/object-" + std::to_string(key);
+        req.deadline_ms = timeout_ms;
+        // The bottom stallpct% of the keyspace maps to the backend's mute
+        // route: the exchange stalls half-open and only the deadline (via
+        // the broker's cancel token) resolves it.
+        bool stalled = keys > 0 && (key * 100) / keys < stallpct;
+        req.payload = (stalled ? "/stall-" : "/object-") + std::to_string(key);
         double start = monotonic_seconds();
         auto reply = client.call(req);
         double elapsed = monotonic_seconds() - start;
@@ -222,6 +236,9 @@ int main(int argc, char** argv) {
   bool cache = cfg.get_bool("cache", true);
   bool fallback = cfg.get_bool("fallback", false);
   bool check = cfg.get_bool("check", false);
+  uint32_t timeout_ms = static_cast<uint32_t>(cfg.get_int("timeout", 0));
+  uint64_t stallpct = static_cast<uint64_t>(cfg.get_int("stallpct", 0));
+  int attempts = static_cast<int>(cfg.get_int("attempts", 1));
   std::string out = cfg.get_string("out", "BENCH_daemon.json");
 
   std::vector<size_t> sweep = parse_list(shard_list, 1);
@@ -244,39 +261,66 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "error: need clients>=1, seconds>0, keys>=1\n");
     return 1;
   }
+  if (stallpct > 100) {
+    std::fprintf(stderr, "error: stallpct=%llu must be 0..100\n",
+                 static_cast<unsigned long long>(stallpct));
+    return 1;
+  }
+  if (stallpct > 0 && timeout_ms == 0) {
+    std::fprintf(stderr,
+                 "error: stallpct>0 needs timeout>0 — a stalled request with "
+                 "no deadline blocks its closed-loop client forever\n");
+    return 1;
+  }
+  if (attempts < 1) {
+    std::fprintf(stderr, "error: attempts must be >= 1\n");
+    return 1;
+  }
 
-  // One shared zero-delay HTTP backend on its own reactor thread.
+  // One shared zero-delay HTTP backend on its own reactor thread. Targets
+  // under /stall- are swallowed: the response is parked forever, modelling a
+  // backend that accepts work and goes mute (stallpct routes traffic there).
   net::Reactor backend_reactor;
+  auto parked = std::make_shared<std::vector<net::HttpServer::Responder>>();
   net::HttpServer backend(backend_reactor, 0,
-                          [](const http::Request& req,
-                             net::HttpServer::Responder respond) {
+                          [parked](const http::Request& req,
+                                   net::HttpServer::Responder respond) {
+                            if (req.target.rfind("/stall-", 0) == 0) {
+                              parked->push_back(std::move(respond));
+                              return;
+                            }
                             respond(http::make_response(200, "body of " + req.target));
                           });
   std::thread backend_thread([&] { backend_reactor.run(); });
 
   unsigned cpus = std::thread::hardware_concurrency();
   std::printf(
-      "daemon_loadgen: %zu clients, %.1fs per run, %llu keys, cache=%d, %u cpus\n",
+      "daemon_loadgen: %zu clients, %.1fs per run, %llu keys, cache=%d, "
+      "timeout=%ums, stallpct=%llu, attempts=%d, %u cpus\n",
       clients, seconds, static_cast<unsigned long long>(keys), cache ? 1 : 0,
-      cpus);
-  std::printf("%-7s %-9s %-8s %10s %10s %9s %9s %9s %10s %9s\n", "shards",
-              "channel", "accept", "requests", "req/s", "p50 ms", "p99 ms",
-              "hit%", "dropped", "conns");
+      timeout_ms, static_cast<unsigned long long>(stallpct), attempts, cpus);
+  std::printf("%-7s %-9s %-8s %10s %10s %9s %9s %9s %10s %8s %8s %9s\n",
+              "shards", "channel", "accept", "requests", "req/s", "p50 ms",
+              "p99 ms", "hit%", "dropped", "misses", "retries", "conns");
 
   bool conservation_ok = true;
   std::vector<RunResult> results;
   for (size_t shards : sweep) {
     for (size_t mode : modes) {
       RunResult r = run_one(shards, mode != 0, clients, seconds, keys,
-                            threshold, cache, fallback, backend.port());
+                            threshold, cache, fallback, timeout_ms, stallpct,
+                            attempts, backend.port());
       core::BrokerMetrics::ClassCounters total = r.metrics.total();
-      std::printf("%-7zu %-9s %-8s %10llu %10.0f %9.3f %9.3f %8.1f%% %10llu %9llu\n",
+      std::printf("%-7zu %-9s %-8s %10llu %10.0f %9.3f %9.3f %8.1f%% %10llu "
+                  "%8llu %8llu %9llu\n",
                   r.shards, r.pipelined ? "pipeline" : "stopwait",
                   r.kernel_accept_sharding ? "kernel" : "rrobin",
                   static_cast<unsigned long long>(r.requests), r.rps,
                   r.latency.percentile(0.5) * 1e3, r.latency.p99() * 1e3,
                   r.hit_ratio * 100.0,
                   static_cast<unsigned long long>(total.dropped),
+                  static_cast<unsigned long long>(total.deadline_misses),
+                  static_cast<unsigned long long>(total.retries),
                   static_cast<unsigned long long>(
                       r.metrics.transport.connections_opened));
       if (check && !conservation_holds(r)) {
@@ -300,6 +344,9 @@ int main(int argc, char** argv) {
       .field("keys", keys)
       .field("threshold", threshold)
       .field("cache", cache)
+      .field("timeout_ms", static_cast<uint64_t>(timeout_ms))
+      .field("stallpct", stallpct)
+      .field("attempts", static_cast<uint64_t>(attempts))
       .key("runs")
       .begin_array();
   for (const RunResult& r : results) {
@@ -321,12 +368,19 @@ int main(int argc, char** argv) {
         .field("dropped", total.dropped)
         .field("cache_hits", total.cache_hits)
         .field("errors", total.errors)
+        .field("deadline_misses", total.deadline_misses)
+        .field("retries", total.retries)
+        .field("cancellations", r.metrics.lifecycle.cancellations)
+        .field("late_completions", r.metrics.lifecycle.late_completions)
+        .field("ejections", r.metrics.lifecycle.ejections)
         .field("connections_opened", r.metrics.transport.connections_opened)
         .field("open_connections", r.metrics.transport.open_connections)
         .field("write_flushes", r.metrics.transport.flushes)
         .field("requests_written", r.metrics.transport.requests_written)
         .field("channel_rejections", r.metrics.transport.rejections)
         .field("channel_retries", r.metrics.transport.retries)
+        .field("channel_timeouts", r.metrics.transport.timeouts)
+        .field("channel_cancels", r.metrics.transport.cancels)
         .field("peak_pipeline_depth", r.metrics.transport.peak_in_flight)
         .key("drop_ratio_per_class")
         .begin_array();

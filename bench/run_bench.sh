@@ -13,6 +13,10 @@
 #   BENCH_KEYS     distinct request targets     (default 512)
 #   BENCH_CACHE    result cache on/off          (default 0, so every request
 #                  exercises the broker->backend channel under comparison)
+#   BENCH_TIMEOUT_MS per-request deadline in ms (default 0 = no deadline)
+#   BENCH_STALLPCT  percent of keys routed to a never-replying backend
+#                  (default 0; requires BENCH_TIMEOUT_MS > 0)
+#   BENCH_ATTEMPTS  per-request attempt budget  (default 1 = no retries)
 set -eu
 
 repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
@@ -38,6 +42,9 @@ echo "== daemon loadgen -> BENCH_daemon.json"
   "seconds=${BENCH_SECONDS:-2}" \
   "keys=${BENCH_KEYS:-512}" \
   "cache=${BENCH_CACHE:-0}" \
+  "timeout=${BENCH_TIMEOUT_MS:-0}" \
+  "stallpct=${BENCH_STALLPCT:-0}" \
+  "attempts=${BENCH_ATTEMPTS:-1}" \
   "out=$repo_root/BENCH_daemon.json"
 
 echo "== wrote $repo_root/BENCH_core.json and $repo_root/BENCH_daemon.json"

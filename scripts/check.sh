@@ -1,0 +1,54 @@
+#!/bin/sh
+# Full local verification gate: plain build + full ctest, then TSan and ASan
+# builds of the concurrency-heavy suites. Run from anywhere; trees live at the
+# repo root (build/, build-tsan/, build-asan/) and are reused across runs.
+#
+#   scripts/check.sh          # everything
+#   scripts/check.sh plain    # just the plain build + full ctest
+#   scripts/check.sh tsan     # just the TSan core/net suites
+#   scripts/check.sh asan     # just the ASan core/net/integration suites
+set -eu
+
+repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+jobs=$(nproc 2>/dev/null || echo 2)
+what=${1:-all}
+
+run_plain() {
+  echo "== plain build + full ctest"
+  cmake -B "$repo_root/build" -S "$repo_root"
+  cmake --build "$repo_root/build" -j "$jobs"
+  ctest --test-dir "$repo_root/build" --output-on-failure -j "$jobs"
+}
+
+run_tsan() {
+  echo "== TSan build (core_test, net_test)"
+  cmake -B "$repo_root/build-tsan" -S "$repo_root" -DSBROKER_SANITIZE=thread
+  cmake --build "$repo_root/build-tsan" -j "$jobs" --target core_test net_test
+  TSAN_OPTIONS="halt_on_error=0" "$repo_root/build-tsan/tests/core_test"
+  TSAN_OPTIONS="halt_on_error=0" "$repo_root/build-tsan/tests/net_test"
+}
+
+run_asan() {
+  echo "== ASan build (core_test, net_test, integration_test)"
+  cmake -B "$repo_root/build-asan" -S "$repo_root" -DSBROKER_SANITIZE=address
+  cmake --build "$repo_root/build-asan" -j "$jobs" \
+    --target core_test net_test integration_test
+  # lsan.supp masks the known exit-time TcpConn-cycle leaks from reactors
+  # stopped mid-traffic (see the file's header); anything else still fails.
+  LSAN_OPTIONS="suppressions=$repo_root/scripts/lsan.supp,print_suppressions=0" \
+    "$repo_root/build-asan/tests/core_test"
+  LSAN_OPTIONS="suppressions=$repo_root/scripts/lsan.supp,print_suppressions=0" \
+    "$repo_root/build-asan/tests/net_test"
+  LSAN_OPTIONS="suppressions=$repo_root/scripts/lsan.supp,print_suppressions=0" \
+    "$repo_root/build-asan/tests/integration_test"
+}
+
+case "$what" in
+  plain) run_plain ;;
+  tsan) run_tsan ;;
+  asan) run_asan ;;
+  all) run_plain; run_tsan; run_asan ;;
+  *) echo "usage: scripts/check.sh [plain|tsan|asan|all]" >&2; exit 2 ;;
+esac
+
+echo "== check.sh: all requested suites passed"

@@ -12,6 +12,8 @@
 #include <functional>
 #include <string>
 
+#include "core/request.h"
+
 namespace sbroker::core {
 
 /// Wire-level counters a transport-backed Backend can report. Pure data so
@@ -26,6 +28,8 @@ struct ChannelStats {
   uint64_t requests_written = 0;    ///< requests carried by those flushes
   uint64_t rejections = 0;          ///< channel-saturated backpressure failures
   uint64_t retries = 0;             ///< exchanges re-issued after connection loss
+  uint64_t timeouts = 0;            ///< half-stalled exchanges failed on deadline
+  uint64_t cancels = 0;             ///< exchanges abandoned via a cancel token
   uint64_t peak_in_flight = 0;      ///< deepest pipeline seen on one connection
 
   void merge(const ChannelStats& other) {
@@ -36,6 +40,8 @@ struct ChannelStats {
     requests_written += other.requests_written;
     rejections += other.rejections;
     retries += other.retries;
+    timeouts += other.timeouts;
+    cancels += other.cancels;
     peak_in_flight = std::max(peak_in_flight, other.peak_in_flight);
   }
 };
@@ -51,12 +57,28 @@ class Backend {
     /// True when the connection pool opened a fresh physical connection for
     /// this call; transports charge their setup latency accordingly.
     bool needs_connection_setup = false;
+    /// Remaining deadline budget at dispatch, seconds; 0 = unbounded. Real
+    /// transports use it to bound how long a half-stalled connection may sit
+    /// readable-but-incomplete, and forward it downstream (X-Deadline-Ms).
+    double timeout = 0.0;
   };
 
   virtual ~Backend() = default;
 
   /// Issues `call`; `done` fires exactly once, later or re-entrantly.
   virtual void invoke(const Call& call, Completion done) = 0;
+
+  /// Issues `call` with a cancellation token. When the caller abandons the
+  /// exchange (deadline expiry harvested its last member), `token->cancel()`
+  /// fires on the shared timeline; the backend should stop the work — kill a
+  /// stalled connection, re-issue its other queued exchanges — and complete
+  /// promptly with ok=false. The default ignores the token, so backends that
+  /// predate cancellation keep working unchanged (their completions after a
+  /// harvest are counted as late and dropped by the broker).
+  virtual void invoke(const Call& call, const CancelTokenPtr& token, Completion done) {
+    (void)token;
+    invoke(call, std::move(done));
+  }
 
   /// Wire-level counters for transport-backed implementations; the default
   /// (simulated / in-process backends) reports zeros.

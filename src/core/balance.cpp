@@ -19,36 +19,47 @@ const char* balance_policy_name(BalancePolicy p) {
   return "?";
 }
 
-LoadBalancer::LoadBalancer(BalancePolicy policy, util::Rng rng)
-    : policy_(policy), rng_(rng) {}
+LoadBalancer::LoadBalancer(BalancePolicy policy, util::Rng rng, HealthConfig health)
+    : policy_(policy), rng_(rng), health_config_(health) {}
 
 size_t LoadBalancer::add_backend(double weight) {
   outstanding_.push_back(0);
   weights_.push_back(std::max(weight, 0.01));
   picks_.push_back(0);
+  health_.push_back(Health{});
   return outstanding_.size() - 1;
 }
 
-std::optional<size_t> LoadBalancer::pick() {
-  if (outstanding_.empty()) return std::nullopt;
-  size_t chosen = 0;
+size_t LoadBalancer::pick_among(const std::vector<size_t>& candidates) {
+  assert(!candidates.empty());
+  size_t chosen = candidates[0];
   switch (policy_) {
     case BalancePolicy::kRandom:
-      chosen = static_cast<size_t>(
-          rng_.uniform_int(0, static_cast<int64_t>(outstanding_.size()) - 1));
+      chosen = candidates[static_cast<size_t>(
+          rng_.uniform_int(0, static_cast<int64_t>(candidates.size()) - 1))];
       break;
-    case BalancePolicy::kRoundRobin:
-      chosen = rr_next_;
-      rr_next_ = (rr_next_ + 1) % outstanding_.size();
+    case BalancePolicy::kRoundRobin: {
+      // Advance the cursor to the next candidate position so the rotation is
+      // preserved across the holes left by ejected replicas.
+      for (size_t step = 0; step < outstanding_.size(); ++step) {
+        size_t index = (rr_next_ + step) % outstanding_.size();
+        if (std::find(candidates.begin(), candidates.end(), index) !=
+            candidates.end()) {
+          chosen = index;
+          rr_next_ = (index + 1) % outstanding_.size();
+          break;
+        }
+      }
       break;
+    }
     case BalancePolicy::kLeastOutstanding:
-      for (size_t i = 1; i < outstanding_.size(); ++i) {
+      for (size_t i : candidates) {
         if (outstanding_[i] < outstanding_[chosen]) chosen = i;
       }
       break;
     case BalancePolicy::kWeighted: {
-      double best = static_cast<double>(outstanding_[0]) / weights_[0];
-      for (size_t i = 1; i < outstanding_.size(); ++i) {
+      double best = static_cast<double>(outstanding_[chosen]) / weights_[chosen];
+      for (size_t i : candidates) {
         double load = static_cast<double>(outstanding_[i]) / weights_[i];
         if (load < best) {
           best = load;
@@ -58,6 +69,47 @@ std::optional<size_t> LoadBalancer::pick() {
       break;
     }
   }
+  return chosen;
+}
+
+std::optional<size_t> LoadBalancer::pick(double now, std::optional<size_t> avoid,
+                                         bool* probe) {
+  if (probe) *probe = false;
+  if (outstanding_.empty()) return std::nullopt;
+
+  // A replica whose ejection window elapsed gets exactly one half-open probe
+  // request before anything else; its outcome (via report) decides recovery.
+  // Retries never double as probes — `avoid` is the replica that just failed.
+  for (size_t i = 0; i < health_.size(); ++i) {
+    Health& h = health_[i];
+    if (h.ejected && !h.probing && now >= h.eject_until &&
+        (!avoid || *avoid != i)) {
+      h.probing = true;
+      ++probes_issued_;
+      ++outstanding_[i];
+      ++picks_[i];
+      if (probe) *probe = true;
+      return i;
+    }
+  }
+
+  std::vector<size_t> candidates;
+  candidates.reserve(outstanding_.size());
+  for (size_t i = 0; i < outstanding_.size(); ++i) {
+    if (!health_[i].ejected && (!avoid || *avoid != i)) candidates.push_back(i);
+  }
+  if (candidates.empty()) {
+    // Relax `avoid`, then health: with everything ejected the broker still
+    // forwards somewhere rather than failing outright.
+    for (size_t i = 0; i < outstanding_.size(); ++i) {
+      if (!health_[i].ejected) candidates.push_back(i);
+    }
+  }
+  if (candidates.empty()) {
+    for (size_t i = 0; i < outstanding_.size(); ++i) candidates.push_back(i);
+  }
+
+  size_t chosen = pick_among(candidates);
   ++outstanding_[chosen];
   ++picks_[chosen];
   return chosen;
@@ -66,6 +118,40 @@ std::optional<size_t> LoadBalancer::pick() {
 void LoadBalancer::complete(size_t backend) {
   assert(backend < outstanding_.size() && outstanding_[backend] > 0);
   --outstanding_[backend];
+}
+
+ReplicaEvent LoadBalancer::report(size_t backend, bool ok, double now) {
+  if (health_config_.eject_after <= 0) return ReplicaEvent::kNone;
+  Health& h = health_.at(backend);
+  if (ok) {
+    h.consecutive_failures = 0;
+    if (h.ejected) {
+      h.ejected = false;
+      h.probing = false;
+      h.eject_until = 0.0;
+      return ReplicaEvent::kRecovered;
+    }
+    return ReplicaEvent::kNone;
+  }
+  ++h.consecutive_failures;
+  if (h.probing) {
+    // Failed half-open probe: a fresh ejection window starts.
+    h.probing = false;
+    h.eject_until = now + health_config_.eject_duration;
+    return ReplicaEvent::kEjected;
+  }
+  if (!h.ejected && h.consecutive_failures >= health_config_.eject_after) {
+    h.ejected = true;
+    h.eject_until = now + health_config_.eject_duration;
+    return ReplicaEvent::kEjected;
+  }
+  return ReplicaEvent::kNone;
+}
+
+size_t LoadBalancer::ejected_count() const {
+  size_t n = 0;
+  for (const Health& h : health_) n += h.ejected ? 1 : 0;
+  return n;
 }
 
 }  // namespace sbroker::core

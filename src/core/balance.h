@@ -9,6 +9,13 @@
 // model is limited to; kLeastOutstanding uses the broker's accurate
 // per-backend in-flight counts; kWeighted additionally divides by a backend
 // capacity weight so heterogeneous replicas are loaded proportionally.
+//
+// On top of the placement policy sits per-replica health: a backend that
+// fails `HealthConfig::eject_after` exchanges in a row is ejected from the
+// candidate set for `eject_duration` seconds, then offered exactly one
+// half-open probe request; a successful probe recovers it, a failed one
+// re-ejects it. Health is fed by the broker's completion outcomes via
+// report(). Disabled by default (eject_after = 0).
 #pragma once
 
 #include <cstdint>
@@ -23,32 +30,76 @@ enum class BalancePolicy { kRandom, kRoundRobin, kLeastOutstanding, kWeighted };
 
 const char* balance_policy_name(BalancePolicy p);
 
+/// Replica-health policy knobs. eject_after = 0 disables health tracking.
+struct HealthConfig {
+  int eject_after = 0;          ///< consecutive failures that eject a replica
+  double eject_duration = 1.0;  ///< seconds ejected before a half-open probe
+};
+
+/// What a completion outcome did to the replica's health state.
+enum class ReplicaEvent {
+  kNone,
+  kEjected,    ///< entered (or re-entered, after a failed probe) ejection
+  kRecovered,  ///< a successful exchange ended the ejection
+};
+
 class LoadBalancer {
  public:
-  LoadBalancer(BalancePolicy policy, util::Rng rng = util::Rng(7));
+  explicit LoadBalancer(BalancePolicy policy, util::Rng rng = util::Rng(7),
+                        HealthConfig health = {});
 
   /// Registers a backend with a relative capacity weight (>= minimum 0.01).
   /// Returns its index.
   size_t add_backend(double weight = 1.0);
 
   /// Picks a backend for the next request and charges it one in-flight
-  /// request. nullopt when no backends are registered.
-  std::optional<size_t> pick();
+  /// request. nullopt when no backends are registered. Ejected replicas are
+  /// skipped — unless one is due its half-open probe (then it is chosen, and
+  /// `*probe` set), or every replica is ejected (then the broker still
+  /// forwards somewhere rather than failing outright). `avoid` deprioritises
+  /// a replica (the one a retry just failed on) without forbidding it when
+  /// it is the only choice.
+  std::optional<size_t> pick(double now = 0.0,
+                             std::optional<size_t> avoid = std::nullopt,
+                             bool* probe = nullptr);
 
-  /// Marks a request complete on `backend`.
+  /// Marks a request complete on `backend` (in-flight accounting only; pair
+  /// with report() for the health outcome).
   void complete(size_t backend);
+
+  /// Feeds one exchange outcome into `backend`'s health state.
+  ReplicaEvent report(size_t backend, bool ok, double now);
+
+  /// Un-marks a half-open probe whose carrier could not actually be sent
+  /// (connection pool saturated), so a later pick can offer it again.
+  void abandon_probe(size_t backend) { health_.at(backend).probing = false; }
 
   size_t outstanding(size_t backend) const { return outstanding_.at(backend); }
   size_t backend_count() const { return outstanding_.size(); }
   uint64_t picks(size_t backend) const { return picks_.at(backend); }
   BalancePolicy policy() const { return policy_; }
+  bool ejected(size_t backend) const { return health_.at(backend).ejected; }
+  size_t ejected_count() const;
+  uint64_t probes() const { return probes_issued_; }
 
  private:
+  struct Health {
+    int consecutive_failures = 0;
+    bool ejected = false;
+    double eject_until = 0.0;
+    bool probing = false;  ///< the single half-open probe is in flight
+  };
+
+  size_t pick_among(const std::vector<size_t>& candidates);
+
   BalancePolicy policy_;
   util::Rng rng_;
+  HealthConfig health_config_;
   std::vector<size_t> outstanding_;
   std::vector<double> weights_;
   std::vector<uint64_t> picks_;
+  std::vector<Health> health_;
+  uint64_t probes_issued_ = 0;
   size_t rr_next_ = 0;
 };
 

@@ -1,5 +1,6 @@
 #include "core/broker.h"
 
+#include <algorithm>
 #include <cassert>
 #include <stdexcept>
 
@@ -15,7 +16,7 @@ ServiceBroker::ServiceBroker(std::string name, BrokerConfig config)
       load_(std::make_shared<LoadTracker>()),
       cluster_(config.cluster),
       pool_(config.pool),
-      balancer_(config.balance, util::Rng(config.rng_seed)),
+      balancer_(config.balance, util::Rng(config.rng_seed), config.health),
       txn_(std::make_shared<TransactionTracker>(config.rules, config.txn)),
       prefetcher_(config.prefetch_idle_threshold),
       hotspot_(config.hotspot),
@@ -42,6 +43,15 @@ void ServiceBroker::share_load(std::shared_ptr<LoadTracker> shared) {
   assert(shared != nullptr);
   assert(outstanding_ == 0);  // swapping mid-traffic would corrupt the count
   load_ = std::move(shared);
+}
+
+double ServiceBroker::compute_deadline(double now, uint32_t deadline_ms) const {
+  const LifecycleConfig& lc = config_.lifecycle;
+  double budget = deadline_ms > 0 ? static_cast<double>(deadline_ms) / 1000.0
+                                  : lc.default_deadline;
+  if (budget <= 0.0) return kNoDeadline;
+  if (lc.max_deadline > 0.0) budget = std::min(budget, lc.max_deadline);
+  return now + budget;
 }
 
 void ServiceBroker::submit(double now, const http::BrokerRequest& request,
@@ -82,16 +92,25 @@ void ServiceBroker::submit(double now, const http::BrokerRequest& request,
   }
 
   // 3. Forward path: degrade the query if the fidelity rules say so, then
-  //    track the member and feed the cluster engine.
+  //    open the request's lifecycle context and feed the cluster engine.
   RewriteOutcome rewritten =
       rewriter_.apply(request.payload, effective, hotspot_.state());
   ++outstanding_;
   load_->inc();
   hotspot_.observe(load_->load());
-  pending_.emplace(request.request_id,
-                   PendingMember{base_level, now, rewritten.payload,
-                                 rewritten.degraded, std::move(reply)});
-  effective_levels_[request.request_id] = effective;
+
+  RequestContext ctx;
+  ctx.id = request.request_id;
+  ctx.base_level = base_level;
+  ctx.effective_level = effective;
+  ctx.submitted_at = now;
+  ctx.deadline = compute_deadline(now, request.deadline_ms);
+  ctx.attempt_budget = std::max(1, config_.lifecycle.max_attempts);
+  ctx.payload = rewritten.payload;
+  ctx.degraded = rewritten.degraded;
+  ctx.reply = std::move(reply);
+  if (ctx.deadline != kNoDeadline) deadlines_.emplace(ctx.deadline, ctx.id);
+  contexts_[request.request_id] = std::move(ctx);
 
   if (auto batch = cluster_.add(request.request_id, std::move(rewritten.payload), now)) {
     enqueue_batch(std::move(*batch), now);
@@ -120,10 +139,9 @@ void ServiceBroker::enqueue_batch(Batch batch, double now) {
   ReadyBatch ready;
   ready.priority = 1;
   for (uint64_t id : batch.member_ids) {
-    auto it = effective_levels_.find(id);
-    if (it != effective_levels_.end()) {
-      ready.priority = std::max(ready.priority, it->second);
-      effective_levels_.erase(it);
+    auto it = contexts_.find(id);
+    if (it != contexts_.end()) {
+      ready.priority = std::max(ready.priority, it->second.effective_level);
     }
   }
   ready.batch = std::move(batch);
@@ -141,107 +159,275 @@ void ServiceBroker::pump(double now) {
 }
 
 void ServiceBroker::dispatch(ReadyBatch ready, double now) {
-  auto backend_index = balancer_.pick();
+  // Members can expire (deadline shed) between batching and dispatch; they
+  // already received their reply. The exchange carries only what is left.
+  size_t live = 0;
+  double longest_remaining = 0.0;
+  bool unbounded = false;
+  for (uint64_t id : ready.batch.member_ids) {
+    auto it = contexts_.find(id);
+    if (it == contexts_.end()) continue;
+    ++live;
+    double remaining = it->second.remaining(now);
+    if (remaining == kNoDeadline) {
+      unbounded = true;
+    } else {
+      longest_remaining = std::max(longest_remaining, remaining);
+    }
+  }
+  if (live == 0) return;
+
+  bool probe = false;
+  auto backend_index = balancer_.pick(now, ready.avoid, &probe);
   assert(backend_index.has_value());  // add_backend checked in submit
 
   ConnectionPool::Lease lease = pool_.acquire();
   if (!lease.granted) {
     // Every connection is saturated: degrade the whole batch.
     balancer_.complete(*backend_index);
-    for (size_t i = 0; i < ready.batch.member_ids.size(); ++i) {
-      uint64_t id = ready.batch.member_ids[i];
-      auto it = pending_.find(id);
-      if (it == pending_.end()) continue;
+    if (probe) balancer_.abandon_probe(*backend_index);
+    for (uint64_t id : ready.batch.member_ids) {
+      auto node = contexts_.extract(id);
+      if (node.empty()) continue;
       // Mirror the admission-drop bookkeeping: the request was admitted but
       // cannot be carried, so it is shed with low fidelity.
-      PendingMember member = std::move(it->second);
-      pending_.erase(it);
-      assert(outstanding_ > 0);
-      --outstanding_;
-      load_->dec();
-      auto& c = metrics_.at(member.base_level);
-      c.dropped += 1;
-      c.completed += 1;
-      c.response_time.add(now - member.submitted_at);
-      if (config_.serve_stale_on_drop) {
-        if (auto stale = cache_->get_stale(member.payload)) {
-          member.reply(http::BrokerReply{id, http::Fidelity::kCached, *stale});
-          continue;
-        }
-      }
-      member.reply(http::BrokerReply{id, http::Fidelity::kBusy, "system is busy"});
+      shed_context(std::move(node.mapped()), now, /*deadline_miss=*/false);
     }
     return;
   }
 
   ++in_flight_batches_;
-  Backend::Call call{ready.batch.combined_payload, lease.fresh};
+  if (probe) ++metrics_.lifecycle.probes;
+  uint64_t exchange_id = next_exchange_++;
+
+  Backend::Call call;
+  call.payload = ready.batch.combined_payload;
+  call.needs_connection_setup = lease.fresh;
+  // The exchange stays useful as long as its longest-lived member does;
+  // shorter members expire individually out of the broker's deadline queue.
+  // The slack keeps the transport's own timer strictly behind the broker's
+  // deadline expiry, so the deadline path always claims the completion.
+  call.timeout = unbounded
+                     ? 0.0
+                     : longest_remaining + config_.lifecycle.transport_slack;
+
+  Exchange exchange;
+  exchange.backend = *backend_index;
+  exchange.connection = lease.connection;
+  exchange.unfinished = live;
+  exchange.cancel = std::make_shared<CancelToken>();
+  for (uint64_t id : ready.batch.member_ids) {
+    auto it = contexts_.find(id);
+    if (it == contexts_.end()) continue;
+    RequestContext& ctx = it->second;
+    ctx.exchange = exchange_id;
+    ctx.attempts += 1;
+    ctx.dispatched_at = now;
+    ctx.last_backend = *backend_index;
+  }
+  CancelTokenPtr token = exchange.cancel;
+  exchange.batch = std::move(ready.batch);
+  exchanges_.emplace(exchange_id, std::move(exchange));
+
   std::shared_ptr<Backend> backend = backends_[*backend_index];
-  size_t backend_idx = *backend_index;
-  size_t connection = lease.connection;
-
-  // The batch is moved into the completion closure; member bookkeeping
-  // happens when the backend answers.
-  backend->invoke(call, [this, batch = std::move(ready.batch), backend_idx,
-                         connection](double done_now, bool ok,
-                                     const std::string& payload) {
-    pool_.release(connection);
-    balancer_.complete(backend_idx);
-    assert(in_flight_batches_ > 0);
-    --in_flight_batches_;
-
-    if (ok) {
-      std::vector<std::string> parts = ClusterEngine::split_reply(batch, payload);
-      for (size_t i = 0; i < batch.member_ids.size(); ++i) {
-        finish_member(batch.member_ids[i], done_now, http::Fidelity::kFull, parts[i],
-                      /*count_error=*/false);
-        if (config_.enable_cache) {
-          cache_->put(batch.member_payloads[i], parts[i], done_now);
-        }
-      }
-    } else {
-      for (uint64_t id : batch.member_ids) {
-        finish_member(id, done_now, http::Fidelity::kError, payload,
-                      /*count_error=*/true);
-      }
-    }
-    pump(done_now);
-  });
+  backend->invoke(call, token,
+                  [this, exchange_id](double done_now, bool ok,
+                                      const std::string& payload) {
+                    on_exchange_complete(exchange_id, done_now, ok, payload);
+                  });
 }
 
-void ServiceBroker::finish_member(uint64_t id, double now, http::Fidelity fidelity,
-                                  const std::string& payload, bool count_error) {
-  auto it = pending_.find(id);
-  if (it == pending_.end()) {
-    SBROKER_WARN(name_) << "completion for unknown request id " << id;
+void ServiceBroker::on_exchange_complete(uint64_t exchange_id, double now, bool ok,
+                                         const std::string& payload) {
+  auto it = exchanges_.find(exchange_id);
+  if (it == exchanges_.end()) {
+    // The deadline queue already harvested this exchange: every member was
+    // answered and accounting settled, so the late result only gets counted.
+    ++metrics_.lifecycle.late_completions;
     return;
   }
-  PendingMember member = std::move(it->second);
-  pending_.erase(it);
+  Exchange exchange = std::move(it->second);
+  exchanges_.erase(it);
+  pool_.release(exchange.connection);
+  balancer_.complete(exchange.backend);
+  report_health(exchange.backend, ok, now);
+  assert(in_flight_batches_ > 0);
+  --in_flight_batches_;
+
+  const Batch& batch = exchange.batch;
+  if (ok) {
+    std::vector<std::string> parts = ClusterEngine::split_reply(batch, payload);
+    for (size_t i = 0; i < batch.member_ids.size(); ++i) {
+      // Cache before replying: once the reply is on the wire, another shard
+      // may already be looking the repeat up in the shared cache. A fresh
+      // result is worth caching even when its member already expired.
+      if (config_.enable_cache) cache_->put(batch.member_payloads[i], parts[i], now);
+      uint64_t id = batch.member_ids[i];
+      auto ctx_it = contexts_.find(id);
+      if (ctx_it != contexts_.end() && ctx_it->second.exchange == exchange_id) {
+        RequestContext ctx = std::move(ctx_it->second);
+        contexts_.erase(ctx_it);
+        finish_context(std::move(ctx), now, http::Fidelity::kFull, parts[i],
+                       /*count_error=*/false);
+      }
+    }
+  } else {
+    bool scheduled_retry = false;
+    for (uint64_t id : batch.member_ids) {
+      auto ctx_it = contexts_.find(id);
+      if (ctx_it == contexts_.end() || ctx_it->second.exchange != exchange_id) continue;
+      RequestContext& ctx = ctx_it->second;
+      ctx.exchange = 0;
+      if (may_retry(ctx, now)) {
+        retries_.emplace(now + config_.lifecycle.retry_backoff * ctx.attempts, id);
+        metrics_.at(ctx.base_level).retries += 1;
+        scheduled_retry = true;
+      } else {
+        RequestContext moved = std::move(ctx_it->second);
+        contexts_.erase(ctx_it);
+        finish_context(std::move(moved), now, http::Fidelity::kError, payload,
+                       /*count_error=*/true);
+      }
+    }
+    if (scheduled_retry) {
+      drain_retries(now);  // zero-backoff configs re-dispatch immediately
+      if (wakeup_) wakeup_();
+    }
+  }
+  pump(now);
+}
+
+void ServiceBroker::finish_context(RequestContext ctx, double now,
+                                   http::Fidelity fidelity,
+                                   const std::string& payload, bool count_error) {
   assert(outstanding_ > 0);
   --outstanding_;
   load_->dec();
   hotspot_.observe(load_->load());
 
-  if (member.degraded && fidelity == http::Fidelity::kFull) {
+  if (ctx.degraded && fidelity == http::Fidelity::kFull) {
     fidelity = http::Fidelity::kDegraded;
   }
-  auto& c = metrics_.at(member.base_level);
+  auto& c = metrics_.at(ctx.base_level);
   if (fidelity == http::Fidelity::kFull || fidelity == http::Fidelity::kCached ||
       fidelity == http::Fidelity::kDegraded) {
     c.forwarded += 1;
   }
   if (count_error) c.errors += 1;
   c.completed += 1;
-  c.response_time.add(now - member.submitted_at);
-  member.reply(http::BrokerReply{id, fidelity, payload});
+  c.response_time.add(now - ctx.submitted_at);
+  ctx.reply(http::BrokerReply{ctx.id, fidelity, payload});
+}
+
+void ServiceBroker::shed_context(RequestContext ctx, double now, bool deadline_miss) {
+  assert(outstanding_ > 0);
+  --outstanding_;
+  load_->dec();
+  hotspot_.observe(load_->load());
+
+  auto& c = metrics_.at(ctx.base_level);
+  c.dropped += 1;
+  if (deadline_miss) c.deadline_misses += 1;
+  c.completed += 1;
+  c.response_time.add(now - ctx.submitted_at);
+  if (config_.serve_stale_on_drop) {
+    if (auto stale = cache_->get_stale(ctx.payload)) {
+      ctx.reply(http::BrokerReply{ctx.id, http::Fidelity::kCached, *stale});
+      return;
+    }
+  }
+  ctx.reply(http::BrokerReply{
+      ctx.id, http::Fidelity::kBusy,
+      deadline_miss ? std::string(kDeadlineExceeded) : "system is busy"});
+}
+
+bool ServiceBroker::may_retry(const RequestContext& ctx, double now) const {
+  if (ctx.attempts >= ctx.attempt_budget) return false;
+  double ready_at = now + config_.lifecycle.retry_backoff * ctx.attempts;
+  return ctx.deadline == kNoDeadline || ready_at < ctx.deadline;
+}
+
+void ServiceBroker::expire_deadlines(double now) {
+  while (!deadlines_.empty() && deadlines_.top().first <= now) {
+    uint64_t id = deadlines_.top().second;
+    deadlines_.pop();
+    auto it = contexts_.find(id);
+    // Skip lazily-deleted entries (request already answered) and entries
+    // stale against a later re-submitted deadline for the same id.
+    if (it == contexts_.end() || !it->second.expired(now)) continue;
+    uint64_t exchange_id = it->second.exchange;
+    RequestContext ctx = std::move(it->second);
+    contexts_.erase(it);
+    shed_context(std::move(ctx), now, /*deadline_miss=*/true);
+    if (exchange_id != 0) {
+      auto ex_it = exchanges_.find(exchange_id);
+      if (ex_it != exchanges_.end()) {
+        assert(ex_it->second.unfinished > 0);
+        if (--ex_it->second.unfinished == 0) harvest_exchange(exchange_id, now);
+      }
+    }
+  }
+}
+
+void ServiceBroker::harvest_exchange(uint64_t exchange_id, double now) {
+  auto it = exchanges_.find(exchange_id);
+  if (it == exchanges_.end()) return;
+  Exchange exchange = std::move(it->second);
+  // Erase before firing the token: a backend that completes re-entrantly
+  // from its cancel path must find the accounting already settled.
+  exchanges_.erase(it);
+  pool_.release(exchange.connection);
+  balancer_.complete(exchange.backend);
+  // A stall the broker had to abandon is a failure signal for the replica.
+  report_health(exchange.backend, /*ok=*/false, now);
+  assert(in_flight_batches_ > 0);
+  --in_flight_batches_;
+  ++metrics_.lifecycle.cancellations;
+  exchange.cancel->cancel();
+}
+
+void ServiceBroker::report_health(size_t backend, bool ok, double now) {
+  switch (balancer_.report(backend, ok, now)) {
+    case ReplicaEvent::kEjected:
+      ++metrics_.lifecycle.ejections;
+      break;
+    case ReplicaEvent::kRecovered:
+      ++metrics_.lifecycle.recoveries;
+      break;
+    case ReplicaEvent::kNone:
+      break;
+  }
+}
+
+void ServiceBroker::drain_retries(double now) {
+  while (!retries_.empty() && retries_.top().first <= now) {
+    uint64_t id = retries_.top().second;
+    retries_.pop();
+    auto it = contexts_.find(id);
+    // Valid only for a context that has consumed an attempt and is not in
+    // flight — anything else is a lazily-deleted entry.
+    if (it == contexts_.end() || it->second.exchange != 0 ||
+        it->second.attempts == 0) {
+      continue;
+    }
+    const RequestContext& ctx = it->second;
+    ReadyBatch ready;
+    ready.batch.member_ids = {id};
+    ready.batch.member_payloads = {ctx.payload};
+    ready.batch.combined_payload = ctx.payload;
+    ready.priority = ctx.effective_level;
+    ready.avoid = ctx.last_backend;
+    dispatch_queue_.push(ready.priority, std::move(ready));
+  }
 }
 
 void ServiceBroker::tick(double now) {
   if (auto batch = cluster_.flush(now)) {
     enqueue_batch(std::move(*batch), now);
-    pump(now);
   }
+  expire_deadlines(now);
+  drain_retries(now);
+  pump(now);
   txn_->expire(now);
 
   if (!backends_.empty()) {
@@ -253,7 +439,7 @@ void ServiceBroker::tick(double now) {
 }
 
 void ServiceBroker::issue_prefetch(const PrefetchEntry& entry, double now) {
-  auto backend_index = balancer_.pick();
+  auto backend_index = balancer_.pick(now);
   if (!backend_index) return;
   ConnectionPool::Lease lease = pool_.acquire();
   if (!lease.granted) {
@@ -281,10 +467,20 @@ ChannelStats ServiceBroker::channel_stats() const {
 }
 
 std::optional<double> ServiceBroker::next_deadline() const {
-  std::optional<double> deadline = cluster_.next_deadline();
-  std::optional<double> prefetch = prefetcher_.next_due();
-  if (deadline && prefetch) return std::min(*deadline, *prefetch);
-  return deadline ? deadline : prefetch;
+  std::optional<double> next = cluster_.next_deadline();
+  auto fold = [&next](std::optional<double> t) {
+    if (t && (!next || *t < *next)) next = t;
+  };
+  fold(prefetcher_.next_due());
+  while (!deadlines_.empty() && !contexts_.count(deadlines_.top().second)) {
+    deadlines_.pop();
+  }
+  if (!deadlines_.empty()) fold(deadlines_.top().first);
+  while (!retries_.empty() && !contexts_.count(retries_.top().second)) {
+    retries_.pop();
+  }
+  if (!retries_.empty()) fold(retries_.top().first);
+  return next;
 }
 
 }  // namespace sbroker::core

@@ -18,17 +18,32 @@
 // decides whether the call pays connection setup. The Prefetcher refreshes
 // registered keys from tick() while the broker is idle.
 //
+// Every admitted request lives in a RequestContext from admission until its
+// single reply: it records the QoS classification, the absolute deadline and
+// the attempt budget. tick() owns a deadline queue that sheds expired
+// requests (stale-cache reply when available, else busy) and — once every
+// member of an in-flight exchange has expired — harvests the exchange:
+// releases its pool lease, balancer charge and dispatch-window slot, and
+// fires its CancelToken so the transport can abandon the stalled work. A
+// failed exchange re-dispatches its members to a different replica after a
+// backoff, within the attempt budget and the remaining deadline; completion
+// outcomes feed the LoadBalancer's replica-health state.
+//
 // Time is injected: every entry point takes `now` (seconds). The owner must
 // call tick(now) periodically (or whenever next_deadline() falls due) to
-// flush time-based cluster batches and run prefetch.
+// flush time-based cluster batches, expire deadlines, re-dispatch retries
+// and run prefetch. set_wakeup() tells the owner when the schedule moved
+// earlier behind its back (a retry scheduled from a backend completion).
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <memory>
 #include <optional>
+#include <queue>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "core/admission.h"
@@ -42,6 +57,7 @@
 #include "core/hotspot.h"
 #include "core/prefetch.h"
 #include "core/qos.h"
+#include "core/request.h"
 #include "core/rewrite.h"
 #include "core/scheduler.h"
 #include "core/txn.h"
@@ -66,11 +82,13 @@ struct BrokerConfig {
   size_t dispatch_window = 0;
   double prefetch_idle_threshold = 1.0;
   uint64_t rng_seed = 42;          ///< seeds the balancer's random policy
+  LifecycleConfig lifecycle;       ///< deadlines, attempt budget, backoff
+  HealthConfig health;             ///< replica ejection / half-open recovery
 };
 
 class ServiceBroker {
  public:
-  using ReplyFn = std::function<void(const http::BrokerReply&)>;
+  using ReplyFn = core::ReplyFn;
 
   ServiceBroker(std::string name, BrokerConfig config);
 
@@ -99,13 +117,22 @@ class ServiceBroker {
   /// re-entrantly (cache hit / drop) or later (backend completion).
   void submit(double now, const http::BrokerRequest& request, ReplyFn reply);
 
-  /// Housekeeping: flushes overdue cluster batches, issues due prefetches,
-  /// expires idle transactions. Call at ~cluster.max_wait granularity.
+  /// Housekeeping: flushes overdue cluster batches, sheds deadline-expired
+  /// requests (harvesting exchanges whose members all expired), re-dispatches
+  /// due retries, issues due prefetches, expires idle transactions. Call at
+  /// ~cluster.max_wait granularity, and whenever next_deadline() falls due.
   void tick(double now);
 
-  /// Earliest time at which tick() has work (cluster deadline or prefetch
-  /// refresh); nullopt when nothing is pending.
+  /// Earliest time at which tick() has work (cluster flush, request
+  /// deadline, pending retry, or prefetch refresh); nullopt when nothing is
+  /// pending.
   std::optional<double> next_deadline() const;
+
+  /// Registers a callback fired when the broker's schedule gains an entry
+  /// earlier than the owner may have armed for — today: a retry scheduled
+  /// from inside a backend completion. Owners re-arm their tick timer from
+  /// it; pure-pull users (tests driving tick() manually) can ignore it.
+  void set_wakeup(std::function<void()> wakeup) { wakeup_ = std::move(wakeup); }
 
   /// Requests forwarded to backends (or buffered for batching) and not yet
   /// answered *by this broker*. The admission threshold compares against the
@@ -135,24 +162,44 @@ class ServiceBroker {
   size_t backend_count() const { return backends_.size(); }
 
  private:
-  struct PendingMember {
-    QosLevel base_level = 1;
-    double submitted_at = 0.0;
-    std::string payload;
-    bool degraded = false;  ///< rewritten to lower fidelity before forwarding
-    ReplyFn reply;
-  };
-
   struct ReadyBatch {
     Batch batch;
     QosLevel priority = 1;  ///< max effective level among members
+    std::optional<size_t> avoid;  ///< replica the members' last attempt failed on
   };
 
+  /// One in-flight backend exchange (a dispatched batch). Completion and
+  /// deadline harvest race benignly: whichever runs first releases the pool
+  /// lease / balancer charge / window slot and erases the record, so the
+  /// loser finds nothing and accounting settles exactly once.
+  struct Exchange {
+    Batch batch;
+    size_t backend = 0;
+    size_t connection = 0;
+    size_t unfinished = 0;  ///< live members not yet individually resolved
+    CancelTokenPtr cancel;
+  };
+
+  /// Min-heap of (time, request id); entries are lazily deleted — validity
+  /// is re-checked against contexts_ when they surface.
+  using TimeHeap = std::priority_queue<std::pair<double, uint64_t>,
+                                       std::vector<std::pair<double, uint64_t>>,
+                                       std::greater<>>;
+
+  double compute_deadline(double now, uint32_t deadline_ms) const;
   void enqueue_batch(Batch batch, double now);
   void pump(double now);
   void dispatch(ReadyBatch ready, double now);
-  void finish_member(uint64_t id, double now, http::Fidelity fidelity,
-                     const std::string& payload, bool count_error);
+  void on_exchange_complete(uint64_t exchange_id, double now, bool ok,
+                            const std::string& payload);
+  void finish_context(RequestContext ctx, double now, http::Fidelity fidelity,
+                      const std::string& payload, bool count_error);
+  void shed_context(RequestContext ctx, double now, bool deadline_miss);
+  bool may_retry(const RequestContext& ctx, double now) const;
+  void expire_deadlines(double now);
+  void drain_retries(double now);
+  void harvest_exchange(uint64_t exchange_id, double now);
+  void report_health(size_t backend, bool ok, double now);
   void reply_drop(double now, const http::BrokerRequest& request, QosLevel base_level,
                   ReplyFn& reply);
   void issue_prefetch(const PrefetchEntry& entry, double now);
@@ -173,8 +220,13 @@ class ServiceBroker {
   BrokerMetrics metrics_;
 
   std::vector<std::shared_ptr<Backend>> backends_;
-  std::unordered_map<uint64_t, PendingMember> pending_;
-  std::unordered_map<uint64_t, QosLevel> effective_levels_;  ///< for batch prio
+  std::unordered_map<uint64_t, RequestContext> contexts_;
+  std::unordered_map<uint64_t, Exchange> exchanges_;
+  uint64_t next_exchange_ = 1;
+  /// Lazily-pruned from the const next_deadline(); logical state unchanged.
+  mutable TimeHeap deadlines_;  ///< (absolute deadline, request id)
+  mutable TimeHeap retries_;    ///< (earliest re-dispatch time, request id)
+  std::function<void()> wakeup_;
   size_t outstanding_ = 0;
   size_t in_flight_batches_ = 0;
 };

@@ -21,10 +21,13 @@ class BrokerMetrics {
   struct ClassCounters {
     uint64_t issued = 0;      ///< requests submitted to the broker
     uint64_t forwarded = 0;   ///< sent to a backend
-    uint64_t dropped = 0;     ///< admission-dropped (busy / stale reply)
+    uint64_t dropped = 0;     ///< shed with busy/stale reply (admission,
+                              ///< saturation, or deadline expiry)
     uint64_t cache_hits = 0;  ///< served from the result cache
     uint64_t completed = 0;   ///< replies delivered (any fidelity)
     uint64_t errors = 0;      ///< backend failures surfaced to the client
+    uint64_t deadline_misses = 0;  ///< deadline-expired sheds (subset of dropped)
+    uint64_t retries = 0;     ///< broker-level re-dispatches to another replica
     util::Summary response_time;  ///< submit -> reply, seconds
 
     double drop_ratio() const {
@@ -52,20 +55,44 @@ class BrokerMetrics {
       t.cache_hits += c.cache_hits;
       t.completed += c.completed;
       t.errors += c.errors;
+      t.deadline_misses += c.deadline_misses;
+      t.retries += c.retries;
       t.response_time.merge(c.response_time);
     }
     return t;
   }
 
+  /// Request-lifecycle events that are not per-class: exchange abandonment
+  /// and replica-health transitions. Maintained by the broker, merged across
+  /// shards like everything else.
+  struct LifecycleStats {
+    uint64_t cancellations = 0;     ///< in-flight exchanges abandoned at expiry
+    uint64_t late_completions = 0;  ///< backend answers after the broker gave up
+    uint64_t ejections = 0;         ///< replica ejections (incl. failed probes)
+    uint64_t recoveries = 0;        ///< replicas recovered via half-open probe
+    uint64_t probes = 0;            ///< half-open probe requests issued
+
+    void merge(const LifecycleStats& other) {
+      cancellations += other.cancellations;
+      late_completions += other.late_completions;
+      ejections += other.ejections;
+      recoveries += other.recoveries;
+      probes += other.probes;
+    }
+  };
+
   void reset() {
     for (auto& c : per_class_) c = ClassCounters{};
     transport = ChannelStats{};
+    lifecycle = LifecycleStats{};
   }
 
   /// Wire-level channel counters, filled in by the owner of the transport
   /// (the real-socket daemon folds its backends' ChannelStats in when it
   /// snapshots metrics). Always zero for pure-simulation brokers.
   ChannelStats transport;
+
+  LifecycleStats lifecycle;
 
   /// Accumulates another broker's counters class-by-class — the sharded
   /// daemon folds its per-shard metrics into one report with this.
@@ -82,9 +109,12 @@ class BrokerMetrics {
       mine.cache_hits += theirs.cache_hits;
       mine.completed += theirs.completed;
       mine.errors += theirs.errors;
+      mine.deadline_misses += theirs.deadline_misses;
+      mine.retries += theirs.retries;
       mine.response_time.merge(theirs.response_time);
     }
     transport.merge(other.transport);
+    lifecycle.merge(other.lifecycle);
   }
 
  private:

@@ -1,0 +1,119 @@
+// Per-request lifecycle state.
+//
+// The broker answers every message exactly once, at some fidelity — the
+// paper's promise only holds if the broker can give up on a request that a
+// backend will never answer. RequestContext carries everything needed to do
+// that: the identity and QoS classification fixed at submit time, the
+// absolute deadline after which the broker sheds the request itself, and the
+// attempt budget that bounds retries against other replicas. One context
+// exists per admitted request, from admission until its single reply.
+//
+// CancelToken is the backend-facing half: when the broker abandons an
+// in-flight exchange (all its members expired), it fires the token so the
+// transport can kill the stalled connection and recover its other queued
+// exchanges, instead of leaking the socket until process exit.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "core/qos.h"
+#include "http/wire.h"
+
+namespace sbroker::core {
+
+/// Sentinel for "no deadline": comparisons against it never expire.
+inline constexpr double kNoDeadline = std::numeric_limits<double>::infinity();
+
+/// Diagnostic payload of a deadline-shed reply. The HTTP gateway maps busy
+/// replies carrying this marker to 504 Gateway Timeout (vs. 503 for
+/// admission drops).
+inline constexpr std::string_view kDeadlineExceeded = "deadline exceeded";
+
+/// Reply delivery callback; fires exactly once per submitted request.
+using ReplyFn = std::function<void(const http::BrokerReply&)>;
+
+/// Deadline / retry policy knobs, part of BrokerConfig.
+struct LifecycleConfig {
+  /// Deadline applied to requests that do not carry their own, in seconds
+  /// after submit. 0 = no implicit deadline.
+  double default_deadline = 0.0;
+  /// Upper clamp on client-supplied deadlines, seconds. 0 = no clamp.
+  double max_deadline = 0.0;
+  /// Backend exchanges one request may consume (first attempt included).
+  /// 1 = no broker-level retry, the pre-lifecycle behaviour.
+  int max_attempts = 1;
+  /// Base pause before a retry is re-dispatched; attempt n waits n*backoff.
+  double retry_backoff = 0.005;
+  /// Headroom added to the transport timeout handed to backends on top of
+  /// the longest remaining member deadline. The broker cancels the exchange
+  /// itself when the deadline expires, so the transport bound is only a
+  /// backstop — the slack makes it lose any race against the deadline tick
+  /// (a transport-timeout win would burn the attempt and turn a clean
+  /// deadline shed into an error completion).
+  double transport_slack = 0.05;
+};
+
+/// One admitted request, from admission until its single reply. Replaces the
+/// scattered PendingMember / effective-level / outstanding bookkeeping.
+struct RequestContext {
+  uint64_t id = 0;
+  QosLevel base_level = 1;       ///< as classified at submit (metrics key)
+  QosLevel effective_level = 1;  ///< after transaction escalation
+  double submitted_at = 0.0;
+  double deadline = kNoDeadline; ///< absolute, caller's clock
+  double dispatched_at = 0.0;    ///< last handoff to a backend exchange
+  int attempts = 0;              ///< backend exchanges consumed so far
+  int attempt_budget = 1;
+  uint64_t exchange = 0;         ///< in-flight exchange id; 0 = none
+  std::optional<size_t> last_backend;  ///< replica of the last attempt
+  std::string payload;           ///< post-rewrite payload sent to backends
+  bool degraded = false;         ///< rewritten to lower fidelity
+  ReplyFn reply;
+
+  bool expired(double now) const { return deadline <= now; }
+  /// Seconds of deadline budget left; kNoDeadline when none was set.
+  double remaining(double now) const {
+    return deadline == kNoDeadline ? kNoDeadline : deadline - now;
+  }
+};
+
+/// Cooperative cancellation handle threaded into Backend::invoke. Single
+/// threaded, like everything reachable from the broker core: the owner and
+/// the backend live on the same reactor/sim timeline. The callback fires at
+/// most once; arming an already-cancelled token fires it immediately.
+class CancelToken {
+ public:
+  void set_callback(std::function<void()> fn) {
+    if (cancelled_) {
+      if (fn) fn();
+      return;
+    }
+    on_cancel_ = std::move(fn);
+  }
+
+  void cancel() {
+    if (cancelled_) return;
+    cancelled_ = true;
+    if (on_cancel_) {
+      auto fn = std::move(on_cancel_);
+      on_cancel_ = nullptr;
+      fn();
+    }
+  }
+
+  bool cancelled() const { return cancelled_; }
+
+ private:
+  bool cancelled_ = false;
+  std::function<void()> on_cancel_;
+};
+
+using CancelTokenPtr = std::shared_ptr<CancelToken>;
+
+}  // namespace sbroker::core

@@ -72,5 +72,8 @@ Response make_response(int status, std::string body);
 inline constexpr std::string_view kQosHeader = "X-QoS-Level";
 inline constexpr std::string_view kFidelityHeader = "X-Fidelity";
 inline constexpr std::string_view kMgetHeader = "X-MGET-URIs";
+/// Answer-by budget in milliseconds; carried by gateway clients into the
+/// broker and forwarded by backend channels downstream.
+inline constexpr std::string_view kDeadlineHeader = "X-Deadline-Ms";
 
 }  // namespace sbroker::http

@@ -109,6 +109,7 @@ std::string encode(const BrokerRequest& msg) {
   put_u8(out, msg.qos_level);
   put_u64(out, msg.txn_id);
   put_u8(out, msg.txn_step);
+  put_u32(out, msg.deadline_ms);
   put_string(out, msg.service);
   put_string(out, msg.payload);
   return out;
@@ -130,7 +131,8 @@ std::optional<BrokerRequest> decode_request(std::string_view bytes, size_t* cons
   if (!read_preamble(r, kKindRequest)) return std::nullopt;
   BrokerRequest msg;
   if (!r.u64(msg.request_id) || !r.u8(msg.qos_level) || !r.u64(msg.txn_id) ||
-      !r.u8(msg.txn_step) || !r.str(msg.service) || !r.str(msg.payload)) {
+      !r.u8(msg.txn_step) || !r.u32(msg.deadline_ms) || !r.str(msg.service) ||
+      !r.str(msg.payload)) {
     return std::nullopt;
   }
   if (consumed) *consumed = r.pos();

@@ -39,6 +39,7 @@ struct BrokerRequest {
   uint8_t qos_level = 1;      ///< 1..N, higher is more important
   uint64_t txn_id = 0;        ///< 0 = not part of a transaction
   uint8_t txn_step = 0;       ///< 1-based step within the transaction
+  uint32_t deadline_ms = 0;   ///< answer-by budget from submit; 0 = none
   std::string service;        ///< broker/service name, e.g. "db" or "backend1"
   std::string payload;        ///< query text (SQL) or request target (URI)
 };

@@ -1,6 +1,7 @@
 #include "net/broker_daemon.h"
 
 #include <algorithm>
+#include <cstdlib>
 
 #include "core/cluster.h"
 #include "http/mget.h"
@@ -17,6 +18,7 @@ struct HttpBackend::Exchange {
   Completion done;
   size_t parts_expected = 1;
   bool finished = false;
+  Reactor::TimerId timer = 0;  ///< response-deadline timer; 0 = none armed
 };
 
 HttpBackend::HttpBackend(Reactor& reactor, uint16_t port)
@@ -37,10 +39,17 @@ core::ChannelStats HttpBackend::channel_stats() const {
   s.flushes = calls_;
   s.requests_written = calls_;
   s.peak_in_flight = calls_ > 0 ? 1 : 0;
+  s.timeouts = timeouts_;
+  s.cancels = cancels_;
   return s;
 }
 
 void HttpBackend::invoke(const Call& call, Completion done) {
+  invoke(call, nullptr, std::move(done));
+}
+
+void HttpBackend::invoke(const Call& call, const core::CancelTokenPtr& token,
+                         Completion done) {
   ++calls_;
   auto records = core::ClusterEngine::split_records(call.payload);
   http::Request request;
@@ -51,6 +60,12 @@ void HttpBackend::invoke(const Call& call, Completion done) {
     request = http::make_mget_request(records);
   }
   request.headers.set("Host", "127.0.0.1");
+  double timeout =
+      call.timeout > 0.0 ? call.timeout : idle_config_.response_timeout;
+  if (timeout > 0.0) {
+    request.headers.set(std::string(http::kDeadlineHeader),
+                        std::to_string(static_cast<long>(timeout * 1000.0)));
+  }
 
   std::shared_ptr<TcpConn> conn;
   bool reused = false;
@@ -80,12 +95,15 @@ void HttpBackend::invoke(const Call& call, Completion done) {
     ++connections_opened_;
   }
 
-  start_exchange(conn, reused, request.serialize(), records.size(), std::move(done));
+  start_exchange(conn, reused, request.serialize(), records.size(), timeout,
+                 token, std::move(done));
 }
 
 void HttpBackend::start_exchange(std::shared_ptr<TcpConn> conn, bool reused,
                                  const std::string& wire_request,
-                                 size_t parts_expected, Completion done) {
+                                 size_t parts_expected, double timeout,
+                                 const core::CancelTokenPtr& token,
+                                 Completion done) {
   auto exchange = std::make_shared<Exchange>();
   exchange->done = std::move(done);
   exchange->parts_expected = parts_expected;
@@ -94,6 +112,7 @@ void HttpBackend::start_exchange(std::shared_ptr<TcpConn> conn, bool reused,
   auto finish = [self, exchange, conn](bool ok, std::string payload, bool reusable) {
     if (exchange->finished) return;
     exchange->finished = true;
+    if (exchange->timer != 0) self->reactor_.cancel_timer(exchange->timer);
     if (reusable && !conn->closed()) {
       self->park_idle(conn);
     } else if (!conn->closed()) {
@@ -101,6 +120,28 @@ void HttpBackend::start_exchange(std::shared_ptr<TcpConn> conn, bool reused,
     }
     exchange->done(self->reactor_.now(), ok, std::move(payload));
   };
+
+  if (timeout > 0.0) {
+    // Half-stall bound: a connection that stays open but never produces a
+    // full response would otherwise pin this exchange forever.
+    std::weak_ptr<HttpBackend> weak_self = weak_from_this();
+    exchange->timer = reactor_.add_timer(timeout, [weak_self, finish]() {
+      auto backend = weak_self.lock();
+      if (!backend) return;
+      ++backend->timeouts_;
+      finish(false, "backend response timeout", false);
+    });
+  }
+  if (token) {
+    std::weak_ptr<HttpBackend> weak_self = weak_from_this();
+    token->set_callback([weak_self, finish]() {
+      auto backend = weak_self.lock();
+      if (!backend) return;
+      ++backend->cancels_;
+      finish(false, "exchange cancelled", false);
+    });
+    if (exchange->finished) return;  // token was already cancelled
+  }
 
   conn->start(
       [exchange, finish](std::string_view bytes) {
@@ -200,7 +241,17 @@ BrokerDaemon::BrokerDaemon(Reactor& reactor, std::string name,
         },
         config.reuse_port);
   }
-  schedule_tick();
+  if (config.enable_http) {
+    http_ = std::make_unique<HttpServer>(
+        reactor_, config.http_port,
+        [this](const http::Request& req, HttpServer::Responder respond) {
+          on_http(req, std::move(respond));
+        });
+  }
+  // Retries scheduled from inside a backend completion can move the next
+  // due time earlier than the armed tick; the broker tells us to re-arm.
+  broker_.set_wakeup([this]() { rearm_tick(); });
+  rearm_tick();
 }
 
 void BrokerDaemon::adopt_client(int fd) {
@@ -230,6 +281,9 @@ void BrokerDaemon::adopt_client(int fd) {
                          [tcp](const http::BrokerReply& reply) {
                            if (!tcp->closed()) tcp->send(http::encode(reply));
                          });
+          // The submit may have registered a deadline earlier than the
+          // armed tick; pull the timer forward so expiry fires on time.
+          rearm_tick();
         }
       },
       [conn]() {});
@@ -244,6 +298,38 @@ void BrokerDaemon::on_datagram(std::string_view payload, const sockaddr_in& from
   broker_.submit(reactor_.now(), *request, [this, from](const http::BrokerReply& reply) {
     if (udp_) udp_->send_to(from, http::encode(reply));
   });
+  rearm_tick();
+}
+
+void BrokerDaemon::on_http(const http::Request& req, HttpServer::Responder respond) {
+  http::BrokerRequest breq;
+  breq.request_id = ++http_seq_;
+  breq.qos_level = static_cast<uint32_t>(req.qos_level(1));
+  breq.payload = req.target;
+  if (auto hdr = req.headers.get(http::kDeadlineHeader)) {
+    breq.deadline_ms = static_cast<uint32_t>(std::strtoul(hdr->c_str(), nullptr, 10));
+  }
+  broker_.submit(reactor_.now(), breq, [respond](const http::BrokerReply& reply) {
+    int status = 200;
+    switch (reply.fidelity) {
+      case http::Fidelity::kFull:
+      case http::Fidelity::kCached:
+      case http::Fidelity::kDegraded:
+        status = 200;
+        break;
+      case http::Fidelity::kBusy:
+        status = reply.payload == core::kDeadlineExceeded ? 504 : 503;
+        break;
+      case http::Fidelity::kError:
+        status = 502;
+        break;
+    }
+    auto resp = http::make_response(status, reply.payload);
+    resp.headers.set(std::string(http::kFidelityHeader),
+                     std::string(http::fidelity_name(reply.fidelity)));
+    respond(std::move(resp));
+  });
+  rearm_tick();
 }
 
 BrokerDaemon::~BrokerDaemon() {
@@ -255,11 +341,24 @@ void BrokerDaemon::add_backend(std::shared_ptr<core::Backend> backend, double we
   broker_.add_backend(std::move(backend), weight);
 }
 
-void BrokerDaemon::schedule_tick() {
-  tick_timer_ = reactor_.add_timer(tick_interval_, [this]() {
+void BrokerDaemon::rearm_tick() {
+  if (stopping_) return;
+  double now = reactor_.now();
+  double due = now + tick_interval_;
+  if (auto next = broker_.next_deadline(); next && *next < due) {
+    due = std::max(now, *next);
+  }
+  // Keep an already-armed timer that is early enough; re-arming on every
+  // submit would churn the timer queue for no behavioural difference.
+  if (tick_armed_ && next_tick_at_ <= due + 1e-9) return;
+  if (tick_armed_) reactor_.cancel_timer(tick_timer_);
+  tick_armed_ = true;
+  next_tick_at_ = due;
+  tick_timer_ = reactor_.add_timer(due - now, [this]() {
     if (stopping_) return;
+    tick_armed_ = false;
     broker_.tick(reactor_.now());
-    schedule_tick();
+    rearm_tick();
   });
 }
 

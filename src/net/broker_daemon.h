@@ -35,20 +35,28 @@ class HttpBackend : public core::Backend,
   /// Bounds on the idle-connection pool: at most `max_idle` connections are
   /// kept for reuse (oldest evicted beyond that) and any connection idle
   /// longer than `idle_ttl` seconds is closed by a background prune, rather
-  /// than lingering until a later acquire discovers it dead.
+  /// than lingering until a later acquire discovers it dead. Also carries
+  /// the stop-and-wait exchange deadline: a connection that is readable but
+  /// has not produced a full response within `response_timeout` seconds
+  /// (Call::timeout overrides, when the broker set one) fails the exchange
+  /// instead of waiting indefinitely.
   struct IdleConfig {
     size_t max_idle = 64;
-    double idle_ttl = 30.0;  ///< seconds
+    double idle_ttl = 30.0;          ///< seconds
+    double response_timeout = 30.0;  ///< seconds; 0 = wait forever
   };
 
   HttpBackend(Reactor& reactor, uint16_t port);  ///< default IdleConfig
   HttpBackend(Reactor& reactor, uint16_t port, IdleConfig idle);
 
   void invoke(const Call& call, Completion done) override;
+  void invoke(const Call& call, const core::CancelTokenPtr& token,
+              Completion done) override;
   core::ChannelStats channel_stats() const override;
 
   uint64_t connections_opened() const { return connections_opened_; }
   uint64_t calls() const { return calls_; }
+  uint64_t timeouts() const { return timeouts_; }
   size_t idle_connections() const { return idle_.size(); }
 
  private:
@@ -59,6 +67,7 @@ class HttpBackend : public core::Backend,
   };
   void start_exchange(std::shared_ptr<TcpConn> conn, bool reused,
                       const std::string& wire_request, size_t parts_expected,
+                      double timeout, const core::CancelTokenPtr& token,
                       Completion done);
   void park_idle(std::shared_ptr<TcpConn> conn);
   void schedule_prune();
@@ -71,6 +80,8 @@ class HttpBackend : public core::Backend,
   bool prune_scheduled_ = false;
   uint64_t connections_opened_ = 0;
   uint64_t calls_ = 0;
+  uint64_t timeouts_ = 0;
+  uint64_t cancels_ = 0;
 };
 
 struct BrokerDaemonConfig {
@@ -78,10 +89,16 @@ struct BrokerDaemonConfig {
   uint16_t listen_port = 0;      ///< TCP port; 0 = ephemeral
   bool enable_udp = true;        ///< the paper's "lightweight UDP" channel
   uint16_t udp_port = 0;         ///< 0 = ephemeral
-  double tick_interval = 0.02;   ///< seconds between housekeeping ticks
+  double tick_interval = 0.02;   ///< max seconds between housekeeping ticks
   /// SO_REUSEPORT on both listeners, so several daemons (the shards of a
   /// ShardedBrokerDaemon) can accept on one shared port.
   bool reuse_port = false;
+  /// Plain-HTTP ingress: clients GET targets directly (X-QoS-Level and
+  /// X-Deadline-Ms honored) and fidelity maps onto status codes — 200 for
+  /// full/cached/degraded, 503 for admission busy, 504 Gateway Timeout for
+  /// deadline sheds, 502 for backend errors.
+  bool enable_http = false;
+  uint16_t http_port = 0;        ///< 0 = ephemeral
 };
 
 class BrokerDaemon {
@@ -102,21 +119,31 @@ class BrokerDaemon {
   uint16_t port() const { return listener_.port(); }
   /// UDP datagram port; 0 when UDP is disabled.
   uint16_t udp_port() const { return udp_ ? udp_->port() : 0; }
+  /// HTTP ingress port; 0 when the HTTP gateway is disabled.
+  uint16_t http_port() const { return http_ ? http_->port() : 0; }
   core::ServiceBroker& broker() { return broker_; }
   const core::ServiceBroker& broker() const { return broker_; }
 
  private:
   struct Conn;
-  void schedule_tick();
+  /// (Re-)arms the tick timer for min(now + tick_interval, broker
+  /// next_deadline) so deadline expiries fire when due, not a full tick
+  /// late. Cheap no-op when the armed timer is already early enough.
+  void rearm_tick();
   void on_datagram(std::string_view payload, const sockaddr_in& from);
+  void on_http(const http::Request& req, HttpServer::Responder respond);
 
   Reactor& reactor_;
   core::ServiceBroker broker_;
   double tick_interval_;
   Reactor::TimerId tick_timer_ = 0;
+  bool tick_armed_ = false;
+  double next_tick_at_ = 0.0;
   bool stopping_ = false;
   TcpListener listener_;
   std::unique_ptr<UdpSocket> udp_;
+  std::unique_ptr<HttpServer> http_;
+  uint64_t http_seq_ = 0;  ///< synthesizes request ids for HTTP clients
 };
 
 }  // namespace sbroker::net

@@ -10,6 +10,7 @@
 
 #include "http/message.h"
 #include "http/wire.h"
+#include "net/net_config.h"
 
 namespace sbroker::net {
 
@@ -17,13 +18,13 @@ namespace sbroker::net {
 /// `request`, reads one response. nullopt on connect/IO/parse failure or
 /// after `timeout_ms`.
 std::optional<http::Response> http_fetch(uint16_t port, const http::Request& request,
-                                         int timeout_ms = 5000);
+                                         int timeout_ms = kDefaultClientTimeoutMs);
 
 /// Persistent blocking connection speaking the broker wire protocol.
 class BrokerClient {
  public:
   /// Connects immediately; throws std::runtime_error on failure.
-  explicit BrokerClient(uint16_t port, int timeout_ms = 5000);
+  explicit BrokerClient(uint16_t port, int timeout_ms = kDefaultClientTimeoutMs);
   ~BrokerClient();
   BrokerClient(const BrokerClient&) = delete;
   BrokerClient& operator=(const BrokerClient&) = delete;

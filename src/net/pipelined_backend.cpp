@@ -31,6 +31,11 @@ core::ChannelStats PipelinedBackend::channel_stats() const {
 }
 
 void PipelinedBackend::invoke(const Call& call, Completion done) {
+  invoke(call, nullptr, std::move(done));
+}
+
+void PipelinedBackend::invoke(const Call& call, const core::CancelTokenPtr& token,
+                              Completion done) {
   ++stats_.calls;
   auto records = core::ClusterEngine::split_records(call.payload);
   http::Request request;
@@ -41,6 +46,14 @@ void PipelinedBackend::invoke(const Call& call, Completion done) {
     request = http::make_mget_request(records);
   }
   request.headers.set("Host", "127.0.0.1");
+
+  // The broker's remaining deadline bounds the exchange; without one the
+  // channel's own response_timeout still caps a half-stalled connection.
+  double timeout = call.timeout > 0.0 ? call.timeout : config_.response_timeout;
+  if (timeout > 0.0) {
+    request.headers.set(std::string(http::kDeadlineHeader),
+                        std::to_string(static_cast<long>(timeout * 1000.0)));
+  }
 
   // Backpressure: the broker's ConnectionPool enforces the same bound ahead
   // of us when configured via Config::from_pool; this is the wire-side
@@ -55,7 +68,22 @@ void PipelinedBackend::invoke(const Call& call, Completion done) {
   exchange->wire = request.serialize();
   exchange->parts_expected = records.size();
   exchange->done = std::move(done);
+  if (timeout > 0.0) exchange->deadline_at = reactor_.now() + timeout;
+
+  if (token) {
+    std::weak_ptr<PipelinedBackend> weak_self = weak_from_this();
+    std::weak_ptr<Exchange> weak_exchange = exchange;
+    token->set_callback([weak_self, weak_exchange]() {
+      auto self = weak_self.lock();
+      auto ex = weak_exchange.lock();
+      if (self && ex) self->abandon(ex, "exchange cancelled", /*is_timeout=*/false);
+    });
+    if (exchange->completed) return;  // token was already cancelled
+  }
+
+  double deadline_at = exchange->deadline_at;
   enqueue(std::move(exchange), /*allow_overflow=*/false);
+  if (deadline_at > 0.0) arm_sweep(deadline_at);
   (void)call.needs_connection_setup;  // real connections open on demand
 }
 
@@ -69,6 +97,7 @@ void PipelinedBackend::enqueue(ExchangePtr exchange, bool allow_overflow) {
     return;
   }
   ++exchange->attempts;
+  exchange->channel = ch->id;
   ch->outbox.append(exchange->wire);
   ++ch->unflushed;
   ch->pipeline.push_back(std::move(exchange));
@@ -243,6 +272,62 @@ void PipelinedBackend::fail_later(Completion done, std::string reason) {
                            reason = std::move(reason)]() {
     done(reactor.now(), false, reason);
   });
+}
+
+void PipelinedBackend::abandon(const ExchangePtr& exchange, std::string reason,
+                               bool is_timeout) {
+  if (exchange->completed) return;
+  if (is_timeout) {
+    ++stats_.timeouts;
+  } else {
+    ++stats_.cancels;
+  }
+  complete(exchange, false, std::move(reason));
+  // FIFO matching past an abandoned exchange would mis-pair every later
+  // response on this connection, so the connection dies with it; the close
+  // path re-issues the other queued exchanges exactly like connection loss.
+  if (auto ch = find_channel(exchange->channel); ch && !ch->conn->closed()) {
+    ch->conn->abort();
+  }
+}
+
+void PipelinedBackend::arm_sweep(double deadline_at) {
+  if (sweep_armed_ && deadline_at >= next_sweep_at_ - 1e-9) return;
+  if (sweep_armed_) reactor_.cancel_timer(sweep_timer_);
+  sweep_armed_ = true;
+  next_sweep_at_ = deadline_at;
+  std::weak_ptr<PipelinedBackend> weak = weak_from_this();
+  sweep_timer_ =
+      reactor_.add_timer(std::max(0.0, deadline_at - reactor_.now()), [weak]() {
+        if (auto self = weak.lock()) self->sweep_timeouts();
+      });
+}
+
+void PipelinedBackend::sweep_timeouts() {
+  sweep_armed_ = false;
+  double now = reactor_.now();
+  // Collect first: abandoning kills connections, which mutates channels_
+  // (handle_close erases the channel and re-enqueues its survivors).
+  std::vector<ExchangePtr> overdue;
+  for (const auto& ch : channels_) {
+    for (const auto& exchange : ch->pipeline) {
+      if (exchange->completed || exchange->deadline_at <= 0.0) continue;
+      if (exchange->deadline_at <= now + 1e-9) overdue.push_back(exchange);
+    }
+  }
+  for (const ExchangePtr& exchange : overdue) {
+    abandon(exchange, "backend response timeout", /*is_timeout=*/true);
+  }
+  // Re-arm for the earliest exchange still pending (survivors keep their
+  // original deadlines across re-issues).
+  double next = 0.0;
+  for (const auto& ch : channels_) {
+    for (const auto& exchange : ch->pipeline) {
+      if (exchange->completed || exchange->deadline_at <= 0.0) continue;
+      if (next == 0.0 || exchange->deadline_at < next) next = exchange->deadline_at;
+    }
+  }
+  if (next > 0.0) arm_sweep(next);
 }
 
 }  // namespace sbroker::net

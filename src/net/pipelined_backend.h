@@ -27,7 +27,13 @@
 //     failed only if its response was partially received (re-issuing it
 //     could double-execute); every other queued exchange is re-issued on a
 //     surviving or fresh connection, each completing exactly once, with at
-//     most Config::max_attempts assignments before it fails.
+//     most Config::max_attempts assignments before it fails;
+//   * bounds half-stalled connections: an exchange that has not produced a
+//     full response within its deadline (Call::timeout when the broker set
+//     one, else Config::response_timeout) fails with a timeout, its
+//     connection is killed — FIFO matching past an abandoned exchange would
+//     mis-pair — and the other queued exchanges re-issue via the loss path.
+//     A broker cancel token (deadline harvest) triggers the same teardown.
 //
 // Single-threaded: everything runs on the owning shard's reactor thread.
 #pragma once
@@ -52,6 +58,10 @@ class PipelinedBackend : public core::Backend,
     size_t max_connections = 4;  ///< physical connections to the backend
     size_t pipeline_depth = 64;  ///< in-flight exchanges per connection
     size_t max_attempts = 2;     ///< connection assignments per exchange
+    /// Fallback bound on how long one exchange may wait for its full
+    /// response when the broker set no Call::timeout; 0 = wait forever
+    /// (pre-lifecycle behaviour).
+    double response_timeout = 30.0;
 
     /// Mirrors the broker's connection-pool accounting so the wire enforces
     /// exactly the bounds core::ConnectionPool already promised.
@@ -67,6 +77,8 @@ class PipelinedBackend : public core::Backend,
   PipelinedBackend(Reactor& reactor, uint16_t port, Config config);
 
   void invoke(const Call& call, Completion done) override;
+  void invoke(const Call& call, const core::CancelTokenPtr& token,
+              Completion done) override;
   core::ChannelStats channel_stats() const override;
 
   uint64_t connections_opened() const { return stats_.connections_opened; }
@@ -74,6 +86,8 @@ class PipelinedBackend : public core::Backend,
   uint64_t flushes() const { return stats_.flushes; }
   uint64_t rejections() const { return stats_.rejections; }
   uint64_t retries() const { return stats_.retries; }
+  uint64_t timeouts() const { return stats_.timeouts; }
+  uint64_t cancels() const { return stats_.cancels; }
   size_t open_connections() const { return channels_.size(); }
   size_t in_flight() const;
   const Config& config() const { return config_; }
@@ -85,6 +99,8 @@ class PipelinedBackend : public core::Backend,
     Completion done;
     size_t attempts = 0;  ///< connection assignments so far
     bool completed = false;
+    double deadline_at = 0.0;  ///< reactor time the exchange gives up; 0 = never
+    uint64_t channel = 0;      ///< id of the carrying connection; 0 = none
   };
   using ExchangePtr = std::shared_ptr<Exchange>;
 
@@ -111,6 +127,11 @@ class PipelinedBackend : public core::Backend,
   void handle_close(uint64_t channel_id);
   void complete(const ExchangePtr& exchange, bool ok, std::string payload);
   void fail_later(Completion done, std::string reason);
+  /// Fails `exchange` (timeout or broker cancel) and kills its carrying
+  /// connection — the loss path then re-issues the other queued exchanges.
+  void abandon(const ExchangePtr& exchange, std::string reason, bool is_timeout);
+  void arm_sweep(double deadline_at);
+  void sweep_timeouts();
 
   Reactor& reactor_;
   uint16_t port_;
@@ -118,6 +139,9 @@ class PipelinedBackend : public core::Backend,
   std::vector<std::shared_ptr<Channel>> channels_;
   uint64_t next_channel_id_ = 1;
   bool flush_scheduled_ = false;
+  bool sweep_armed_ = false;
+  double next_sweep_at_ = 0.0;
+  Reactor::TimerId sweep_timer_ = 0;
   std::string connect_error_;  ///< last connect_tcp failure, for diagnostics
   core::ChannelStats stats_;
 };

@@ -14,6 +14,7 @@
 #include <string>
 #include <string_view>
 
+#include "net/net_config.h"
 #include "net/reactor.h"
 
 namespace sbroker::net {
@@ -51,6 +52,6 @@ class UdpSocket {
 /// Blocking UDP exchange helper for tests/examples: sends `payload` to
 /// 127.0.0.1:`port` and waits up to `timeout_ms` for one reply datagram.
 std::optional<std::string> udp_exchange(uint16_t port, std::string_view payload,
-                                        int timeout_ms = 2000);
+                                        int timeout_ms = kDefaultClientTimeoutMs);
 
 }  // namespace sbroker::net

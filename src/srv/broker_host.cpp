@@ -8,7 +8,11 @@ BrokerHost::BrokerHost(sim::Simulation& sim, std::string name,
     : sim_(sim),
       broker_(std::move(name), config),
       inbound_(sim, ipc, util::Rng(link_seed)),
-      outbound_(sim, ipc, util::Rng(link_seed + 1)) {}
+      outbound_(sim, ipc, util::Rng(link_seed + 1)) {
+  // A retry scheduled from inside a backend completion can move the next
+  // due time earlier than the armed timer; the broker tells us to re-arm.
+  broker_.set_wakeup([this]() { arm_timer(); });
+}
 
 void BrokerHost::submit(const http::BrokerRequest& request, ReplyFn reply) {
   if (inbound_.is_down()) return;  // UDP: a lost request is simply lost

@@ -55,8 +55,44 @@ SimDbBackend::Execution SimDbBackend::execute_payload(const std::string& payload
   return result;
 }
 
+void SimDbBackend::invoke(const Call& call, const core::CancelTokenPtr& token,
+                          Completion done) {
+  if (!token) {
+    invoke(call, std::move(done));
+    return;
+  }
+  // Exactly-once arbitration between the normal completion path and the
+  // broker's cancel token (fired when every member of the exchange expired).
+  struct State {
+    bool completed = false;
+    Completion done;
+  };
+  auto state = std::make_shared<State>();
+  state->done = std::move(done);
+  token->set_callback([this, state]() {
+    if (state->completed) return;
+    state->completed = true;
+    ++cancels_;
+    sim_.after(0.0, [this, done = std::move(state->done)]() {
+      done(sim_.now(), false, "exchange cancelled");
+    });
+  });
+  if (state->completed) return;  // token was already cancelled
+  invoke(call, [state](double t, bool ok, std::string payload) {
+    if (state->completed) return;
+    state->completed = true;
+    state->done(t, ok, std::move(payload));
+  });
+}
+
 void SimDbBackend::invoke(const Call& call, Completion done) {
   ++calls_;
+  if (stalled_) {
+    // Half-open failure: the request is consumed and no reply ever comes.
+    // Only a deadline (and its cancel token) resolves the caller.
+    ++stalls_;
+    return;
+  }
   double setup = call.needs_connection_setup ? config_.connection_setup : 0.0;
   std::string payload = call.payload;
 

@@ -40,14 +40,22 @@ class SimDbBackend : public core::Backend {
   SimDbBackend(sim::Simulation& sim, db::Database& db, DbBackendConfig config);
 
   void invoke(const Call& call, Completion done) override;
+  void invoke(const Call& call, const core::CancelTokenPtr& token,
+              Completion done) override;
 
   const sim::BoundedStation& station() const { return station_; }
   uint64_t calls() const { return calls_; }
   uint64_t failures() const { return failures_; }
+  uint64_t stalls() const { return stalls_; }
+  uint64_t cancels() const { return cancels_; }
 
   /// Failure injection: take the network paths up or down mid-run.
   sim::Link& request_link() { return request_link_; }
   sim::Link& response_link() { return response_link_; }
+  /// Failure injection: a stalled backend consumes requests and never
+  /// replies — the half-open failure mode deadlines and cancel tokens
+  /// exist for (a downed link at least fails fast).
+  void set_stalled(bool stalled) { stalled_ = stalled; }
 
  private:
   struct Execution {
@@ -67,6 +75,9 @@ class SimDbBackend : public core::Backend {
   sim::Link response_link_;
   uint64_t calls_ = 0;
   uint64_t failures_ = 0;
+  uint64_t stalls_ = 0;
+  uint64_t cancels_ = 0;
+  bool stalled_ = false;
 };
 
 }  // namespace sbroker::srv

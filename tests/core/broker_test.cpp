@@ -404,5 +404,301 @@ TEST(Broker, ConservationAcrossOutcomes) {
   EXPECT_EQ(broker.outstanding(), 0u);
 }
 
+// --------------------------------------------------------------------------
+// Request lifecycle: deadlines, cancellation, retry budgets, replica health
+
+/// FakeBackend that also records the broker's cancel token per invocation.
+class TokenBackend : public Backend {
+ public:
+  struct Invocation {
+    std::string payload;
+    double timeout = 0.0;
+    CancelTokenPtr token;
+    Completion done;
+  };
+
+  void invoke(const Call& call, Completion done) override {
+    invoke(call, nullptr, std::move(done));
+  }
+  void invoke(const Call& call, const CancelTokenPtr& token,
+              Completion done) override {
+    invocations.push_back({call.payload, call.timeout, token, std::move(done)});
+  }
+
+  void complete(size_t i, double now, bool ok = true, std::string payload = "result") {
+    Completion done = std::move(invocations.at(i).done);
+    done(now, ok, std::move(payload));
+  }
+
+  std::vector<Invocation> invocations;
+};
+
+http::BrokerRequest deadline_request(uint64_t id, int level, uint32_t deadline_ms,
+                                     std::string payload = "q") {
+  http::BrokerRequest req = make_request(id, level, std::move(payload));
+  req.deadline_ms = deadline_ms;
+  return req;
+}
+
+TEST(Lifecycle, DeadlineExpiryAnswersBusyExactlyOnce) {
+  BrokerConfig cfg = basic_config();
+  cfg.lifecycle.default_deadline = 0.1;
+  ServiceBroker broker("b", cfg);
+  auto backend = std::make_shared<TokenBackend>();
+  broker.add_backend(backend);
+  Capture cap;
+  broker.submit(0.0, make_request(1, 3, "slow"), cap.fn());
+  ASSERT_EQ(backend->invocations.size(), 1u);
+  // Remaining deadline plus the transport slack: the channel's own timer
+  // must stay behind the broker's deadline expiry.
+  EXPECT_NEAR(backend->invocations[0].timeout,
+              0.1 + cfg.lifecycle.transport_slack, 1e-9);
+  EXPECT_TRUE(cap.replies.empty());
+  ASSERT_TRUE(broker.next_deadline().has_value());
+  EXPECT_NEAR(*broker.next_deadline(), 0.1, 1e-9);
+
+  broker.tick(0.2);
+  ASSERT_EQ(cap.replies.size(), 1u);
+  EXPECT_EQ(cap.replies[0].fidelity, http::Fidelity::kBusy);
+  EXPECT_EQ(cap.replies[0].payload, std::string(kDeadlineExceeded));
+  EXPECT_EQ(broker.outstanding(), 0u);
+  EXPECT_EQ(broker.load_tracker().outstanding(), 0);
+  EXPECT_EQ(broker.metrics().at(3).dropped, 1u);
+  EXPECT_EQ(broker.metrics().at(3).deadline_misses, 1u);
+  EXPECT_EQ(broker.metrics().lifecycle.cancellations, 1u);
+  ASSERT_TRUE(backend->invocations[0].token);
+  EXPECT_TRUE(backend->invocations[0].token->cancelled());
+
+  // The straggler completion after the shed is swallowed, not double-replied.
+  backend->complete(0, 0.3);
+  EXPECT_EQ(cap.replies.size(), 1u);
+  EXPECT_EQ(broker.metrics().lifecycle.late_completions, 1u);
+}
+
+TEST(Lifecycle, DeadlineShedServesStaleCache) {
+  BrokerConfig cfg = basic_config();
+  cfg.enable_cache = true;
+  cfg.cache_ttl = 0.05;
+  cfg.serve_stale_on_drop = true;
+  cfg.lifecycle.default_deadline = 0.1;
+  ServiceBroker broker("b", cfg);
+  auto backend = std::make_shared<TokenBackend>();
+  broker.add_backend(backend);
+  Capture first;
+  broker.submit(0.0, make_request(1, 3, "k"), first.fn());
+  backend->complete(0, 0.01, true, "old-copy");
+  // Cache entry expired by now; the second request forwards, stalls, and the
+  // deadline shed falls back to the stale copy at cached fidelity.
+  Capture second;
+  broker.submit(1.0, make_request(2, 3, "k"), second.fn());
+  ASSERT_EQ(backend->invocations.size(), 2u);
+  broker.tick(1.2);
+  ASSERT_EQ(second.replies.size(), 1u);
+  EXPECT_EQ(second.replies[0].fidelity, http::Fidelity::kCached);
+  EXPECT_EQ(second.replies[0].payload, "old-copy");
+  EXPECT_EQ(broker.metrics().at(3).deadline_misses, 1u);
+}
+
+TEST(Lifecycle, PerRequestDeadlineOverridesAndClamps) {
+  BrokerConfig cfg = basic_config();
+  cfg.lifecycle.default_deadline = 10.0;
+  cfg.lifecycle.max_deadline = 0.5;
+  ServiceBroker broker("b", cfg);
+  auto backend = std::make_shared<TokenBackend>();
+  broker.add_backend(backend);
+  Capture a, b;
+  broker.submit(0.0, deadline_request(1, 3, 200), a.fn());     // 0.2s explicit
+  broker.submit(0.0, deadline_request(2, 3, 60000, "z"), b.fn());  // clamped
+  ASSERT_TRUE(broker.next_deadline().has_value());
+  EXPECT_NEAR(*broker.next_deadline(), 0.2, 1e-9);
+  broker.tick(0.3);
+  ASSERT_EQ(a.replies.size(), 1u);
+  EXPECT_EQ(a.replies[0].fidelity, http::Fidelity::kBusy);
+  EXPECT_TRUE(b.replies.empty());
+  broker.tick(0.6);  // max_deadline clamp: 60s request dies at 0.5s
+  ASSERT_EQ(b.replies.size(), 1u);
+  EXPECT_EQ(broker.metrics().at(3).deadline_misses, 2u);
+}
+
+TEST(Lifecycle, RetryMovesToDifferentReplica) {
+  BrokerConfig cfg = basic_config();
+  cfg.lifecycle.max_attempts = 2;
+  cfg.lifecycle.retry_backoff = 0.01;
+  cfg.balance = BalancePolicy::kRoundRobin;
+  ServiceBroker broker("b", cfg);
+  auto first = std::make_shared<TokenBackend>();
+  auto second = std::make_shared<TokenBackend>();
+  broker.add_backend(first);
+  broker.add_backend(second);
+  bool woke = false;
+  broker.set_wakeup([&]() { woke = true; });
+  Capture cap;
+  broker.submit(0.0, make_request(1, 3, "q"), cap.fn());
+  ASSERT_EQ(first->invocations.size(), 1u);
+  first->complete(0, 0.05, false, "replica down");
+  // Failure scheduled a retry; the owner was told the schedule moved.
+  EXPECT_TRUE(woke);
+  EXPECT_TRUE(cap.replies.empty());
+  ASSERT_TRUE(broker.next_deadline().has_value());
+  broker.tick(*broker.next_deadline());
+  // The retry avoided the replica that just failed.
+  ASSERT_EQ(second->invocations.size(), 1u);
+  EXPECT_EQ(first->invocations.size(), 1u);
+  second->complete(0, 0.1, true, "recovered");
+  ASSERT_EQ(cap.replies.size(), 1u);
+  EXPECT_EQ(cap.replies[0].fidelity, http::Fidelity::kFull);
+  EXPECT_EQ(cap.replies[0].payload, "recovered");
+  EXPECT_EQ(broker.metrics().at(3).retries, 1u);
+  EXPECT_EQ(broker.metrics().at(3).errors, 0u);
+  EXPECT_EQ(broker.outstanding(), 0u);
+}
+
+TEST(Lifecycle, AttemptBudgetExhaustedYieldsError) {
+  BrokerConfig cfg = basic_config();
+  cfg.lifecycle.max_attempts = 2;
+  cfg.lifecycle.retry_backoff = 0.01;
+  ServiceBroker broker("b", cfg);
+  auto backend = std::make_shared<TokenBackend>();
+  broker.add_backend(backend);
+  Capture cap;
+  broker.submit(0.0, make_request(1, 3, "q"), cap.fn());
+  backend->complete(0, 0.05, false, "boom");
+  broker.tick(0.1);
+  ASSERT_EQ(backend->invocations.size(), 2u);
+  backend->complete(1, 0.15, false, "boom again");
+  ASSERT_EQ(cap.replies.size(), 1u);
+  EXPECT_EQ(cap.replies[0].fidelity, http::Fidelity::kError);
+  EXPECT_EQ(broker.metrics().at(3).retries, 1u);
+  EXPECT_EQ(broker.metrics().at(3).errors, 1u);
+  EXPECT_EQ(broker.outstanding(), 0u);
+}
+
+TEST(Lifecycle, RetryNotScheduledPastDeadline) {
+  BrokerConfig cfg = basic_config();
+  cfg.lifecycle.max_attempts = 3;
+  cfg.lifecycle.retry_backoff = 0.2;  // backoff alone overshoots the deadline
+  cfg.lifecycle.default_deadline = 0.1;
+  ServiceBroker broker("b", cfg);
+  auto backend = std::make_shared<TokenBackend>();
+  broker.add_backend(backend);
+  Capture cap;
+  broker.submit(0.0, make_request(1, 3, "q"), cap.fn());
+  backend->complete(0, 0.05, false, "boom");
+  // No budget left inside the deadline: fail now instead of retrying.
+  ASSERT_EQ(cap.replies.size(), 1u);
+  EXPECT_EQ(cap.replies[0].fidelity, http::Fidelity::kError);
+  EXPECT_EQ(broker.metrics().at(3).retries, 0u);
+}
+
+TEST(Lifecycle, CompletionOutcomesDriveEjectionMetrics) {
+  BrokerConfig cfg = basic_config();
+  cfg.health = HealthConfig{2, 5.0};
+  ServiceBroker broker("b", cfg);
+  auto bad = std::make_shared<TokenBackend>();
+  auto good = std::make_shared<TokenBackend>();
+  broker.add_backend(bad);
+  broker.add_backend(good);
+  // Least-outstanding ties break toward replica 0, so both probes land on
+  // the bad replica; two consecutive failures eject it.
+  for (uint64_t id = 1; id <= 2; ++id) {
+    Capture cap;
+    broker.submit(0.1 * static_cast<double>(id), make_request(id, 3, "q" + std::to_string(id)),
+                  cap.fn());
+    ASSERT_EQ(bad->invocations.size(), id);
+    bad->complete(id - 1, 0.1 * static_cast<double>(id) + 0.01, false, "down");
+  }
+  EXPECT_EQ(broker.metrics().lifecycle.ejections, 1u);
+  EXPECT_TRUE(broker.balancer().ejected(0));
+  // Subsequent traffic flows to the healthy replica only.
+  Capture cap;
+  broker.submit(1.0, make_request(9, 3, "z"), cap.fn());
+  EXPECT_EQ(bad->invocations.size(), 2u);
+  ASSERT_EQ(good->invocations.size(), 1u);
+  good->complete(0, 1.05, true, "ok");
+  ASSERT_EQ(cap.replies.size(), 1u);
+  EXPECT_EQ(cap.replies[0].fidelity, http::Fidelity::kFull);
+}
+
+TEST(Lifecycle, BatchMembersExpireIndividually) {
+  BrokerConfig cfg = basic_config();
+  cfg.cluster = ClusterConfig{2, 0.05};
+  ServiceBroker broker("b", cfg);
+  auto backend = std::make_shared<TokenBackend>();
+  broker.add_backend(backend);
+  Capture shortlived, longlived;
+  broker.submit(0.0, deadline_request(1, 3, 100, "a"), shortlived.fn());
+  broker.submit(0.0, deadline_request(2, 3, 10000, "b"), longlived.fn());
+  ASSERT_EQ(backend->invocations.size(), 1u);  // clustered into one exchange
+  // Call timeout covers the longest-lived member, plus the transport slack.
+  EXPECT_NEAR(backend->invocations[0].timeout,
+              10.0 + cfg.lifecycle.transport_slack, 1e-9);
+  broker.tick(0.2);  // member 1 expires; the exchange stays alive for member 2
+  ASSERT_EQ(shortlived.replies.size(), 1u);
+  EXPECT_EQ(shortlived.replies[0].fidelity, http::Fidelity::kBusy);
+  EXPECT_TRUE(longlived.replies.empty());
+  ASSERT_TRUE(backend->invocations[0].token);
+  EXPECT_FALSE(backend->invocations[0].token->cancelled());
+  backend->complete(0, 0.5, true, std::string("ra") + std::string(1, kRecordSep) + "rb");
+  ASSERT_EQ(longlived.replies.size(), 1u);
+  EXPECT_EQ(longlived.replies[0].fidelity, http::Fidelity::kFull);
+  EXPECT_EQ(longlived.replies[0].payload, "rb");
+  EXPECT_EQ(shortlived.replies.size(), 1u);  // no second answer for member 1
+  EXPECT_EQ(broker.outstanding(), 0u);
+  EXPECT_EQ(broker.metrics().lifecycle.cancellations, 0u);
+}
+
+TEST(Lifecycle, CancelTokenFiresOnceAllMembersExpire) {
+  BrokerConfig cfg = basic_config();
+  cfg.cluster = ClusterConfig{2, 0.05};
+  cfg.lifecycle.default_deadline = 0.1;
+  ServiceBroker broker("b", cfg);
+  auto backend = std::make_shared<TokenBackend>();
+  broker.add_backend(backend);
+  Capture a, b;
+  broker.submit(0.0, make_request(1, 3, "a"), a.fn());
+  broker.submit(0.0, make_request(2, 3, "b"), b.fn());
+  ASSERT_EQ(backend->invocations.size(), 1u);
+  broker.tick(0.2);
+  EXPECT_EQ(a.replies.size(), 1u);
+  EXPECT_EQ(b.replies.size(), 1u);
+  ASSERT_TRUE(backend->invocations[0].token);
+  EXPECT_TRUE(backend->invocations[0].token->cancelled());
+  EXPECT_EQ(broker.metrics().lifecycle.cancellations, 1u);
+  EXPECT_EQ(broker.outstanding(), 0u);
+  EXPECT_EQ(broker.load_tracker().outstanding(), 0);
+}
+
+TEST(Lifecycle, ConservationHoldsWithDeadlinesAndRetries) {
+  BrokerConfig cfg = basic_config();
+  cfg.lifecycle.default_deadline = 0.1;
+  cfg.lifecycle.max_attempts = 2;
+  cfg.lifecycle.retry_backoff = 0.01;
+  ServiceBroker broker("b", cfg);
+  auto backend = std::make_shared<TokenBackend>();
+  broker.add_backend(backend);
+  size_t replies = 0;
+  // Mixed fates: 0 completes, 1 expires, 2 fails then retries to completion.
+  for (uint64_t id = 0; id < 3; ++id) {
+    broker.submit(0.0, make_request(id + 1, 3, "q" + std::to_string(id)),
+                  [&replies](const http::BrokerReply&) { ++replies; });
+  }
+  ASSERT_EQ(backend->invocations.size(), 3u);
+  backend->complete(0, 0.01);
+  backend->complete(2, 0.02, false, "flaky");
+  broker.tick(0.04);  // drains the retry for request 3
+  ASSERT_EQ(backend->invocations.size(), 4u);
+  backend->complete(3, 0.06, true, "second try");
+  broker.tick(0.2);  // request 2 expires
+  EXPECT_EQ(replies, 3u);
+  EXPECT_EQ(broker.outstanding(), 0u);
+  EXPECT_EQ(broker.load_tracker().outstanding(), 0);
+  const auto& m = broker.metrics().at(3);
+  EXPECT_EQ(m.issued, 3u);
+  EXPECT_EQ(m.completed, 3u);
+  EXPECT_EQ(m.forwarded + m.dropped + m.cache_hits + m.errors, m.issued);
+  EXPECT_EQ(m.deadline_misses, 1u);
+  EXPECT_EQ(m.retries, 1u);
+}
+
 }  // namespace
 }  // namespace sbroker::core

@@ -183,5 +183,129 @@ TEST(Balance, PolicyNames) {
   EXPECT_STREQ(balance_policy_name(BalancePolicy::kWeighted), "weighted");
 }
 
+// --------------------------------------------------------------------------
+// Replica health: consecutive-failure ejection + half-open probe recovery
+
+LoadBalancer health_balancer(int eject_after = 2, double eject_duration = 1.0,
+                             size_t backends = 2) {
+  LoadBalancer lb(BalancePolicy::kRoundRobin, util::Rng(7),
+                  HealthConfig{eject_after, eject_duration});
+  for (size_t i = 0; i < backends; ++i) lb.add_backend(1.0);
+  return lb;
+}
+
+TEST(Health, ConsecutiveFailuresEject) {
+  auto lb = health_balancer();
+  EXPECT_EQ(lb.report(0, false, 0.0), ReplicaEvent::kNone);
+  EXPECT_EQ(lb.report(0, false, 0.1), ReplicaEvent::kEjected);
+  EXPECT_TRUE(lb.ejected(0));
+  EXPECT_EQ(lb.ejected_count(), 1u);
+}
+
+TEST(Health, SuccessResetsFailureStreak) {
+  auto lb = health_balancer();
+  lb.report(0, false, 0.0);
+  lb.report(0, true, 0.1);  // streak broken
+  EXPECT_EQ(lb.report(0, false, 0.2), ReplicaEvent::kNone);
+  EXPECT_FALSE(lb.ejected(0));
+}
+
+TEST(Health, PickSkipsEjectedReplica) {
+  auto lb = health_balancer();
+  lb.report(1, false, 0.0);
+  lb.report(1, false, 0.1);
+  ASSERT_TRUE(lb.ejected(1));
+  for (int i = 0; i < 6; ++i) {
+    auto pick = lb.pick(0.2);
+    ASSERT_TRUE(pick.has_value());
+    EXPECT_EQ(*pick, 0u);
+    lb.complete(*pick);
+  }
+}
+
+TEST(Health, AllEjectedStillServes) {
+  // Ejection must never make the service unpickable: with every replica
+  // ejected (and no probe due), pick falls back to the full set.
+  auto lb = health_balancer(2, 100.0);
+  for (size_t b = 0; b < 2; ++b) {
+    lb.report(b, false, 0.0);
+    lb.report(b, false, 0.1);
+  }
+  EXPECT_TRUE(lb.pick(0.2).has_value());
+}
+
+TEST(Health, HalfOpenProbeAfterEjectDuration) {
+  auto lb = health_balancer(2, 1.0);
+  lb.report(1, false, 0.0);
+  lb.report(1, false, 0.1);
+  // Before the window elapses the ejected replica is not probed.
+  for (int i = 0; i < 4; ++i) {
+    auto p = lb.pick(0.5);
+    ASSERT_TRUE(p.has_value());
+    EXPECT_EQ(*p, 0u);
+    lb.complete(*p);
+  }
+  // After it elapses exactly one probe goes to the ejected replica...
+  bool probe = false;
+  auto p = lb.pick(1.2, std::nullopt, &probe);
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(*p, 1u);
+  EXPECT_TRUE(probe);
+  EXPECT_EQ(lb.probes(), 1u);
+  // ...and while it is outstanding, traffic keeps avoiding the replica.
+  probe = false;
+  auto q = lb.pick(1.3, std::nullopt, &probe);
+  ASSERT_TRUE(q.has_value());
+  EXPECT_EQ(*q, 0u);
+  EXPECT_FALSE(probe);
+  // Probe succeeds: the replica recovers and takes traffic again.
+  lb.complete(*p);
+  lb.complete(*q);
+  EXPECT_EQ(lb.report(1, true, 1.4), ReplicaEvent::kRecovered);
+  EXPECT_FALSE(lb.ejected(1));
+}
+
+TEST(Health, FailedProbeReEjects) {
+  auto lb = health_balancer(2, 1.0);
+  lb.report(1, false, 0.0);
+  lb.report(1, false, 0.1);
+  bool probe = false;
+  auto p = lb.pick(1.5, std::nullopt, &probe);
+  ASSERT_TRUE(probe);
+  lb.complete(*p);
+  EXPECT_EQ(lb.report(1, false, 1.6), ReplicaEvent::kEjected);
+  EXPECT_TRUE(lb.ejected(1));
+  // The new window starts at the probe failure, not the original ejection.
+  bool probe2 = false;
+  auto q = lb.pick(2.0, std::nullopt, &probe2);
+  EXPECT_FALSE(probe2);
+  ASSERT_TRUE(q.has_value());
+  EXPECT_EQ(*q, 0u);
+}
+
+TEST(Health, AvoidHintRespected) {
+  auto lb = health_balancer(0);  // health disabled; avoid still honored
+  for (int i = 0; i < 4; ++i) {
+    auto p = lb.pick(0.0, /*avoid=*/size_t{0});
+    ASSERT_TRUE(p.has_value());
+    EXPECT_EQ(*p, 1u);
+    lb.complete(*p);
+  }
+  // A single replica relaxes the hint rather than failing the pick.
+  LoadBalancer one(BalancePolicy::kRoundRobin, util::Rng(7), HealthConfig{});
+  one.add_backend(1.0);
+  auto p = one.pick(0.0, /*avoid=*/size_t{0});
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(*p, 0u);
+}
+
+TEST(Health, DisabledConfigNeverEjects) {
+  auto lb = health_balancer(0);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(lb.report(0, false, 0.1 * i), ReplicaEvent::kNone);
+  }
+  EXPECT_FALSE(lb.ejected(0));
+}
+
 }  // namespace
 }  // namespace sbroker::core

@@ -12,6 +12,7 @@ BrokerRequest sample_request() {
   req.txn_id = 777;
   req.txn_step = 3;
   req.service = "db";
+  req.deadline_ms = 2500;
   req.payload = "SELECT * FROM records WHERE id = 9";
   return req;
 }
@@ -27,7 +28,17 @@ TEST(Wire, RequestRoundTrip) {
   EXPECT_EQ(decoded->txn_id, 777u);
   EXPECT_EQ(decoded->txn_step, 3);
   EXPECT_EQ(decoded->service, "db");
+  EXPECT_EQ(decoded->deadline_ms, 2500u);
   EXPECT_EQ(decoded->payload, "SELECT * FROM records WHERE id = 9");
+}
+
+TEST(Wire, DeadlineDefaultsToZero) {
+  BrokerRequest req;
+  req.request_id = 1;
+  req.payload = "q";
+  auto decoded = decode_request(encode(req));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->deadline_ms, 0u);
 }
 
 TEST(Wire, ReplyRoundTrip) {

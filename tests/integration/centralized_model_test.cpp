@@ -31,14 +31,15 @@ class CentralizedModelTest : public ::testing::Test {
         core::QosRules{3, 6.0}, /*staleness=*/0.0);
     controller_->register_profile("/app", core::ResourceProfile{{"db"}});
 
-    // Listener: the broker reports its outstanding count every 10 ms.
-    auto report = std::make_shared<std::function<void()>>();
-    *report = [this, report]() {
+    // Listener: the broker reports its outstanding count every 10 ms. The
+    // recursive reschedule goes through the fixture member so the closure
+    // does not have to own itself.
+    report_ = [this]() {
       controller_->on_load_report(
           "db", static_cast<double>(host_->broker().outstanding()), sim_.now());
-      if (sim_.now() < 60.0) sim_.after(0.01, *report);
+      if (sim_.now() < 60.0) sim_.after(0.01, report_);
     };
-    sim_.after(0.0, *report);
+    sim_.after(0.0, report_);
   }
 
   /// Front-door handling: admission first, then the broker.
@@ -77,6 +78,7 @@ class CentralizedModelTest : public ::testing::Test {
   std::shared_ptr<srv::SimDbBackend> backend_;
   std::unique_ptr<srv::BrokerHost> host_;
   std::unique_ptr<core::CentralizedController> controller_;
+  std::function<void()> report_;
 };
 
 TEST_F(CentralizedModelTest, AdmitsWhenIdle) {

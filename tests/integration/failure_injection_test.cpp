@@ -169,6 +169,109 @@ TEST(FailureInjection, BatchedFailureAnswersEveryMember) {
   EXPECT_EQ(host.broker().outstanding(), 0u);
 }
 
+TEST(FailureInjection, StalledBackendShedsEveryRequestOnDeadline) {
+  // A stalled backend (consumes requests, never replies) is the half-open
+  // failure a downed link cannot model: no completion ever comes. Deadlines
+  // must answer every client, cancel tokens must resolve the stuck work, and
+  // no broker state may leak.
+  sim::Simulation sim;
+  db::Database db;
+  util::Rng rng(5);
+  db::load_benchmark_table(db, rng, 100, 5);
+  auto backend = std::make_shared<srv::SimDbBackend>(sim, db, srv::DbBackendConfig{});
+  backend->set_stalled(true);
+
+  core::BrokerConfig cfg;
+  cfg.rules = core::QosRules{3, 100.0};
+  cfg.enable_cache = true;
+  cfg.cache_ttl = 10.0;
+  cfg.lifecycle.default_deadline = 0.2;
+  srv::BrokerHost host(sim, "b", cfg);
+  host.broker().add_backend(backend);
+
+  constexpr uint64_t kRequests = 10;
+  std::vector<http::BrokerReply> replies;
+  std::vector<double> reply_times;
+  for (uint64_t i = 1; i <= kRequests; ++i) {
+    http::BrokerRequest req;
+    req.request_id = i;
+    req.qos_level = 3;
+    req.payload = "SELECT id FROM records WHERE id = " + std::to_string(i);
+    host.submit(req, [&](const http::BrokerReply& r) {
+      replies.push_back(r);
+      reply_times.push_back(sim.now());
+    });
+  }
+  sim.run();
+
+  ASSERT_EQ(replies.size(), kRequests);
+  for (size_t i = 0; i < replies.size(); ++i) {
+    EXPECT_EQ(replies[i].fidelity, http::Fidelity::kBusy) << "request " << i;
+    EXPECT_EQ(replies[i].payload, std::string(core::kDeadlineExceeded));
+    // Answered at the deadline (one timer fire), not at some later tick.
+    EXPECT_LE(reply_times[i], 0.2 + 0.05) << "request " << i;
+  }
+  EXPECT_EQ(host.broker().outstanding(), 0u);
+  EXPECT_EQ(host.broker().load_tracker().outstanding(), 0);
+  auto total = host.broker().metrics().total();
+  EXPECT_EQ(total.completed, kRequests);
+  EXPECT_EQ(total.deadline_misses, kRequests);
+  EXPECT_EQ(total.forwarded + total.dropped + total.cache_hits + total.errors,
+            total.issued);
+  // Every stuck exchange was harvested and its token resolved the backend.
+  EXPECT_EQ(host.broker().metrics().lifecycle.cancellations, kRequests);
+  EXPECT_EQ(backend->stalls(), kRequests);
+  EXPECT_EQ(backend->cancels(), kRequests);
+  // The cancelled completions came back after the shed and were swallowed.
+  EXPECT_EQ(host.broker().metrics().lifecycle.late_completions, kRequests);
+}
+
+TEST(FailureInjection, RetryFailsOverToHealthyReplicaAndEjects) {
+  sim::Simulation sim;
+  db::Database db;
+  util::Rng rng(5);
+  db::load_benchmark_table(db, rng, 100, 5);
+  auto bad = std::make_shared<srv::SimDbBackend>(sim, db, srv::DbBackendConfig{});
+  auto good = std::make_shared<srv::SimDbBackend>(sim, db, srv::DbBackendConfig{});
+  bad->request_link().set_down(true);  // fail-fast replica failure
+
+  core::BrokerConfig cfg;
+  cfg.rules = core::QosRules{3, 100.0};
+  cfg.enable_cache = false;
+  cfg.lifecycle.max_attempts = 2;
+  cfg.lifecycle.retry_backoff = 0.001;
+  cfg.lifecycle.default_deadline = 2.0;
+  cfg.health = core::HealthConfig{1, 60.0};  // eject on first failure
+  srv::BrokerHost host(sim, "b", cfg);
+  host.broker().add_backend(bad);    // least-outstanding ties pick this first
+  host.broker().add_backend(good);
+
+  std::vector<http::Fidelity> outcomes;
+  for (uint64_t i = 1; i <= 5; ++i) {
+    http::BrokerRequest req;
+    req.request_id = i;
+    req.qos_level = 3;
+    req.payload = "SELECT id FROM records WHERE id = " + std::to_string(i);
+    host.submit(req, [&](const http::BrokerReply& r) { outcomes.push_back(r.fidelity); });
+    sim.run();
+  }
+
+  ASSERT_EQ(outcomes.size(), 5u);
+  for (size_t i = 0; i < outcomes.size(); ++i) {
+    EXPECT_EQ(outcomes[i], http::Fidelity::kFull) << "request " << i;
+  }
+  const auto& broker = host.broker();
+  EXPECT_EQ(broker.outstanding(), 0u);
+  auto total = broker.metrics().total();
+  EXPECT_EQ(total.errors, 0u);          // the retry hid every replica failure
+  EXPECT_GE(total.retries, 1u);         // at least the first request retried
+  EXPECT_EQ(broker.metrics().lifecycle.ejections, 1u);
+  EXPECT_TRUE(broker.balancer().ejected(0));
+  // After the ejection traffic flowed straight to the healthy replica.
+  EXPECT_EQ(bad->calls(), 1u);
+  EXPECT_EQ(good->calls(), 5u);
+}
+
 TEST(FailureInjection, CgiBackendQueueOverflowSurfacesAsError) {
   sim::Simulation sim;
   srv::CgiBackendConfig cfg;

@@ -204,8 +204,9 @@ TEST_F(ShardedDaemonTest, ShutdownMidTrafficDoesNotCrashOrHang) {
         BrokerClient client(daemon->port(), /*timeout_ms=*/300);
         uint64_t id = static_cast<uint64_t>(c) << 32;
         while (!stop.load(std::memory_order_relaxed)) {
+          ++id;
           auto reply = client.call(
-              make_request(++id, 2, "/churn" + std::to_string(id % 17)));
+              make_request(id, 2, "/churn" + std::to_string(id % 17)));
           if (!reply) break;  // daemon went away mid-call: expected
         }
       } catch (const std::exception&) {
