@@ -33,6 +33,16 @@
 //             forwarded + dropped + cached + errors) and zero client
 //             failures after every run; exit 1 on violation — this is the
 //             ctest smoke mode that keeps the bench binary honest
+//   obs       1 = broker latency histograms + flight recorder on; 0 = the
+//             compiled-in-but-idle baseline the overhead experiment
+//             compares against                         (default 1)
+//   scrape    1 = hit the admin plane: /healthz and /metrics mid-window
+//             (they must serve while the broker is loaded), /statusz after
+//             the window; broker-side per-class p50/p95/p99 land in the
+//             JSON next to the client-side numbers. With check=1 the
+//             scrape must succeed and the broker-side total p50 must not
+//             exceed the client-side p50 (the broker measures a strict
+//             subset of what the client times)         (default 1)
 //   out       JSON result file; "" = stdout only      (default BENCH_daemon.json)
 #include <atomic>
 #include <chrono>
@@ -53,6 +63,11 @@ using namespace sbroker;
 
 namespace {
 
+struct BrokerPercentiles {
+  uint64_t count = 0;
+  double p50 = 0.0, p95 = 0.0, p99 = 0.0;  // seconds
+};
+
 struct RunResult {
   size_t shards = 0;
   bool pipelined = false;
@@ -64,6 +79,12 @@ struct RunResult {
   util::Histogram latency;  // seconds
   double hit_ratio = 0.0;
   core::BrokerMetrics metrics;  // metrics.transport carries the channel stats
+  // Admin-plane scrape results (scrape=1): broker-side latency percentiles
+  // for the "total" stage, overall and per QoS class.
+  bool admin_live = false;  // /healthz + /metrics answered mid-window
+  bool scraped = false;     // /statusz fetched and parsed post-window
+  BrokerPercentiles broker_total;
+  std::vector<BrokerPercentiles> broker_class;
 };
 
 double monotonic_seconds() {
@@ -72,16 +93,40 @@ double monotonic_seconds() {
       .count();
 }
 
+/// Parses the /statusz JSON into broker-side latency percentiles.
+bool parse_statusz(const std::string& body, RunResult& r) {
+  std::optional<util::JsonValue> doc = util::JsonValue::parse(body);
+  if (!doc || !doc->is_object()) return false;
+  const util::JsonValue& total = (*doc)["stages"]["total"];
+  if (total.is_null()) return false;
+  r.broker_total.count = static_cast<uint64_t>(total["count"].as_int());
+  r.broker_total.p50 = total["p50"].as_double();
+  r.broker_total.p95 = total["p95"].as_double();
+  r.broker_total.p99 = total["p99"].as_double();
+  for (const util::JsonValue& cls : (*doc)["classes"].items()) {
+    const util::JsonValue& lat = cls["latency"]["total"];
+    BrokerPercentiles pct;
+    pct.count = static_cast<uint64_t>(lat["count"].as_int());
+    pct.p50 = lat["p50"].as_double();
+    pct.p95 = lat["p95"].as_double();
+    pct.p99 = lat["p99"].as_double();
+    r.broker_class.push_back(pct);
+  }
+  return true;
+}
+
 RunResult run_one(size_t shards, bool pipelined, size_t clients, double seconds,
                   uint64_t keys, double threshold, bool cache, bool fallback,
                   uint32_t timeout_ms, uint64_t stallpct, int attempts,
-                  uint16_t backend_port) {
+                  bool obs_on, bool scrape, uint16_t backend_port) {
   net::ShardedBrokerDaemonConfig cfg;
   cfg.broker.rules = core::QosRules{3, threshold};
   cfg.broker.enable_cache = cache;
   cfg.broker.cache_capacity = 4096;
   cfg.broker.cache_ttl = 3600.0;  // no expiry inside the window
   cfg.broker.lifecycle.max_attempts = attempts;
+  cfg.broker.obs.histograms = obs_on;
+  cfg.broker.obs.trace = obs_on;
   cfg.shards = shards;
   cfg.enable_udp = false;
   cfg.force_acceptor_fallback = fallback;
@@ -141,12 +186,39 @@ RunResult run_one(size_t shards, bool pipelined, size_t clients, double seconds,
     });
   }
 
-  std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+  RunResult r;
+  if (scrape) {
+    // Mid-window: the admin plane must answer while every client is
+    // hammering the broker — it runs on its own reactor thread precisely so
+    // scrapes do not queue behind admission work.
+    std::this_thread::sleep_for(std::chrono::duration<double>(seconds / 2));
+    http::Request probe;
+    probe.target = "/healthz";
+    auto health = net::http_fetch(daemon.admin_port(), probe);
+    probe.target = "/metrics";
+    auto metrics_page = net::http_fetch(daemon.admin_port(), probe);
+    r.admin_live = health && health->status == 200 && metrics_page &&
+                   metrics_page->status == 200 &&
+                   metrics_page->body.find("sbroker_requests_total") !=
+                       std::string::npos;
+    std::this_thread::sleep_for(std::chrono::duration<double>(seconds / 2));
+  } else {
+    std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+  }
   stop_flag.store(true, std::memory_order_relaxed);
   for (auto& t : threads) t.join();
   double wall = monotonic_seconds() - t0;
 
-  RunResult r;
+  if (scrape) {
+    // Post-window, daemon still running: the broker-side view of the run.
+    http::Request probe;
+    probe.target = "/statusz";
+    auto statusz = net::http_fetch(daemon.admin_port(), probe);
+    if (statusz && statusz->status == 200) {
+      r.scraped = parse_statusz(statusz->body, r);
+    }
+  }
+
   r.shards = shards;
   r.pipelined = pipelined;
   r.kernel_accept_sharding = daemon.kernel_accept_sharding();
@@ -239,6 +311,8 @@ int main(int argc, char** argv) {
   uint32_t timeout_ms = static_cast<uint32_t>(cfg.get_int("timeout", 0));
   uint64_t stallpct = static_cast<uint64_t>(cfg.get_int("stallpct", 0));
   int attempts = static_cast<int>(cfg.get_int("attempts", 1));
+  bool obs_on = cfg.get_bool("obs", true);
+  bool scrape = cfg.get_bool("scrape", true);
   std::string out = cfg.get_string("out", "BENCH_daemon.json");
 
   std::vector<size_t> sweep = parse_list(shard_list, 1);
@@ -296,12 +370,14 @@ int main(int argc, char** argv) {
   unsigned cpus = std::thread::hardware_concurrency();
   std::printf(
       "daemon_loadgen: %zu clients, %.1fs per run, %llu keys, cache=%d, "
-      "timeout=%ums, stallpct=%llu, attempts=%d, %u cpus\n",
+      "timeout=%ums, stallpct=%llu, attempts=%d, obs=%d, scrape=%d, %u cpus\n",
       clients, seconds, static_cast<unsigned long long>(keys), cache ? 1 : 0,
-      timeout_ms, static_cast<unsigned long long>(stallpct), attempts, cpus);
-  std::printf("%-7s %-9s %-8s %10s %10s %9s %9s %9s %10s %8s %8s %9s\n",
+      timeout_ms, static_cast<unsigned long long>(stallpct), attempts,
+      obs_on ? 1 : 0, scrape ? 1 : 0, cpus);
+  std::printf("%-7s %-9s %-8s %10s %10s %9s %9s %9s %9s %10s %8s %8s %9s\n",
               "shards", "channel", "accept", "requests", "req/s", "p50 ms",
-              "p99 ms", "hit%", "dropped", "misses", "retries", "conns");
+              "p99 ms", "brk p50", "hit%", "dropped", "misses", "retries",
+              "conns");
 
   bool conservation_ok = true;
   std::vector<RunResult> results;
@@ -309,15 +385,15 @@ int main(int argc, char** argv) {
     for (size_t mode : modes) {
       RunResult r = run_one(shards, mode != 0, clients, seconds, keys,
                             threshold, cache, fallback, timeout_ms, stallpct,
-                            attempts, backend.port());
+                            attempts, obs_on, scrape, backend.port());
       core::BrokerMetrics::ClassCounters total = r.metrics.total();
-      std::printf("%-7zu %-9s %-8s %10llu %10.0f %9.3f %9.3f %8.1f%% %10llu "
-                  "%8llu %8llu %9llu\n",
+      std::printf("%-7zu %-9s %-8s %10llu %10.0f %9.3f %9.3f %9.3f %8.1f%% "
+                  "%10llu %8llu %8llu %9llu\n",
                   r.shards, r.pipelined ? "pipeline" : "stopwait",
                   r.kernel_accept_sharding ? "kernel" : "rrobin",
                   static_cast<unsigned long long>(r.requests), r.rps,
                   r.latency.percentile(0.5) * 1e3, r.latency.p99() * 1e3,
-                  r.hit_ratio * 100.0,
+                  r.broker_total.p50 * 1e3, r.hit_ratio * 100.0,
                   static_cast<unsigned long long>(total.dropped),
                   static_cast<unsigned long long>(total.deadline_misses),
                   static_cast<unsigned long long>(total.retries),
@@ -327,6 +403,28 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "conservation violated: shards=%zu pipeline=%zu\n",
                      shards, mode);
         conservation_ok = false;
+      }
+      if (check && scrape) {
+        // The admin plane must serve under load, and the broker-side total
+        // latency (submit -> reply inside the daemon) must sit at or below
+        // what clients time across the wire. Slack: histogram midpoint
+        // error (1/64) plus scheduling noise on sub-millisecond runs.
+        if (!r.admin_live || !r.scraped) {
+          std::fprintf(stderr,
+                       "admin scrape FAILED: healthz/metrics live=%d, "
+                       "statusz parsed=%d (shards=%zu pipeline=%zu)\n",
+                       r.admin_live ? 1 : 0, r.scraped ? 1 : 0, shards, mode);
+          conservation_ok = false;
+        } else if (obs_on &&
+                   r.broker_total.p50 >
+                       r.latency.percentile(0.5) * 1.05 + 0.0005) {
+          std::fprintf(stderr,
+                       "broker-side p50 %.3fms exceeds client-side p50 "
+                       "%.3fms (shards=%zu pipeline=%zu)\n",
+                       r.broker_total.p50 * 1e3,
+                       r.latency.percentile(0.5) * 1e3, shards, mode);
+          conservation_ok = false;
+        }
       }
       results.push_back(std::move(r));
     }
@@ -347,6 +445,8 @@ int main(int argc, char** argv) {
       .field("timeout_ms", static_cast<uint64_t>(timeout_ms))
       .field("stallpct", stallpct)
       .field("attempts", static_cast<uint64_t>(attempts))
+      .field("obs", obs_on)
+      .field("scrape", scrape)
       .key("runs")
       .begin_array();
   for (const RunResult& r : results) {
@@ -387,7 +487,30 @@ int main(int argc, char** argv) {
     for (int level = 1; level <= r.metrics.num_levels(); ++level) {
       json.value(r.metrics.at(level).drop_ratio());
     }
-    json.end_array().end_object();
+    json.end_array();
+    if (r.scraped) {
+      // Broker-side (submit -> reply inside the daemon) percentiles scraped
+      // from /statusz, next to the client-side numbers above.
+      json.key("broker")
+          .begin_object()
+          .field("count", r.broker_total.count)
+          .field("p50_ms", r.broker_total.p50 * 1e3)
+          .field("p95_ms", r.broker_total.p95 * 1e3)
+          .field("p99_ms", r.broker_total.p99 * 1e3)
+          .key("per_class")
+          .begin_array();
+      for (size_t i = 0; i < r.broker_class.size(); ++i) {
+        json.begin_object()
+            .field("class", static_cast<uint64_t>(i + 1))
+            .field("count", r.broker_class[i].count)
+            .field("p50_ms", r.broker_class[i].p50 * 1e3)
+            .field("p95_ms", r.broker_class[i].p95 * 1e3)
+            .field("p99_ms", r.broker_class[i].p99 * 1e3)
+            .end_object();
+      }
+      json.end_array().end_object();
+    }
+    json.end_object();
   }
   json.end_array().end_object();
 

@@ -17,6 +17,12 @@
 #   BENCH_STALLPCT  percent of keys routed to a never-replying backend
 #                  (default 0; requires BENCH_TIMEOUT_MS > 0)
 #   BENCH_ATTEMPTS  per-request attempt budget  (default 1 = no retries)
+#   BENCH_OBS      broker histograms + flight recorder on/off (default 1;
+#                  0 measures the compiled-in-but-idle overhead baseline)
+#   BENCH_SCRAPE   scrape the admin plane (/metrics mid-run, /statusz after
+#                  each run) so broker-side p50/p95/p99 per QoS class land
+#                  in BENCH_daemon.json next to the client-side numbers
+#                  (default 1)
 set -eu
 
 repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
@@ -45,6 +51,8 @@ echo "== daemon loadgen -> BENCH_daemon.json"
   "timeout=${BENCH_TIMEOUT_MS:-0}" \
   "stallpct=${BENCH_STALLPCT:-0}" \
   "attempts=${BENCH_ATTEMPTS:-1}" \
+  "obs=${BENCH_OBS:-1}" \
+  "scrape=${BENCH_SCRAPE:-1}" \
   "out=$repo_root/BENCH_daemon.json"
 
 echo "== wrote $repo_root/BENCH_core.json and $repo_root/BENCH_daemon.json"

@@ -53,9 +53,12 @@ int main() {
   daemon.start();
 
   std::printf("backend on 127.0.0.1:%u, broker daemon on 127.0.0.1:%u "
-              "(%zu shards, %s accept sharding)\n\n",
+              "(%zu shards, %s accept sharding)\n",
               backend.port(), daemon.port(), daemon.shards(),
               daemon.kernel_accept_sharding() ? "kernel SO_REUSEPORT" : "round-robin");
+  std::printf("admin plane on http://127.0.0.1:%u "
+              "(/healthz /metrics /statusz /tracez)\n\n",
+              daemon.admin_port());
 
   auto call = [&](uint64_t id, int qos, const std::string& target) {
     net::BrokerClient client(daemon.port());
@@ -95,6 +98,15 @@ int main() {
   call(200, 1, "/low-priority");   // bound 6*1/3 = 2 -> busy
   call(201, 3, "/high-priority");  // bound 6       -> forwarded
   for (auto& t : slow_clients) t.join();
+
+  // The broker's own view of the run, scraped the way an operator would.
+  http::Request scrape;
+  scrape.target = "/statusz";
+  scrape.headers.set("Host", "localhost");
+  if (auto statusz = net::http_fetch(daemon.admin_port(), scrape)) {
+    std::printf("\n/statusz (broker-side stage latencies): %.120s...\n",
+                statusz->body.c_str());
+  }
 
   core::BrokerMetrics m = daemon.aggregate_metrics();
   daemon.stop();

@@ -1,12 +1,14 @@
 #!/bin/sh
-# Full local verification gate: plain build + full ctest, then TSan and ASan
-# builds of the concurrency-heavy suites. Run from anywhere; trees live at the
-# repo root (build/, build-tsan/, build-asan/) and are reused across runs.
+# Full local verification gate: plain build + full ctest, then TSan, ASan and
+# UBSan builds of the concurrency-heavy suites. Run from anywhere; trees live
+# at the repo root (build/, build-tsan/, build-asan/, build-ubsan/) and are
+# reused across runs.
 #
 #   scripts/check.sh          # everything
 #   scripts/check.sh plain    # just the plain build + full ctest
 #   scripts/check.sh tsan     # just the TSan core/net suites
 #   scripts/check.sh asan     # just the ASan core/net/integration suites
+#   scripts/check.sh ubsan    # just the UBSan core/net/obs suites
 set -eu
 
 repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
@@ -33,22 +35,33 @@ run_asan() {
   cmake -B "$repo_root/build-asan" -S "$repo_root" -DSBROKER_SANITIZE=address
   cmake --build "$repo_root/build-asan" -j "$jobs" \
     --target core_test net_test integration_test
-  # lsan.supp masks the known exit-time TcpConn-cycle leaks from reactors
-  # stopped mid-traffic (see the file's header); anything else still fails.
-  LSAN_OPTIONS="suppressions=$repo_root/scripts/lsan.supp,print_suppressions=0" \
-    "$repo_root/build-asan/tests/core_test"
-  LSAN_OPTIONS="suppressions=$repo_root/scripts/lsan.supp,print_suppressions=0" \
-    "$repo_root/build-asan/tests/net_test"
-  LSAN_OPTIONS="suppressions=$repo_root/scripts/lsan.supp,print_suppressions=0" \
-    "$repo_root/build-asan/tests/integration_test"
+  # No leak suppressions: reactors break TcpConn<->owner cycles at teardown
+  # (Reactor::set_teardown / defer_destroy), so exit-time leaks fail for real.
+  "$repo_root/build-asan/tests/core_test"
+  "$repo_root/build-asan/tests/net_test"
+  "$repo_root/build-asan/tests/integration_test"
+}
+
+run_ubsan() {
+  echo "== UBSan build (core_test, net_test, obs_test)"
+  cmake -B "$repo_root/build-ubsan" -S "$repo_root" -DSBROKER_SANITIZE=undefined
+  cmake --build "$repo_root/build-ubsan" -j "$jobs" \
+    --target core_test net_test obs_test
+  UBSAN_OPTIONS="halt_on_error=1,print_stacktrace=1" \
+    "$repo_root/build-ubsan/tests/core_test"
+  UBSAN_OPTIONS="halt_on_error=1,print_stacktrace=1" \
+    "$repo_root/build-ubsan/tests/net_test"
+  UBSAN_OPTIONS="halt_on_error=1,print_stacktrace=1" \
+    "$repo_root/build-ubsan/tests/obs_test"
 }
 
 case "$what" in
   plain) run_plain ;;
   tsan) run_tsan ;;
   asan) run_asan ;;
-  all) run_plain; run_tsan; run_asan ;;
-  *) echo "usage: scripts/check.sh [plain|tsan|asan|all]" >&2; exit 2 ;;
+  ubsan) run_ubsan ;;
+  all) run_plain; run_tsan; run_asan; run_ubsan ;;
+  *) echo "usage: scripts/check.sh [plain|tsan|asan|ubsan|all]" >&2; exit 2 ;;
 esac
 
 echo "== check.sh: all requested suites passed"

@@ -21,7 +21,8 @@ ServiceBroker::ServiceBroker(std::string name, BrokerConfig config)
       prefetcher_(config.prefetch_idle_threshold),
       hotspot_(config.hotspot),
       rewriter_(config.rewrite, config.rules),
-      metrics_(config.rules.num_levels) {}
+      metrics_(config.rules.num_levels),
+      obs_(config.obs, config.rules.num_levels) {}
 
 void ServiceBroker::add_backend(std::shared_ptr<Backend> backend, double weight) {
   assert(backend != nullptr);
@@ -69,6 +70,9 @@ void ServiceBroker::submit(double now, const http::BrokerRequest& request,
       c.cache_hits += 1;
       c.completed += 1;
       c.response_time.add(0.0);
+      obs_.record(base_level, obs::Stage::kTotal, 0.0);
+      obs_.trace(now, request.request_id, obs::TraceEventKind::kCacheHit,
+                 static_cast<uint8_t>(base_level));
       reply(http::BrokerReply{request.request_id, http::Fidelity::kCached, *hit});
       return;
     }
@@ -86,6 +90,10 @@ void ServiceBroker::submit(double now, const http::BrokerRequest& request,
     c.errors += 1;
     c.completed += 1;
     c.response_time.add(0.0);
+    obs_.record(base_level, obs::Stage::kTotal, 0.0);
+    obs_.trace(now, request.request_id, obs::TraceEventKind::kComplete,
+               static_cast<uint8_t>(base_level),
+               static_cast<uint16_t>(http::Fidelity::kError));
     reply(http::BrokerReply{request.request_id, http::Fidelity::kError,
                             "no backend registered"});
     return;
@@ -111,6 +119,8 @@ void ServiceBroker::submit(double now, const http::BrokerRequest& request,
   ctx.reply = std::move(reply);
   if (ctx.deadline != kNoDeadline) deadlines_.emplace(ctx.deadline, ctx.id);
   contexts_[request.request_id] = std::move(ctx);
+  obs_.trace(now, request.request_id, obs::TraceEventKind::kAdmit,
+             static_cast<uint8_t>(base_level), static_cast<uint16_t>(effective));
 
   if (auto batch = cluster_.add(request.request_id, std::move(rewritten.payload), now)) {
     enqueue_batch(std::move(*batch), now);
@@ -124,6 +134,9 @@ void ServiceBroker::reply_drop(double now, const http::BrokerRequest& request,
   c.dropped += 1;
   c.completed += 1;
   c.response_time.add(0.0);
+  obs_.record(base_level, obs::Stage::kTotal, 0.0);
+  obs_.trace(now, request.request_id, obs::TraceEventKind::kDrop,
+             static_cast<uint8_t>(base_level), /*detail=*/1);
   if (config_.serve_stale_on_drop) {
     if (auto stale = cache_->get_stale(request.payload)) {
       reply(http::BrokerReply{request.request_id, http::Fidelity::kCached, *stale});
@@ -138,15 +151,21 @@ void ServiceBroker::reply_drop(double now, const http::BrokerRequest& request,
 void ServiceBroker::enqueue_batch(Batch batch, double now) {
   ReadyBatch ready;
   ready.priority = 1;
+  uint16_t size = static_cast<uint16_t>(
+      std::min<size_t>(batch.member_ids.size(), UINT16_MAX));
   for (uint64_t id : batch.member_ids) {
     auto it = contexts_.find(id);
     if (it != contexts_.end()) {
-      ready.priority = std::max(ready.priority, it->second.effective_level);
+      RequestContext& ctx = it->second;
+      ready.priority = std::max(ready.priority, ctx.effective_level);
+      ctx.batched_at = now;
+      obs_.record(ctx.base_level, obs::Stage::kBatchWait, now - ctx.submitted_at);
+      obs_.trace(now, id, obs::TraceEventKind::kCluster,
+                 static_cast<uint8_t>(ctx.base_level), size);
     }
   }
   ready.batch = std::move(batch);
   dispatch_queue_.push(ready.priority, std::move(ready));
-  (void)now;
 }
 
 void ServiceBroker::pump(double now) {
@@ -220,6 +239,15 @@ void ServiceBroker::dispatch(ReadyBatch ready, double now) {
     auto it = contexts_.find(id);
     if (it == contexts_.end()) continue;
     RequestContext& ctx = it->second;
+    if (ctx.attempts == 0) {
+      // QoS-queue residency: batch formation to first dispatch. Retries skip
+      // this — their wait mixes in the failed attempt's channel time.
+      double queued_since = ctx.batched_at > 0.0 ? ctx.batched_at : ctx.submitted_at;
+      obs_.record(ctx.base_level, obs::Stage::kQueueWait, now - queued_since);
+    }
+    obs_.trace(now, id, obs::TraceEventKind::kDispatch,
+               static_cast<uint8_t>(ctx.base_level),
+               static_cast<uint16_t>(*backend_index));
     ctx.exchange = exchange_id;
     ctx.attempts += 1;
     ctx.dispatched_at = now;
@@ -267,6 +295,8 @@ void ServiceBroker::on_exchange_complete(uint64_t exchange_id, double now, bool 
       if (ctx_it != contexts_.end() && ctx_it->second.exchange == exchange_id) {
         RequestContext ctx = std::move(ctx_it->second);
         contexts_.erase(ctx_it);
+        obs_.record(ctx.base_level, obs::Stage::kChannelRtt,
+                    now - ctx.dispatched_at);
         finish_context(std::move(ctx), now, http::Fidelity::kFull, parts[i],
                        /*count_error=*/false);
       }
@@ -278,9 +308,13 @@ void ServiceBroker::on_exchange_complete(uint64_t exchange_id, double now, bool 
       if (ctx_it == contexts_.end() || ctx_it->second.exchange != exchange_id) continue;
       RequestContext& ctx = ctx_it->second;
       ctx.exchange = 0;
+      obs_.record(ctx.base_level, obs::Stage::kChannelRtt, now - ctx.dispatched_at);
       if (may_retry(ctx, now)) {
         retries_.emplace(now + config_.lifecycle.retry_backoff * ctx.attempts, id);
         metrics_.at(ctx.base_level).retries += 1;
+        obs_.trace(now, id, obs::TraceEventKind::kRetry,
+                   static_cast<uint8_t>(ctx.base_level),
+                   static_cast<uint16_t>(ctx.attempts));
         scheduled_retry = true;
       } else {
         RequestContext moved = std::move(ctx_it->second);
@@ -316,6 +350,10 @@ void ServiceBroker::finish_context(RequestContext ctx, double now,
   if (count_error) c.errors += 1;
   c.completed += 1;
   c.response_time.add(now - ctx.submitted_at);
+  obs_.record(ctx.base_level, obs::Stage::kTotal, now - ctx.submitted_at);
+  obs_.trace(now, ctx.id, obs::TraceEventKind::kComplete,
+             static_cast<uint8_t>(ctx.base_level),
+             static_cast<uint16_t>(fidelity));
   ctx.reply(http::BrokerReply{ctx.id, fidelity, payload});
 }
 
@@ -330,6 +368,13 @@ void ServiceBroker::shed_context(RequestContext ctx, double now, bool deadline_m
   if (deadline_miss) c.deadline_misses += 1;
   c.completed += 1;
   c.response_time.add(now - ctx.submitted_at);
+  obs_.record(ctx.base_level, obs::Stage::kTotal, now - ctx.submitted_at);
+  obs_.trace(now, ctx.id,
+             deadline_miss ? obs::TraceEventKind::kDeadline
+                           : obs::TraceEventKind::kDrop,
+             static_cast<uint8_t>(ctx.base_level),
+             deadline_miss ? static_cast<uint16_t>(ctx.attempts)
+                           : /*pool saturated=*/static_cast<uint16_t>(2));
   if (config_.serve_stale_on_drop) {
     if (auto stale = cache_->get_stale(ctx.payload)) {
       ctx.reply(http::BrokerReply{ctx.id, http::Fidelity::kCached, *stale});

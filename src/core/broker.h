@@ -62,6 +62,7 @@
 #include "core/scheduler.h"
 #include "core/txn.h"
 #include "http/wire.h"
+#include "obs/observer.h"
 
 namespace sbroker::core {
 
@@ -84,6 +85,7 @@ struct BrokerConfig {
   uint64_t rng_seed = 42;          ///< seeds the balancer's random policy
   LifecycleConfig lifecycle;       ///< deadlines, attempt budget, backoff
   HealthConfig health;             ///< replica ejection / half-open recovery
+  obs::ObsConfig obs;              ///< latency histograms + flight recorder
 };
 
 class ServiceBroker {
@@ -143,6 +145,10 @@ class ServiceBroker {
   const std::string& name() const { return name_; }
   const BrokerConfig& config() const { return config_; }
   const BrokerMetrics& metrics() const { return metrics_; }
+  /// Latency histograms (per class x stage) and the request flight recorder.
+  /// Single-writer like the broker itself: touch only from the owning thread.
+  obs::BrokerObserver& observer() { return obs_; }
+  const obs::BrokerObserver& observer() const { return obs_; }
   /// Wire-level channel counters summed across this broker's backends
   /// (all-zero for simulated backends). The real-socket daemons fold this
   /// into their metrics snapshots.
@@ -218,6 +224,7 @@ class ServiceBroker {
   HotSpotDetector hotspot_;
   QueryRewriter rewriter_;
   BrokerMetrics metrics_;
+  obs::BrokerObserver obs_;
 
   std::vector<std::shared_ptr<Backend>> backends_;
   std::unordered_map<uint64_t, RequestContext> contexts_;

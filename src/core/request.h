@@ -67,6 +67,7 @@ struct RequestContext {
   QosLevel effective_level = 1;  ///< after transaction escalation
   double submitted_at = 0.0;
   double deadline = kNoDeadline; ///< absolute, caller's clock
+  double batched_at = 0.0;       ///< joined a cluster batch; 0 = not yet
   double dispatched_at = 0.0;    ///< last handoff to a backend exchange
   int attempts = 0;              ///< backend exchanges consumed so far
   int attempt_budget = 1;

@@ -1,0 +1,94 @@
+// HTTP admin plane for the broker daemon.
+//
+// Serves the operational surface the paper's evaluation needed ad-hoc
+// harness code for: /metrics (Prometheus text exposition), /healthz,
+// /statusz (JSON: per-class counters, per-stage latency percentiles,
+// per-shard and per-replica detail) and /tracez (flight-recorder dump).
+// The AdminServer runs its own Reactor on a dedicated thread, so scrapes
+// never compete with broker admission for a shard reactor's attention; its
+// handlers snapshot shard state by posting onto each shard reactor and
+// waiting, the same pattern ShardedBrokerDaemon::aggregate_metrics uses.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/broker.h"
+#include "core/hotspot.h"
+#include "core/metrics.h"
+#include "net/http_server.h"
+#include "net/reactor.h"
+#include "obs/observer.h"
+
+namespace sbroker::net {
+
+/// One backend replica's health as a shard's balancer sees it.
+struct ReplicaStatus {
+  size_t index = 0;
+  size_t outstanding = 0;
+  uint64_t picks = 0;
+  bool ejected = false;
+};
+
+/// Point-in-time snapshot of one broker shard, taken on its owning thread.
+struct ShardStatus {
+  size_t shard = 0;
+  core::BrokerMetrics metrics;   ///< transport stats already folded in
+  obs::BrokerObserver obs;       ///< histogram copy (trace stays behind)
+  size_t outstanding = 0;
+  core::LoadState load_state = core::LoadState::kNormal;
+  uint64_t trace_recorded = 0;
+  uint64_t trace_dropped = 0;
+  std::vector<ReplicaStatus> replicas;
+};
+
+/// Builds a ShardStatus from a broker. Must run on the broker's own thread
+/// (or while its daemon is stopped) — it reads single-writer state.
+ShardStatus snapshot_shard(const core::ServiceBroker& broker, size_t shard);
+
+/// Prometheus text exposition of the shard snapshots (counters summed,
+/// latency histograms merged into cumulative `le` buckets).
+std::string render_prometheus(const std::vector<ShardStatus>& shards);
+
+/// JSON status document: per-class counters with per-stage latency
+/// percentiles, aggregate stage distributions, transport/lifecycle stats,
+/// and per-shard/per-replica detail.
+std::string render_statusz(const std::vector<ShardStatus>& shards);
+
+/// JSON dump of flight-recorder events (caller merges/sorts across shards).
+std::string render_tracez(const std::vector<obs::TraceEvent>& events);
+
+struct AdminConfig {
+  bool enabled = true;  ///< serve the admin plane alongside the daemon
+  uint16_t port = 0;    ///< 0 = ephemeral
+};
+
+class AdminServer {
+ public:
+  /// Snapshot callbacks run on the admin thread and may block (they post
+  /// onto shard reactors and wait for the copies).
+  using StatusFn = std::function<std::vector<ShardStatus>()>;
+  using TraceFn = std::function<std::vector<obs::TraceEvent>()>;
+
+  /// Binds the admin port and starts the admin reactor thread.
+  AdminServer(uint16_t port, StatusFn status, TraceFn trace);
+  ~AdminServer();  ///< stops the admin reactor and joins the thread
+  AdminServer(const AdminServer&) = delete;
+  AdminServer& operator=(const AdminServer&) = delete;
+
+  uint16_t port() const { return port_; }
+
+ private:
+  StatusFn status_;
+  TraceFn trace_;
+  Reactor reactor_;
+  std::unique_ptr<HttpServer> http_;
+  uint16_t port_ = 0;
+  std::thread thread_;
+};
+
+}  // namespace sbroker::net

@@ -28,14 +28,36 @@ Reactor::Reactor() {
 }
 
 Reactor::~Reactor() {
+  // Connections still registered when the reactor dies hold conn<->owner
+  // shared_ptr cycles that nothing else will ever break (their fds will
+  // never fire again). Run their teardown hooks first, while every object
+  // involved is still fully alive; the hooks close sockets and park the
+  // cycle-carrying callbacks in the graveyard.
+  std::unordered_map<int, std::function<void()>> teardowns;
+  teardowns.swap(teardowns_);
+  for (auto& [fd, fn] : teardowns) fn();
+  teardowns.clear();
   // An fd callback may own the object it serves (TcpConn::start registers a
   // closure holding the connection's shared_ptr), and that object's
-  // destructor calls del_fd(). Detach the map before destroying the
+  // destructor calls del_fd(). Detach the maps before destroying the
   // callbacks so those re-entrant erases hit an empty member map instead of
-  // the hashtable node currently being torn down.
+  // the hashtable node currently being torn down. Same for timers: the
+  // heads parked by defer-style users may own objects whose destructors
+  // call cancel_timer().
   std::unordered_map<int, IoCallback> callbacks;
   callbacks.swap(io_callbacks_);
   callbacks.clear();
+  std::unordered_map<TimerId, TimerCallback> timer_callbacks;
+  timer_callbacks.swap(timer_callbacks_);
+  timer_callbacks.clear();
+  std::vector<std::function<void()>> posted;
+  {
+    std::lock_guard<std::mutex> lock(post_mu_);
+    posted.swap(posted_);
+  }
+  posted.clear();
+  // Destroying the callbacks above may have parked more state; drain last.
+  drain_graveyard();
   if (wake_fd_ >= 0) close(wake_fd_);
   if (epoll_fd_ >= 0) close(epoll_fd_);
 }
@@ -103,6 +125,26 @@ int Reactor::next_timeout_ms(int default_ms) const {
   return ms;
 }
 
+void Reactor::defer_destroy(std::function<void()> fn) {
+  graveyard_.push_back(std::move(fn));
+}
+
+void Reactor::set_teardown(int fd, std::function<void()> fn) {
+  teardowns_[fd] = std::move(fn);
+}
+
+void Reactor::clear_teardown(int fd) { teardowns_.erase(fd); }
+
+void Reactor::drain_graveyard() {
+  // A parked closure's destructor may park more (an owner dying can close
+  // further connections); loop until quiescent.
+  while (!graveyard_.empty()) {
+    std::vector<std::function<void()>> dead;
+    dead.swap(graveyard_);
+    dead.clear();
+  }
+}
+
 void Reactor::drain_posted() {
   std::vector<std::function<void()>> tasks;
   {
@@ -130,6 +172,7 @@ bool Reactor::poll_once(int timeout_ms) {
   }
   drain_posted();
   fire_due_timers();
+  drain_graveyard();
   return !stopped_;
 }
 

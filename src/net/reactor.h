@@ -63,6 +63,22 @@ class Reactor {
   /// snapshots and for the round-robin accept fallback).
   void post(std::function<void()> fn);
 
+  /// Parks a closure (typically one owning objects that must not die while
+  /// their own callback frame is still on the stack) until the current
+  /// dispatch cycle ends; the closure is destroyed, never invoked. ~Reactor
+  /// drains the graveyard too, so parked state cannot outlive the reactor —
+  /// unlike the old zero-delay-timer trick, which silently leaked whatever
+  /// was parked when the reactor stopped before the timer fired.
+  void defer_destroy(std::function<void()> fn);
+
+  /// Registers a hook ~Reactor runs for an fd still registered when the
+  /// reactor dies (e.g. clients still connected at daemon shutdown). TcpConn
+  /// uses it to close its socket and break the conn<->owner shared_ptr cycle
+  /// its data callback embodies. Unregister with clear_teardown once the fd
+  /// is closed through the normal path.
+  void set_teardown(int fd, std::function<void()> fn);
+  void clear_teardown(int fd);
+
  private:
   struct Timer {
     double deadline;
@@ -75,6 +91,7 @@ class Reactor {
 
   void fire_due_timers();
   void drain_posted();
+  void drain_graveyard();
   int next_timeout_ms(int default_ms) const;
 
   int epoll_fd_ = -1;
@@ -86,6 +103,8 @@ class Reactor {
   std::unordered_map<TimerId, TimerCallback> timer_callbacks_;
   std::mutex post_mu_;
   std::vector<std::function<void()>> posted_;
+  std::vector<std::function<void()>> graveyard_;  ///< deferred destructions
+  std::unordered_map<int, std::function<void()>> teardowns_;
 };
 
 }  // namespace sbroker::net

@@ -2,6 +2,7 @@
 
 #include <unistd.h>
 
+#include <algorithm>
 #include <future>
 #include <utility>
 
@@ -84,6 +85,12 @@ ShardedBrokerDaemon::ShardedBrokerDaemon(std::string name,
         [this](int fd) { dispatch_accepted(fd); });
     port_ = acceptor_->port();
   }
+
+  if (config_.admin.enabled) {
+    admin_ = std::make_unique<AdminServer>(
+        config_.admin.port, [this]() { return shard_status(); },
+        [this]() { return dump_trace(); });
+  }
 }
 
 ShardedBrokerDaemon::~ShardedBrokerDaemon() { stop(); }
@@ -113,6 +120,11 @@ void ShardedBrokerDaemon::start() {
 }
 
 void ShardedBrokerDaemon::stop() {
+  // The admin thread snapshots shards through their reactors; kill it first
+  // (its destructor joins any in-flight handler) so no snapshot can be left
+  // parked in a reactor's post queue when the shard threads exit. Before the
+  // early-return: even a never-started daemon owns a live admin thread.
+  admin_.reset();
   if (!running_) return;
   for (auto& shard : shards_) shard->reactor->stop();
   for (auto& shard : shards_) {
@@ -144,6 +156,52 @@ core::BrokerMetrics ShardedBrokerDaemon::aggregate_metrics() {
     total.merge(done.get());
   }
   return total;
+}
+
+std::vector<ShardStatus> ShardedBrokerDaemon::shard_status() {
+  std::vector<ShardStatus> out;
+  out.reserve(shards_.size());
+  if (!running_) {
+    for (size_t i = 0; i < shards_.size(); ++i) {
+      out.push_back(snapshot_shard(shards_[i]->daemon->broker(), i));
+    }
+    return out;
+  }
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    std::promise<ShardStatus> snapshot;
+    auto done = snapshot.get_future();
+    shards_[i]->reactor->post([&snapshot, daemon = shards_[i]->daemon.get(), i]() {
+      snapshot.set_value(snapshot_shard(daemon->broker(), i));
+    });
+    out.push_back(done.get());
+  }
+  return out;
+}
+
+std::vector<obs::TraceEvent> ShardedBrokerDaemon::dump_trace() {
+  std::vector<obs::TraceEvent> all;
+  if (!running_) {
+    for (auto& shard : shards_) {
+      auto events = shard->daemon->broker().observer().recorder().dump();
+      all.insert(all.end(), events.begin(), events.end());
+    }
+  } else {
+    for (auto& shard : shards_) {
+      std::promise<std::vector<obs::TraceEvent>> snapshot;
+      auto done = snapshot.get_future();
+      shard->reactor->post([&snapshot, daemon = shard->daemon.get()]() {
+        snapshot.set_value(daemon->broker().observer().recorder().dump());
+      });
+      auto events = done.get();
+      all.insert(all.end(), events.begin(), events.end());
+    }
+  }
+  std::sort(all.begin(), all.end(),
+            [](const obs::TraceEvent& a, const obs::TraceEvent& b) {
+              if (a.t != b.t) return a.t < b.t;
+              return a.seq < b.seq;
+            });
+  return all;
 }
 
 }  // namespace sbroker::net

@@ -20,6 +20,7 @@
 // shard reactors via Reactor::post().
 #pragma once
 
+#include <atomic>
 #include <functional>
 #include <memory>
 #include <string>
@@ -30,6 +31,7 @@
 #include "core/broker.h"
 #include "core/load.h"
 #include "core/striped_cache.h"
+#include "net/admin.h"
 #include "net/broker_daemon.h"
 #include "net/reactor.h"
 #include "net/tcp.h"
@@ -47,6 +49,9 @@ struct ShardedBrokerDaemonConfig {
   /// Skip SO_REUSEPORT and use the single-acceptor round-robin path even
   /// when the kernel supports accept sharding (used by tests).
   bool force_acceptor_fallback = false;
+  /// Admin plane (/healthz /metrics /statusz /tracez) on its own reactor
+  /// thread; enabled by default on an ephemeral port.
+  AdminConfig admin;
 };
 
 class ShardedBrokerDaemon {
@@ -78,6 +83,8 @@ class ShardedBrokerDaemon {
   uint16_t port() const { return port_; }
   /// Shared UDP datagram port; 0 when UDP is disabled.
   uint16_t udp_port() const { return udp_port_; }
+  /// Admin-plane HTTP port; 0 when the admin plane is disabled.
+  uint16_t admin_port() const { return admin_ ? admin_->port() : 0; }
   /// True when kernel accept sharding (SO_REUSEPORT) is active, false when
   /// the round-robin acceptor fallback is in use.
   bool kernel_accept_sharding() const { return !acceptor_; }
@@ -95,6 +102,14 @@ class ShardedBrokerDaemon {
   /// when stopped it reads directly.
   core::BrokerMetrics aggregate_metrics();
 
+  /// Per-shard status snapshots (metrics + latency histograms + replica
+  /// health). Same threading contract as aggregate_metrics(); the admin
+  /// plane's /metrics and /statusz are rendered from this.
+  std::vector<ShardStatus> shard_status();
+
+  /// Flight-recorder events from every shard, merged and sorted by time.
+  std::vector<obs::TraceEvent> dump_trace();
+
  private:
   struct Shard {
     std::unique_ptr<Reactor> reactor;
@@ -110,10 +125,13 @@ class ShardedBrokerDaemon {
   std::shared_ptr<core::LoadTracker> load_;
   std::vector<std::unique_ptr<Shard>> shards_;
   std::unique_ptr<TcpListener> acceptor_;  ///< fallback mode only
+  std::unique_ptr<AdminServer> admin_;
   size_t next_shard_ = 0;                  ///< fallback round-robin cursor
   uint16_t port_ = 0;
   uint16_t udp_port_ = 0;
-  bool running_ = false;
+  /// Read by the admin thread (snapshot path decision), written by
+  /// start()/stop().
+  std::atomic<bool> running_{false};
 };
 
 }  // namespace sbroker::net

@@ -89,6 +89,7 @@ TcpConn::TcpConn(Reactor& reactor, int fd) : reactor_(reactor), fd_(fd) {}
 TcpConn::~TcpConn() {
   if (fd_ >= 0) {
     reactor_.del_fd(fd_);
+    reactor_.clear_teardown(fd_);
     close(fd_);
   }
 }
@@ -98,7 +99,7 @@ void TcpConn::start(DataFn on_data, CloseFn on_close) {
   // callback (e.g. a backend parking a finished connection); destroying
   // that closure mid-invocation would free captures its frame still uses.
   if (on_data_) {
-    reactor_.add_timer(0.0, [keep = std::move(on_data_)]() {});
+    reactor_.defer_destroy([keep = std::move(on_data_)]() {});
   }
   on_data_ = std::move(on_data);
   on_close_ = std::move(on_close);
@@ -106,6 +107,9 @@ void TcpConn::start(DataFn on_data, CloseFn on_close) {
   registered_ = true;
   auto self = shared_from_this();
   reactor_.add_fd(fd_, EPOLLIN, [self](uint32_t events) { self->on_events(events); });
+  // If the reactor dies with this connection still open, break the
+  // conn<->owner cycle its callbacks embody instead of leaking it.
+  reactor_.set_teardown(fd_, [this]() { reactor_teardown(); });
 }
 
 void TcpConn::on_events(uint32_t events) {
@@ -187,15 +191,16 @@ void TcpConn::abort() { close_now(); }
 void TcpConn::close_now() {
   if (fd_ < 0) return;
   reactor_.del_fd(fd_);
+  reactor_.clear_teardown(fd_);
   close(fd_);
   fd_ = -1;
   // Drop the data callback: it commonly captures this connection's owner
   // (which holds the connection right back), so keeping it past close would
   // pin the whole cycle in memory for the reactor's lifetime. close_now()
   // is often reached from inside that very callback, so its destruction is
-  // parked on a zero-delay timer until the current stack unwinds.
+  // parked in the reactor's graveyard until the current stack unwinds.
   if (on_data_) {
-    reactor_.add_timer(0.0, [keep = std::move(on_data_)]() {});
+    reactor_.defer_destroy([keep = std::move(on_data_)]() {});
     on_data_ = nullptr;
   }
   if (on_close_) {
@@ -203,6 +208,25 @@ void TcpConn::close_now() {
     on_close_ = nullptr;
     cb();
   }
+}
+
+void TcpConn::reactor_teardown() {
+  // ~Reactor path only: the daemon is dying wholesale, with this connection
+  // still open. Close the socket and park both callbacks — on_data_ is the
+  // usual owner-cycle carrier, and on_close_ often captures the owner too.
+  // on_close_ is deliberately NOT invoked: the owner is being destroyed, not
+  // notified of a peer close, and firing it would mutate owner state (conn
+  // maps, retry timers) mid-teardown.
+  if (fd_ >= 0) {
+    close(fd_);
+    fd_ = -1;
+  }
+  if (on_data_ || on_close_) {
+    reactor_.defer_destroy(
+        [d = std::move(on_data_), c = std::move(on_close_)]() {});
+  }
+  on_data_ = nullptr;
+  on_close_ = nullptr;
 }
 
 TcpListener::TcpListener(Reactor& reactor, uint16_t port, AcceptFn on_accept,

@@ -65,6 +65,7 @@ class TcpConn : public std::enable_shared_from_this<TcpConn> {
   void handle_readable();
   void flush();
   void close_now();
+  void reactor_teardown();
   void update_interest();
 
   Reactor& reactor_;

@@ -1,0 +1,99 @@
+#include "obs/histogram.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+namespace sbroker::obs {
+
+size_t LatencyHistogram::index_for(uint64_t us) {
+  if (us < kSubCount) return static_cast<size_t>(us);
+  if (us >= kMaxTrackableUs) return kOverflowBucket;
+  int msb = 63 - std::countl_zero(us);                      // [kSubBits, 29]
+  int octave = msb - kSubBits;                              // [0, kOctaves-1]
+  uint64_t sub = (us >> (msb - kSubBits)) - kSubCount;      // [0, kSubCount)
+  return kSubCount + static_cast<size_t>(octave) * kSubCount +
+         static_cast<size_t>(sub);
+}
+
+uint64_t LatencyHistogram::lower_bound_us(size_t index) {
+  if (index < kSubCount) return index;
+  if (index >= kOverflowBucket) return kMaxTrackableUs;
+  size_t octave = (index - kSubCount) / kSubCount;
+  uint64_t sub = (index - kSubCount) % kSubCount;
+  return (kSubCount + sub) << octave;
+}
+
+uint64_t LatencyHistogram::bucket_width_us(size_t index) {
+  if (index < kSubCount) return 1;
+  if (index >= kOverflowBucket) return 0;  // unbounded above
+  return 1ull << ((index - kSubCount) / kSubCount);
+}
+
+void LatencyHistogram::record_seconds(double seconds) {
+  if (!(seconds > 0.0)) {  // also catches NaN
+    record_us(0);
+    return;
+  }
+  record_us(static_cast<uint64_t>(std::llround(seconds * 1e6)));
+}
+
+void LatencyHistogram::record_us(uint64_t us) {
+  buckets_[index_for(us)] += 1;
+  count_ += 1;
+  sum_us_ += us;
+  if (us > max_us_) max_us_ = us;
+}
+
+void LatencyHistogram::merge(const LatencyHistogram& other) {
+  for (size_t i = 0; i < kNumBuckets; ++i) buckets_[i] += other.buckets_[i];
+  count_ += other.count_;
+  sum_us_ += other.sum_us_;
+  max_us_ = std::max(max_us_, other.max_us_);
+}
+
+double LatencyHistogram::quantile(double q) const {
+  if (count_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  uint64_t rank = static_cast<uint64_t>(
+      std::ceil(q * static_cast<double>(count_)));
+  if (rank == 0) rank = 1;
+  uint64_t seen = 0;
+  for (size_t i = 0; i < kNumBuckets; ++i) {
+    seen += buckets_[i];
+    if (seen >= rank) {
+      if (i >= kOverflowBucket) return static_cast<double>(max_us_) * 1e-6;
+      double mid = static_cast<double>(lower_bound_us(i)) +
+                   static_cast<double>(bucket_width_us(i)) / 2.0;
+      // The recorded maximum caps the estimate: a p99 landing in the top
+      // occupied bucket must not report past the largest real sample.
+      return std::min(mid, static_cast<double>(max_us_)) * 1e-6;
+    }
+  }
+  return static_cast<double>(max_us_) * 1e-6;  // unreachable
+}
+
+uint64_t LatencyHistogram::count_le(double bound_seconds) const {
+  if (bound_seconds < 0.0) return 0;
+  double bound_us = bound_seconds * 1e6;
+  uint64_t total = 0;
+  for (size_t i = 0; i < kNumBuckets; ++i) {
+    if (buckets_[i] == 0) continue;
+    double upper = i >= kOverflowBucket
+                       ? static_cast<double>(max_us_)
+                       : static_cast<double>(lower_bound_us(i) + bucket_width_us(i));
+    if (upper <= bound_us) total += buckets_[i];
+  }
+  return total;
+}
+
+double LatencyHistogram::bucket_lower_seconds(size_t index) {
+  return static_cast<double>(lower_bound_us(index)) * 1e-6;
+}
+
+double LatencyHistogram::bucket_upper_seconds(size_t index) {
+  if (index >= kOverflowBucket) return static_cast<double>(kMaxTrackableUs) * 1e-6;
+  return static_cast<double>(lower_bound_us(index) + bucket_width_us(index)) * 1e-6;
+}
+
+}  // namespace sbroker::obs

@@ -1,0 +1,98 @@
+// Fixed-bucket log-linear latency histogram.
+//
+// The evaluation gap this closes: BrokerMetrics can say *how many* requests
+// each class completed, but not *where* their time went. LatencyHistogram
+// records one latency sample in O(1) with three integer writes (bucket
+// increment, count, sum) and answers p50/p95/p99 with a bounded relative
+// error, so the broker can report per-class, per-stage percentiles without
+// keeping samples.
+//
+// Bucket layout (HdrHistogram-style, microsecond domain):
+//   * values 0..31 us get one bucket each (exact);
+//   * every power-of-two range [2^k, 2^(k+1)) above that is split into 32
+//     equal sub-buckets, so bucket width is value/32 and the midpoint
+//     estimate is within 1/64 ≈ 1.6% of any sample in the bucket;
+//   * values at or above kMaxTrackableUs (2^30 us ≈ 18 min) land in a
+//     dedicated overflow bucket whose quantile reports the recorded maximum.
+//
+// Threading: single writer. Each broker shard owns its histograms and only
+// touches them from its own reactor (or sim) thread — recording is plain
+// stores, no atomics, no locks. Cross-shard visibility goes through
+// snapshot-and-merge on the owning thread (Reactor::post), the same pattern
+// the sharded daemon already uses for BrokerMetrics.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace sbroker::obs {
+
+class LatencyHistogram {
+ public:
+  /// Sub-buckets per power-of-two range; drives the error bound.
+  static constexpr int kSubBits = 5;
+  static constexpr uint64_t kSubCount = 1ull << kSubBits;  // 32
+  /// Values at or above this many microseconds overflow.
+  static constexpr uint64_t kMaxTrackableUs = 1ull << 30;
+  /// Midpoint estimate error for in-range values: half a bucket width.
+  static constexpr double kRelativeError = 1.0 / (2.0 * static_cast<double>(kSubCount));
+
+  LatencyHistogram() : buckets_(kNumBuckets, 0) {}
+
+  /// Records one latency. Negative values clamp to zero.
+  void record_seconds(double seconds);
+  void record_us(uint64_t us);
+
+  /// Bucket-wise sum; the shard-merge primitive.
+  void merge(const LatencyHistogram& other);
+
+  uint64_t count() const { return count_; }
+  double sum_seconds() const { return static_cast<double>(sum_us_) * 1e-6; }
+  double mean_seconds() const {
+    return count_ == 0 ? 0.0 : sum_seconds() / static_cast<double>(count_);
+  }
+  double max_seconds() const { return static_cast<double>(max_us_) * 1e-6; }
+
+  /// Nearest-rank quantile, q in [0,1]; 0 when empty. Returns the midpoint
+  /// of the bucket holding the rank (the recorded maximum for the overflow
+  /// bucket), so the estimate is within kRelativeError of the true sample
+  /// for values below kMaxTrackableUs (plus 0.5us quantization).
+  double quantile(double q) const;
+  double p50() const { return quantile(0.50); }
+  double p95() const { return quantile(0.95); }
+  double p99() const { return quantile(0.99); }
+
+  /// Samples recorded at or above kMaxTrackableUs.
+  uint64_t overflow_count() const { return buckets_[kOverflowBucket]; }
+
+  /// Observations whose bucket upper edge is <= `bound_seconds` — the
+  /// cumulative count behind a Prometheus `le` bucket. Conservative for
+  /// bounds that cut a bucket in half; monotone in the bound, and equal to
+  /// count() once the bound clears the largest recorded value.
+  uint64_t count_le(double bound_seconds) const;
+
+  /// Exposition/introspection access.
+  static constexpr size_t num_buckets() { return kNumBuckets; }
+  uint64_t bucket_count(size_t index) const { return buckets_[index]; }
+  /// Inclusive lower / exclusive upper value edges of a bucket, seconds.
+  static double bucket_lower_seconds(size_t index);
+  static double bucket_upper_seconds(size_t index);
+
+ private:
+  // 32 linear buckets + 25 octaves ([2^5,2^30)) of 32 + 1 overflow.
+  static constexpr size_t kOctaves = 30 - kSubBits;  // 25
+  static constexpr size_t kOverflowBucket = kSubCount + kOctaves * kSubCount;
+  static constexpr size_t kNumBuckets = kOverflowBucket + 1;
+
+  static size_t index_for(uint64_t us);
+  static uint64_t lower_bound_us(size_t index);
+  static uint64_t bucket_width_us(size_t index);
+
+  std::vector<uint64_t> buckets_;
+  uint64_t count_ = 0;
+  uint64_t sum_us_ = 0;
+  uint64_t max_us_ = 0;
+};
+
+}  // namespace sbroker::obs

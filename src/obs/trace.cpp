@@ -1,0 +1,51 @@
+#include "obs/trace.h"
+
+#include <bit>
+
+namespace sbroker::obs {
+
+const char* trace_event_name(TraceEventKind kind) {
+  switch (kind) {
+    case TraceEventKind::kAdmit: return "admit";
+    case TraceEventKind::kCacheHit: return "cache_hit";
+    case TraceEventKind::kDrop: return "drop";
+    case TraceEventKind::kCluster: return "cluster";
+    case TraceEventKind::kDispatch: return "dispatch";
+    case TraceEventKind::kRetry: return "retry";
+    case TraceEventKind::kDeadline: return "deadline";
+    case TraceEventKind::kComplete: return "complete";
+  }
+  return "unknown";
+}
+
+bool trace_event_terminal(TraceEventKind kind) {
+  switch (kind) {
+    case TraceEventKind::kCacheHit:
+    case TraceEventKind::kDrop:
+    case TraceEventKind::kDeadline:
+    case TraceEventKind::kComplete:
+      return true;
+    default:
+      return false;
+  }
+}
+
+FlightRecorder::FlightRecorder(size_t capacity) {
+  if (capacity == 0) return;
+  size_t rounded = std::bit_ceil(capacity);
+  events_.resize(rounded);
+  mask_ = rounded - 1;
+}
+
+std::vector<TraceEvent> FlightRecorder::dump() const {
+  std::vector<TraceEvent> out;
+  if (events_.empty() || head_ == 0) return out;
+  uint64_t retained = head_ < events_.size() ? head_ : events_.size();
+  out.reserve(retained);
+  for (uint64_t i = head_ - retained; i < head_; ++i) {
+    out.push_back(events_[i & mask_]);
+  }
+  return out;
+}
+
+}  // namespace sbroker::obs

@@ -33,6 +33,10 @@ class BrokerHost {
 
   core::ServiceBroker& broker() { return broker_; }
   const core::ServiceBroker& broker() const { return broker_; }
+  /// The broker's latency histograms + flight recorder (sim hosts record
+  /// into the same obs types as the real daemon shards).
+  obs::BrokerObserver& observer() { return broker_.observer(); }
+  const obs::BrokerObserver& observer() const { return broker_.observer(); }
   sim::Link& inbound_link() { return inbound_; }
   sim::Link& outbound_link() { return outbound_; }
 

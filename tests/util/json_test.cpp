@@ -1,0 +1,98 @@
+// JsonValue parser: round-trips of JsonWriter output, escapes, malformed
+// documents, depth limits, and the null-sentinel chained lookup.
+#include "util/json.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace sbroker::util {
+namespace {
+
+TEST(JsonValue, ParsesScalars) {
+  EXPECT_TRUE(JsonValue::parse("null")->is_null());
+  EXPECT_TRUE(JsonValue::parse("true")->as_bool());
+  EXPECT_FALSE(JsonValue::parse("false")->as_bool(true));
+  EXPECT_DOUBLE_EQ(JsonValue::parse("42")->as_double(), 42.0);
+  EXPECT_DOUBLE_EQ(JsonValue::parse("-3.5e2")->as_double(), -350.0);
+  EXPECT_EQ(JsonValue::parse("\"hi\"")->as_string(), "hi");
+  EXPECT_EQ(JsonValue::parse("  17  ")->as_int(), 17);
+}
+
+TEST(JsonValue, ParsesNestedStructure) {
+  auto doc = JsonValue::parse(
+      R"({"name":"broker","shards":2,"classes":[{"c":1},{"c":2}],"ok":true})");
+  ASSERT_TRUE(doc.has_value());
+  ASSERT_TRUE(doc->is_object());
+  EXPECT_EQ((*doc)["name"].as_string(), "broker");
+  EXPECT_EQ((*doc)["shards"].as_int(), 2);
+  EXPECT_TRUE((*doc)["ok"].as_bool());
+  const JsonValue& classes = (*doc)["classes"];
+  ASSERT_TRUE(classes.is_array());
+  ASSERT_EQ(classes.size(), 2u);
+  EXPECT_EQ(classes.at(0)["c"].as_int(), 1);
+  EXPECT_EQ(classes.at(1)["c"].as_int(), 2);
+}
+
+TEST(JsonValue, RoundTripsJsonWriterOutput) {
+  JsonWriter w;
+  w.begin_object()
+      .field("label", "p50 \"quoted\"\n\ttabbed")
+      .field("count", static_cast<uint64_t>(123456789))
+      .field("p99", 0.0123456789)
+      .field("enabled", true);
+  w.key("values").begin_array().value(1.5).value(2.5).end_array();
+  w.end_object();
+
+  auto doc = JsonValue::parse(w.str());
+  ASSERT_TRUE(doc.has_value());
+  EXPECT_EQ((*doc)["label"].as_string(), "p50 \"quoted\"\n\ttabbed");
+  EXPECT_EQ((*doc)["count"].as_int(), 123456789);
+  EXPECT_DOUBLE_EQ((*doc)["p99"].as_double(), 0.0123456789);
+  EXPECT_TRUE((*doc)["enabled"].as_bool());
+  EXPECT_DOUBLE_EQ((*doc)["values"].at(1).as_double(), 2.5);
+}
+
+TEST(JsonValue, DecodesEscapes) {
+  auto doc = JsonValue::parse(R"("a\\b\/c\"d\ne\tf\u0041\u00e9")");
+  ASSERT_TRUE(doc.has_value());
+  EXPECT_EQ(doc->as_string(), "a\\b/c\"d\ne\tfA\xc3\xa9");
+}
+
+TEST(JsonValue, RejectsMalformedInput) {
+  for (const char* bad :
+       {"", "{", "[1,2", "{\"a\":}", "{\"a\" 1}", "tru", "1.2.3", "\"unterminated",
+        "\"bad \\q escape\"", "{\"a\":1} trailing", "[1,]", "{,}", "nan",
+        "\"\\u12\""}) {
+    EXPECT_FALSE(JsonValue::parse(bad).has_value()) << "input: " << bad;
+  }
+}
+
+TEST(JsonValue, DepthBudgetStopsRunawayNesting) {
+  std::string deep_ok(64, '['), deep_bad(512, '[');
+  deep_ok += "1";
+  deep_ok.append(64, ']');
+  deep_bad += "1";
+  deep_bad.append(512, ']');
+  EXPECT_TRUE(JsonValue::parse(deep_ok).has_value());
+  EXPECT_FALSE(JsonValue::parse(deep_bad).has_value());
+}
+
+TEST(JsonValue, MissingMembersAreNullSentinels) {
+  auto doc = JsonValue::parse(R"({"a":{"b":7}})");
+  ASSERT_TRUE(doc.has_value());
+  // Chained lookup through a missing path never faults and lands on null.
+  const JsonValue& missing = (*doc)["a"]["nope"]["deeper"];
+  EXPECT_TRUE(missing.is_null());
+  EXPECT_EQ(missing.as_int(-1), -1);
+  EXPECT_EQ(missing.as_string(), "");
+  EXPECT_EQ((*doc)["a"].find("nope"), nullptr);
+  EXPECT_NE((*doc)["a"].find("b"), nullptr);
+  EXPECT_EQ((*doc)["a"]["b"].as_int(), 7);
+  // Scalar nodes answer array/object probes harmlessly too.
+  EXPECT_EQ((*doc)["a"]["b"].size(), 0u);
+  EXPECT_TRUE((*doc)["a"]["b"]["x"].is_null());
+}
+
+}  // namespace
+}  // namespace sbroker::util
