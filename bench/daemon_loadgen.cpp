@@ -29,6 +29,19 @@
 //             (default 0)
 //   attempts  broker attempt budget (lifecycle.max_attempts; >1 enables
 //             retry-with-backoff against the channel)   (default 1)
+//   dup       comma list of fractions (0..1) of requests routed to the
+//             single hottest key, swept like shards/pipeline, modelling
+//             flash-crowd repetition. With a short ttl the hot key's misses
+//             collide and the single-flight layer collapses them:
+//             backend_calls drops well below requests and
+//             coalesced_waiters climbs                  (default "0")
+//   ttl       result-cache TTL in seconds               (default 3600)
+//   grace     stale-while-revalidate grace window, seconds past expiry
+//             during which stale values are served while one background
+//             refresh runs (0 = off)                    (default 0)
+//   jitter    fractional per-key TTL jitter, e.g. 0.1 = +-10% (default 0)
+//   negttl    negative-cache TTL for backend errors, seconds (default 0)
+//   coalesce  1 = single-flight miss coalescing on      (default 1)
 //   check     1 = verify conservation (issued == completed, issued ==
 //             forwarded + dropped + cached + errors) and zero client
 //             failures after every run; exit 1 on violation — this is the
@@ -72,6 +85,7 @@ struct RunResult {
   size_t shards = 0;
   bool pipelined = false;
   bool kernel_accept_sharding = false;
+  double dup = 0.0;  // hot-key fraction this run was driven with
   uint64_t requests = 0;   // replies received by clients
   uint64_t failures = 0;   // timeouts / io errors
   double seconds = 0.0;
@@ -85,6 +99,17 @@ struct RunResult {
   bool scraped = false;     // /statusz fetched and parsed post-window
   BrokerPercentiles broker_total;
   std::vector<BrokerPercentiles> broker_class;
+};
+
+/// Anti-stampede knobs swept through to the broker config (see the dup=,
+/// ttl=, grace=, jitter=, negttl=, coalesce= parameters above).
+struct CacheKnobs {
+  double dup = 0.0;
+  double ttl = 3600.0;  // no expiry inside the window by default
+  double grace = 0.0;
+  double jitter = 0.0;
+  double negttl = 0.0;
+  bool coalesce = true;
 };
 
 double monotonic_seconds() {
@@ -118,12 +143,17 @@ bool parse_statusz(const std::string& body, RunResult& r) {
 RunResult run_one(size_t shards, bool pipelined, size_t clients, double seconds,
                   uint64_t keys, double threshold, bool cache, bool fallback,
                   uint32_t timeout_ms, uint64_t stallpct, int attempts,
-                  bool obs_on, bool scrape, uint16_t backend_port) {
+                  bool obs_on, bool scrape, const CacheKnobs& knobs,
+                  uint16_t backend_port) {
   net::ShardedBrokerDaemonConfig cfg;
   cfg.broker.rules = core::QosRules{3, threshold};
   cfg.broker.enable_cache = cache;
   cfg.broker.cache_capacity = 4096;
-  cfg.broker.cache_ttl = 3600.0;  // no expiry inside the window
+  cfg.broker.cache_ttl = knobs.ttl;
+  cfg.broker.single_flight = knobs.coalesce;
+  cfg.broker.cache_tuning.swr_grace = knobs.grace;
+  cfg.broker.cache_tuning.ttl_jitter = knobs.jitter;
+  cfg.broker.cache_tuning.negative_ttl = knobs.negttl;
   cfg.broker.lifecycle.max_attempts = attempts;
   cfg.broker.obs.histograms = obs_on;
   cfg.broker.obs.trace = obs_on;
@@ -162,6 +192,12 @@ RunResult run_one(size_t shards, bool pipelined, size_t clients, double seconds,
       while (!stop_flag.load(std::memory_order_relaxed)) {
         rng = rng * 6364136223846793005ULL + 1442695040888963407ULL;
         uint64_t key = (rng >> 33) % keys;
+        // dup: this fraction of requests targets the single hottest key —
+        // the flash-crowd shape the single-flight layer exists for.
+        if (knobs.dup > 0.0) {
+          rng = rng * 6364136223846793005ULL + 1442695040888963407ULL;
+          if (static_cast<double>(rng >> 40) / 16777216.0 < knobs.dup) key = 0;
+        }
         http::BrokerRequest req;
         req.request_id = ++id;
         req.qos_level = static_cast<uint8_t>(1 + key % 3);
@@ -222,6 +258,7 @@ RunResult run_one(size_t shards, bool pipelined, size_t clients, double seconds,
   r.shards = shards;
   r.pipelined = pipelined;
   r.kernel_accept_sharding = daemon.kernel_accept_sharding();
+  r.dup = knobs.dup;
   r.seconds = wall;
   for (size_t c = 0; c < clients; ++c) {
     r.requests += counts[c];
@@ -233,6 +270,29 @@ RunResult run_one(size_t shards, bool pipelined, size_t clients, double seconds,
   r.metrics = daemon.aggregate_metrics();
   daemon.stop();
   return r;
+}
+
+/// Parses a comma list of fractions in [0,1]; empty result means a parse
+/// error (the dup= sweep dimension).
+std::vector<double> parse_fraction_list(const std::string& list) {
+  std::vector<double> values;
+  for (size_t pos = 0; pos < list.size();) {
+    size_t comma = list.find(',', pos);
+    if (comma == std::string::npos) comma = list.size();
+    std::string token = list.substr(pos, comma - pos);
+    try {
+      size_t consumed = 0;
+      double f = std::stod(token, &consumed);
+      if (consumed != token.size() || f < 0.0 || f > 1.0) {
+        throw std::invalid_argument(token);
+      }
+      values.push_back(f);
+    } catch (const std::exception&) {
+      return {};
+    }
+    pos = comma + 1;
+  }
+  return values;
 }
 
 /// Parses a comma list of unsigned values; empty result means a parse error.
@@ -313,6 +373,13 @@ int main(int argc, char** argv) {
   int attempts = static_cast<int>(cfg.get_int("attempts", 1));
   bool obs_on = cfg.get_bool("obs", true);
   bool scrape = cfg.get_bool("scrape", true);
+  CacheKnobs knobs;
+  std::string dup_list = cfg.get_string("dup", "0");
+  knobs.ttl = cfg.get_double("ttl", 3600.0);
+  knobs.grace = cfg.get_double("grace", 0.0);
+  knobs.jitter = cfg.get_double("jitter", 0.0);
+  knobs.negttl = cfg.get_double("negttl", 0.0);
+  knobs.coalesce = cfg.get_bool("coalesce", true);
   std::string out = cfg.get_string("out", "BENCH_daemon.json");
 
   std::vector<size_t> sweep = parse_list(shard_list, 1);
@@ -350,6 +417,18 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "error: attempts must be >= 1\n");
     return 1;
   }
+  std::vector<double> dups = parse_fraction_list(dup_list);
+  if (dups.empty()) {
+    std::fprintf(stderr,
+                 "error: dup=%s must be a comma list of fractions in 0..1 "
+                 "(e.g. dup=0,0.5,0.8)\n", dup_list.c_str());
+    return 1;
+  }
+  if (knobs.ttl <= 0.0 || knobs.grace < 0.0 || knobs.jitter < 0.0 ||
+      knobs.negttl < 0.0) {
+    std::fprintf(stderr, "error: need ttl>0, grace>=0, jitter>=0, negttl>=0\n");
+    return 1;
+  }
 
   // One shared zero-delay HTTP backend on its own reactor thread. Targets
   // under /stall- are swallowed: the response is parked forever, modelling a
@@ -370,26 +449,31 @@ int main(int argc, char** argv) {
   unsigned cpus = std::thread::hardware_concurrency();
   std::printf(
       "daemon_loadgen: %zu clients, %.1fs per run, %llu keys, cache=%d, "
-      "timeout=%ums, stallpct=%llu, attempts=%d, obs=%d, scrape=%d, %u cpus\n",
+      "timeout=%ums, stallpct=%llu, attempts=%d, obs=%d, scrape=%d, "
+      "dup=%s, ttl=%.3g, grace=%.3g, jitter=%.3g, negttl=%.3g, "
+      "coalesce=%d, %u cpus\n",
       clients, seconds, static_cast<unsigned long long>(keys), cache ? 1 : 0,
       timeout_ms, static_cast<unsigned long long>(stallpct), attempts,
-      obs_on ? 1 : 0, scrape ? 1 : 0, cpus);
-  std::printf("%-7s %-9s %-8s %10s %10s %9s %9s %9s %9s %10s %8s %8s %9s\n",
-              "shards", "channel", "accept", "requests", "req/s", "p50 ms",
+      obs_on ? 1 : 0, scrape ? 1 : 0, dup_list.c_str(), knobs.ttl, knobs.grace,
+      knobs.jitter, knobs.negttl, knobs.coalesce ? 1 : 0, cpus);
+  std::printf("%-5s %-7s %-9s %-8s %10s %10s %9s %9s %9s %9s %10s %8s %8s %9s %9s %9s\n",
+              "dup", "shards", "channel", "accept", "requests", "req/s", "p50 ms",
               "p99 ms", "brk p50", "hit%", "dropped", "misses", "retries",
-              "conns");
+              "conns", "bkcalls", "coalesc");
 
   bool conservation_ok = true;
   std::vector<RunResult> results;
+  for (double dup : dups) {
+  knobs.dup = dup;
   for (size_t shards : sweep) {
     for (size_t mode : modes) {
       RunResult r = run_one(shards, mode != 0, clients, seconds, keys,
                             threshold, cache, fallback, timeout_ms, stallpct,
-                            attempts, obs_on, scrape, backend.port());
+                            attempts, obs_on, scrape, knobs, backend.port());
       core::BrokerMetrics::ClassCounters total = r.metrics.total();
-      std::printf("%-7zu %-9s %-8s %10llu %10.0f %9.3f %9.3f %9.3f %8.1f%% "
-                  "%10llu %8llu %8llu %9llu\n",
-                  r.shards, r.pipelined ? "pipeline" : "stopwait",
+      std::printf("%-5.2f %-7zu %-9s %-8s %10llu %10.0f %9.3f %9.3f %9.3f %8.1f%% "
+                  "%10llu %8llu %8llu %9llu %9llu %9llu\n",
+                  r.dup, r.shards, r.pipelined ? "pipeline" : "stopwait",
                   r.kernel_accept_sharding ? "kernel" : "rrobin",
                   static_cast<unsigned long long>(r.requests), r.rps,
                   r.latency.percentile(0.5) * 1e3, r.latency.p99() * 1e3,
@@ -398,11 +482,36 @@ int main(int argc, char** argv) {
                   static_cast<unsigned long long>(total.deadline_misses),
                   static_cast<unsigned long long>(total.retries),
                   static_cast<unsigned long long>(
-                      r.metrics.transport.connections_opened));
+                      r.metrics.transport.connections_opened),
+                  static_cast<unsigned long long>(r.metrics.transport.calls),
+                  static_cast<unsigned long long>(
+                      r.metrics.flight.coalesced_waiters));
       if (check && !conservation_holds(r)) {
         std::fprintf(stderr, "conservation violated: shards=%zu pipeline=%zu\n",
                      shards, mode);
         conservation_ok = false;
+      }
+      if (check && knobs.dup > 0.0 && cache && knobs.coalesce) {
+        // The point of the dup dimension: under hot-key repetition the
+        // anti-stampede layer must keep backend work well below the client
+        // request count, and concurrent identical misses must actually have
+        // coalesced (not merely hit a still-fresh cache entry).
+        if (r.metrics.transport.calls >= r.requests) {
+          std::fprintf(stderr,
+                       "stampede check FAILED: backend calls %llu >= client "
+                       "requests %llu under dup=%.2f (shards=%zu pipeline=%zu)\n",
+                       static_cast<unsigned long long>(r.metrics.transport.calls),
+                       static_cast<unsigned long long>(r.requests), knobs.dup,
+                       shards, mode);
+          conservation_ok = false;
+        }
+        if (r.metrics.flight.coalesced_waiters == 0) {
+          std::fprintf(stderr,
+                       "stampede check FAILED: no misses coalesced under "
+                       "dup=%.2f (shards=%zu pipeline=%zu)\n",
+                       knobs.dup, shards, mode);
+          conservation_ok = false;
+        }
       }
       if (check && scrape) {
         // The admin plane must serve under load, and the broker-side total
@@ -429,6 +538,7 @@ int main(int argc, char** argv) {
       results.push_back(std::move(r));
     }
   }
+  }
 
   backend_reactor.stop();
   backend_thread.join();
@@ -447,11 +557,17 @@ int main(int argc, char** argv) {
       .field("attempts", static_cast<uint64_t>(attempts))
       .field("obs", obs_on)
       .field("scrape", scrape)
+      .field("cache_ttl", knobs.ttl)
+      .field("swr_grace", knobs.grace)
+      .field("ttl_jitter", knobs.jitter)
+      .field("negative_ttl", knobs.negttl)
+      .field("coalesce", knobs.coalesce)
       .key("runs")
       .begin_array();
   for (const RunResult& r : results) {
     core::BrokerMetrics::ClassCounters total = r.metrics.total();
     json.begin_object()
+        .field("dup", r.dup)
         .field("shards", r.shards)
         .field("pipelined", r.pipelined)
         .field("kernel_accept_sharding", r.kernel_accept_sharding)
@@ -473,6 +589,12 @@ int main(int argc, char** argv) {
         .field("cancellations", r.metrics.lifecycle.cancellations)
         .field("late_completions", r.metrics.lifecycle.late_completions)
         .field("ejections", r.metrics.lifecycle.ejections)
+        .field("coalesced_waiters", r.metrics.flight.coalesced_waiters)
+        .field("swr_hits", r.metrics.flight.swr_hits)
+        .field("refreshes", r.metrics.flight.refreshes)
+        .field("negative_hits", r.metrics.flight.negative_hits)
+        .field("flight_promotions", r.metrics.flight.promotions)
+        .field("backend_calls", r.metrics.transport.calls)
         .field("connections_opened", r.metrics.transport.connections_opened)
         .field("open_connections", r.metrics.transport.open_connections)
         .field("write_flushes", r.metrics.transport.flushes)

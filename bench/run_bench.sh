@@ -11,12 +11,28 @@
 #   BENCH_CLIENTS  concurrent connections       (default 64)
 #   BENCH_SECONDS  seconds per run              (default 2)
 #   BENCH_KEYS     distinct request targets     (default 512)
-#   BENCH_CACHE    result cache on/off          (default 0, so every request
-#                  exercises the broker->backend channel under comparison)
+#   BENCH_CACHE    result cache on/off          (default 1; paired with the
+#                  50ms BENCH_TTL below most requests still exercise the
+#                  broker->backend channel, while the dup sweep can show the
+#                  anti-stampede layer collapsing hot-key miss storms.
+#                  Set BENCH_CACHE=0 BENCH_DUP=0 for the pure channel sweep.)
 #   BENCH_TIMEOUT_MS per-request deadline in ms (default 0 = no deadline)
 #   BENCH_STALLPCT  percent of keys routed to a never-replying backend
 #                  (default 0; requires BENCH_TIMEOUT_MS > 0)
 #   BENCH_ATTEMPTS  per-request attempt budget  (default 1 = no retries)
+#   BENCH_DUP      comma list of hot-key duplicate fractions swept per
+#                  shard/channel combination; dup=0.8 routes 80% of requests
+#                  to one key so its misses collide and the single-flight
+#                  layer must collapse them     (default "0,0.8")
+#   BENCH_TTL      result-cache TTL seconds     (default 0.05, so the hot
+#                  key re-expires ~40x per 2s window and every expiry is a
+#                  potential stampede)
+#   BENCH_GRACE    stale-while-revalidate grace window seconds (default 0.025)
+#   BENCH_JITTER   fractional per-key TTL jitter (default 0.1)
+#   BENCH_NEGTTL   negative-cache TTL seconds   (default 0 = off; no backend
+#                  errors in this harness anyway)
+#   BENCH_COALESCE single-flight miss coalescing on/off (default 1; 0 is the
+#                  A/B ablation arm for the stampede experiment)
 #   BENCH_OBS      broker histograms + flight recorder on/off (default 1;
 #                  0 measures the compiled-in-but-idle overhead baseline)
 #   BENCH_SCRAPE   scrape the admin plane (/metrics mid-run, /statusz after
@@ -47,12 +63,18 @@ echo "== daemon loadgen -> BENCH_daemon.json"
   "clients=${BENCH_CLIENTS:-64}" \
   "seconds=${BENCH_SECONDS:-2}" \
   "keys=${BENCH_KEYS:-512}" \
-  "cache=${BENCH_CACHE:-0}" \
+  "cache=${BENCH_CACHE:-1}" \
   "timeout=${BENCH_TIMEOUT_MS:-0}" \
   "stallpct=${BENCH_STALLPCT:-0}" \
   "attempts=${BENCH_ATTEMPTS:-1}" \
   "obs=${BENCH_OBS:-1}" \
   "scrape=${BENCH_SCRAPE:-1}" \
+  "dup=${BENCH_DUP:-0,0.8}" \
+  "ttl=${BENCH_TTL:-0.05}" \
+  "grace=${BENCH_GRACE:-0.025}" \
+  "jitter=${BENCH_JITTER:-0.1}" \
+  "negttl=${BENCH_NEGTTL:-0}" \
+  "coalesce=${BENCH_COALESCE:-1}" \
   "out=$repo_root/BENCH_daemon.json"
 
 echo "== wrote $repo_root/BENCH_core.json and $repo_root/BENCH_daemon.json"

@@ -1,8 +1,10 @@
 #!/bin/sh
 # Full local verification gate: plain build + full ctest, then TSan, ASan and
-# UBSan builds of the concurrency-heavy suites. Run from anywhere; trees live
-# at the repo root (build/, build-tsan/, build-asan/, build-ubsan/) and are
-# reused across runs.
+# UBSan builds of the concurrency-heavy suites. core_test carries the
+# single-flight/SWR/FlightTable suites and net_test the daemon-level stampede
+# suites, so all three sanitizers cover the miss-coalescing paths. Run from
+# anywhere; trees live at the repo root (build/, build-tsan/, build-asan/,
+# build-ubsan/) and are reused across runs.
 #
 #   scripts/check.sh          # everything
 #   scripts/check.sh plain    # just the plain build + full ctest

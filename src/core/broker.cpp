@@ -12,7 +12,8 @@ ServiceBroker::ServiceBroker(std::string name, BrokerConfig config)
     : name_(std::move(name)),
       config_(config),
       admission_(config.rules),
-      cache_(std::make_shared<ResultCache>(config.cache_capacity, config.cache_ttl)),
+      cache_(std::make_shared<ResultCache>(config.cache_capacity, config.cache_ttl,
+                                           config.cache_tuning)),
       load_(std::make_shared<LoadTracker>()),
       cluster_(config.cluster),
       pool_(config.pool),
@@ -22,7 +23,8 @@ ServiceBroker::ServiceBroker(std::string name, BrokerConfig config)
       hotspot_(config.hotspot),
       rewriter_(config.rewrite, config.rules),
       metrics_(config.rules.num_levels),
-      obs_(config.obs, config.rules.num_levels) {}
+      obs_(config.obs, config.rules.num_levels),
+      flight_table_(std::make_shared<FlightTable>()) {}
 
 void ServiceBroker::add_backend(std::shared_ptr<Backend> backend, double weight) {
   assert(backend != nullptr);
@@ -46,6 +48,12 @@ void ServiceBroker::share_load(std::shared_ptr<LoadTracker> shared) {
   load_ = std::move(shared);
 }
 
+void ServiceBroker::share_flights(std::shared_ptr<FlightTable> shared) {
+  assert(shared != nullptr);
+  assert(flights_.empty());  // swapping mid-traffic would strand claims
+  flight_table_ = std::move(shared);
+}
+
 double ServiceBroker::compute_deadline(double now, uint32_t deadline_ms) const {
   const LifecycleConfig& lc = config_.lifecycle;
   double budget = deadline_ms > 0 ? static_cast<double>(deadline_ms) / 1000.0
@@ -63,17 +71,47 @@ void ServiceBroker::submit(double now, const http::BrokerRequest& request,
   QosLevel effective =
       txn_->effective_level(request.txn_id, request.txn_step, base_level, now);
 
-  // 1. Result cache.
+  // 1. Result cache. lookup() classifies the probe: fresh hits and
+  //    grace-window stale values answer immediately (the one caller that won
+  //    the refresh claim also kicks off the background revalidation), cached
+  //    backend errors answer as errors, and only a true miss proceeds to the
+  //    fetch path.
   if (config_.enable_cache) {
-    if (auto hit = cache_->get(request.payload, now)) {
+    LookupResult looked = cache_->lookup(request.payload, now);
+    if (looked.outcome == LookupOutcome::kHit ||
+        looked.outcome == LookupOutcome::kStaleServe ||
+        looked.outcome == LookupOutcome::kStaleRefresh) {
       auto& c = metrics_.at(base_level);
       c.cache_hits += 1;
       c.completed += 1;
       c.response_time.add(0.0);
       obs_.record(base_level, obs::Stage::kTotal, 0.0);
+      if (looked.outcome != LookupOutcome::kHit) {
+        metrics_.flight.swr_hits += 1;
+        obs_.trace(now, request.request_id, obs::TraceEventKind::kSwr,
+                   static_cast<uint8_t>(base_level),
+                   looked.outcome == LookupOutcome::kStaleRefresh ? 1 : 0);
+      }
       obs_.trace(now, request.request_id, obs::TraceEventKind::kCacheHit,
                  static_cast<uint8_t>(base_level));
-      reply(http::BrokerReply{request.request_id, http::Fidelity::kCached, *hit});
+      reply(http::BrokerReply{request.request_id, http::Fidelity::kCached,
+                              *looked.value});
+      if (looked.outcome == LookupOutcome::kStaleRefresh) {
+        issue_refresh(request.payload, now);
+      }
+      return;
+    }
+    if (looked.outcome == LookupOutcome::kNegative) {
+      auto& c = metrics_.at(base_level);
+      c.errors += 1;
+      c.completed += 1;
+      c.response_time.add(0.0);
+      metrics_.flight.negative_hits += 1;
+      obs_.record(base_level, obs::Stage::kTotal, 0.0);
+      obs_.trace(now, request.request_id, obs::TraceEventKind::kCacheHit,
+                 static_cast<uint8_t>(base_level), /*detail: negative=*/2);
+      reply(http::BrokerReply{request.request_id, http::Fidelity::kError,
+                              *looked.value});
       return;
     }
   }
@@ -121,6 +159,36 @@ void ServiceBroker::submit(double now, const http::BrokerRequest& request,
   contexts_[request.request_id] = std::move(ctx);
   obs_.trace(now, request.request_id, obs::TraceEventKind::kAdmit,
              static_cast<uint8_t>(base_level), static_cast<uint16_t>(effective));
+
+  // 4. Single-flight coalescing, keyed by the canonical (post-rewrite)
+  //    query. The first miss leads the one backend fetch; identical misses
+  //    arriving before it resolves park as waiters and are answered from its
+  //    completion, each still subject to its own deadline. When another
+  //    shard already owns the fetch (shared FlightTable), this request parks
+  //    under a leaderless local flight and the resolution arrives through
+  //    drain_flight_wakeups().
+  if (single_flight_enabled()) {
+    const std::string& key = rewritten.payload;
+    auto fit = flights_.find(key);
+    if (fit == flights_.end() && !claim_flight(key)) {
+      Flight flight;
+      flight.owner = false;
+      fit = flights_.emplace(key, std::move(flight)).first;
+    }
+    if (fit != flights_.end()) {
+      fit->second.waiters.push_back(request.request_id);
+      metrics_.flight.coalesced_waiters += 1;
+      obs_.trace(now, request.request_id, obs::TraceEventKind::kCoalesce,
+                 static_cast<uint8_t>(base_level),
+                 static_cast<uint16_t>(
+                     std::min<size_t>(fit->second.waiters.size(), UINT16_MAX)));
+      return;
+    }
+    Flight flight;
+    flight.leader = request.request_id;
+    flight.owner = true;
+    flights_.emplace(key, std::move(flight));
+  }
 
   if (auto batch = cluster_.add(request.request_id, std::move(rewritten.payload), now)) {
     enqueue_batch(std::move(*batch), now);
@@ -205,12 +273,19 @@ void ServiceBroker::dispatch(ReadyBatch ready, double now) {
     // Every connection is saturated: degrade the whole batch.
     balancer_.complete(*backend_index);
     if (probe) balancer_.abandon_probe(*backend_index);
-    for (uint64_t id : ready.batch.member_ids) {
+    for (size_t i = 0; i < ready.batch.member_ids.size(); ++i) {
+      uint64_t id = ready.batch.member_ids[i];
       auto node = contexts_.extract(id);
       if (node.empty()) continue;
       // Mirror the admission-drop bookkeeping: the request was admitted but
       // cannot be carried, so it is shed with low fidelity.
       shed_context(std::move(node.mapped()), now, /*deadline_miss=*/false);
+      // A shed flight leader hands its key to a waiter (who re-enters the
+      // dispatch queue and, while the pool stays saturated, is shed in turn
+      // until the waiter list drains — the loop terminates).
+      if (single_flight_enabled()) {
+        settle_abandoned_flight(ready.batch.member_payloads[i], id, now);
+      }
     }
     return;
   }
@@ -300,16 +375,31 @@ void ServiceBroker::on_exchange_complete(uint64_t exchange_id, double now, bool 
         finish_context(std::move(ctx), now, http::Fidelity::kFull, parts[i],
                        /*count_error=*/false);
       }
+      // Put, then resolve: parked shards woken by the FlightTable re-probe
+      // the shared cache and must find the value. Resolving by key alone is
+      // deliberate — any fresh result for the key answers its waiters, even
+      // when the member itself already expired.
+      if (single_flight_enabled()) {
+        resolve_flight(batch.member_payloads[i], now, /*ok=*/true, parts[i]);
+      }
     }
   } else {
     bool scheduled_retry = false;
-    for (uint64_t id : batch.member_ids) {
+    for (size_t i = 0; i < batch.member_ids.size(); ++i) {
+      uint64_t id = batch.member_ids[i];
+      const std::string& key = batch.member_payloads[i];
       auto ctx_it = contexts_.find(id);
-      if (ctx_it == contexts_.end() || ctx_it->second.exchange != exchange_id) continue;
+      if (ctx_it == contexts_.end() || ctx_it->second.exchange != exchange_id) {
+        // The member expired (or moved on) mid-exchange; its fetch chain
+        // ends here, so a flight it still leads must be re-led or dropped.
+        if (single_flight_enabled()) settle_abandoned_flight(key, id, now);
+        continue;
+      }
       RequestContext& ctx = ctx_it->second;
       ctx.exchange = 0;
       obs_.record(ctx.base_level, obs::Stage::kChannelRtt, now - ctx.dispatched_at);
       if (may_retry(ctx, now)) {
+        // The flight (if any) stays with this member: its chain continues.
         retries_.emplace(now + config_.lifecycle.retry_backoff * ctx.attempts, id);
         metrics_.at(ctx.base_level).retries += 1;
         obs_.trace(now, id, obs::TraceEventKind::kRetry,
@@ -319,6 +409,17 @@ void ServiceBroker::on_exchange_complete(uint64_t exchange_id, double now, bool 
       } else {
         RequestContext moved = std::move(ctx_it->second);
         contexts_.erase(ctx_it);
+        // Publish the failure (a no-op over a resident positive entry and
+        // when negative caching is off), then fail the waiters. The error
+        // resolve is guarded by leader identity so an unrelated chain's
+        // failure cannot error-out a healthier flight.
+        if (config_.enable_cache) cache_->put_negative(key, payload, now);
+        if (single_flight_enabled()) {
+          auto fit = flights_.find(key);
+          if (fit != flights_.end() && fit->second.leader == id) {
+            resolve_flight(key, now, /*ok=*/false, payload);
+          }
+        }
         finish_context(std::move(moved), now, http::Fidelity::kError, payload,
                        /*count_error=*/true);
       }
@@ -403,6 +504,26 @@ void ServiceBroker::expire_deadlines(double now) {
     uint64_t exchange_id = it->second.exchange;
     RequestContext ctx = std::move(it->second);
     contexts_.erase(it);
+    if (single_flight_enabled()) {
+      auto fit = flights_.find(ctx.payload);
+      if (fit != flights_.end()) {
+        if (fit->second.leader != ctx.id) {
+          // An expiring waiter detaches; the fetch it was parked on
+          // continues for whoever remains.
+          auto& w = fit->second.waiters;
+          w.erase(std::remove(w.begin(), w.end(), ctx.id), w.end());
+          if (w.empty() && fit->second.leader == 0 && !fit->second.owner) {
+            flights_.erase(fit);  // parked on a remote fetch, nobody left
+          }
+        } else if (exchange_id == 0) {
+          // The leader died with no live fetch chain (pre-dispatch, or
+          // parked for a retry slot that now never fires): promote a waiter
+          // or drop the flight. A leader with a live exchange keeps it —
+          // the completion or the harvest settles the flight.
+          settle_abandoned_flight(ctx.payload, ctx.id, now);
+        }
+      }
+    }
     shed_context(std::move(ctx), now, /*deadline_miss=*/true);
     if (exchange_id != 0) {
       auto ex_it = exchanges_.find(exchange_id);
@@ -429,6 +550,15 @@ void ServiceBroker::harvest_exchange(uint64_t exchange_id, double now) {
   --in_flight_batches_;
   ++metrics_.lifecycle.cancellations;
   exchange.cancel->cancel();
+  // Every member's fetch chain ended without a completion; flights they
+  // still lead are re-led or dropped. (A late completion finds the exchange
+  // record gone and returns before touching flights.)
+  if (single_flight_enabled()) {
+    for (size_t i = 0; i < exchange.batch.member_ids.size(); ++i) {
+      settle_abandoned_flight(exchange.batch.member_payloads[i],
+                              exchange.batch.member_ids[i], now);
+    }
+  }
 }
 
 void ServiceBroker::report_health(size_t backend, bool ok, double now) {
@@ -467,9 +597,11 @@ void ServiceBroker::drain_retries(double now) {
 }
 
 void ServiceBroker::tick(double now) {
+  ++ticks_;
   if (auto batch = cluster_.flush(now)) {
     enqueue_batch(std::move(*batch), now);
   }
+  drain_flight_wakeups(now);
   expire_deadlines(now);
   drain_retries(now);
   pump(now);
@@ -477,32 +609,228 @@ void ServiceBroker::tick(double now) {
 
   if (!backends_.empty()) {
     for (const PrefetchEntry& entry :
-         prefetcher_.due(now, static_cast<double>(outstanding_))) {
+         prefetcher_.due(now, static_cast<double>(outstanding_),
+                         config_.prefetch_burst)) {
       issue_prefetch(entry, now);
     }
   }
 }
 
 void ServiceBroker::issue_prefetch(const PrefetchEntry& entry, double now) {
+  // A prefetch is just a speculative flight: it registers in the
+  // single-flight machinery so a demand miss arriving while it is on the
+  // wire parks as a waiter instead of duplicating the fetch — and so two
+  // shards never prefetch the same key at once.
+  bool track = single_flight_enabled();
+  if (track && flights_.count(entry.cache_key)) return;
+  if (track && !claim_flight(entry.cache_key)) return;
   auto backend_index = balancer_.pick(now);
-  if (!backend_index) return;
+  if (!backend_index) {
+    if (track) flight_table_->resolve(entry.cache_key);
+    return;
+  }
   ConnectionPool::Lease lease = pool_.acquire();
   if (!lease.granted) {
     balancer_.complete(*backend_index);
+    if (track) flight_table_->resolve(entry.cache_key);
     return;  // pool saturated — skip this cycle, the schedule already advanced
+  }
+  if (track) {
+    Flight flight;  // leaderless: no request context carries this fetch
+    flight.owner = true;
+    flights_.emplace(entry.cache_key, std::move(flight));
   }
   Backend::Call call{entry.payload, lease.fresh};
   std::shared_ptr<Backend> backend = backends_[*backend_index];
   size_t backend_idx = *backend_index;
   size_t connection = lease.connection;
   std::string cache_key = entry.cache_key;
-  backend->invoke(call, [this, backend_idx, connection, cache_key](
+  double issued_at = now;
+  backend->invoke(call, [this, backend_idx, connection, cache_key, issued_at,
+                         track](double done_now, bool ok,
+                                const std::string& payload) {
+    pool_.release(connection);
+    balancer_.complete(backend_idx);
+    if (ok) {
+      // Stamp with the issue time, not the completion time: a demand fetch
+      // that completed while this prefetch was on the wire stored a newer
+      // result, and the cache's last-write-wins rule must keep it.
+      cache_->put(cache_key, payload, issued_at);
+      if (track) resolve_flight(cache_key, done_now, /*ok=*/true, payload);
+    } else if (track) {
+      // Speculative work does not poison the negative cache; just fail any
+      // demand waiters that attached while the prefetch was out.
+      resolve_flight(cache_key, done_now, /*ok=*/false, payload);
+    }
+  });
+}
+
+void ServiceBroker::issue_refresh(const std::string& key, double now) {
+  if (backends_.empty()) return;
+  bool track = single_flight_enabled();
+  // A live flight for the key already carries a fetch that will land a
+  // fresher value; a second revalidation would be the stampede this layer
+  // exists to prevent.
+  if (track && flights_.count(key)) return;
+  if (track && !claim_flight(key)) return;  // another shard is refreshing
+  auto backend_index = balancer_.pick(now);
+  if (!backend_index) {
+    if (track) flight_table_->resolve(key);
+    return;
+  }
+  ConnectionPool::Lease lease = pool_.acquire();
+  if (!lease.granted) {
+    balancer_.complete(*backend_index);
+    if (track) flight_table_->resolve(key);
+    return;
+  }
+  if (track) {
+    Flight flight;  // leaderless background fetch, like a prefetch
+    flight.owner = true;
+    flights_.emplace(key, std::move(flight));
+  }
+  metrics_.flight.refreshes += 1;
+  Backend::Call call{key, lease.fresh};
+  // Background refreshes carry no request deadline; the transport timeout is
+  // the only bound on the exchange.
+  call.timeout = config_.refresh_timeout;
+  std::shared_ptr<Backend> backend = backends_[*backend_index];
+  size_t backend_idx = *backend_index;
+  size_t connection = lease.connection;
+  std::string cache_key = key;
+  backend->invoke(call, [this, backend_idx, connection, cache_key, track](
                             double done_now, bool ok, const std::string& payload) {
     pool_.release(connection);
     balancer_.complete(backend_idx);
-    if (ok) cache_->put(cache_key, payload, done_now);
+    if (ok) {
+      cache_->put(cache_key, payload, done_now);
+      if (track) resolve_flight(cache_key, done_now, /*ok=*/true, payload);
+    } else {
+      // The stale value stays servable: put_negative never overwrites a
+      // resident positive entry, and the entry's refresh claim self-heals
+      // one grace window after it was taken.
+      cache_->put_negative(cache_key, payload, done_now);
+      if (track) resolve_flight(cache_key, done_now, /*ok=*/false, payload);
+    }
   });
+}
+
+bool ServiceBroker::claim_flight(const std::string& key) {
+  return flight_table_->claim(key, [this](const std::string& resolved) {
+    // Runs on the resolving shard's thread: enqueue and poke, nothing else.
+    {
+      std::lock_guard<std::mutex> lock(flight_wakeup_mu_);
+      flight_wakeups_.push_back(resolved);
+    }
+    flight_wakeups_pending_.store(true, std::memory_order_release);
+    if (flight_notifier_) flight_notifier_();
+  });
+}
+
+void ServiceBroker::resolve_flight(const std::string& key, double now, bool ok,
+                                   const std::string& payload) {
+  auto fit = flights_.find(key);
+  if (fit == flights_.end()) return;
+  Flight flight = std::move(fit->second);
+  flights_.erase(fit);
+  for (uint64_t id : flight.waiters) {
+    auto it = contexts_.find(id);
+    if (it == contexts_.end()) continue;  // waiter already shed on deadline
+    RequestContext ctx = std::move(it->second);
+    contexts_.erase(it);
+    finish_context(std::move(ctx), now,
+                   ok ? http::Fidelity::kCached : http::Fidelity::kError,
+                   payload, /*count_error=*/!ok);
+  }
+  // Release the cross-shard claim last: parked shards re-probe the cache on
+  // wake-up, and the value (or negative entry) is already published.
+  if (flight.owner) flight_table_->resolve(key);
+}
+
+void ServiceBroker::settle_abandoned_flight(const std::string& key,
+                                            uint64_t member_id, double now) {
+  auto fit = flights_.find(key);
+  if (fit == flights_.end() || fit->second.leader != member_id) return;
+  if (contexts_.count(member_id)) return;  // chain still alive (retry pending)
+  promote_or_drop(key, now);
+}
+
+void ServiceBroker::promote_or_drop(const std::string& key, double now) {
+  auto fit = flights_.find(key);
+  if (fit == flights_.end()) return;
+  Flight& flight = fit->second;
+  auto& waiters = flight.waiters;
+  waiters.erase(std::remove_if(waiters.begin(), waiters.end(),
+                               [this](uint64_t id) {
+                                 return contexts_.find(id) == contexts_.end();
+                               }),
+                waiters.end());
+  if (waiters.empty()) {
+    bool owner = flight.owner;
+    flights_.erase(fit);
+    if (owner) flight_table_->resolve(key);
+    return;
+  }
+  if (!flight.owner) {
+    // Try to take over the cross-shard claim; if another shard still holds
+    // it, stay parked — its resolution (or death) wakes us again.
+    if (!claim_flight(key)) {
+      flight.leader = 0;
+      return;
+    }
+    flight.owner = true;
+  }
+  uint64_t next_leader = waiters.front();
+  waiters.erase(waiters.begin());
+  flight.leader = next_leader;
+  metrics_.flight.promotions += 1;
+  // Re-enter the dispatch path as a single-member batch, exactly like a
+  // retry; every caller reaches pump() before returning to the event loop.
+  const RequestContext& ctx = contexts_.at(next_leader);
+  ReadyBatch ready;
+  ready.batch.member_ids = {next_leader};
+  ready.batch.member_payloads = {ctx.payload};
+  ready.batch.combined_payload = ctx.payload;
+  ready.priority = ctx.effective_level;
+  dispatch_queue_.push(ready.priority, std::move(ready));
   (void)now;
+}
+
+void ServiceBroker::drain_flight_wakeups(double now) {
+  if (!flight_wakeups_pending_.load(std::memory_order_acquire)) return;
+  std::vector<std::string> keys;
+  {
+    std::lock_guard<std::mutex> lock(flight_wakeup_mu_);
+    keys.swap(flight_wakeups_);
+    flight_wakeups_pending_.store(false, std::memory_order_relaxed);
+  }
+  for (const std::string& key : keys) {
+    auto fit = flights_.find(key);
+    // Only leaderless, unowned flights are waiting on a remote resolution;
+    // anything else was settled (or re-claimed) locally in the meantime.
+    if (fit == flights_.end() || fit->second.owner || fit->second.leader != 0) {
+      continue;
+    }
+    LookupResult looked = cache_->lookup(key, now);
+    switch (looked.outcome) {
+      case LookupOutcome::kHit:
+      case LookupOutcome::kStaleServe:
+      case LookupOutcome::kStaleRefresh:
+        resolve_flight(key, now, /*ok=*/true, *looked.value);
+        if (looked.outcome == LookupOutcome::kStaleRefresh) {
+          issue_refresh(key, now);
+        }
+        break;
+      case LookupOutcome::kNegative:
+        resolve_flight(key, now, /*ok=*/false, *looked.value);
+        break;
+      case LookupOutcome::kMiss:
+        // The remote fetch died without publishing anything: promote a
+        // local waiter to lead a fresh fetch (re-claiming the table entry).
+        promote_or_drop(key, now);
+        break;
+    }
+  }
 }
 
 ChannelStats ServiceBroker::channel_stats() const {
@@ -516,7 +844,14 @@ std::optional<double> ServiceBroker::next_deadline() const {
   auto fold = [&next](std::optional<double> t) {
     if (t && (!next || *t < *next)) next = t;
   };
-  fold(prefetcher_.next_due());
+  // Fold the prefetch schedule only while the broker is idle enough to
+  // actually issue prefetches: Prefetcher::due() refuses to fire above the
+  // idle threshold, so arming a timer for an overdue entry while busy makes
+  // every tick re-arm at `now` — a zero-delay wakeup spin that pins the
+  // owner's event loop until load drains.
+  if (static_cast<double>(outstanding_) <= config_.prefetch_idle_threshold) {
+    fold(prefetcher_.next_due());
+  }
   while (!deadlines_.empty() && !contexts_.count(deadlines_.top().second)) {
     deadlines_.pop();
   }

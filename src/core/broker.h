@@ -36,9 +36,11 @@
 // earlier behind its back (a retry scheduled from a backend completion).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <queue>
 #include <string>
@@ -51,6 +53,7 @@
 #include "core/balance.h"
 #include "core/cache.h"
 #include "core/cluster.h"
+#include "core/flight.h"
 #include "core/load.h"
 #include "core/metrics.h"
 #include "core/pool.h"
@@ -72,6 +75,19 @@ struct BrokerConfig {
   size_t cache_capacity = 4096;
   double cache_ttl = 5.0;          ///< seconds
   bool serve_stale_on_drop = true; ///< low-fidelity cached reply on drops
+  /// Single-flight miss coalescing: concurrent identical misses share one
+  /// backend fetch, later arrivals wait on the first. Requires enable_cache
+  /// (the completion is published through the cache). Kill switch for A/B
+  /// comparison in the benches.
+  bool single_flight = true;
+  /// Anti-stampede cache tuning (stale-while-revalidate grace, per-key TTL
+  /// jitter, negative-result TTL); applies to the broker-private cache.
+  /// Shared caches installed via share_cache() carry their own tuning.
+  CacheTuning cache_tuning;
+  /// Transport timeout for background revalidation fetches, seconds
+  /// (0 = unbounded). They carry no request deadline, so this is the only
+  /// bound on a stale-refresh exchange.
+  double refresh_timeout = 1.0;
   ClusterConfig cluster;           ///< degree 1 = no clustering
   PoolConfig pool;
   BalancePolicy balance = BalancePolicy::kLeastOutstanding;
@@ -82,6 +98,9 @@ struct BrokerConfig {
   /// model lets the backend queue; bound it to exercise the QoS scheduler).
   size_t dispatch_window = 0;
   double prefetch_idle_threshold = 1.0;
+  /// Max prefetch fetches issued per tick (0 = unbounded): after a busy
+  /// spell the overdue backlog trickles out instead of bursting at once.
+  size_t prefetch_burst = 4;
   uint64_t rng_seed = 42;          ///< seeds the balancer's random policy
   LifecycleConfig lifecycle;       ///< deadlines, attempt budget, backoff
   HealthConfig health;             ///< replica ejection / half-open recovery
@@ -115,6 +134,19 @@ class ServiceBroker {
   /// outstanding count rather than 1/N of it. Call before traffic flows.
   void share_load(std::shared_ptr<LoadTracker> shared);
 
+  /// Replaces the private single-flight table with one shared across broker
+  /// shards, so concurrent identical misses arriving at different shards
+  /// still collapse to one backend fetch. Call before traffic flows.
+  void share_flights(std::shared_ptr<FlightTable> shared);
+
+  /// Registers a thread-safe callback fired when a flight this broker is
+  /// parked on resolves at another shard. The owner should arrange for
+  /// tick() to run soon on the broker's own thread (the daemon posts a poke
+  /// to its reactor); pure-pull users can rely on the regular tick cadence.
+  void set_flight_notifier(std::function<void()> notifier) {
+    flight_notifier_ = std::move(notifier);
+  }
+
   /// Handles one request message. `reply` fires exactly once — possibly
   /// re-entrantly (cache hit / drop) or later (backend completion).
   void submit(double now, const http::BrokerRequest& request, ReplyFn reply);
@@ -145,6 +177,12 @@ class ServiceBroker {
   const std::string& name() const { return name_; }
   const BrokerConfig& config() const { return config_; }
   const BrokerMetrics& metrics() const { return metrics_; }
+  /// tick() invocations so far; the wakeup-spin regression tests assert the
+  /// broker is not re-arming a zero-delay timer forever.
+  uint64_t ticks() const { return ticks_; }
+  FlightTable& flight_table() { return *flight_table_; }
+  /// Misses currently waiting on an in-flight identical fetch (local view).
+  size_t waiting_flights() const { return flights_.size(); }
   /// Latency histograms (per class x stage) and the request flight recorder.
   /// Single-writer like the broker itself: touch only from the owning thread.
   obs::BrokerObserver& observer() { return obs_; }
@@ -192,6 +230,17 @@ class ServiceBroker {
                                        std::vector<std::pair<double, uint64_t>>,
                                        std::greater<>>;
 
+  /// One key's local single-flight record. `leader` is the request id whose
+  /// fetch chain carries the flight (0 for a background refresh/prefetch or
+  /// a fetch owned by another shard); `owner` says whether this broker holds
+  /// the FlightTable claim; `waiters` are admitted requests parked for the
+  /// resolution, each still subject to its own deadline.
+  struct Flight {
+    uint64_t leader = 0;
+    bool owner = false;
+    std::vector<uint64_t> waiters;
+  };
+
   double compute_deadline(double now, uint32_t deadline_ms) const;
   void enqueue_batch(Batch batch, double now);
   void pump(double now);
@@ -209,6 +258,30 @@ class ServiceBroker {
   void reply_drop(double now, const http::BrokerRequest& request, QosLevel base_level,
                   ReplyFn& reply);
   void issue_prefetch(const PrefetchEntry& entry, double now);
+
+  bool single_flight_enabled() const {
+    return config_.enable_cache && config_.single_flight;
+  }
+  /// Claims `key` in the (possibly shared) flight table; on failure the
+  /// parked notify enqueues the key for drain_flight_wakeups().
+  bool claim_flight(const std::string& key);
+  /// Answers and detaches every waiter, releases the table claim. `ok`
+  /// selects kCached vs kError waiter replies. No-op when no flight exists.
+  void resolve_flight(const std::string& key, double now, bool ok,
+                      const std::string& payload);
+  /// Called when `member_id`'s fetch chain died without resolving its key
+  /// (expired pre-dispatch, harvested, or failed with no retry budget while
+  /// already shed): if it still leads the flight, promote a live waiter to
+  /// leader or drop the flight.
+  void settle_abandoned_flight(const std::string& key, uint64_t member_id,
+                               double now);
+  void promote_or_drop(const std::string& key, double now);
+  /// Processes keys whose flights resolved on other shards: re-probes the
+  /// shared cache and answers the parked waiters (or promotes a new leader
+  /// when the remote fetch died).
+  void drain_flight_wakeups(double now);
+  /// Issues the single background revalidation for a stale-served key.
+  void issue_refresh(const std::string& key, double now);
 
   std::string name_;
   BrokerConfig config_;
@@ -229,6 +302,16 @@ class ServiceBroker {
   std::vector<std::shared_ptr<Backend>> backends_;
   std::unordered_map<uint64_t, RequestContext> contexts_;
   std::unordered_map<uint64_t, Exchange> exchanges_;
+  /// Local single-flight state, keyed by canonical (post-rewrite) query.
+  std::unordered_map<std::string, Flight> flights_;
+  std::shared_ptr<FlightTable> flight_table_;  ///< possibly shared across shards
+  /// Keys resolved by other shards, pending local drain. The only
+  /// cross-thread touchpoint in the broker: appended from the resolving
+  /// shard's notify, drained from tick() on the owning thread.
+  std::mutex flight_wakeup_mu_;
+  std::vector<std::string> flight_wakeups_;
+  std::atomic<bool> flight_wakeups_pending_{false};
+  std::function<void()> flight_notifier_;
   uint64_t next_exchange_ = 1;
   /// Lazily-pruned from the const next_deadline(); logical state unchanged.
   mutable TimeHeap deadlines_;  ///< (absolute deadline, request id)
@@ -236,6 +319,7 @@ class ServiceBroker {
   std::function<void()> wakeup_;
   size_t outstanding_ = 0;
   size_t in_flight_batches_ = 0;
+  uint64_t ticks_ = 0;
 };
 
 }  // namespace sbroker::core

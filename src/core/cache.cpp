@@ -4,8 +4,23 @@
 
 namespace sbroker::core {
 
-ResultCache::ResultCache(size_t capacity, double ttl) : capacity_(capacity), ttl_(ttl) {
+ResultCache::ResultCache(size_t capacity, double ttl)
+    : ResultCache(capacity, ttl, CacheTuning{}) {}
+
+ResultCache::ResultCache(size_t capacity, double ttl, CacheTuning tuning)
+    : capacity_(capacity), ttl_(ttl), tuning_(tuning) {
   assert(capacity > 0);
+  assert(tuning_.ttl_jitter >= 0.0 && tuning_.ttl_jitter < 1.0);
+}
+
+double ResultCache::effective_ttl(std::string_view key) const {
+  if (ttl_ <= 0.0) return 0.0;  // expiry disabled
+  if (tuning_.ttl_jitter <= 0.0) return ttl_;
+  // Deterministic per-key jitter in [-ttl_jitter, +ttl_jitter]: a second
+  // hash pass (golden-ratio mix) decorrelates it from the stripe selector.
+  uint64_t h = std::hash<std::string_view>{}(key) * 0x9e3779b97f4a7c15ULL;
+  double u = static_cast<double>(h >> 11) / static_cast<double>(1ULL << 53);
+  return ttl_ * (1.0 + tuning_.ttl_jitter * (2.0 * u - 1.0));
 }
 
 std::optional<std::string> ResultCache::get(std::string_view key, double now) {
@@ -14,7 +29,7 @@ std::optional<std::string> ResultCache::get(std::string_view key, double now) {
     ++misses_;
     return std::nullopt;
   }
-  if (!fresh(*it->second, now)) {
+  if (it->second->negative || !fresh(*it->second, now)) {
     ++expired_;
     ++misses_;
     // Keep the stale entry: get_stale may still serve it on drops; a later
@@ -26,17 +41,56 @@ std::optional<std::string> ResultCache::get(std::string_view key, double now) {
   return it->second->value;
 }
 
+LookupResult ResultCache::lookup(std::string_view key, double now) {
+  auto it = map_.find(key);
+  if (it == map_.end()) {
+    ++misses_;
+    return {};
+  }
+  Entry& e = *it->second;
+  if (fresh(e, now)) {
+    ++hits_;
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return {e.negative ? LookupOutcome::kNegative : LookupOutcome::kHit,
+            e.value};
+  }
+  // Expired. Positive entries get the grace window; negatives never do — a
+  // cached error past its short TTL must not keep answering.
+  if (!e.negative && tuning_.swr_grace > 0.0 &&
+      now - e.expires_at <= tuning_.swr_grace) {
+    ++hits_;
+    if (now - e.refresh_claimed_at > tuning_.swr_grace) {
+      e.refresh_claimed_at = now;
+      return {LookupOutcome::kStaleRefresh, e.value};
+    }
+    return {LookupOutcome::kStaleServe, e.value};
+  }
+  ++expired_;
+  ++misses_;
+  return {};
+}
+
 std::optional<std::string> ResultCache::get_stale(std::string_view key) const {
   auto it = map_.find(key);
-  if (it == map_.end()) return std::nullopt;
+  if (it == map_.end() || it->second->negative) return std::nullopt;
   return it->second->value;
 }
 
-void ResultCache::put(std::string_view key, std::string value, double now) {
+void ResultCache::store(std::string_view key, std::string value, double now,
+                        bool negative, double ttl_for_entry) {
+  double expires_at = ttl_for_entry > 0.0 ? now + ttl_for_entry : kClaimInf;
   auto it = map_.find(key);
   if (it != map_.end()) {
-    it->second->value = std::move(value);
-    it->second->stored_at = now;
+    Entry& e = *it->second;
+    // Last-write-wins on stored_at: a completion carrying an older origin
+    // timestamp (a slow prefetch issued before the resident value's fetch)
+    // must not overwrite newer data.
+    if (e.stored_at > now) return;
+    e.value = std::move(value);
+    e.stored_at = now;
+    e.expires_at = expires_at;
+    e.negative = negative;
+    e.refresh_claimed_at = -kClaimInf;
     lru_.splice(lru_.begin(), lru_, it->second);
     return;
   }
@@ -47,8 +101,23 @@ void ResultCache::put(std::string_view key, std::string value, double now) {
     lru_.pop_back();
     ++evictions_;
   }
-  lru_.push_front(Entry{std::string(key), std::move(value), now});
+  lru_.push_front(Entry{std::string(key), std::move(value), now, expires_at,
+                        negative, -kClaimInf});
   map_[lru_.front().key] = lru_.begin();
+}
+
+void ResultCache::put(std::string_view key, std::string value, double now) {
+  store(key, std::move(value), now, /*negative=*/false, effective_ttl(key));
+}
+
+void ResultCache::put_negative(std::string_view key, std::string value,
+                               double now) {
+  if (tuning_.negative_ttl <= 0.0) return;
+  auto it = map_.find(key);
+  // Never displace positive data, even stale positive data: get_stale can
+  // still serve it at low fidelity, which beats re-serving the error.
+  if (it != map_.end() && !it->second->negative) return;
+  store(key, std::move(value), now, /*negative=*/true, tuning_.negative_ttl);
 }
 
 bool ResultCache::invalidate(std::string_view key) {

@@ -8,6 +8,14 @@
 // sends on admission drops: "cached results from previous queries with lower
 // fidelity" (Section IV).
 //
+// Anti-stampede machinery lives here too (CacheTuning):
+//   * stale-while-revalidate — within a grace window past expiry, lookup()
+//     serves the stale value and hands exactly one caller a refresh claim;
+//   * per-key TTL jitter — co-inserted keys de-synchronize their expiries
+//     instead of turning every hot key into a periodic miss storm;
+//   * negative entries — backend error replies cached for a short TTL so a
+//     failing hot key cannot stampede the backend either.
+//
 // `ResultCacheBase` is the interface the broker programs against; the
 // single-threaded `ResultCache` here is the default implementation, and
 // `StripedResultCache` (striped_cache.h) is the thread-safe one shared by
@@ -23,6 +31,34 @@
 
 namespace sbroker::core {
 
+/// Anti-stampede knobs; the all-zero default reproduces the plain LRU+TTL
+/// behaviour exactly.
+struct CacheTuning {
+  /// Seconds past expiry during which lookup() still serves the stale value
+  /// (kStaleRefresh/kStaleServe). 0 disables stale-while-revalidate.
+  double swr_grace = 0.0;
+  /// Fractional ±jitter applied to each entry's TTL, keyed by a hash of the
+  /// entry key so it is deterministic per key. 0.1 = ±10%. 0 disables.
+  double ttl_jitter = 0.0;
+  /// TTL for negative (error-reply) entries, seconds. 0 disables negative
+  /// caching entirely (put_negative becomes a no-op).
+  double negative_ttl = 0.0;
+};
+
+/// Classified result of ResultCacheBase::lookup().
+enum class LookupOutcome {
+  kMiss,          ///< nothing servable; caller must fetch
+  kHit,           ///< fresh positive value
+  kNegative,      ///< fresh negative (cached backend error) value
+  kStaleServe,    ///< stale-within-grace value; refresh already claimed
+  kStaleRefresh,  ///< stale-within-grace value; caller won the refresh claim
+};
+
+struct LookupResult {
+  LookupOutcome outcome = LookupOutcome::kMiss;
+  std::optional<std::string> value;
+};
+
 /// Interface over the result cache: everything the broker data path and the
 /// benchmark harnesses touch. Keys are `string_view` so hot-path probes do
 /// not allocate. Implementations state their own thread-safety.
@@ -30,16 +66,32 @@ class ResultCacheBase {
  public:
   virtual ~ResultCacheBase() = default;
 
-  /// Fresh lookup: returns the value only when present and unexpired.
-  /// Refreshes LRU position on hit.
+  /// Fresh lookup: returns the value only when present, unexpired and
+  /// positive. Refreshes LRU position on hit.
   virtual std::optional<std::string> get(std::string_view key, double now) = 0;
 
+  /// Classified lookup: distinguishes fresh hits, negative hits and
+  /// grace-window stale values, and atomically assigns the single refresh
+  /// claim for a stale entry (kStaleRefresh for exactly one caller per grace
+  /// window — under the striped cache this claim is cross-shard).
+  virtual LookupResult lookup(std::string_view key, double now) = 0;
+
   /// Stale-permitted lookup: returns the value even when expired (used for
-  /// low-fidelity replies). Does not count as a hit and does not refresh LRU.
+  /// low-fidelity replies). Negative entries are never served stale. Does
+  /// not count as a hit and does not refresh LRU.
   virtual std::optional<std::string> get_stale(std::string_view key) const = 0;
 
-  /// Inserts/overwrites; evicts the LRU entry when full.
+  /// Inserts/overwrites; evicts the LRU entry when full. Last-write-wins on
+  /// `now`: a put carrying an older timestamp than the resident entry's
+  /// stored_at is discarded (a slow prefetch response must not clobber a
+  /// newer demand-fetched value).
   virtual void put(std::string_view key, std::string value, double now) = 0;
+
+  /// Caches a backend error reply with the (short) negative TTL. No-op when
+  /// negative caching is disabled or when a positive entry holds the key —
+  /// stale truth beats fresh failure.
+  virtual void put_negative(std::string_view key, std::string value,
+                            double now) = 0;
 
   /// Removes a key; returns true when something was erased.
   virtual bool invalidate(std::string_view key) = 0;
@@ -61,32 +113,49 @@ class ResultCacheBase {
   }
 };
 
+/// Sentinel magnitude for "never claimed" / "never expires" times.
+inline constexpr double kClaimInf = 1e300;
+
 /// Single-threaded LRU+TTL cache. `final` so direct calls devirtualize.
 class ResultCache final : public ResultCacheBase {
  public:
   /// `capacity` entries; `ttl` seconds of freshness (<=0 disables expiry).
   ResultCache(size_t capacity, double ttl);
+  ResultCache(size_t capacity, double ttl, CacheTuning tuning);
 
   std::optional<std::string> get(std::string_view key, double now) override;
+  LookupResult lookup(std::string_view key, double now) override;
   std::optional<std::string> get_stale(std::string_view key) const override;
   void put(std::string_view key, std::string value, double now) override;
+  void put_negative(std::string_view key, std::string value, double now) override;
   bool invalidate(std::string_view key) override;
   void clear() override;
 
   size_t size() const override { return map_.size(); }
   size_t capacity() const override { return capacity_; }
   double ttl() const override { return ttl_; }
+  const CacheTuning& tuning() const { return tuning_; }
 
   uint64_t hits() const override { return hits_; }
   uint64_t misses() const override { return misses_; }
   uint64_t expired() const override { return expired_; }
   uint64_t evictions() const override { return evictions_; }
 
+  /// Effective TTL for `key` after jitter: ttl * (1 ± ttl_jitter), keyed by
+  /// a hash of the key so it is stable across refreshes. Exposed for tests.
+  double effective_ttl(std::string_view key) const;
+
  private:
   struct Entry {
     std::string key;
     std::string value;
-    double stored_at;
+    double stored_at = 0.0;
+    double expires_at = 0.0;  ///< absolute; +inf when expiry is disabled
+    bool negative = false;
+    /// Time the in-grace refresh was claimed; reclaimable once swr_grace
+    /// has passed since the claim (a claimed refresh that never lands must
+    /// not wedge the key). Cleared by put().
+    double refresh_claimed_at = -kClaimInf;
   };
 
   // Transparent hash/equal: get()/get_stale() probe with the request payload
@@ -98,12 +167,13 @@ class ResultCache final : public ResultCacheBase {
     }
   };
 
-  bool fresh(const Entry& e, double now) const {
-    return ttl_ <= 0.0 || now - e.stored_at <= ttl_;
-  }
+  bool fresh(const Entry& e, double now) const { return now <= e.expires_at; }
+  void store(std::string_view key, std::string value, double now,
+             bool negative, double ttl_for_entry);
 
   size_t capacity_;
   double ttl_;
+  CacheTuning tuning_;
   std::list<Entry> lru_;  // front = most recent
   std::unordered_map<std::string, std::list<Entry>::iterator, KeyHash,
                      std::equal_to<>>

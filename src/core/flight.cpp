@@ -1,0 +1,53 @@
+#include "core/flight.h"
+
+#include <utility>
+
+namespace sbroker::core {
+
+FlightTable::FlightTable(size_t stripes) {
+  if (stripes == 0) stripes = 1;
+  stripes_.reserve(stripes);
+  for (size_t i = 0; i < stripes; ++i) {
+    stripes_.push_back(std::make_unique<Stripe>());
+  }
+}
+
+bool FlightTable::claim(const std::string& key, Notify notify) {
+  Stripe& s = stripe_for(key);
+  std::lock_guard<std::mutex> lock(s.mu);
+  auto [it, inserted] = s.flights.try_emplace(key);
+  if (inserted) {
+    claims_.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+  if (notify) it->second.push_back(std::move(notify));
+  parked_.fetch_add(1, std::memory_order_relaxed);
+  return false;
+}
+
+void FlightTable::resolve(const std::string& key) {
+  std::vector<Notify> subscribers;
+  {
+    Stripe& s = stripe_for(key);
+    std::lock_guard<std::mutex> lock(s.mu);
+    auto it = s.flights.find(key);
+    if (it == s.flights.end()) return;
+    subscribers = std::move(it->second);
+    s.flights.erase(it);
+  }
+  resolves_.fetch_add(1, std::memory_order_relaxed);
+  // Fired outside the stripe lock: a subscriber may re-enter claim() for the
+  // same stripe (a parked shard promoting a local waiter to the new leader).
+  for (Notify& fn : subscribers) fn(key);
+}
+
+size_t FlightTable::in_flight() const {
+  size_t total = 0;
+  for (const auto& s : stripes_) {
+    std::lock_guard<std::mutex> lock(s->mu);
+    total += s->flights.size();
+  }
+  return total;
+}
+
+}  // namespace sbroker::core

@@ -81,10 +81,29 @@ class BrokerMetrics {
     }
   };
 
+  /// Anti-stampede counters, not per-class: how much backend work the
+  /// single-flight / stale-while-revalidate layer absorbed or deferred.
+  struct FlightStats {
+    uint64_t coalesced_waiters = 0;  ///< misses attached to an in-flight fetch
+    uint64_t swr_hits = 0;           ///< stale values served within the grace window
+    uint64_t refreshes = 0;          ///< background revalidations issued
+    uint64_t negative_hits = 0;      ///< errors answered from the negative cache
+    uint64_t promotions = 0;         ///< waiters promoted to leader after a dead fetch
+
+    void merge(const FlightStats& other) {
+      coalesced_waiters += other.coalesced_waiters;
+      swr_hits += other.swr_hits;
+      refreshes += other.refreshes;
+      negative_hits += other.negative_hits;
+      promotions += other.promotions;
+    }
+  };
+
   void reset() {
     for (auto& c : per_class_) c = ClassCounters{};
     transport = ChannelStats{};
     lifecycle = LifecycleStats{};
+    flight = FlightStats{};
   }
 
   /// Wire-level channel counters, filled in by the owner of the transport
@@ -93,6 +112,8 @@ class BrokerMetrics {
   ChannelStats transport;
 
   LifecycleStats lifecycle;
+
+  FlightStats flight;
 
   /// Accumulates another broker's counters class-by-class — the sharded
   /// daemon folds its per-shard metrics into one report with this.
@@ -115,6 +136,7 @@ class BrokerMetrics {
     }
     transport.merge(other.transport);
     lifecycle.merge(other.lifecycle);
+    flight.merge(other.flight);
   }
 
  private:

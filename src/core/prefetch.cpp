@@ -10,15 +10,16 @@ void Prefetcher::add(std::string cache_key, std::string payload, double period) 
   entries_.push_back(PrefetchEntry{std::move(cache_key), std::move(payload), period, 0.0});
 }
 
-std::vector<PrefetchEntry> Prefetcher::due(double now, double current_load) {
+std::vector<PrefetchEntry> Prefetcher::due(double now, double current_load,
+                                           size_t max_issues) {
   std::vector<PrefetchEntry> out;
   if (current_load > idle_threshold_) return out;
   for (auto& entry : entries_) {
-    if (entry.next_due <= now) {
-      out.push_back(entry);
-      entry.next_due = now + entry.period;
-      ++issued_;
-    }
+    if (entry.next_due > now) continue;
+    if (max_issues != 0 && out.size() >= max_issues) break;
+    out.push_back(entry);
+    entry.next_due = now + entry.period;
+    ++issued_;
   }
   return out;
 }

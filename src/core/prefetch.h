@@ -35,9 +35,17 @@ class Prefetcher {
   /// Registers a periodic prefetch; first fetch is due immediately.
   void add(std::string cache_key, std::string payload, double period);
 
-  /// Entries due at `now` given current load; advances their schedules.
-  /// Empty when the broker is not idle enough.
-  std::vector<PrefetchEntry> due(double now, double current_load);
+  /// Entries due at `now` given current load; advances the schedules of the
+  /// entries returned. Empty when the broker is not idle enough.
+  ///
+  /// `max_issues` caps how many entries one call may return (0 = unbounded).
+  /// After a long busy period every entry is overdue at once; the cap
+  /// staggers the backlog across ticks — entries beyond it keep their past
+  /// next_due and surface on subsequent calls — instead of firing the whole
+  /// registry in one burst (exactly the "retry storm" this header promises
+  /// to avoid).
+  std::vector<PrefetchEntry> due(double now, double current_load,
+                                 size_t max_issues = 0);
 
   /// Earliest next_due across entries; nullopt when none registered.
   std::optional<double> next_due() const;

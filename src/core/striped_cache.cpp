@@ -5,6 +5,10 @@
 namespace sbroker::core {
 
 StripedResultCache::StripedResultCache(size_t capacity, double ttl, size_t stripes)
+    : StripedResultCache(capacity, ttl, stripes, CacheTuning{}) {}
+
+StripedResultCache::StripedResultCache(size_t capacity, double ttl,
+                                       size_t stripes, CacheTuning tuning)
     : capacity_(capacity), ttl_(ttl) {
   assert(capacity > 0);
   if (stripes == 0) stripes = 1;
@@ -12,7 +16,8 @@ StripedResultCache::StripedResultCache(size_t capacity, double ttl, size_t strip
   per_stripe_capacity_ = (capacity + stripes - 1) / stripes;
   stripes_.reserve(stripes);
   for (size_t i = 0; i < stripes; ++i) {
-    stripes_.push_back(std::make_unique<Stripe>(per_stripe_capacity_, ttl));
+    stripes_.push_back(
+        std::make_unique<Stripe>(per_stripe_capacity_, ttl, tuning));
   }
 }
 
@@ -20,6 +25,12 @@ std::optional<std::string> StripedResultCache::get(std::string_view key, double 
   Stripe& s = stripe_for(key);
   std::lock_guard<std::mutex> lock(s.mu);
   return s.cache.get(key, now);
+}
+
+LookupResult StripedResultCache::lookup(std::string_view key, double now) {
+  Stripe& s = stripe_for(key);
+  std::lock_guard<std::mutex> lock(s.mu);
+  return s.cache.lookup(key, now);
 }
 
 std::optional<std::string> StripedResultCache::get_stale(std::string_view key) const {
@@ -32,6 +43,13 @@ void StripedResultCache::put(std::string_view key, std::string value, double now
   Stripe& s = stripe_for(key);
   std::lock_guard<std::mutex> lock(s.mu);
   s.cache.put(key, std::move(value), now);
+}
+
+void StripedResultCache::put_negative(std::string_view key, std::string value,
+                                      double now) {
+  Stripe& s = stripe_for(key);
+  std::lock_guard<std::mutex> lock(s.mu);
+  s.cache.put_negative(key, std::move(value), now);
 }
 
 bool StripedResultCache::invalidate(std::string_view key) {

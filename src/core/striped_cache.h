@@ -28,10 +28,17 @@ class StripedResultCache final : public ResultCacheBase {
  public:
   /// `capacity` total entries split over `stripes` locks; `ttl` as ResultCache.
   StripedResultCache(size_t capacity, double ttl, size_t stripes = 8);
+  StripedResultCache(size_t capacity, double ttl, size_t stripes,
+                     CacheTuning tuning);
 
   std::optional<std::string> get(std::string_view key, double now) override;
+  /// The stale-refresh claim is taken under the stripe lock, so exactly one
+  /// shard per grace window wins kStaleRefresh for a key — the cross-shard
+  /// half of "trigger exactly one background refresh".
+  LookupResult lookup(std::string_view key, double now) override;
   std::optional<std::string> get_stale(std::string_view key) const override;
   void put(std::string_view key, std::string value, double now) override;
+  void put_negative(std::string_view key, std::string value, double now) override;
   bool invalidate(std::string_view key) override;
   void clear() override;
 
@@ -52,7 +59,8 @@ class StripedResultCache final : public ResultCacheBase {
   struct Stripe {
     mutable std::mutex mu;
     ResultCache cache;
-    explicit Stripe(size_t cap, double ttl) : cache(cap, ttl) {}
+    Stripe(size_t cap, double ttl, CacheTuning tuning)
+        : cache(cap, ttl, tuning) {}
   };
 
   Stripe& stripe_for(std::string_view key) const {

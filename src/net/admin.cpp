@@ -176,6 +176,24 @@ std::string render_prometheus(const std::vector<ShardStatus>& shards) {
                  "Replica ejections.");
   append_sample(out, "sbroker_lifecycle_ejections_total", "",
                 metrics.lifecycle.ejections);
+  append_counter(out, "sbroker_coalesced_waiters_total",
+                 "Misses attached to an in-flight identical fetch.");
+  append_sample(out, "sbroker_coalesced_waiters_total", "",
+                metrics.flight.coalesced_waiters);
+  append_counter(out, "sbroker_swr_hits_total",
+                 "Stale results served within the revalidation grace window.");
+  append_sample(out, "sbroker_swr_hits_total", "", metrics.flight.swr_hits);
+  append_counter(out, "sbroker_refreshes_total",
+                 "Background revalidation fetches issued.");
+  append_sample(out, "sbroker_refreshes_total", "", metrics.flight.refreshes);
+  append_counter(out, "sbroker_negative_hits_total",
+                 "Errors answered from the negative cache.");
+  append_sample(out, "sbroker_negative_hits_total", "",
+                metrics.flight.negative_hits);
+  append_counter(out, "sbroker_flight_promotions_total",
+                 "Waiters promoted to fetch leader after a dead fetch.");
+  append_sample(out, "sbroker_flight_promotions_total", "",
+                metrics.flight.promotions);
 
   out +=
       "# HELP sbroker_latency_seconds Request latency by lifecycle stage and "
@@ -292,6 +310,14 @@ std::string render_statusz(const std::vector<ShardStatus>& shards) {
       .field("ejections", metrics.lifecycle.ejections)
       .field("recoveries", metrics.lifecycle.recoveries)
       .field("probes", metrics.lifecycle.probes)
+      .end_object();
+  w.key("flight")
+      .begin_object()
+      .field("coalesced_waiters", metrics.flight.coalesced_waiters)
+      .field("swr_hits", metrics.flight.swr_hits)
+      .field("refreshes", metrics.flight.refreshes)
+      .field("negative_hits", metrics.flight.negative_hits)
+      .field("promotions", metrics.flight.promotions)
       .end_object();
 
   w.key("per_shard").begin_array();

@@ -341,6 +341,12 @@ void BrokerDaemon::add_backend(std::shared_ptr<core::Backend> backend, double we
   broker_.add_backend(std::move(backend), weight);
 }
 
+void BrokerDaemon::poke() {
+  if (stopping_) return;
+  broker_.tick(reactor_.now());
+  rearm_tick();
+}
+
 void BrokerDaemon::rearm_tick() {
   if (stopping_) return;
   double now = reactor_.now();

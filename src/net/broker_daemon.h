@@ -116,6 +116,11 @@ class BrokerDaemon {
   /// sharded daemon's acceptor fallback posts fds here.
   void adopt_client(int fd);
 
+  /// Runs a housekeeping tick now and re-arms the tick timer. Must be called
+  /// on this daemon's reactor thread; the sharded daemon posts it when a
+  /// single-flight resolution on another shard has waiters parked here.
+  void poke();
+
   uint16_t port() const { return listener_.port(); }
   /// UDP datagram port; 0 when UDP is disabled.
   uint16_t udp_port() const { return udp_ ? udp_->port() : 0; }

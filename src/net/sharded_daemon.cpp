@@ -33,8 +33,9 @@ ShardedBrokerDaemon::ShardedBrokerDaemon(std::string name,
   if (config_.shards == 0) config_.shards = 1;
   cache_ = std::make_shared<core::StripedResultCache>(
       config_.broker.cache_capacity, config_.broker.cache_ttl,
-      config_.cache_stripes);
+      config_.cache_stripes, config_.broker.cache_tuning);
   load_ = std::make_shared<core::LoadTracker>();
+  flights_ = std::make_shared<core::FlightTable>(config_.cache_stripes);
 
   bool kernel_sharding =
       !config_.force_acceptor_fallback && reuseport_supported();
@@ -71,6 +72,14 @@ ShardedBrokerDaemon::ShardedBrokerDaemon(std::string name,
         *shard->reactor, name_ + "#" + std::to_string(i), cfg);
     shard->daemon->broker().share_cache(cache_);
     shard->daemon->broker().share_load(load_);
+    shard->daemon->broker().share_flights(flights_);
+    // A flight resolved on another shard wakes this shard's parked waiters:
+    // the notify (which may run on the resolving shard's thread) posts a
+    // housekeeping poke onto this shard's own reactor.
+    shard->daemon->broker().set_flight_notifier(
+        [reactor = shard->reactor.get(), daemon = shard->daemon.get()]() {
+          reactor->post([daemon]() { daemon->poke(); });
+        });
 
     if (i == 0) {
       if (kernel_sharding) port_ = shard->daemon->port();

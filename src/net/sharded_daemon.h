@@ -29,6 +29,7 @@
 
 #include "core/backend.h"
 #include "core/broker.h"
+#include "core/flight.h"
 #include "core/load.h"
 #include "core/striped_cache.h"
 #include "net/admin.h"
@@ -92,6 +93,9 @@ class ShardedBrokerDaemon {
   core::StripedResultCache& shared_cache() { return *cache_; }
   const core::StripedResultCache& shared_cache() const { return *cache_; }
   core::LoadTracker& shared_load() { return *load_; }
+  /// Cross-shard single-flight registry: identical misses arriving at
+  /// different shards collapse to one backend fetch.
+  core::FlightTable& shared_flights() { return *flights_; }
 
   /// Direct access to one shard (its broker, its counters). Only safe while
   /// stopped, or from that shard's own reactor thread.
@@ -123,6 +127,7 @@ class ShardedBrokerDaemon {
   ShardedBrokerDaemonConfig config_;
   std::shared_ptr<core::StripedResultCache> cache_;
   std::shared_ptr<core::LoadTracker> load_;
+  std::shared_ptr<core::FlightTable> flights_;
   std::vector<std::unique_ptr<Shard>> shards_;
   std::unique_ptr<TcpListener> acceptor_;  ///< fallback mode only
   std::unique_ptr<AdminServer> admin_;

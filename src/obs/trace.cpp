@@ -14,6 +14,8 @@ const char* trace_event_name(TraceEventKind kind) {
     case TraceEventKind::kRetry: return "retry";
     case TraceEventKind::kDeadline: return "deadline";
     case TraceEventKind::kComplete: return "complete";
+    case TraceEventKind::kCoalesce: return "coalesce";
+    case TraceEventKind::kSwr: return "swr";
   }
   return "unknown";
 }

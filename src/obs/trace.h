@@ -25,6 +25,10 @@ enum class TraceEventKind : uint8_t {
   kRetry,        ///< re-dispatch scheduled; detail = attempts consumed
   kDeadline,     ///< terminal: shed on deadline expiry; detail = attempts
   kComplete,     ///< terminal: answered; detail = http::Fidelity
+  kCoalesce,     ///< attached as waiter to an in-flight identical fetch;
+                 ///< detail = waiters on the flight after attaching
+  kSwr,          ///< stale value served within the revalidation grace
+                 ///< window; detail 1 = this request claimed the refresh
 };
 
 const char* trace_event_name(TraceEventKind kind);

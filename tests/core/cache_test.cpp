@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <string>
+
 namespace sbroker::core {
 namespace {
 
@@ -103,6 +106,122 @@ TEST(Cache, HitRatio) {
   cache.get("miss", 0.0);
   cache.get("miss2", 0.0);
   EXPECT_DOUBLE_EQ(cache.hit_ratio(), 0.5);
+}
+
+// ---------------------------------------------------------------------------
+// Anti-stampede machinery: classified lookup, stale-while-revalidate claims,
+// last-write-wins puts, TTL jitter and negative caching.
+
+TEST(Cache, LookupClassifiesMissHitAndExpiry) {
+  ResultCache cache(4, 5.0);  // all-zero tuning: plain LRU+TTL behaviour
+  EXPECT_EQ(cache.lookup("k", 0.0).outcome, LookupOutcome::kMiss);
+  cache.put("k", "v", 0.0);
+  LookupResult hit = cache.lookup("k", 1.0);
+  EXPECT_EQ(hit.outcome, LookupOutcome::kHit);
+  EXPECT_EQ(hit.value, "v");
+  // Exactly at the TTL boundary the entry is still fresh, matching get().
+  EXPECT_EQ(cache.lookup("k", 5.0).outcome, LookupOutcome::kHit);
+  // Without a grace window, one tick past the TTL is a plain miss.
+  EXPECT_EQ(cache.lookup("k", 5.01).outcome, LookupOutcome::kMiss);
+}
+
+TEST(Cache, StaleWindowGrantsExactlyOneRefreshClaim) {
+  CacheTuning tuning;
+  tuning.swr_grace = 1.0;
+  ResultCache cache(4, 1.0, tuning);
+  cache.put("k", "v1", 0.0);
+
+  // Inside the grace window [1, 2]: the first probe wins the refresh claim,
+  // every later probe is served stale without one.
+  LookupResult first = cache.lookup("k", 1.5);
+  EXPECT_EQ(first.outcome, LookupOutcome::kStaleRefresh);
+  EXPECT_EQ(first.value, "v1");
+  EXPECT_EQ(cache.lookup("k", 1.6).outcome, LookupOutcome::kStaleServe);
+  EXPECT_EQ(cache.lookup("k", 1.9).outcome, LookupOutcome::kStaleServe);
+  // Past the grace window the value is gone for the fresh path.
+  EXPECT_EQ(cache.lookup("k", 2.5).outcome, LookupOutcome::kMiss);
+
+  // A put() (the refresh landing) clears the claim: the next stale window
+  // hands out a fresh one.
+  cache.put("k", "v2", 3.0);
+  EXPECT_EQ(cache.lookup("k", 3.5).outcome, LookupOutcome::kHit);
+  LookupResult again = cache.lookup("k", 4.5);
+  EXPECT_EQ(again.outcome, LookupOutcome::kStaleRefresh);
+  EXPECT_EQ(again.value, "v2");
+}
+
+TEST(Cache, LastWriteWinsDiscardsOlderTimestampedPut) {
+  ResultCache cache(4, 10.0);
+  cache.put("k", "demand-fresh", 5.0);
+  // A slow prefetch stamped with its issue time must not clobber the newer
+  // demand-fetched value...
+  cache.put("k", "prefetch-stale", 3.0);
+  EXPECT_EQ(cache.get("k", 6.0), "demand-fresh");
+  // ...while a genuinely newer write still lands.
+  cache.put("k", "newer", 7.0);
+  EXPECT_EQ(cache.get("k", 7.5), "newer");
+}
+
+TEST(Cache, TtlJitterDecorrelatesExpiriesWithinBounds) {
+  CacheTuning tuning;
+  tuning.ttl_jitter = 0.1;
+  ResultCache cache(256, 100.0, tuning);
+  double lo = 1e300, hi = 0.0;
+  for (int i = 0; i < 64; ++i) {
+    double ttl = cache.effective_ttl("key-" + std::to_string(i));
+    EXPECT_GE(ttl, 90.0);
+    EXPECT_LE(ttl, 110.0);
+    lo = std::min(lo, ttl);
+    hi = std::max(hi, ttl);
+  }
+  EXPECT_GT(hi - lo, 1.0);  // co-inserted keys actually spread out
+  // The jittered TTL is stable per key (refreshes keep the same expiry
+  // offset) and governs real expiry.
+  EXPECT_DOUBLE_EQ(cache.effective_ttl("key-0"), cache.effective_ttl("key-0"));
+  cache.put("key-0", "v", 0.0);
+  double eff = cache.effective_ttl("key-0");
+  EXPECT_TRUE(cache.get("key-0", eff - 0.01).has_value());
+  EXPECT_FALSE(cache.get("key-0", eff + 0.01).has_value());
+}
+
+TEST(Cache, NegativeEntriesServeFreshOnlyAndNeverStale) {
+  CacheTuning tuning;
+  tuning.negative_ttl = 1.0;
+  tuning.swr_grace = 10.0;
+  ResultCache cache(4, 100.0, tuning);
+  cache.put_negative("k", "boom", 0.0);
+
+  LookupResult fresh = cache.lookup("k", 0.5);
+  EXPECT_EQ(fresh.outcome, LookupOutcome::kNegative);
+  EXPECT_EQ(fresh.value, "boom");
+  // The fresh-value path and the stale-drop path both refuse negatives.
+  EXPECT_FALSE(cache.get("k", 0.5).has_value());
+  EXPECT_FALSE(cache.get_stale("k").has_value());
+  // Past the (short) negative TTL the error stops answering — the grace
+  // window never applies to a cached failure.
+  EXPECT_EQ(cache.lookup("k", 1.5).outcome, LookupOutcome::kMiss);
+}
+
+TEST(Cache, PutNegativeIsNoopWithoutTuningOrOverPositiveData) {
+  ResultCache plain(4, 10.0);  // negative_ttl = 0: disabled
+  plain.put_negative("k", "boom", 0.0);
+  EXPECT_EQ(plain.lookup("k", 0.1).outcome, LookupOutcome::kMiss);
+  EXPECT_EQ(plain.size(), 0u);
+
+  CacheTuning tuning;
+  tuning.negative_ttl = 5.0;
+  ResultCache cache(4, 1.0, tuning);
+  cache.put("k", "truth", 0.0);
+  // Fresh positive survives a failure report...
+  cache.put_negative("k", "boom", 0.5);
+  EXPECT_EQ(cache.get("k", 0.6), "truth");
+  // ...and so does a stale positive: get_stale still serves it on drops.
+  cache.put_negative("k", "boom", 2.0);
+  EXPECT_EQ(cache.get_stale("k"), "truth");
+  // A negative entry, however, is upgraded in place by real data.
+  cache.put_negative("gone", "boom", 0.0);
+  cache.put("gone", "recovered", 1.0);
+  EXPECT_EQ(cache.lookup("gone", 1.5).outcome, LookupOutcome::kHit);
 }
 
 // Property: under arbitrary interleavings, get() never returns a value older

@@ -146,6 +146,81 @@ TEST(StripedCacheTest, TtlExpiryUnderConcurrentPutGet) {
   EXPECT_GT(cache.expired(), 0u);
 }
 
+/// Keys that all land in one stripe of an N-stripe cache, built by probing
+/// the same hash the cache's stripe selector uses.
+std::vector<std::string> same_stripe_keys(size_t stripes, size_t count) {
+  std::vector<std::string> keys;
+  for (int i = 0; keys.size() < count; ++i) {
+    std::string key = "skew-" + std::to_string(i);
+    if (std::hash<std::string_view>{}(key) % stripes == 0) {
+      keys.push_back(std::move(key));
+    }
+  }
+  return keys;
+}
+
+TEST(StripedCacheTest, AdversarialSkewBoundedByPerStripeCapacity) {
+  // Every key is crafted to hash into stripe 0: the worst case the striped
+  // design admits. The other stripes stay empty, so the resident count must
+  // stay within one stripe's share of the capacity, not drift toward the
+  // full capacity with one mutex in front of it.
+  constexpr size_t kCapacity = 64;
+  constexpr size_t kStripes = 8;
+  StripedResultCache cache(kCapacity, 0.0, kStripes);
+  for (const std::string& key : same_stripe_keys(kStripes, 100)) {
+    cache.put(key, "v", 0.0);
+  }
+  EXPECT_EQ(cache.size(), kCapacity / kStripes);
+  EXPECT_GT(cache.evictions(), 0u);
+}
+
+TEST(StripedCacheTest, GetStaleServesExpiredButNotEvictedEntries) {
+  // The stale-on-drop path must distinguish the two ways an entry stops
+  // being fresh: expiry keeps the bytes resident (servable at low fidelity),
+  // eviction removes them (nothing to serve). Same-stripe keys make the
+  // eviction deterministic.
+  constexpr size_t kStripes = 4;
+  std::vector<std::string> keys = same_stripe_keys(kStripes, 9);
+  StripedResultCache cache(32, 1.0, kStripes);  // 8 entries per stripe
+
+  cache.put(keys[0], "survivor", 0.0);
+  EXPECT_FALSE(cache.get(keys[0], 5.0).has_value());  // expired...
+  EXPECT_EQ(cache.get_stale(keys[0]), "survivor");    // ...but servable
+
+  // Fill the victim's stripe past capacity: keys[0] is the LRU entry there.
+  for (size_t i = 1; i < keys.size(); ++i) {
+    cache.put(keys[i], "filler", 6.0);
+  }
+  EXPECT_FALSE(cache.get_stale(keys[0]).has_value());  // evicted: gone
+  EXPECT_EQ(cache.get_stale(keys[1]), "filler");       // survivor unaffected
+}
+
+TEST(StripedCacheTest, ConcurrentStaleProbesElectOneRefresher) {
+  // The cross-shard half of "exactly one background refresh": N threads
+  // probe the same stale-in-grace key at once and exactly one may win the
+  // kStaleRefresh claim, no matter how the stripe lock interleaves them.
+  CacheTuning tuning;
+  tuning.swr_grace = 1.0;
+  StripedResultCache cache(32, 1.0, 4, tuning);
+  cache.put("hot", "v1", 0.0);
+
+  constexpr int kThreads = 8;
+  std::atomic<int> refreshers{0};
+  std::atomic<int> stale_serves{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&]() {
+      LookupResult r = cache.lookup("hot", 1.5);  // in the grace window
+      if (r.outcome == LookupOutcome::kStaleRefresh) ++refreshers;
+      if (r.outcome == LookupOutcome::kStaleServe) ++stale_serves;
+      EXPECT_EQ(r.value, "v1");
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(refreshers.load(), 1);
+  EXPECT_EQ(stale_serves.load(), kThreads - 1);
+}
+
 // ---------------------------------------------------------------------------
 // The two share_* hooks the sharded daemon installs.
 

@@ -122,6 +122,35 @@ TEST(Prefetch, Remove) {
   EXPECT_TRUE(p.due(100.0, 0.0).empty());
 }
 
+TEST(Prefetch, BurstCapStaggersOverdueBacklogAcrossCalls) {
+  // After a long busy spell every entry is overdue at once; max_issues must
+  // trickle the backlog out instead of firing the whole registry in one
+  // burst. Entries beyond the cap keep their past next_due and surface on
+  // the next call.
+  Prefetcher p(1.0);
+  for (int i = 0; i < 5; ++i) {
+    p.add("k" + std::to_string(i), "q" + std::to_string(i), 1.0);
+  }
+  EXPECT_EQ(p.due(10.0, /*current_load=*/5.0).size(), 0u);  // busy: backlog grows
+
+  EXPECT_EQ(p.due(10.0, 0.0, /*max_issues=*/2).size(), 2u);
+  EXPECT_EQ(p.due(10.0, 0.0, /*max_issues=*/2).size(), 2u);
+  EXPECT_EQ(p.due(10.0, 0.0, /*max_issues=*/2).size(), 1u);  // backlog drained
+  EXPECT_EQ(p.due(10.0, 0.0, /*max_issues=*/2).size(), 0u);
+  EXPECT_EQ(p.issued(), 5u);
+  // Each issued entry advanced by its period from `now`, not from its
+  // overdue slot: no catch-up burst accrues for the next window.
+  EXPECT_DOUBLE_EQ(p.next_due().value(), 11.0);
+}
+
+TEST(Prefetch, ZeroBurstCapMeansUnbounded) {
+  Prefetcher p(1.0);
+  for (int i = 0; i < 8; ++i) {
+    p.add("k" + std::to_string(i), "q", 1.0);
+  }
+  EXPECT_EQ(p.due(5.0, 0.0, /*max_issues=*/0).size(), 8u);
+}
+
 TEST(Prefetch, ScheduleAdvancesEvenWhenFetchSkippedByCaller) {
   // due() advancing next_due regardless of fetch outcome prevents retry
   // storms: the contract is periodic refresh, not guaranteed delivery.
