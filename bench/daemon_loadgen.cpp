@@ -56,10 +56,20 @@
 //             scrape must succeed and the broker-side total p50 must not
 //             exceed the client-side p50 (the broker measures a strict
 //             subset of what the client times)         (default 1)
+//   proto     comma list of client protocols to sweep, from:
+//               wire  legacy SBRK codec (http/wire.h), the historic default
+//               bin   compact binary frames (net/frame.h) on the same port —
+//                     served by the arena fast path + coalesced flushes
+//               http  HTTP/1.1 keep-alive, sniffed on the same main port
+//             (default "wire", so existing smokes measure what they always
+//             measured)
+//   iouring   1 = opt shard reactors into the io_uring write backend (no-op
+//             without -DSBROKER_IOURING=ON or kernel support) (default 0)
 //   out       JSON result file; "" = stdout only      (default BENCH_daemon.json)
 #include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
@@ -85,6 +95,8 @@ struct RunResult {
   size_t shards = 0;
   bool pipelined = false;
   bool kernel_accept_sharding = false;
+  std::string proto;  // client protocol this run was driven with
+  net::WireStats wire;  // main-port protocol mix + flush coalescing
   double dup = 0.0;  // hot-key fraction this run was driven with
   uint64_t requests = 0;   // replies received by clients
   uint64_t failures = 0;   // timeouts / io errors
@@ -144,6 +156,7 @@ RunResult run_one(size_t shards, bool pipelined, size_t clients, double seconds,
                   uint64_t keys, double threshold, bool cache, bool fallback,
                   uint32_t timeout_ms, uint64_t stallpct, int attempts,
                   bool obs_on, bool scrape, const CacheKnobs& knobs,
+                  const std::string& proto, size_t burst, bool iouring,
                   uint16_t backend_port) {
   net::ShardedBrokerDaemonConfig cfg;
   cfg.broker.rules = core::QosRules{3, threshold};
@@ -160,6 +173,7 @@ RunResult run_one(size_t shards, bool pipelined, size_t clients, double seconds,
   cfg.shards = shards;
   cfg.enable_udp = false;
   cfg.force_acceptor_fallback = fallback;
+  cfg.io_uring = iouring;
   net::ShardedBrokerDaemon daemon("loadgen-broker", cfg);
   core::PoolConfig pool = cfg.broker.pool;
   daemon.add_backend([backend_port, pipelined, pool](net::Reactor& reactor,
@@ -184,11 +198,23 @@ RunResult run_one(size_t shards, bool pipelined, size_t clients, double seconds,
   double t0 = monotonic_seconds();
   for (size_t c = 0; c < clients; ++c) {
     threads.emplace_back([&, c]() {
-      net::BrokerClient client(daemon.port());
+      // One persistent connection of the selected protocol per thread; all
+      // three speak to the same sniffed main port.
+      std::unique_ptr<net::BrokerClient> wire_client;
+      std::unique_ptr<net::FrameClient> bin_client;
+      std::unique_ptr<net::HttpKeepAliveClient> http_client;
+      if (proto == "bin") {
+        bin_client = std::make_unique<net::FrameClient>(daemon.port());
+      } else if (proto == "http") {
+        http_client = std::make_unique<net::HttpKeepAliveClient>(daemon.port());
+      } else {
+        wire_client = std::make_unique<net::BrokerClient>(daemon.port());
+      }
       // Per-thread LCG so every sweep runs the identical trace per thread.
       uint64_t rng = 0x9e3779b97f4a7c15ULL + c;
       uint64_t id = c << 32;
       latencies[c].reserve(1 << 16);
+      std::vector<std::string> batch;  // proto=bin burst>1 only
       while (!stop_flag.load(std::memory_order_relaxed)) {
         rng = rng * 6364136223846793005ULL + 1442695040888963407ULL;
         uint64_t key = (rng >> 33) % keys;
@@ -198,25 +224,67 @@ RunResult run_one(size_t shards, bool pipelined, size_t clients, double seconds,
           rng = rng * 6364136223846793005ULL + 1442695040888963407ULL;
           if (static_cast<double>(rng >> 40) / 16777216.0 < knobs.dup) key = 0;
         }
-        http::BrokerRequest req;
-        req.request_id = ++id;
-        req.qos_level = static_cast<uint8_t>(1 + key % 3);
-        req.service = "web";
-        req.deadline_ms = timeout_ms;
+        uint8_t qos = static_cast<uint8_t>(1 + key % 3);
         // The bottom stallpct% of the keyspace maps to the backend's mute
         // route: the exchange stalls half-open and only the deadline (via
         // the broker's cancel token) resolves it.
         bool stalled = keys > 0 && (key * 100) / keys < stallpct;
-        req.payload = (stalled ? "/stall-" : "/object-") + std::to_string(key);
+        std::string payload =
+            (stalled ? "/stall-" : "/object-") + std::to_string(key);
         double start = monotonic_seconds();
-        auto reply = client.call(req);
+        if (bin_client && burst > 1) {
+          // Pipelined burst: `burst` frames in one send, replies collected
+          // after — the shape that exercises the cycle-end write coalescing.
+          batch.assign(burst, payload);
+          uint64_t first_id = id + 1;
+          id += burst;
+          auto replies = bin_client->call_burst(first_id, batch, qos, timeout_ms);
+          double elapsed = monotonic_seconds() - start;
+          counts[c] += replies.size();
+          if (replies.size() == burst) {
+            latencies[c].push_back(elapsed);
+          } else {
+            failures[c] += burst - replies.size();
+            break;  // connection is gone; stop this client
+          }
+          continue;
+        }
+        uint64_t rid = ++id;
+        bool got_reply = false;
+        bool matched = false;
+        if (bin_client) {
+          auto reply = bin_client->call(rid, payload, qos, timeout_ms);
+          got_reply = reply.has_value();
+          matched = reply && reply->request_id == rid;
+        } else if (http_client) {
+          http::Request hreq;
+          hreq.target = payload;
+          hreq.set_qos_level(qos);
+          if (timeout_ms > 0) {
+            hreq.headers.set(std::string(http::kDeadlineHeader),
+                             std::to_string(timeout_ms));
+          }
+          auto resp = http_client->call(hreq);
+          got_reply = resp.has_value();
+          matched = got_reply;  // HTTP/1.1: responses arrive strictly in order
+        } else {
+          http::BrokerRequest req;
+          req.request_id = rid;
+          req.qos_level = qos;
+          req.service = "web";
+          req.deadline_ms = timeout_ms;
+          req.payload = payload;
+          auto reply = wire_client->call(req);
+          got_reply = reply.has_value();
+          matched = reply && reply->request_id == rid;
+        }
         double elapsed = monotonic_seconds() - start;
-        if (reply && reply->request_id == req.request_id) {
+        if (matched) {
           ++counts[c];
           latencies[c].push_back(elapsed);
         } else {
           ++failures[c];
-          if (!reply) break;  // connection is gone; stop this client
+          if (!got_reply) break;  // connection is gone; stop this client
         }
       }
     });
@@ -258,6 +326,8 @@ RunResult run_one(size_t shards, bool pipelined, size_t clients, double seconds,
   r.shards = shards;
   r.pipelined = pipelined;
   r.kernel_accept_sharding = daemon.kernel_accept_sharding();
+  r.proto = proto;
+  r.wire = daemon.aggregate_wire_stats();
   r.dup = knobs.dup;
   r.seconds = wall;
   for (size_t c = 0; c < clients; ++c) {
@@ -312,6 +382,20 @@ std::vector<size_t> parse_list(const std::string& list, size_t min_value) {
     } catch (const std::exception&) {
       return {};
     }
+    pos = comma + 1;
+  }
+  return values;
+}
+
+/// Parses the proto= comma list; empty result means a parse error.
+std::vector<std::string> parse_proto_list(const std::string& list) {
+  std::vector<std::string> values;
+  for (size_t pos = 0; pos < list.size();) {
+    size_t comma = list.find(',', pos);
+    if (comma == std::string::npos) comma = list.size();
+    std::string token = list.substr(pos, comma - pos);
+    if (token != "wire" && token != "bin" && token != "http") return {};
+    values.push_back(std::move(token));
     pos = comma + 1;
   }
   return values;
@@ -380,6 +464,9 @@ int main(int argc, char** argv) {
   knobs.jitter = cfg.get_double("jitter", 0.0);
   knobs.negttl = cfg.get_double("negttl", 0.0);
   knobs.coalesce = cfg.get_bool("coalesce", true);
+  std::string proto_list = cfg.get_string("proto", "wire");
+  size_t burst = static_cast<size_t>(cfg.get_int("burst", 1));
+  bool iouring = cfg.get_bool("iouring", false);
   std::string out = cfg.get_string("out", "BENCH_daemon.json");
 
   std::vector<size_t> sweep = parse_list(shard_list, 1);
@@ -429,6 +516,22 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "error: need ttl>0, grace>=0, jitter>=0, negttl>=0\n");
     return 1;
   }
+  std::vector<std::string> protos = parse_proto_list(proto_list);
+  if (protos.empty()) {
+    std::fprintf(stderr,
+                 "error: proto=%s must be a comma list drawn from "
+                 "wire,bin,http\n", proto_list.c_str());
+    return 1;
+  }
+  if (burst < 1) {
+    std::fprintf(stderr, "error: burst must be >= 1\n");
+    return 1;
+  }
+  if (burst > 1 &&
+      (protos.size() != 1 || protos[0] != "bin")) {
+    std::fprintf(stderr, "error: burst>1 requires proto=bin (frame pipelining)\n");
+    return 1;
+  }
 
   // One shared zero-delay HTTP backend on its own reactor thread. Targets
   // under /stall- are swallowed: the response is parked forever, modelling a
@@ -451,29 +554,33 @@ int main(int argc, char** argv) {
       "daemon_loadgen: %zu clients, %.1fs per run, %llu keys, cache=%d, "
       "timeout=%ums, stallpct=%llu, attempts=%d, obs=%d, scrape=%d, "
       "dup=%s, ttl=%.3g, grace=%.3g, jitter=%.3g, negttl=%.3g, "
-      "coalesce=%d, %u cpus\n",
+      "coalesce=%d, proto=%s, burst=%zu, iouring=%d, %u cpus\n",
       clients, seconds, static_cast<unsigned long long>(keys), cache ? 1 : 0,
       timeout_ms, static_cast<unsigned long long>(stallpct), attempts,
       obs_on ? 1 : 0, scrape ? 1 : 0, dup_list.c_str(), knobs.ttl, knobs.grace,
-      knobs.jitter, knobs.negttl, knobs.coalesce ? 1 : 0, cpus);
-  std::printf("%-5s %-7s %-9s %-8s %10s %10s %9s %9s %9s %9s %10s %8s %8s %9s %9s %9s\n",
-              "dup", "shards", "channel", "accept", "requests", "req/s", "p50 ms",
-              "p99 ms", "brk p50", "hit%", "dropped", "misses", "retries",
-              "conns", "bkcalls", "coalesc");
+      knobs.jitter, knobs.negttl, knobs.coalesce ? 1 : 0, proto_list.c_str(),
+      burst, iouring ? 1 : 0, cpus);
+  std::printf("%-5s %-5s %-7s %-9s %-8s %10s %10s %9s %9s %9s %9s %10s %8s %8s %9s %9s %9s\n",
+              "proto", "dup", "shards", "channel", "accept", "requests", "req/s",
+              "p50 ms", "p99 ms", "brk p50", "hit%", "dropped", "misses",
+              "retries", "conns", "bkcalls", "coalesc");
 
   bool conservation_ok = true;
   std::vector<RunResult> results;
+  for (const std::string& proto : protos) {
   for (double dup : dups) {
   knobs.dup = dup;
   for (size_t shards : sweep) {
     for (size_t mode : modes) {
       RunResult r = run_one(shards, mode != 0, clients, seconds, keys,
                             threshold, cache, fallback, timeout_ms, stallpct,
-                            attempts, obs_on, scrape, knobs, backend.port());
+                            attempts, obs_on, scrape, knobs, proto, burst,
+                            iouring, backend.port());
       core::BrokerMetrics::ClassCounters total = r.metrics.total();
-      std::printf("%-5.2f %-7zu %-9s %-8s %10llu %10.0f %9.3f %9.3f %9.3f %8.1f%% "
+      std::printf("%-5s %-5.2f %-7zu %-9s %-8s %10llu %10.0f %9.3f %9.3f %9.3f %8.1f%% "
                   "%10llu %8llu %8llu %9llu %9llu %9llu\n",
-                  r.dup, r.shards, r.pipelined ? "pipeline" : "stopwait",
+                  r.proto.c_str(), r.dup, r.shards,
+                  r.pipelined ? "pipeline" : "stopwait",
                   r.kernel_accept_sharding ? "kernel" : "rrobin",
                   static_cast<unsigned long long>(r.requests), r.rps,
                   r.latency.percentile(0.5) * 1e3, r.latency.p99() * 1e3,
@@ -490,6 +597,36 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "conservation violated: shards=%zu pipeline=%zu\n",
                      shards, mode);
         conservation_ok = false;
+      }
+      if (check && proto == "bin") {
+        // The binary-ingress smoke gates: every client request arrived as a
+        // frame, every reply left through the coalesced-flush path, and the
+        // flush counters are live (flushed_responses > flushes is only
+        // guaranteed with burst>1 pipelining, so gate on >= here).
+        if (r.wire.frames_in != r.requests ||
+            r.wire.flushed_responses < r.wire.frames_in ||
+            r.wire.flushes == 0 ||
+            r.wire.flushed_responses < r.wire.flushes) {
+          std::fprintf(
+              stderr,
+              "binary wire check FAILED: frames_in=%llu requests=%llu "
+              "flushes=%llu flushed_responses=%llu (shards=%zu pipeline=%zu)\n",
+              static_cast<unsigned long long>(r.wire.frames_in),
+              static_cast<unsigned long long>(r.requests),
+              static_cast<unsigned long long>(r.wire.flushes),
+              static_cast<unsigned long long>(r.wire.flushed_responses),
+              shards, mode);
+          conservation_ok = false;
+        }
+        if (burst > 1 && r.wire.flushed_responses <= r.wire.flushes) {
+          std::fprintf(stderr,
+                       "coalescing check FAILED: burst=%zu but flushed %llu "
+                       "responses in %llu flushes (no batching)\n",
+                       burst,
+                       static_cast<unsigned long long>(r.wire.flushed_responses),
+                       static_cast<unsigned long long>(r.wire.flushes));
+          conservation_ok = false;
+        }
       }
       if (check && knobs.dup > 0.0 && cache && knobs.coalesce) {
         // The point of the dup dimension: under hot-key repetition the
@@ -539,6 +676,7 @@ int main(int argc, char** argv) {
     }
   }
   }
+  }
 
   backend_reactor.stop();
   backend_thread.join();
@@ -562,11 +700,14 @@ int main(int argc, char** argv) {
       .field("ttl_jitter", knobs.jitter)
       .field("negative_ttl", knobs.negttl)
       .field("coalesce", knobs.coalesce)
+      .field("burst", burst)
+      .field("iouring", iouring)
       .key("runs")
       .begin_array();
   for (const RunResult& r : results) {
     core::BrokerMetrics::ClassCounters total = r.metrics.total();
     json.begin_object()
+        .field("proto", r.proto)
         .field("dup", r.dup)
         .field("shards", r.shards)
         .field("pipelined", r.pipelined)
@@ -604,6 +745,12 @@ int main(int argc, char** argv) {
         .field("channel_timeouts", r.metrics.transport.timeouts)
         .field("channel_cancels", r.metrics.transport.cancels)
         .field("peak_pipeline_depth", r.metrics.transport.peak_in_flight)
+        .field("frames_in", r.wire.frames_in)
+        .field("legacy_in", r.wire.legacy_in)
+        .field("http_in", r.wire.http_in)
+        .field("fast_hits", r.wire.fast_hits)
+        .field("wire_flushes", r.wire.flushes)
+        .field("wire_flushed_responses", r.wire.flushed_responses)
         .key("drop_ratio_per_class")
         .begin_array();
     for (int level = 1; level <= r.metrics.num_levels(); ++level) {

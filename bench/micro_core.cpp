@@ -5,12 +5,15 @@
 #include <vector>
 
 #include "core/admission.h"
+#include "core/arena.h"
 #include "core/cache.h"
+#include "core/request.h"
 #include "core/cluster.h"
 #include "core/scheduler.h"
 #include "core/striped_cache.h"
 #include "http/parser.h"
 #include "http/wire.h"
+#include "net/frame.h"
 
 using namespace sbroker;
 
@@ -151,5 +154,58 @@ void BM_ClusterSplitReply(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ClusterSplitReply)->Arg(8)->Arg(40);
+
+// The legacy comparison point for BM_FrameEncodeDecodeRequest below is
+// BM_WireEncodeDecodeRequest: same request shape through the SBRK codec.
+void BM_FrameEncodeDecodeRequest(benchmark::State& state) {
+  net::frame::Request req{1, 2, 0, "SELECT * FROM records WHERE id = 123456"};
+  std::string bytes;
+  for (auto _ : state) {
+    bytes.clear();
+    net::frame::encode_request(req, bytes);
+    net::frame::Request decoded;
+    size_t consumed = 0;
+    benchmark::DoNotOptimize(net::frame::parse_request(bytes, decoded, &consumed));
+    benchmark::DoNotOptimize(decoded);
+  }
+}
+BENCHMARK(BM_FrameEncodeDecodeRequest);
+
+void BM_FrameEncodeReply(benchmark::State& state) {
+  std::string payload(256, 'x');
+  std::string bytes;
+  for (auto _ : state) {
+    bytes.clear();
+    net::frame::encode_reply(7, http::Fidelity::kCached,
+                             net::frame::kFlagCacheServed, payload, bytes);
+    benchmark::DoNotOptimize(bytes);
+  }
+}
+BENCHMARK(BM_FrameEncodeReply);
+
+// Arena bump allocation vs the strings the request path used to build: the
+// steady state (first block retained across reset) must be a pointer bump.
+void BM_ArenaStoreReset(benchmark::State& state) {
+  core::Arena arena;
+  std::string value(static_cast<size_t>(state.range(0)), 'v');
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(arena.store(value));
+    arena.reset();
+  }
+}
+BENCHMARK(BM_ArenaStoreReset)->Arg(64)->Arg(512)->Arg(4096);
+
+void BM_ArenaCreateContext(benchmark::State& state) {
+  core::ArenaPool pool;
+  for (auto _ : state) {
+    auto arena = pool.acquire();
+    auto* ctx = arena->create<core::RequestContext>();
+    ctx->payload = arena->store("/object-123456");
+    benchmark::DoNotOptimize(ctx);
+    ctx->~RequestContext();
+    pool.release(std::move(arena));
+  }
+}
+BENCHMARK(BM_ArenaCreateContext);
 
 }  // namespace

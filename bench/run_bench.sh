@@ -39,6 +39,14 @@
 #                  each run) so broker-side p50/p95/p99 per QoS class land
 #                  in BENCH_daemon.json next to the client-side numbers
 #                  (default 1)
+#   BENCH_PROTO    comma list of client protocols swept per combination:
+#                  wire (legacy SBRK codec), bin (binary frames + arena fast
+#                  path), http (HTTP/1.1 keep-alive on the same sniffed
+#                  port). Comparing proto=bin against proto=http at dup=0 is
+#                  the wire-framing speedup headline (default "wire,http,bin")
+#   BENCH_BURST    frames pipelined per send, proto=bin only (default 1)
+#   BENCH_IOURING  opt shard reactors into io_uring submission (default 0;
+#                  needs -DSBROKER_IOURING=ON, silently falls back to epoll)
 set -eu
 
 repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
@@ -75,6 +83,9 @@ echo "== daemon loadgen -> BENCH_daemon.json"
   "jitter=${BENCH_JITTER:-0.1}" \
   "negttl=${BENCH_NEGTTL:-0}" \
   "coalesce=${BENCH_COALESCE:-1}" \
+  "proto=${BENCH_PROTO:-wire,http,bin}" \
+  "burst=${BENCH_BURST:-1}" \
+  "iouring=${BENCH_IOURING:-0}" \
   "out=$repo_root/BENCH_daemon.json"
 
 echo "== wrote $repo_root/BENCH_core.json and $repo_root/BENCH_daemon.json"

@@ -1,0 +1,153 @@
+// Per-request bump allocator.
+//
+// A request on the daemon hot path needs a handful of short-lived buffers:
+// the canonical query key, the RequestContext itself, and scratch for the
+// encoded response. Allocating each from the global heap costs a malloc/free
+// round-trip per buffer per request. An Arena instead carves them out of one
+// block with pointer bumps and releases everything in a single reset() at
+// the request's exactly-once terminal.
+//
+// Steady state performs zero heap allocations: reset() keeps the first
+// block, so a pooled arena that has seen one request serves every later
+// request of similar size from memory it already owns.
+//
+// Not thread-safe; an arena belongs to one reactor shard at a time.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <new>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace sbroker::core {
+
+class Arena {
+ public:
+  static constexpr size_t kDefaultBlockBytes = 4096;
+
+  explicit Arena(size_t block_bytes = kDefaultBlockBytes)
+      : block_bytes_(block_bytes < kMinBlockBytes ? kMinBlockBytes : block_bytes) {}
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// Returns `size` bytes aligned to `align` (power of two). Never null;
+  /// oversized requests get a dedicated block.
+  void* allocate(size_t size, size_t align = alignof(std::max_align_t)) {
+    uintptr_t p = (cursor_ + (align - 1)) & ~(uintptr_t{align} - 1);
+    if (p + size <= limit_) {
+      cursor_ = p + size;
+      used_ += size;
+      return reinterpret_cast<void*>(p);
+    }
+    return allocate_slow(size, align);
+  }
+
+  /// Constructs a T in arena memory. The arena does NOT run destructors —
+  /// callers owning non-trivial members must destroy explicitly before
+  /// reset().
+  template <typename T, typename... Args>
+  T* create(Args&&... args) {
+    return new (allocate(sizeof(T), alignof(T))) T(std::forward<Args>(args)...);
+  }
+
+  /// Copies `s` into the arena and returns a view of the copy, stable until
+  /// reset().
+  std::string_view store(std::string_view s) {
+    if (s.empty()) return {};
+    char* p = static_cast<char*>(allocate(s.size(), 1));
+    std::memcpy(p, s.data(), s.size());
+    return {p, s.size()};
+  }
+
+  /// Returns raw char scratch of `size` bytes (for response encoding).
+  char* scratch(size_t size) { return static_cast<char*>(allocate(size, 1)); }
+
+  /// Frees everything allocated since the last reset. The first block is
+  /// retained so a warmed arena allocates nothing on the next request; any
+  /// overflow blocks are returned to the heap.
+  void reset() {
+    used_ = 0;
+    if (blocks_.size() > 1) blocks_.resize(1);
+    if (!blocks_.empty()) {
+      cursor_ = reinterpret_cast<uintptr_t>(blocks_.front().get());
+      limit_ = cursor_ + block_bytes_;
+    } else {
+      cursor_ = limit_ = 0;
+    }
+  }
+
+  /// Bytes handed out since the last reset (diagnostics/tests).
+  size_t bytes_used() const { return used_; }
+  /// Number of blocks currently owned (1 in steady state).
+  size_t block_count() const { return blocks_.size(); }
+
+ private:
+  static constexpr size_t kMinBlockBytes = 256;
+
+  void* allocate_slow(size_t size, size_t align) {
+    // Oversized request: dedicated block, current block stays active so its
+    // remaining space is not wasted.
+    if (size + align > block_bytes_) {
+      auto block = std::make_unique<char[]>(size + align);
+      uintptr_t base = reinterpret_cast<uintptr_t>(block.get());
+      uintptr_t p = (base + (align - 1)) & ~(uintptr_t{align} - 1);
+      // Keep the active block last; insert the jumbo block before it.
+      blocks_.insert(blocks_.empty() ? blocks_.end() : blocks_.end() - 1, std::move(block));
+      used_ += size;
+      return reinterpret_cast<void*>(p);
+    }
+    auto block = std::make_unique<char[]>(block_bytes_);
+    cursor_ = reinterpret_cast<uintptr_t>(block.get());
+    limit_ = cursor_ + block_bytes_;
+    blocks_.push_back(std::move(block));
+    uintptr_t p = (cursor_ + (align - 1)) & ~(uintptr_t{align} - 1);
+    cursor_ = p + size;
+    used_ += size;
+    return reinterpret_cast<void*>(p);
+  }
+
+  size_t block_bytes_;
+  uintptr_t cursor_ = 0;
+  uintptr_t limit_ = 0;
+  size_t used_ = 0;
+  std::vector<std::unique_ptr<char[]>> blocks_;
+};
+
+/// Free-list of warmed arenas. The daemon acquires one per in-flight request
+/// and releases it at the terminal; after warm-up no acquire touches the
+/// heap.
+class ArenaPool {
+ public:
+  explicit ArenaPool(size_t block_bytes = Arena::kDefaultBlockBytes)
+      : block_bytes_(block_bytes) {}
+
+  std::unique_ptr<Arena> acquire() {
+    if (!free_.empty()) {
+      std::unique_ptr<Arena> arena = std::move(free_.back());
+      free_.pop_back();
+      return arena;
+    }
+    return std::make_unique<Arena>(block_bytes_);
+  }
+
+  void release(std::unique_ptr<Arena> arena) {
+    if (arena == nullptr) return;
+    arena->reset();
+    if (free_.size() < kMaxPooled) free_.push_back(std::move(arena));
+  }
+
+  size_t pooled() const { return free_.size(); }
+
+ private:
+  static constexpr size_t kMaxPooled = 1024;
+
+  size_t block_bytes_;
+  std::vector<std::unique_ptr<Arena>> free_;
+};
+
+}  // namespace sbroker::core

@@ -26,6 +26,13 @@ ServiceBroker::ServiceBroker(std::string name, BrokerConfig config)
       obs_(config.obs, config.rules.num_levels),
       flight_table_(std::make_shared<FlightTable>()) {}
 
+ServiceBroker::~ServiceBroker() {
+  // Requests still outstanding at teardown never get a reply (their owner is
+  // going away with us); just reclaim their arenas.
+  for (auto& [id, ctx] : contexts_) destroy_context(ctx);
+  contexts_.clear();
+}
+
 void ServiceBroker::add_backend(std::shared_ptr<Backend> backend, double weight) {
   assert(backend != nullptr);
   backends_.push_back(std::move(backend));
@@ -78,44 +85,80 @@ void ServiceBroker::submit(double now, const http::BrokerRequest& request,
   //    fetch path.
   if (config_.enable_cache) {
     LookupResult looked = cache_->lookup(request.payload, now);
-    if (looked.outcome == LookupOutcome::kHit ||
-        looked.outcome == LookupOutcome::kStaleServe ||
-        looked.outcome == LookupOutcome::kStaleRefresh) {
-      auto& c = metrics_.at(base_level);
-      c.cache_hits += 1;
-      c.completed += 1;
-      c.response_time.add(0.0);
-      obs_.record(base_level, obs::Stage::kTotal, 0.0);
-      if (looked.outcome != LookupOutcome::kHit) {
-        metrics_.flight.swr_hits += 1;
-        obs_.trace(now, request.request_id, obs::TraceEventKind::kSwr,
-                   static_cast<uint8_t>(base_level),
-                   looked.outcome == LookupOutcome::kStaleRefresh ? 1 : 0);
-      }
-      obs_.trace(now, request.request_id, obs::TraceEventKind::kCacheHit,
-                 static_cast<uint8_t>(base_level));
-      reply(http::BrokerReply{request.request_id, http::Fidelity::kCached,
-                              *looked.value});
-      if (looked.outcome == LookupOutcome::kStaleRefresh) {
-        issue_refresh(request.payload, now);
-      }
-      return;
-    }
-    if (looked.outcome == LookupOutcome::kNegative) {
-      auto& c = metrics_.at(base_level);
-      c.errors += 1;
-      c.completed += 1;
-      c.response_time.add(0.0);
-      metrics_.flight.negative_hits += 1;
-      obs_.record(base_level, obs::Stage::kTotal, 0.0);
-      obs_.trace(now, request.request_id, obs::TraceEventKind::kCacheHit,
-                 static_cast<uint8_t>(base_level), /*detail: negative=*/2);
-      reply(http::BrokerReply{request.request_id, http::Fidelity::kError,
-                              *looked.value});
+    if (looked.outcome != LookupOutcome::kMiss) {
+      serve_from_cache(now, request, base_level, looked.outcome, *looked.value,
+                       [&reply](const ReplyView& r) {
+                         reply(http::BrokerReply{r.request_id, r.fidelity,
+                                                 std::string(r.payload)});
+                       });
       return;
     }
   }
 
+  submit_tail(now, request, std::move(reply), base_level, effective);
+}
+
+bool ServiceBroker::try_submit_fast(double now, const http::BrokerRequest& request,
+                                    Arena& scratch, ReplyViewFn reply) {
+  if (!config_.enable_cache) return false;
+  LookupView looked = cache_->lookup_into(request.payload, now, scratch);
+  if (looked.outcome == LookupOutcome::kMiss) return false;
+
+  QosLevel base_level = config_.rules.clamp_level(request.qos_level);
+  metrics_.at(base_level).issued += 1;
+  // Side-effect parity with submit(): transaction progress advances even for
+  // cache-answered steps (escalation must see step N served from cache).
+  txn_->effective_level(request.txn_id, request.txn_step, base_level, now);
+  serve_from_cache(now, request, base_level, looked.outcome, looked.value, reply);
+  return true;
+}
+
+void ServiceBroker::submit_miss(double now, const http::BrokerRequest& request,
+                                ReplyFn reply) {
+  QosLevel base_level = config_.rules.clamp_level(request.qos_level);
+  metrics_.at(base_level).issued += 1;
+  QosLevel effective =
+      txn_->effective_level(request.txn_id, request.txn_step, base_level, now);
+  submit_tail(now, request, std::move(reply), base_level, effective);
+}
+
+void ServiceBroker::serve_from_cache(double now, const http::BrokerRequest& request,
+                                     QosLevel base_level, LookupOutcome outcome,
+                                     std::string_view value, ReplyViewFn reply) {
+  if (outcome == LookupOutcome::kNegative) {
+    auto& c = metrics_.at(base_level);
+    c.errors += 1;
+    c.completed += 1;
+    c.response_time.add(0.0);
+    metrics_.flight.negative_hits += 1;
+    obs_.record(base_level, obs::Stage::kTotal, 0.0);
+    obs_.trace(now, request.request_id, obs::TraceEventKind::kCacheHit,
+               static_cast<uint8_t>(base_level), /*detail: negative=*/2);
+    reply(ReplyView{request.request_id, http::Fidelity::kError, value});
+    return;
+  }
+  auto& c = metrics_.at(base_level);
+  c.cache_hits += 1;
+  c.completed += 1;
+  c.response_time.add(0.0);
+  obs_.record(base_level, obs::Stage::kTotal, 0.0);
+  if (outcome != LookupOutcome::kHit) {
+    metrics_.flight.swr_hits += 1;
+    obs_.trace(now, request.request_id, obs::TraceEventKind::kSwr,
+               static_cast<uint8_t>(base_level),
+               outcome == LookupOutcome::kStaleRefresh ? 1 : 0);
+  }
+  obs_.trace(now, request.request_id, obs::TraceEventKind::kCacheHit,
+             static_cast<uint8_t>(base_level));
+  reply(ReplyView{request.request_id, http::Fidelity::kCached, value});
+  if (outcome == LookupOutcome::kStaleRefresh) {
+    issue_refresh(request.payload, now);
+  }
+}
+
+void ServiceBroker::submit_tail(double now, const http::BrokerRequest& request,
+                                ReplyFn reply, QosLevel base_level,
+                                QosLevel effective) {
   // 2. Admission, against the (possibly cross-shard) outstanding count.
   AdmissionDecision decision = admission_.decide(effective, load_->load(), now);
   if (decision != AdmissionDecision::kForward) {
@@ -145,18 +188,22 @@ void ServiceBroker::submit(double now, const http::BrokerRequest& request,
   load_->inc();
   hotspot_.observe(load_->load());
 
-  RequestContext ctx;
-  ctx.id = request.request_id;
-  ctx.base_level = base_level;
-  ctx.effective_level = effective;
-  ctx.submitted_at = now;
-  ctx.deadline = compute_deadline(now, request.deadline_ms);
-  ctx.attempt_budget = std::max(1, config_.lifecycle.max_attempts);
-  ctx.payload = rewritten.payload;
-  ctx.degraded = rewritten.degraded;
-  ctx.reply = std::move(reply);
-  if (ctx.deadline != kNoDeadline) deadlines_.emplace(ctx.deadline, ctx.id);
-  contexts_[request.request_id] = std::move(ctx);
+  // The context and its canonical payload bytes share one pooled arena,
+  // freed in a single step by the exactly-once terminal (destroy_context).
+  std::unique_ptr<Arena> arena = arena_pool_.acquire();
+  RequestContext* ctx = arena->create<RequestContext>();
+  ctx->arena = arena.release();
+  ctx->id = request.request_id;
+  ctx->base_level = base_level;
+  ctx->effective_level = effective;
+  ctx->submitted_at = now;
+  ctx->deadline = compute_deadline(now, request.deadline_ms);
+  ctx->attempt_budget = std::max(1, config_.lifecycle.max_attempts);
+  ctx->payload = ctx->arena->store(rewritten.payload);
+  ctx->degraded = rewritten.degraded;
+  ctx->reply = std::move(reply);
+  if (ctx->deadline != kNoDeadline) deadlines_.emplace(ctx->deadline, ctx->id);
+  contexts_[request.request_id] = ctx;
   obs_.trace(now, request.request_id, obs::TraceEventKind::kAdmit,
              static_cast<uint8_t>(base_level), static_cast<uint16_t>(effective));
 
@@ -168,7 +215,7 @@ void ServiceBroker::submit(double now, const http::BrokerRequest& request,
   //    under a leaderless local flight and the resolution arrives through
   //    drain_flight_wakeups().
   if (single_flight_enabled()) {
-    const std::string& key = rewritten.payload;
+    std::string_view key = ctx->payload;
     auto fit = flights_.find(key);
     if (fit == flights_.end() && !claim_flight(key)) {
       Flight flight;
@@ -224,7 +271,7 @@ void ServiceBroker::enqueue_batch(Batch batch, double now) {
   for (uint64_t id : batch.member_ids) {
     auto it = contexts_.find(id);
     if (it != contexts_.end()) {
-      RequestContext& ctx = it->second;
+      RequestContext& ctx = *it->second;
       ready.priority = std::max(ready.priority, ctx.effective_level);
       ctx.batched_at = now;
       obs_.record(ctx.base_level, obs::Stage::kBatchWait, now - ctx.submitted_at);
@@ -255,7 +302,7 @@ void ServiceBroker::dispatch(ReadyBatch ready, double now) {
     auto it = contexts_.find(id);
     if (it == contexts_.end()) continue;
     ++live;
-    double remaining = it->second.remaining(now);
+    double remaining = it->second->remaining(now);
     if (remaining == kNoDeadline) {
       unbounded = true;
     } else {
@@ -275,11 +322,13 @@ void ServiceBroker::dispatch(ReadyBatch ready, double now) {
     if (probe) balancer_.abandon_probe(*backend_index);
     for (size_t i = 0; i < ready.batch.member_ids.size(); ++i) {
       uint64_t id = ready.batch.member_ids[i];
-      auto node = contexts_.extract(id);
-      if (node.empty()) continue;
+      auto it = contexts_.find(id);
+      if (it == contexts_.end()) continue;
+      RequestContext* ctx = it->second;
+      contexts_.erase(it);
       // Mirror the admission-drop bookkeeping: the request was admitted but
       // cannot be carried, so it is shed with low fidelity.
-      shed_context(std::move(node.mapped()), now, /*deadline_miss=*/false);
+      shed_context(ctx, now, /*deadline_miss=*/false);
       // A shed flight leader hands its key to a waiter (who re-enters the
       // dispatch queue and, while the pool stays saturated, is shed in turn
       // until the waiter list drains — the loop terminates).
@@ -313,7 +362,7 @@ void ServiceBroker::dispatch(ReadyBatch ready, double now) {
   for (uint64_t id : ready.batch.member_ids) {
     auto it = contexts_.find(id);
     if (it == contexts_.end()) continue;
-    RequestContext& ctx = it->second;
+    RequestContext& ctx = *it->second;
     if (ctx.attempts == 0) {
       // QoS-queue residency: batch formation to first dispatch. Retries skip
       // this — their wait mixes in the failed attempt's channel time.
@@ -367,12 +416,12 @@ void ServiceBroker::on_exchange_complete(uint64_t exchange_id, double now, bool 
       if (config_.enable_cache) cache_->put(batch.member_payloads[i], parts[i], now);
       uint64_t id = batch.member_ids[i];
       auto ctx_it = contexts_.find(id);
-      if (ctx_it != contexts_.end() && ctx_it->second.exchange == exchange_id) {
-        RequestContext ctx = std::move(ctx_it->second);
+      if (ctx_it != contexts_.end() && ctx_it->second->exchange == exchange_id) {
+        RequestContext* ctx = ctx_it->second;
         contexts_.erase(ctx_it);
-        obs_.record(ctx.base_level, obs::Stage::kChannelRtt,
-                    now - ctx.dispatched_at);
-        finish_context(std::move(ctx), now, http::Fidelity::kFull, parts[i],
+        obs_.record(ctx->base_level, obs::Stage::kChannelRtt,
+                    now - ctx->dispatched_at);
+        finish_context(ctx, now, http::Fidelity::kFull, parts[i],
                        /*count_error=*/false);
       }
       // Put, then resolve: parked shards woken by the FlightTable re-probe
@@ -389,13 +438,13 @@ void ServiceBroker::on_exchange_complete(uint64_t exchange_id, double now, bool 
       uint64_t id = batch.member_ids[i];
       const std::string& key = batch.member_payloads[i];
       auto ctx_it = contexts_.find(id);
-      if (ctx_it == contexts_.end() || ctx_it->second.exchange != exchange_id) {
+      if (ctx_it == contexts_.end() || ctx_it->second->exchange != exchange_id) {
         // The member expired (or moved on) mid-exchange; its fetch chain
         // ends here, so a flight it still leads must be re-led or dropped.
         if (single_flight_enabled()) settle_abandoned_flight(key, id, now);
         continue;
       }
-      RequestContext& ctx = ctx_it->second;
+      RequestContext& ctx = *ctx_it->second;
       ctx.exchange = 0;
       obs_.record(ctx.base_level, obs::Stage::kChannelRtt, now - ctx.dispatched_at);
       if (may_retry(ctx, now)) {
@@ -407,7 +456,7 @@ void ServiceBroker::on_exchange_complete(uint64_t exchange_id, double now, bool 
                    static_cast<uint16_t>(ctx.attempts));
         scheduled_retry = true;
       } else {
-        RequestContext moved = std::move(ctx_it->second);
+        RequestContext* moved = ctx_it->second;
         contexts_.erase(ctx_it);
         // Publish the failure (a no-op over a resident positive entry and
         // when negative caching is off), then fail the waiters. The error
@@ -420,7 +469,7 @@ void ServiceBroker::on_exchange_complete(uint64_t exchange_id, double now, bool 
             resolve_flight(key, now, /*ok=*/false, payload);
           }
         }
-        finish_context(std::move(moved), now, http::Fidelity::kError, payload,
+        finish_context(moved, now, http::Fidelity::kError, payload,
                        /*count_error=*/true);
       }
     }
@@ -432,7 +481,13 @@ void ServiceBroker::on_exchange_complete(uint64_t exchange_id, double now, bool 
   pump(now);
 }
 
-void ServiceBroker::finish_context(RequestContext ctx, double now,
+void ServiceBroker::destroy_context(RequestContext* ctx) {
+  std::unique_ptr<Arena> arena(ctx->arena);
+  ctx->~RequestContext();  // the arena doesn't run destructors
+  arena_pool_.release(std::move(arena));
+}
+
+void ServiceBroker::finish_context(RequestContext* ctx, double now,
                                    http::Fidelity fidelity,
                                    const std::string& payload, bool count_error) {
   assert(outstanding_ > 0);
@@ -440,51 +495,54 @@ void ServiceBroker::finish_context(RequestContext ctx, double now,
   load_->dec();
   hotspot_.observe(load_->load());
 
-  if (ctx.degraded && fidelity == http::Fidelity::kFull) {
+  if (ctx->degraded && fidelity == http::Fidelity::kFull) {
     fidelity = http::Fidelity::kDegraded;
   }
-  auto& c = metrics_.at(ctx.base_level);
+  auto& c = metrics_.at(ctx->base_level);
   if (fidelity == http::Fidelity::kFull || fidelity == http::Fidelity::kCached ||
       fidelity == http::Fidelity::kDegraded) {
     c.forwarded += 1;
   }
   if (count_error) c.errors += 1;
   c.completed += 1;
-  c.response_time.add(now - ctx.submitted_at);
-  obs_.record(ctx.base_level, obs::Stage::kTotal, now - ctx.submitted_at);
-  obs_.trace(now, ctx.id, obs::TraceEventKind::kComplete,
-             static_cast<uint8_t>(ctx.base_level),
+  c.response_time.add(now - ctx->submitted_at);
+  obs_.record(ctx->base_level, obs::Stage::kTotal, now - ctx->submitted_at);
+  obs_.trace(now, ctx->id, obs::TraceEventKind::kComplete,
+             static_cast<uint8_t>(ctx->base_level),
              static_cast<uint16_t>(fidelity));
-  ctx.reply(http::BrokerReply{ctx.id, fidelity, payload});
+  ctx->reply(http::BrokerReply{ctx->id, fidelity, payload});
+  destroy_context(ctx);
 }
 
-void ServiceBroker::shed_context(RequestContext ctx, double now, bool deadline_miss) {
+void ServiceBroker::shed_context(RequestContext* ctx, double now, bool deadline_miss) {
   assert(outstanding_ > 0);
   --outstanding_;
   load_->dec();
   hotspot_.observe(load_->load());
 
-  auto& c = metrics_.at(ctx.base_level);
+  auto& c = metrics_.at(ctx->base_level);
   c.dropped += 1;
   if (deadline_miss) c.deadline_misses += 1;
   c.completed += 1;
-  c.response_time.add(now - ctx.submitted_at);
-  obs_.record(ctx.base_level, obs::Stage::kTotal, now - ctx.submitted_at);
-  obs_.trace(now, ctx.id,
+  c.response_time.add(now - ctx->submitted_at);
+  obs_.record(ctx->base_level, obs::Stage::kTotal, now - ctx->submitted_at);
+  obs_.trace(now, ctx->id,
              deadline_miss ? obs::TraceEventKind::kDeadline
                            : obs::TraceEventKind::kDrop,
-             static_cast<uint8_t>(ctx.base_level),
-             deadline_miss ? static_cast<uint16_t>(ctx.attempts)
+             static_cast<uint8_t>(ctx->base_level),
+             deadline_miss ? static_cast<uint16_t>(ctx->attempts)
                            : /*pool saturated=*/static_cast<uint16_t>(2));
   if (config_.serve_stale_on_drop) {
-    if (auto stale = cache_->get_stale(ctx.payload)) {
-      ctx.reply(http::BrokerReply{ctx.id, http::Fidelity::kCached, *stale});
+    if (auto stale = cache_->get_stale(ctx->payload)) {
+      ctx->reply(http::BrokerReply{ctx->id, http::Fidelity::kCached, *stale});
+      destroy_context(ctx);
       return;
     }
   }
-  ctx.reply(http::BrokerReply{
-      ctx.id, http::Fidelity::kBusy,
+  ctx->reply(http::BrokerReply{
+      ctx->id, http::Fidelity::kBusy,
       deadline_miss ? std::string(kDeadlineExceeded) : "system is busy"});
+  destroy_context(ctx);
 }
 
 bool ServiceBroker::may_retry(const RequestContext& ctx, double now) const {
@@ -500,18 +558,18 @@ void ServiceBroker::expire_deadlines(double now) {
     auto it = contexts_.find(id);
     // Skip lazily-deleted entries (request already answered) and entries
     // stale against a later re-submitted deadline for the same id.
-    if (it == contexts_.end() || !it->second.expired(now)) continue;
-    uint64_t exchange_id = it->second.exchange;
-    RequestContext ctx = std::move(it->second);
+    if (it == contexts_.end() || !it->second->expired(now)) continue;
+    uint64_t exchange_id = it->second->exchange;
+    RequestContext* ctx = it->second;
     contexts_.erase(it);
     if (single_flight_enabled()) {
-      auto fit = flights_.find(ctx.payload);
+      auto fit = flights_.find(ctx->payload);
       if (fit != flights_.end()) {
-        if (fit->second.leader != ctx.id) {
+        if (fit->second.leader != ctx->id) {
           // An expiring waiter detaches; the fetch it was parked on
           // continues for whoever remains.
           auto& w = fit->second.waiters;
-          w.erase(std::remove(w.begin(), w.end(), ctx.id), w.end());
+          w.erase(std::remove(w.begin(), w.end(), ctx->id), w.end());
           if (w.empty() && fit->second.leader == 0 && !fit->second.owner) {
             flights_.erase(fit);  // parked on a remote fetch, nobody left
           }
@@ -520,11 +578,11 @@ void ServiceBroker::expire_deadlines(double now) {
           // parked for a retry slot that now never fires): promote a waiter
           // or drop the flight. A leader with a live exchange keeps it —
           // the completion or the harvest settles the flight.
-          settle_abandoned_flight(ctx.payload, ctx.id, now);
+          settle_abandoned_flight(ctx->payload, ctx->id, now);
         }
       }
     }
-    shed_context(std::move(ctx), now, /*deadline_miss=*/true);
+    shed_context(ctx, now, /*deadline_miss=*/true);
     if (exchange_id != 0) {
       auto ex_it = exchanges_.find(exchange_id);
       if (ex_it != exchanges_.end()) {
@@ -581,15 +639,15 @@ void ServiceBroker::drain_retries(double now) {
     auto it = contexts_.find(id);
     // Valid only for a context that has consumed an attempt and is not in
     // flight — anything else is a lazily-deleted entry.
-    if (it == contexts_.end() || it->second.exchange != 0 ||
-        it->second.attempts == 0) {
+    if (it == contexts_.end() || it->second->exchange != 0 ||
+        it->second->attempts == 0) {
       continue;
     }
-    const RequestContext& ctx = it->second;
+    const RequestContext& ctx = *it->second;
     ReadyBatch ready;
     ready.batch.member_ids = {id};
-    ready.batch.member_payloads = {ctx.payload};
-    ready.batch.combined_payload = ctx.payload;
+    ready.batch.member_payloads = {std::string(ctx.payload)};
+    ready.batch.combined_payload = std::string(ctx.payload);
     ready.priority = ctx.effective_level;
     ready.avoid = ctx.last_backend;
     dispatch_queue_.push(ready.priority, std::move(ready));
@@ -665,7 +723,7 @@ void ServiceBroker::issue_prefetch(const PrefetchEntry& entry, double now) {
   });
 }
 
-void ServiceBroker::issue_refresh(const std::string& key, double now) {
+void ServiceBroker::issue_refresh(std::string_view key, double now) {
   if (backends_.empty()) return;
   bool track = single_flight_enabled();
   // A live flight for the key already carries a fetch that will land a
@@ -675,13 +733,13 @@ void ServiceBroker::issue_refresh(const std::string& key, double now) {
   if (track && !claim_flight(key)) return;  // another shard is refreshing
   auto backend_index = balancer_.pick(now);
   if (!backend_index) {
-    if (track) flight_table_->resolve(key);
+    if (track) flight_table_->resolve(std::string(key));
     return;
   }
   ConnectionPool::Lease lease = pool_.acquire();
   if (!lease.granted) {
     balancer_.complete(*backend_index);
-    if (track) flight_table_->resolve(key);
+    if (track) flight_table_->resolve(std::string(key));
     return;
   }
   if (track) {
@@ -690,14 +748,14 @@ void ServiceBroker::issue_refresh(const std::string& key, double now) {
     flights_.emplace(key, std::move(flight));
   }
   metrics_.flight.refreshes += 1;
-  Backend::Call call{key, lease.fresh};
+  Backend::Call call{std::string(key), lease.fresh};
   // Background refreshes carry no request deadline; the transport timeout is
   // the only bound on the exchange.
   call.timeout = config_.refresh_timeout;
   std::shared_ptr<Backend> backend = backends_[*backend_index];
   size_t backend_idx = *backend_index;
   size_t connection = lease.connection;
-  std::string cache_key = key;
+  std::string cache_key(key);
   backend->invoke(call, [this, backend_idx, connection, cache_key, track](
                             double done_now, bool ok, const std::string& payload) {
     pool_.release(connection);
@@ -715,8 +773,8 @@ void ServiceBroker::issue_refresh(const std::string& key, double now) {
   });
 }
 
-bool ServiceBroker::claim_flight(const std::string& key) {
-  return flight_table_->claim(key, [this](const std::string& resolved) {
+bool ServiceBroker::claim_flight(std::string_view key) {
+  return flight_table_->claim(std::string(key), [this](const std::string& resolved) {
     // Runs on the resolving shard's thread: enqueue and poke, nothing else.
     {
       std::lock_guard<std::mutex> lock(flight_wakeup_mu_);
@@ -727,7 +785,7 @@ bool ServiceBroker::claim_flight(const std::string& key) {
   });
 }
 
-void ServiceBroker::resolve_flight(const std::string& key, double now, bool ok,
+void ServiceBroker::resolve_flight(std::string_view key, double now, bool ok,
                                    const std::string& payload) {
   auto fit = flights_.find(key);
   if (fit == flights_.end()) return;
@@ -736,18 +794,18 @@ void ServiceBroker::resolve_flight(const std::string& key, double now, bool ok,
   for (uint64_t id : flight.waiters) {
     auto it = contexts_.find(id);
     if (it == contexts_.end()) continue;  // waiter already shed on deadline
-    RequestContext ctx = std::move(it->second);
+    RequestContext* ctx = it->second;
     contexts_.erase(it);
-    finish_context(std::move(ctx), now,
+    finish_context(ctx, now,
                    ok ? http::Fidelity::kCached : http::Fidelity::kError,
                    payload, /*count_error=*/!ok);
   }
   // Release the cross-shard claim last: parked shards re-probe the cache on
   // wake-up, and the value (or negative entry) is already published.
-  if (flight.owner) flight_table_->resolve(key);
+  if (flight.owner) flight_table_->resolve(std::string(key));
 }
 
-void ServiceBroker::settle_abandoned_flight(const std::string& key,
+void ServiceBroker::settle_abandoned_flight(std::string_view key,
                                             uint64_t member_id, double now) {
   auto fit = flights_.find(key);
   if (fit == flights_.end() || fit->second.leader != member_id) return;
@@ -755,7 +813,7 @@ void ServiceBroker::settle_abandoned_flight(const std::string& key,
   promote_or_drop(key, now);
 }
 
-void ServiceBroker::promote_or_drop(const std::string& key, double now) {
+void ServiceBroker::promote_or_drop(std::string_view key, double now) {
   auto fit = flights_.find(key);
   if (fit == flights_.end()) return;
   Flight& flight = fit->second;
@@ -768,7 +826,7 @@ void ServiceBroker::promote_or_drop(const std::string& key, double now) {
   if (waiters.empty()) {
     bool owner = flight.owner;
     flights_.erase(fit);
-    if (owner) flight_table_->resolve(key);
+    if (owner) flight_table_->resolve(std::string(key));
     return;
   }
   if (!flight.owner) {
@@ -786,11 +844,11 @@ void ServiceBroker::promote_or_drop(const std::string& key, double now) {
   metrics_.flight.promotions += 1;
   // Re-enter the dispatch path as a single-member batch, exactly like a
   // retry; every caller reaches pump() before returning to the event loop.
-  const RequestContext& ctx = contexts_.at(next_leader);
+  const RequestContext& ctx = *contexts_.at(next_leader);
   ReadyBatch ready;
   ready.batch.member_ids = {next_leader};
-  ready.batch.member_payloads = {ctx.payload};
-  ready.batch.combined_payload = ctx.payload;
+  ready.batch.member_payloads = {std::string(ctx.payload)};
+  ready.batch.combined_payload = std::string(ctx.payload);
   ready.priority = ctx.effective_level;
   dispatch_queue_.push(ready.priority, std::move(ready));
   (void)now;

@@ -49,6 +49,7 @@
 #include <vector>
 
 #include "core/admission.h"
+#include "core/arena.h"
 #include "core/backend.h"
 #include "core/balance.h"
 #include "core/cache.h"
@@ -112,6 +113,8 @@ class ServiceBroker {
   using ReplyFn = core::ReplyFn;
 
   ServiceBroker(std::string name, BrokerConfig config);
+  /// Frees arenas of requests still outstanding at teardown (no replies).
+  ~ServiceBroker();
 
   /// Registers a backend replica with a capacity weight. At least one
   /// backend must be added before submit().
@@ -150,6 +153,20 @@ class ServiceBroker {
   /// Handles one request message. `reply` fires exactly once — possibly
   /// re-entrantly (cache hit / drop) or later (backend completion).
   void submit(double now, const http::BrokerRequest& request, ReplyFn reply);
+
+  /// Allocation-free fast path: when the cache answers the request
+  /// (hit / negative / stale-within-grace), replies synchronously through
+  /// `reply` — the payload view lives in `scratch` — and returns true.
+  /// Returns false without consuming the request when it must take the full
+  /// fetch path; the caller then calls submit_miss(). The cache probe and
+  /// its counters/refresh-claim side effects happen exactly once across the
+  /// pair, which is why the fallback must be submit_miss(), not submit().
+  bool try_submit_fast(double now, const http::BrokerRequest& request,
+                       Arena& scratch, ReplyViewFn reply);
+
+  /// submit() for a request whose cache probe (via try_submit_fast) already
+  /// missed: identical except the duplicate probe is skipped.
+  void submit_miss(double now, const http::BrokerRequest& request, ReplyFn reply);
 
   /// Housekeeping: flushes overdue cluster batches, sheds deadline-expired
   /// requests (harvesting exchanges whose members all expired), re-dispatches
@@ -242,14 +259,26 @@ class ServiceBroker {
   };
 
   double compute_deadline(double now, uint32_t deadline_ms) const;
+  /// submit() minus the cache probe: admission, lifecycle-context creation
+  /// (placement-new into a pooled arena) and the cluster/dispatch path.
+  void submit_tail(double now, const http::BrokerRequest& request, ReplyFn reply,
+                   QosLevel base_level, QosLevel effective);
+  /// Shared cache-answer bookkeeping (metrics, traces, reply, refresh kick)
+  /// for submit() and try_submit_fast(). `outcome` must be servable.
+  void serve_from_cache(double now, const http::BrokerRequest& request,
+                        QosLevel base_level, LookupOutcome outcome,
+                        std::string_view value, ReplyViewFn reply);
   void enqueue_batch(Batch batch, double now);
   void pump(double now);
   void dispatch(ReadyBatch ready, double now);
   void on_exchange_complete(uint64_t exchange_id, double now, bool ok,
                             const std::string& payload);
-  void finish_context(RequestContext ctx, double now, http::Fidelity fidelity,
+  /// Runs ~RequestContext and returns its arena (context + payload bytes)
+  /// to the pool — the exactly-once terminal's single free.
+  void destroy_context(RequestContext* ctx);
+  void finish_context(RequestContext* ctx, double now, http::Fidelity fidelity,
                       const std::string& payload, bool count_error);
-  void shed_context(RequestContext ctx, double now, bool deadline_miss);
+  void shed_context(RequestContext* ctx, double now, bool deadline_miss);
   bool may_retry(const RequestContext& ctx, double now) const;
   void expire_deadlines(double now);
   void drain_retries(double now);
@@ -264,24 +293,24 @@ class ServiceBroker {
   }
   /// Claims `key` in the (possibly shared) flight table; on failure the
   /// parked notify enqueues the key for drain_flight_wakeups().
-  bool claim_flight(const std::string& key);
+  bool claim_flight(std::string_view key);
   /// Answers and detaches every waiter, releases the table claim. `ok`
   /// selects kCached vs kError waiter replies. No-op when no flight exists.
-  void resolve_flight(const std::string& key, double now, bool ok,
+  void resolve_flight(std::string_view key, double now, bool ok,
                       const std::string& payload);
   /// Called when `member_id`'s fetch chain died without resolving its key
   /// (expired pre-dispatch, harvested, or failed with no retry budget while
   /// already shed): if it still leads the flight, promote a live waiter to
   /// leader or drop the flight.
-  void settle_abandoned_flight(const std::string& key, uint64_t member_id,
+  void settle_abandoned_flight(std::string_view key, uint64_t member_id,
                                double now);
-  void promote_or_drop(const std::string& key, double now);
+  void promote_or_drop(std::string_view key, double now);
   /// Processes keys whose flights resolved on other shards: re-probes the
   /// shared cache and answers the parked waiters (or promotes a new leader
   /// when the remote fetch died).
   void drain_flight_wakeups(double now);
   /// Issues the single background revalidation for a stale-served key.
-  void issue_refresh(const std::string& key, double now);
+  void issue_refresh(std::string_view key, double now);
 
   std::string name_;
   BrokerConfig config_;
@@ -299,11 +328,25 @@ class ServiceBroker {
   BrokerMetrics metrics_;
   obs::BrokerObserver obs_;
 
+  /// Transparent hash so string_view payloads probe flights_ without a
+  /// temporary std::string.
+  struct KeyHash {
+    using is_transparent = void;
+    size_t operator()(std::string_view s) const {
+      return std::hash<std::string_view>{}(s);
+    }
+  };
+
   std::vector<std::shared_ptr<Backend>> backends_;
-  std::unordered_map<uint64_t, RequestContext> contexts_;
+  /// Contexts live in their own arenas (ctx->arena); the map holds raw
+  /// pointers. Erase + destroy_context() happen together at the terminal.
+  std::unordered_map<uint64_t, RequestContext*> contexts_;
+  /// Per-request arenas recycled across requests: steady state allocates
+  /// nothing for context + payload + response scratch.
+  ArenaPool arena_pool_;
   std::unordered_map<uint64_t, Exchange> exchanges_;
   /// Local single-flight state, keyed by canonical (post-rewrite) query.
-  std::unordered_map<std::string, Flight> flights_;
+  std::unordered_map<std::string, Flight, KeyHash, std::equal_to<>> flights_;
   std::shared_ptr<FlightTable> flight_table_;  ///< possibly shared across shards
   /// Keys resolved by other shards, pending local drain. The only
   /// cross-thread touchpoint in the broker: appended from the resolving

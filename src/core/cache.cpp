@@ -4,6 +4,13 @@
 
 namespace sbroker::core {
 
+LookupView ResultCacheBase::lookup_into(std::string_view key, double now,
+                                        Arena& scratch) {
+  LookupResult r = lookup(key, now);
+  if (!r.value) return {r.outcome, {}};
+  return {r.outcome, scratch.store(*r.value)};
+}
+
 ResultCache::ResultCache(size_t capacity, double ttl)
     : ResultCache(capacity, ttl, CacheTuning{}) {}
 
@@ -41,18 +48,19 @@ std::optional<std::string> ResultCache::get(std::string_view key, double now) {
   return it->second->value;
 }
 
-LookupResult ResultCache::lookup(std::string_view key, double now) {
+std::pair<LookupOutcome, const std::string*> ResultCache::lookup_entry(
+    std::string_view key, double now) {
   auto it = map_.find(key);
   if (it == map_.end()) {
     ++misses_;
-    return {};
+    return {LookupOutcome::kMiss, nullptr};
   }
   Entry& e = *it->second;
   if (fresh(e, now)) {
     ++hits_;
     lru_.splice(lru_.begin(), lru_, it->second);
     return {e.negative ? LookupOutcome::kNegative : LookupOutcome::kHit,
-            e.value};
+            &e.value};
   }
   // Expired. Positive entries get the grace window; negatives never do — a
   // cached error past its short TTL must not keep answering.
@@ -61,13 +69,26 @@ LookupResult ResultCache::lookup(std::string_view key, double now) {
     ++hits_;
     if (now - e.refresh_claimed_at > tuning_.swr_grace) {
       e.refresh_claimed_at = now;
-      return {LookupOutcome::kStaleRefresh, e.value};
+      return {LookupOutcome::kStaleRefresh, &e.value};
     }
-    return {LookupOutcome::kStaleServe, e.value};
+    return {LookupOutcome::kStaleServe, &e.value};
   }
   ++expired_;
   ++misses_;
-  return {};
+  return {LookupOutcome::kMiss, nullptr};
+}
+
+LookupResult ResultCache::lookup(std::string_view key, double now) {
+  auto [outcome, value] = lookup_entry(key, now);
+  if (value == nullptr) return {outcome, std::nullopt};
+  return {outcome, *value};
+}
+
+LookupView ResultCache::lookup_into(std::string_view key, double now,
+                                    Arena& scratch) {
+  auto [outcome, value] = lookup_entry(key, now);
+  if (value == nullptr) return {outcome, {}};
+  return {outcome, scratch.store(*value)};
 }
 
 std::optional<std::string> ResultCache::get_stale(std::string_view key) const {

@@ -29,6 +29,8 @@
 #include <string_view>
 #include <unordered_map>
 
+#include "core/arena.h"
+
 namespace sbroker::core {
 
 /// Anti-stampede knobs; the all-zero default reproduces the plain LRU+TTL
@@ -59,6 +61,13 @@ struct LookupResult {
   std::optional<std::string> value;
 };
 
+/// lookup_into() result: the value lives in the caller's arena (valid until
+/// its reset), so the hot path serves a hit with zero heap allocations.
+struct LookupView {
+  LookupOutcome outcome = LookupOutcome::kMiss;
+  std::string_view value;  ///< empty view on kMiss
+};
+
 /// Interface over the result cache: everything the broker data path and the
 /// benchmark harnesses touch. Keys are `string_view` so hot-path probes do
 /// not allocate. Implementations state their own thread-safety.
@@ -75,6 +84,14 @@ class ResultCacheBase {
   /// claim for a stale entry (kStaleRefresh for exactly one caller per grace
   /// window — under the striped cache this claim is cross-shard).
   virtual LookupResult lookup(std::string_view key, double now) = 0;
+
+  /// lookup() with the value copied into `scratch` instead of a heap
+  /// std::string — the servable-outcome classification and refresh-claim
+  /// semantics are identical. The base implementation wraps lookup();
+  /// concrete caches override it to copy straight from the entry (for the
+  /// striped cache, under the stripe lock — a raw view would race with
+  /// eviction by other shards once the lock drops).
+  virtual LookupView lookup_into(std::string_view key, double now, Arena& scratch);
 
   /// Stale-permitted lookup: returns the value even when expired (used for
   /// low-fidelity replies). Negative entries are never served stale. Does
@@ -125,6 +142,7 @@ class ResultCache final : public ResultCacheBase {
 
   std::optional<std::string> get(std::string_view key, double now) override;
   LookupResult lookup(std::string_view key, double now) override;
+  LookupView lookup_into(std::string_view key, double now, Arena& scratch) override;
   std::optional<std::string> get_stale(std::string_view key) const override;
   void put(std::string_view key, std::string value, double now) override;
   void put_negative(std::string_view key, std::string value, double now) override;
@@ -170,6 +188,10 @@ class ResultCache final : public ResultCacheBase {
   bool fresh(const Entry& e, double now) const { return now <= e.expires_at; }
   void store(std::string_view key, std::string value, double now,
              bool negative, double ttl_for_entry);
+  /// Shared classification for lookup()/lookup_into(): outcome plus a
+  /// pointer at the resident value (null on kMiss).
+  std::pair<LookupOutcome, const std::string*> lookup_entry(std::string_view key,
+                                                            double now);
 
   size_t capacity_;
   double ttl_;

@@ -21,7 +21,9 @@
 #include <optional>
 #include <string>
 #include <string_view>
+#include <type_traits>
 
+#include "core/arena.h"
 #include "core/qos.h"
 #include "http/wire.h"
 
@@ -37,6 +39,38 @@ inline constexpr std::string_view kDeadlineExceeded = "deadline exceeded";
 
 /// Reply delivery callback; fires exactly once per submitted request.
 using ReplyFn = std::function<void(const http::BrokerReply&)>;
+
+/// Allocation-free reply for the cache-served fast path: the payload is a
+/// view into the caller's arena (or the cache entry copy made there), valid
+/// only for the duration of the callback.
+struct ReplyView {
+  uint64_t request_id = 0;
+  http::Fidelity fidelity = http::Fidelity::kCached;
+  std::string_view payload;
+};
+
+/// Non-owning callable reference for ReplyView delivery. A std::function
+/// here would defeat the point — capturing the connection pointer pushes
+/// most closures past the SBO threshold and back onto the heap. The referent
+/// must outlive the try_submit_fast() call, which always invokes it
+/// synchronously or not at all.
+class ReplyViewFn {
+ public:
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::remove_cvref_t<F>, ReplyViewFn>>>
+  ReplyViewFn(F&& fn)  // NOLINT(google-explicit-constructor)
+      : obj_(const_cast<void*>(static_cast<const void*>(&fn))),
+        call_([](void* obj, const ReplyView& r) {
+          (*static_cast<std::remove_reference_t<F>*>(obj))(r);
+        }) {}
+
+  void operator()(const ReplyView& r) const { call_(obj_, r); }
+
+ private:
+  void* obj_;
+  void (*call_)(void*, const ReplyView&);
+};
 
 /// Deadline / retry policy knobs, part of BrokerConfig.
 struct LifecycleConfig {
@@ -61,6 +95,11 @@ struct LifecycleConfig {
 
 /// One admitted request, from admission until its single reply. Replaces the
 /// scattered PendingMember / effective-level / outstanding bookkeeping.
+///
+/// Contexts are placement-new'd into a per-request Arena that also holds the
+/// canonical (post-rewrite) payload bytes; `arena` points back at it so the
+/// exactly-once terminal (finish/shed) can free everything in one step. The
+/// broker owns construction and destruction — see destroy_context().
 struct RequestContext {
   uint64_t id = 0;
   QosLevel base_level = 1;       ///< as classified at submit (metrics key)
@@ -73,8 +112,10 @@ struct RequestContext {
   int attempt_budget = 1;
   uint64_t exchange = 0;         ///< in-flight exchange id; 0 = none
   std::optional<size_t> last_backend;  ///< replica of the last attempt
-  std::string payload;           ///< post-rewrite payload sent to backends
+  /// Post-rewrite payload sent to backends; bytes live in `arena`.
+  std::string_view payload;
   bool degraded = false;         ///< rewritten to lower fidelity
+  Arena* arena = nullptr;        ///< owns this context and its payload bytes
   ReplyFn reply;
 
   bool expired(double now) const { return deadline <= now; }

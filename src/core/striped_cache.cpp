@@ -33,6 +33,13 @@ LookupResult StripedResultCache::lookup(std::string_view key, double now) {
   return s.cache.lookup(key, now);
 }
 
+LookupView StripedResultCache::lookup_into(std::string_view key, double now,
+                                           Arena& scratch) {
+  Stripe& s = stripe_for(key);
+  std::lock_guard<std::mutex> lock(s.mu);
+  return s.cache.lookup_into(key, now, scratch);
+}
+
 std::optional<std::string> StripedResultCache::get_stale(std::string_view key) const {
   Stripe& s = stripe_for(key);
   std::lock_guard<std::mutex> lock(s.mu);

@@ -4,31 +4,59 @@
 
 namespace sbroker::http {
 
+const std::pair<std::string, std::string>* Headers::find(std::string_view name) const {
+  for (const auto& entry : entries_) {
+    if (util::iequals(entry.first, name)) return &entry;
+  }
+  return nullptr;
+}
+
 void Headers::set(std::string name, std::string value) {
-  std::string key = util::to_lower(name);
-  entries_[std::move(key)] = {std::move(name), std::move(value)};
+  for (auto& entry : entries_) {
+    if (util::iequals(entry.first, name)) {
+      entry.first = std::move(name);  // last-set spelling wins
+      entry.second = std::move(value);
+      return;
+    }
+  }
+  entries_.emplace_back(std::move(name), std::move(value));
 }
 
 std::optional<std::string> Headers::get(std::string_view name) const {
-  auto it = entries_.find(util::to_lower(name));
-  if (it == entries_.end()) return std::nullopt;
-  return it->second.second;
+  const auto* entry = find(name);
+  if (entry == nullptr) return std::nullopt;
+  return entry->second;
 }
 
-void Headers::remove(std::string_view name) { entries_.erase(util::to_lower(name)); }
+std::optional<std::string_view> Headers::get_view(std::string_view name) const {
+  const auto* entry = find(name);
+  if (entry == nullptr) return std::nullopt;
+  return std::string_view(entry->second);
+}
+
+void Headers::remove(std::string_view name) {
+  for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+    if (util::iequals(it->first, name)) {
+      entries_.erase(it);
+      return;
+    }
+  }
+}
 
 namespace {
 
 void serialize_headers(const Headers& headers, const std::string& body, std::string& out) {
   bool has_length = headers.has("Content-Length");
-  for (const auto& [key, entry] : headers.entries()) {
-    out += entry.first;
+  for (const auto& [name, value] : headers.entries()) {
+    out += name;
     out += ": ";
-    out += entry.second;
+    out += value;
     out += "\r\n";
   }
   if (!has_length && !body.empty()) {
-    out += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+    out += "Content-Length: ";
+    out += std::to_string(body.size());
+    out += "\r\n";
   }
   out += "\r\n";
   out += body;
@@ -36,14 +64,24 @@ void serialize_headers(const Headers& headers, const std::string& body, std::str
 
 }  // namespace
 
-std::string Request::serialize() const {
-  std::string out = method + " " + target + " " + version + "\r\n";
+void Request::serialize_into(std::string& out) const {
+  out += method;
+  out += ' ';
+  out += target;
+  out += ' ';
+  out += version;
+  out += "\r\n";
   serialize_headers(headers, body, out);
+}
+
+std::string Request::serialize() const {
+  std::string out;
+  serialize_into(out);
   return out;
 }
 
 int Request::qos_level(int def) const {
-  auto v = headers.get(kQosHeader);
+  auto v = headers.get_view(kQosHeader);
   if (!v) return def;
   auto parsed = util::parse_int(*v);
   return parsed ? static_cast<int>(*parsed) : def;
@@ -53,9 +91,19 @@ void Request::set_qos_level(int level) {
   headers.set(std::string(kQosHeader), std::to_string(level));
 }
 
-std::string Response::serialize() const {
-  std::string out = version + " " + std::to_string(status) + " " + reason + "\r\n";
+void Response::serialize_into(std::string& out) const {
+  out += version;
+  out += ' ';
+  out += std::to_string(status);
+  out += ' ';
+  out += reason;
+  out += "\r\n";
   serialize_headers(headers, body, out);
+}
+
+std::string Response::serialize() const {
+  std::string out;
+  serialize_into(out);
   return out;
 }
 

@@ -8,7 +8,6 @@
 #pragma once
 
 #include <cstdint>
-#include <map>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -16,24 +15,31 @@
 
 namespace sbroker::http {
 
-/// Case-insensitive header map (preserves last-set spelling of the name).
+/// Case-insensitive header collection (preserves last-set spelling of the
+/// name). Stored as a flat (name, value) vector scanned with in-place
+/// case-insensitive compares: real messages carry a handful of headers, so
+/// a linear scan beats a map — and unlike the old lowered-key map it
+/// allocates nothing per lookup and only the stored strings per set.
 class Headers {
  public:
   void set(std::string name, std::string value);
-  /// nullopt when absent.
+  /// nullopt when absent (copies the value).
   std::optional<std::string> get(std::string_view name) const;
-  bool has(std::string_view name) const { return get(name).has_value(); }
+  /// Zero-copy lookup; the view is invalidated by any later mutation.
+  std::optional<std::string_view> get_view(std::string_view name) const;
+  bool has(std::string_view name) const { return find(name) != nullptr; }
   void remove(std::string_view name);
   size_t size() const { return entries_.size(); }
 
-  /// Iteration in case-folded name order.
-  const std::map<std::string, std::pair<std::string, std::string>>& entries() const {
+  /// Iteration in insertion order.
+  const std::vector<std::pair<std::string, std::string>>& entries() const {
     return entries_;
   }
 
  private:
-  // key: lower-cased name -> (original name, value)
-  std::map<std::string, std::pair<std::string, std::string>> entries_;
+  const std::pair<std::string, std::string>* find(std::string_view name) const;
+
+  std::vector<std::pair<std::string, std::string>> entries_;
 };
 
 struct Request {
@@ -46,6 +52,9 @@ struct Request {
   /// Serializes with a correct Content-Length (set iff body non-empty or a
   /// length header was already present).
   std::string serialize() const;
+  /// Appends the serialized form to `out` (no temporary string; both the
+  /// HTTP and binary-frame encoders share connection-buffer appends).
+  void serialize_into(std::string& out) const;
 
   /// QoS class from X-QoS-Level; `def` when missing or malformed.
   int qos_level(int def = 1) const;
@@ -60,6 +69,8 @@ struct Response {
   std::string body;
 
   std::string serialize() const;
+  /// Appends the serialized form to `out`.
+  void serialize_into(std::string& out) const;
 };
 
 /// Standard reason phrase for the handful of codes this repo uses.

@@ -35,7 +35,7 @@ size_t parse_header_block(std::string_view buffer, size_t start, Headers& header
 /// Returns body length from Content-Length (0 when absent); -1 on a
 /// malformed value.
 int64_t body_length(const Headers& headers) {
-  auto v = headers.get("Content-Length");
+  auto v = headers.get_view("Content-Length");
   if (!v) return 0;
   auto parsed = util::parse_int(*v);
   if (!parsed || *parsed < 0) return -1;

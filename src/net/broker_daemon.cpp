@@ -6,9 +6,48 @@
 #include "core/cluster.h"
 #include "http/mget.h"
 #include "http/parser.h"
+#include "net/frame.h"
 #include "util/log.h"
 
 namespace sbroker::net {
+namespace {
+
+/// Shared request/response mapping for both HTTP ingress paths (the
+/// dedicated gateway port and HTTP sniffed on the main port).
+http::BrokerRequest map_http_request(const http::Request& req, uint64_t id) {
+  http::BrokerRequest breq;
+  breq.request_id = id;
+  breq.qos_level = static_cast<uint32_t>(req.qos_level(1));
+  breq.payload = req.target;
+  if (auto hdr = req.headers.get_view(http::kDeadlineHeader)) {
+    breq.deadline_ms =
+        static_cast<uint32_t>(std::strtoul(std::string(*hdr).c_str(), nullptr, 10));
+  }
+  return breq;
+}
+
+http::Response map_broker_reply(const http::BrokerReply& reply) {
+  int status = 200;
+  switch (reply.fidelity) {
+    case http::Fidelity::kFull:
+    case http::Fidelity::kCached:
+    case http::Fidelity::kDegraded:
+      status = 200;
+      break;
+    case http::Fidelity::kBusy:
+      status = reply.payload == core::kDeadlineExceeded ? 504 : 503;
+      break;
+    case http::Fidelity::kError:
+      status = 502;
+      break;
+  }
+  auto resp = http::make_response(status, reply.payload);
+  resp.headers.set(std::string(http::kFidelityHeader),
+                   std::string(http::fidelity_name(reply.fidelity)));
+  return resp;
+}
+
+}  // namespace
 
 // ---------------------------------------------------------------------------
 // HttpBackend
@@ -222,8 +261,18 @@ void HttpBackend::prune_idle() {
 // BrokerDaemon
 
 struct BrokerDaemon::Conn {
+  /// Wire protocol the first byte of the connection selected.
+  enum class Mode { kSniff, kFrame, kLegacy, kHttp };
+
   std::shared_ptr<TcpConn> tcp;
-  std::string inbox;
+  std::string inbox;            ///< frame / legacy reassembly buffer
+  Mode mode = Mode::kSniff;
+  http::RequestParser parser;   ///< kHttp only
+  /// Reused across requests so the steady state re-uses their capacity
+  /// instead of allocating per request.
+  http::BrokerRequest req_scratch;
+  std::string encode_scratch;
+  bool flush_scheduled = false;  ///< a cycle-end coalesced flush is armed
 };
 
 BrokerDaemon::BrokerDaemon(Reactor& reactor, std::string name,
@@ -251,6 +300,7 @@ BrokerDaemon::BrokerDaemon(Reactor& reactor, std::string name,
   // Retries scheduled from inside a backend completion can move the next
   // due time earlier than the armed tick; the broker tells us to re-arm.
   broker_.set_wakeup([this]() { rearm_tick(); });
+  if (config.io_uring) reactor_.enable_io_uring();
   rearm_tick();
 }
 
@@ -258,35 +308,173 @@ void BrokerDaemon::adopt_client(int fd) {
   auto conn = std::make_shared<Conn>();
   conn->tcp = TcpConn::adopt(reactor_, fd);
   conn->tcp->start(
-      [this, conn](std::string_view bytes) {
-        conn->inbox.append(bytes);
-        while (true) {
-          size_t consumed = 0;
-          auto request = http::decode_request(conn->inbox, &consumed);
-          if (!request) {
-            // Either an incomplete message (wait for more bytes) or
-            // garbage. Distinguish by magic: a buffer that cannot even
-            // start a valid message will never become one.
-            if (conn->inbox.size() >= 6 &&
-                !(conn->inbox[0] == 'S' && conn->inbox[1] == 'B' &&
-                  conn->inbox[2] == 'R' && conn->inbox[3] == 'K')) {
-              SBROKER_WARN("broker-daemon") << "malformed request; closing";
-              conn->tcp->abort();
-            }
-            return;
-          }
-          conn->inbox.erase(0, consumed);
-          auto tcp = conn->tcp;
-          broker_.submit(reactor_.now(), *request,
-                         [tcp](const http::BrokerReply& reply) {
-                           if (!tcp->closed()) tcp->send(http::encode(reply));
-                         });
-          // The submit may have registered a deadline earlier than the
-          // armed tick; pull the timer forward so expiry fires on time.
-          rearm_tick();
-        }
-      },
+      [this, conn](std::string_view bytes) { on_client_bytes(conn, bytes); },
       [conn]() {});
+}
+
+void BrokerDaemon::on_client_bytes(const std::shared_ptr<Conn>& conn,
+                                   std::string_view bytes) {
+  if (conn->mode == Conn::Mode::kSniff && !bytes.empty()) {
+    // One listen port, three protocols, distinguished by the first byte:
+    // 0xB7 is the compact frame magic, 'S' starts the legacy SBRK magic, and
+    // an ASCII letter starts an HTTP/1.1 method. The byte values are
+    // mutually exclusive by construction (frame_test pins this).
+    unsigned char first = static_cast<unsigned char>(bytes.front());
+    if (first == frame::kMagic) {
+      conn->mode = Conn::Mode::kFrame;
+    } else if (first == 'S') {
+      conn->mode = Conn::Mode::kLegacy;
+    } else if ((first >= 'A' && first <= 'Z') || (first >= 'a' && first <= 'z')) {
+      conn->mode = Conn::Mode::kHttp;
+    } else {
+      SBROKER_WARN("broker-daemon") << "unknown protocol magic; closing";
+      conn->tcp->abort();
+      return;
+    }
+  }
+  bool ok = true;
+  switch (conn->mode) {
+    case Conn::Mode::kSniff:
+      return;  // zero-byte read; keep sniffing
+    case Conn::Mode::kFrame:
+      conn->inbox.append(bytes);
+      ok = drain_frames(conn);
+      break;
+    case Conn::Mode::kLegacy:
+      conn->inbox.append(bytes);
+      ok = drain_legacy(conn);
+      break;
+    case Conn::Mode::kHttp:
+      conn->parser.feed(bytes);
+      ok = drain_http(conn);
+      break;
+  }
+  if (!ok) {
+    SBROKER_WARN("broker-daemon") << "malformed request; closing";
+    conn->tcp->abort();
+    return;
+  }
+  // Submits may have registered deadlines earlier than the armed tick; pull
+  // the timer forward so expiry fires on time.
+  rearm_tick();
+}
+
+bool BrokerDaemon::drain_frames(const std::shared_ptr<Conn>& conn) {
+  size_t off = 0;
+  while (off < conn->inbox.size()) {
+    frame::Request freq;
+    size_t consumed = 0;
+    auto result = frame::parse_request(
+        std::string_view(conn->inbox).substr(off), freq, &consumed);
+    if (result == frame::ParseResult::kNeedMore) break;
+    if (result == frame::ParseResult::kError) return false;
+    wire_->frames_in += 1;
+    http::BrokerRequest& req = conn->req_scratch;
+    req.request_id = freq.request_id;
+    req.qos_level = freq.qos_level;
+    req.txn_id = 0;
+    req.txn_step = 0;
+    req.deadline_ms = freq.deadline_ms;
+    req.payload.assign(freq.query);  // reuses capacity in steady state
+    off += consumed;
+
+    // Fast path: a cache-answerable request is served entirely out of the
+    // scratch arena (value copy + reply view), with the reply bytes queued
+    // for the cycle-end coalesced flush. Only a true miss pays for the
+    // owning std::function + context arena of the full path.
+    scratch_.reset();
+    bool served = broker_.try_submit_fast(
+        reactor_.now(), req, scratch_, [&](const core::ReplyView& r) {
+          queue_frame_reply(conn, r.request_id, r.fidelity, r.payload);
+        });
+    if (served) {
+      wire_->fast_hits += 1;
+      continue;
+    }
+    broker_.submit_miss(reactor_.now(), req,
+                        [this, conn](const http::BrokerReply& reply) {
+                          if (conn->tcp->closed()) return;
+                          queue_frame_reply(conn, reply.request_id,
+                                            reply.fidelity, reply.payload);
+                        });
+  }
+  if (off > 0) conn->inbox.erase(0, off);
+  return true;
+}
+
+bool BrokerDaemon::drain_legacy(const std::shared_ptr<Conn>& conn) {
+  while (true) {
+    size_t consumed = 0;
+    auto request = http::decode_request(conn->inbox, &consumed);
+    if (!request) {
+      // Either an incomplete message (wait for more bytes) or garbage.
+      // Distinguish by magic: a buffer that cannot even start a valid
+      // message will never become one.
+      if (conn->inbox.size() >= 6 &&
+          !(conn->inbox[0] == 'S' && conn->inbox[1] == 'B' &&
+            conn->inbox[2] == 'R' && conn->inbox[3] == 'K')) {
+        return false;
+      }
+      return true;
+    }
+    conn->inbox.erase(0, consumed);
+    wire_->legacy_in += 1;
+    auto tcp = conn->tcp;
+    broker_.submit(reactor_.now(), *request,
+                   [tcp](const http::BrokerReply& reply) {
+                     if (!tcp->closed()) tcp->send(http::encode(reply));
+                   });
+  }
+}
+
+bool BrokerDaemon::drain_http(const std::shared_ptr<Conn>& conn) {
+  while (true) {
+    http::Request req;
+    auto result = conn->parser.next(req);
+    if (result == http::ParseResult::kNeedMore) return true;
+    if (result == http::ParseResult::kError) return false;
+    wire_->http_in += 1;
+    auto breq = map_http_request(req, ++http_seq_);
+    broker_.submit(reactor_.now(), breq,
+                   [this, conn](const http::BrokerReply& reply) {
+                     if (conn->tcp->closed()) return;
+                     queue_http_reply(conn, reply);
+                   });
+  }
+}
+
+void BrokerDaemon::queue_frame_reply(const std::shared_ptr<Conn>& conn,
+                                     uint64_t request_id, http::Fidelity fidelity,
+                                     std::string_view payload) {
+  conn->encode_scratch.clear();
+  frame::encode_reply(request_id, fidelity, frame::flags_for(fidelity), payload,
+                      conn->encode_scratch);
+  conn->tcp->queue(conn->encode_scratch);
+  wire_->flushed_responses += 1;
+  schedule_flush(conn);
+}
+
+void BrokerDaemon::queue_http_reply(const std::shared_ptr<Conn>& conn,
+                                    const http::BrokerReply& reply) {
+  auto resp = map_broker_reply(reply);
+  conn->encode_scratch.clear();
+  resp.serialize_into(conn->encode_scratch);
+  conn->tcp->queue(conn->encode_scratch);
+  wire_->flushed_responses += 1;
+  schedule_flush(conn);
+}
+
+void BrokerDaemon::schedule_flush(const std::shared_ptr<Conn>& conn) {
+  if (conn->flush_scheduled) return;
+  conn->flush_scheduled = true;
+  // The hook captures the shared WireStats, not `this`: it may still be
+  // pending (to be destroyed, not run) when the daemon is torn down.
+  reactor_.at_cycle_end([conn, wire = wire_]() {
+    conn->flush_scheduled = false;
+    if (conn->tcp->closed()) return;
+    wire->flushes += 1;
+    conn->tcp->flush();
+  });
 }
 
 void BrokerDaemon::on_datagram(std::string_view payload, const sockaddr_in& from) {
@@ -302,32 +490,9 @@ void BrokerDaemon::on_datagram(std::string_view payload, const sockaddr_in& from
 }
 
 void BrokerDaemon::on_http(const http::Request& req, HttpServer::Responder respond) {
-  http::BrokerRequest breq;
-  breq.request_id = ++http_seq_;
-  breq.qos_level = static_cast<uint32_t>(req.qos_level(1));
-  breq.payload = req.target;
-  if (auto hdr = req.headers.get(http::kDeadlineHeader)) {
-    breq.deadline_ms = static_cast<uint32_t>(std::strtoul(hdr->c_str(), nullptr, 10));
-  }
+  auto breq = map_http_request(req, ++http_seq_);
   broker_.submit(reactor_.now(), breq, [respond](const http::BrokerReply& reply) {
-    int status = 200;
-    switch (reply.fidelity) {
-      case http::Fidelity::kFull:
-      case http::Fidelity::kCached:
-      case http::Fidelity::kDegraded:
-        status = 200;
-        break;
-      case http::Fidelity::kBusy:
-        status = reply.payload == core::kDeadlineExceeded ? 504 : 503;
-        break;
-      case http::Fidelity::kError:
-        status = 502;
-        break;
-    }
-    auto resp = http::make_response(status, reply.payload);
-    resp.headers.set(std::string(http::kFidelityHeader),
-                     std::string(http::fidelity_name(reply.fidelity)));
-    respond(std::move(resp));
+    respond(map_broker_reply(reply));
   });
   rearm_tick();
 }

@@ -99,6 +99,32 @@ struct BrokerDaemonConfig {
   /// deadline sheds, 502 for backend errors.
   bool enable_http = false;
   uint16_t http_port = 0;        ///< 0 = ephemeral
+  /// Opt the reactor into the io_uring write-submission backend. No-op (and
+  /// harmless) when the tree was built without -DSBROKER_IOURING=ON or the
+  /// kernel refuses a ring; epoll + writev remains the fallback either way.
+  bool io_uring = false;
+};
+
+/// Ingress/egress accounting for the daemon's main listen port. The three
+/// `_in` counters classify requests by the protocol the first-byte sniff
+/// picked; `flushes`/`flushed_responses` measure reactor-cycle write
+/// coalescing (flushed_responses > flushes means batching happened).
+struct WireStats {
+  uint64_t frames_in = 0;    ///< binary-frame requests (net/frame.h)
+  uint64_t legacy_in = 0;    ///< legacy SBRK messages (http/wire.h)
+  uint64_t http_in = 0;      ///< sniffed HTTP/1.1 requests on the main port
+  uint64_t fast_hits = 0;    ///< frame requests served by the arena fast path
+  uint64_t flushes = 0;      ///< cycle-end flush() calls on frame/http conns
+  uint64_t flushed_responses = 0;  ///< responses queued through that path
+
+  void merge(const WireStats& o) {
+    frames_in += o.frames_in;
+    legacy_in += o.legacy_in;
+    http_in += o.http_in;
+    fast_hits += o.fast_hits;
+    flushes += o.flushes;
+    flushed_responses += o.flushed_responses;
+  }
 };
 
 class BrokerDaemon {
@@ -128,6 +154,10 @@ class BrokerDaemon {
   uint16_t http_port() const { return http_ ? http_->port() : 0; }
   core::ServiceBroker& broker() { return broker_; }
   const core::ServiceBroker& broker() const { return broker_; }
+  /// Main-port protocol mix and write-coalescing counters. Same threading
+  /// contract as broker(): touch only from this daemon's reactor thread (or
+  /// while stopped).
+  WireStats wire_stats() const { return *wire_; }
 
  private:
   struct Conn;
@@ -135,6 +165,18 @@ class BrokerDaemon {
   /// next_deadline) so deadline expiries fire when due, not a full tick
   /// late. Cheap no-op when the armed timer is already early enough.
   void rearm_tick();
+  void on_client_bytes(const std::shared_ptr<Conn>& conn, std::string_view bytes);
+  bool drain_frames(const std::shared_ptr<Conn>& conn);
+  bool drain_legacy(const std::shared_ptr<Conn>& conn);
+  bool drain_http(const std::shared_ptr<Conn>& conn);
+  /// Queues one encoded reply on the connection and arms the per-cycle
+  /// coalesced flush (one writev/io_uring submission per reactor wakeup per
+  /// connection, however many replies landed in it).
+  void queue_frame_reply(const std::shared_ptr<Conn>& conn, uint64_t request_id,
+                         http::Fidelity fidelity, std::string_view payload);
+  void queue_http_reply(const std::shared_ptr<Conn>& conn,
+                        const http::BrokerReply& reply);
+  void schedule_flush(const std::shared_ptr<Conn>& conn);
   void on_datagram(std::string_view payload, const sockaddr_in& from);
   void on_http(const http::Request& req, HttpServer::Responder respond);
 
@@ -149,6 +191,11 @@ class BrokerDaemon {
   std::unique_ptr<UdpSocket> udp_;
   std::unique_ptr<HttpServer> http_;
   uint64_t http_seq_ = 0;  ///< synthesizes request ids for HTTP clients
+  /// shared_ptr so cycle-end flush hooks can keep counting without holding
+  /// `this` (they may be pending when the daemon is torn down).
+  std::shared_ptr<WireStats> wire_ = std::make_shared<WireStats>();
+  /// Scratch arena for the allocation-free cache fast path; reset per frame.
+  core::Arena scratch_;
 };
 
 }  // namespace sbroker::net

@@ -1,0 +1,130 @@
+#include "net/frame.h"
+
+#include <cstring>
+
+namespace sbroker::net::frame {
+namespace {
+
+void put_u32(uint32_t v, std::string& out) {
+  char b[4];
+  b[0] = static_cast<char>(v & 0xff);
+  b[1] = static_cast<char>((v >> 8) & 0xff);
+  b[2] = static_cast<char>((v >> 16) & 0xff);
+  b[3] = static_cast<char>((v >> 24) & 0xff);
+  out.append(b, 4);
+}
+
+void put_u64(uint64_t v, std::string& out) {
+  put_u32(static_cast<uint32_t>(v & 0xffffffffu), out);
+  put_u32(static_cast<uint32_t>(v >> 32), out);
+}
+
+uint32_t get_u32(const char* p) {
+  return static_cast<uint32_t>(static_cast<uint8_t>(p[0])) |
+         static_cast<uint32_t>(static_cast<uint8_t>(p[1])) << 8 |
+         static_cast<uint32_t>(static_cast<uint8_t>(p[2])) << 16 |
+         static_cast<uint32_t>(static_cast<uint8_t>(p[3])) << 24;
+}
+
+uint64_t get_u64(const char* p) {
+  return static_cast<uint64_t>(get_u32(p)) | static_cast<uint64_t>(get_u32(p + 4)) << 32;
+}
+
+// Validates the header and either reports the full frame extent or an error.
+// On kFrame, `section` points at the kind-specific bytes.
+ParseResult parse_header(std::string_view bytes, uint8_t expected_kind,
+                         std::string_view& section, size_t* consumed) {
+  // Wrong magic is an error as soon as the first byte is visible: waiting
+  // for a full header cannot turn a mis-framed stream into a valid one.
+  if (!bytes.empty() && static_cast<uint8_t>(bytes[0]) != kMagic) {
+    return ParseResult::kError;
+  }
+  if (bytes.size() < kHeaderSize) return ParseResult::kNeedMore;
+  const auto* p = bytes.data();
+  if (static_cast<uint8_t>(p[1]) != kVersion) return ParseResult::kError;
+  if (static_cast<uint8_t>(p[2]) != expected_kind) return ParseResult::kError;
+  uint32_t length = get_u32(p + 4);
+  if (length > kMaxSectionLength) return ParseResult::kError;
+  if (bytes.size() < kHeaderSize + length) return ParseResult::kNeedMore;
+  section = bytes.substr(kHeaderSize, length);
+  if (consumed != nullptr) *consumed = kHeaderSize + length;
+  return ParseResult::kFrame;
+}
+
+}  // namespace
+
+ParseResult parse_request(std::string_view bytes, Request& out, size_t* consumed) {
+  std::string_view section;
+  ParseResult result = parse_header(bytes, kKindRequest, section, consumed);
+  if (result != ParseResult::kFrame) return result;
+  if (section.size() < kRequestFixed) return ParseResult::kError;
+  out.qos_level = static_cast<uint8_t>(bytes[3]);
+  out.request_id = get_u64(section.data());
+  out.deadline_ms = get_u32(section.data() + 8);
+  out.query = section.substr(kRequestFixed);
+  return ParseResult::kFrame;
+}
+
+ParseResult parse_reply(std::string_view bytes, Reply& out, size_t* consumed) {
+  std::string_view section;
+  ParseResult result = parse_header(bytes, kKindReply, section, consumed);
+  if (result != ParseResult::kFrame) return result;
+  if (section.size() < kReplyFixed) return ParseResult::kError;
+  uint8_t status = static_cast<uint8_t>(bytes[3]);
+  if (status > static_cast<uint8_t>(http::Fidelity::kDegraded)) return ParseResult::kError;
+  out.fidelity = static_cast<http::Fidelity>(status);
+  out.request_id = get_u64(section.data());
+  out.flags = static_cast<uint8_t>(section[8]);
+  out.payload = section.substr(kReplyFixed);
+  return ParseResult::kFrame;
+}
+
+size_t frame_size(std::string_view bytes) {
+  if (bytes.size() < kHeaderSize) return 0;
+  return kHeaderSize + static_cast<size_t>(get_u32(bytes.data() + 4));
+}
+
+void encode_request(const Request& request, std::string& out) {
+  uint32_t length = static_cast<uint32_t>(kRequestFixed + request.query.size());
+  out.reserve(out.size() + kHeaderSize + length);
+  out.push_back(static_cast<char>(kMagic));
+  out.push_back(static_cast<char>(kVersion));
+  out.push_back(static_cast<char>(kKindRequest));
+  out.push_back(static_cast<char>(request.qos_level));
+  put_u32(length, out);
+  put_u64(request.request_id, out);
+  put_u32(request.deadline_ms, out);
+  out.append(request.query);
+}
+
+void encode_reply(uint64_t request_id, http::Fidelity fidelity, uint8_t flags,
+                  std::string_view payload, std::string& out) {
+  uint32_t length = static_cast<uint32_t>(kReplyFixed + payload.size());
+  out.reserve(out.size() + kHeaderSize + length);
+  out.push_back(static_cast<char>(kMagic));
+  out.push_back(static_cast<char>(kVersion));
+  out.push_back(static_cast<char>(kKindReply));
+  out.push_back(static_cast<char>(fidelity));
+  put_u32(length, out);
+  put_u64(request_id, out);
+  out.push_back(static_cast<char>(flags));
+  out.append(payload);
+}
+
+uint8_t flags_for(http::Fidelity fidelity) {
+  switch (fidelity) {
+    case http::Fidelity::kCached:
+      return kFlagCacheServed;
+    case http::Fidelity::kBusy:
+      return kFlagShed;
+    case http::Fidelity::kError:
+      return kFlagError;
+    case http::Fidelity::kDegraded:
+      return kFlagDegraded;
+    case http::Fidelity::kFull:
+      return 0;
+  }
+  return 0;
+}
+
+}  // namespace sbroker::net::frame

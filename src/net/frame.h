@@ -1,0 +1,103 @@
+// Length-prefixed compact binary framing for the broker's client wire.
+//
+// The legacy SBRK codec (http/wire.h) is self-delimiting per field but not
+// length-prefixed: a receiver holding a partial message re-parses the whole
+// prefix on every arrival, and cannot cheaply tell "incomplete" from the
+// frame's total size. This framing fixes both for the hot path: a fixed
+// 8-byte header carries the total payload length up front, so the receiver
+// does O(1) work per arrival and the parser hands out zero-copy views into
+// the receive buffer.
+//
+// All integers little-endian. Header (8 bytes, both directions):
+//
+//   offset  size  field
+//   ------  ----  --------------------------------------------------------
+//   0       u8    magic 0xB7 (never 'S' of SBRK, never an ASCII HTTP method
+//                 letter — the daemon sniffs the protocol off this byte)
+//   1       u8    version (1)
+//   2       u8    kind: 1 = request, 2 = reply
+//   3       u8    request: QoS class | reply: status (http::Fidelity)
+//   4       u32   length of the kind-specific section that follows
+//
+// Request section:  u64 request id, u32 deadline_ms, query bytes (rest).
+// Reply section:    u64 request id, u8 flight flags, payload bytes (rest).
+//
+// Flags on a reply describe how the answer was produced (cache-served,
+// degraded rewrite, shed, error) so binary clients get the fidelity detail
+// the HTTP gateway spells as X-Fidelity + status code.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "http/wire.h"
+
+namespace sbroker::net::frame {
+
+inline constexpr uint8_t kMagic = 0xB7;
+inline constexpr uint8_t kVersion = 1;
+inline constexpr uint8_t kKindRequest = 1;
+inline constexpr uint8_t kKindReply = 2;
+inline constexpr size_t kHeaderSize = 8;
+/// Request section carries id + deadline before the query bytes.
+inline constexpr size_t kRequestFixed = 12;
+/// Reply section carries id + flags before the payload bytes.
+inline constexpr size_t kReplyFixed = 9;
+/// Upper bound on the kind-specific section; larger lengths are a protocol
+/// error, not a "wait for more bytes" state (same 64 MiB cap as the legacy
+/// codec's string limit).
+inline constexpr uint32_t kMaxSectionLength = 64u * 1024u * 1024u;
+
+/// Reply flag bits (bitwise OR).
+inline constexpr uint8_t kFlagCacheServed = 0x01;  ///< answered from the cache
+inline constexpr uint8_t kFlagDegraded = 0x02;     ///< fidelity-reduced rewrite
+inline constexpr uint8_t kFlagShed = 0x04;         ///< busy / deadline shed
+inline constexpr uint8_t kFlagError = 0x08;        ///< backend or protocol error
+
+/// Decoded request; `query` is a view into the caller's receive buffer and
+/// is valid only until that buffer is mutated.
+struct Request {
+  uint64_t request_id = 0;
+  uint8_t qos_level = 1;
+  uint32_t deadline_ms = 0;
+  std::string_view query;
+};
+
+/// Decoded reply; `payload` is a view with the same lifetime rule.
+struct Reply {
+  uint64_t request_id = 0;
+  http::Fidelity fidelity = http::Fidelity::kFull;
+  uint8_t flags = 0;
+  std::string_view payload;
+};
+
+enum class ParseResult {
+  kNeedMore,  ///< not enough bytes for a full frame yet
+  kFrame,     ///< one frame decoded; *consumed bytes were used
+  kError,     ///< malformed (bad magic/version/kind or oversized length)
+};
+
+/// Decodes one request frame from the front of `bytes` without copying.
+ParseResult parse_request(std::string_view bytes, Request& out, size_t* consumed);
+
+/// Decodes one reply frame from the front of `bytes` without copying.
+ParseResult parse_reply(std::string_view bytes, Reply& out, size_t* consumed);
+
+/// Total frame size announced by a header, or 0 when fewer than kHeaderSize
+/// bytes are available (the receiver can size its read-ahead off this).
+size_t frame_size(std::string_view bytes);
+
+/// Appends an encoded request frame to `out` (no temporary string).
+void encode_request(const Request& request, std::string& out);
+
+/// Appends an encoded reply frame to `out`. The status byte is the fidelity;
+/// `flags` travels in the reply section.
+void encode_reply(uint64_t request_id, http::Fidelity fidelity, uint8_t flags,
+                  std::string_view payload, std::string& out);
+
+/// Flags a reply should carry for a fidelity (kCacheServed for kCached,
+/// kShed for kBusy, ...). The daemon ORs in kFlagDegraded itself.
+uint8_t flags_for(http::Fidelity fidelity);
+
+}  // namespace sbroker::net::frame

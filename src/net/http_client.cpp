@@ -103,4 +103,91 @@ std::optional<http::BrokerReply> BrokerClient::call(const http::BrokerRequest& r
   }
 }
 
+HttpKeepAliveClient::HttpKeepAliveClient(uint16_t port, int timeout_ms) {
+  fd_ = blocking_connect(port, timeout_ms);
+  if (fd_ < 0) throw std::runtime_error("HttpKeepAliveClient: connect failed");
+}
+
+HttpKeepAliveClient::~HttpKeepAliveClient() {
+  if (fd_ >= 0) close(fd_);
+}
+
+std::optional<http::Response> HttpKeepAliveClient::call(const http::Request& request) {
+  if (fd_ < 0) return std::nullopt;
+  if (!send_all(fd_, request.serialize())) return std::nullopt;
+  http::Response resp;
+  char buf[16384];
+  while (true) {
+    auto result = parser_.next(resp);
+    if (result == http::ParseResult::kMessage) return resp;
+    if (result == http::ParseResult::kError) return std::nullopt;
+    ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+    if (n <= 0) return std::nullopt;
+    parser_.feed(std::string_view(buf, static_cast<size_t>(n)));
+  }
+}
+
+FrameClient::FrameClient(uint16_t port, int timeout_ms) : timeout_ms_(timeout_ms) {
+  fd_ = blocking_connect(port, timeout_ms);
+  if (fd_ < 0) throw std::runtime_error("FrameClient: connect failed");
+}
+
+FrameClient::~FrameClient() {
+  if (fd_ >= 0) close(fd_);
+}
+
+bool FrameClient::send_raw(std::string_view bytes) {
+  return fd_ >= 0 && send_all(fd_, bytes);
+}
+
+std::optional<FrameReply> FrameClient::read_reply() {
+  if (fd_ < 0) return std::nullopt;
+  char buf[16384];
+  while (true) {
+    frame::Reply decoded;
+    size_t consumed = 0;
+    frame::ParseResult r = frame::parse_reply(inbox_, decoded, &consumed);
+    if (r == frame::ParseResult::kFrame) {
+      FrameReply reply{decoded.request_id, decoded.fidelity, decoded.flags,
+                       std::string(decoded.payload)};
+      inbox_.erase(0, consumed);
+      return reply;
+    }
+    if (r == frame::ParseResult::kError) return std::nullopt;
+    ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+    if (n <= 0) return std::nullopt;
+    inbox_.append(buf, static_cast<size_t>(n));
+  }
+}
+
+std::optional<FrameReply> FrameClient::call(uint64_t request_id,
+                                            std::string_view query,
+                                            uint8_t qos_level,
+                                            uint32_t deadline_ms) {
+  frame::Request req{request_id, qos_level, deadline_ms, query};
+  outbox_.clear();
+  frame::encode_request(req, outbox_);
+  if (!send_raw(outbox_)) return std::nullopt;
+  return read_reply();
+}
+
+std::vector<FrameReply> FrameClient::call_burst(
+    uint64_t first_id, const std::vector<std::string>& queries,
+    uint8_t qos_level, uint32_t deadline_ms) {
+  std::vector<FrameReply> replies;
+  outbox_.clear();
+  for (size_t i = 0; i < queries.size(); ++i) {
+    frame::Request req{first_id + i, qos_level, deadline_ms, queries[i]};
+    frame::encode_request(req, outbox_);
+  }
+  if (!send_raw(outbox_)) return replies;
+  replies.reserve(queries.size());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    auto reply = read_reply();
+    if (!reply) break;
+    replies.push_back(std::move(*reply));
+  }
+  return replies;
+}
+
 }  // namespace sbroker::net

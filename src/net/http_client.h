@@ -7,9 +7,12 @@
 #include <cstdint>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "http/message.h"
+#include "http/parser.h"
 #include "http/wire.h"
+#include "net/frame.h"
 #include "net/net_config.h"
 
 namespace sbroker::net {
@@ -37,6 +40,73 @@ class BrokerClient {
   int fd_;
   int timeout_ms_;
   std::string inbox_;
+};
+
+/// Persistent blocking HTTP/1.1 keep-alive connection: many request/response
+/// exchanges on one socket. http_fetch opens a fresh connection per call —
+/// the wrong shape for a load generator, where connection setup would
+/// dominate the measurement.
+class HttpKeepAliveClient {
+ public:
+  /// Connects immediately; throws std::runtime_error on failure.
+  explicit HttpKeepAliveClient(uint16_t port,
+                               int timeout_ms = kDefaultClientTimeoutMs);
+  ~HttpKeepAliveClient();
+  HttpKeepAliveClient(const HttpKeepAliveClient&) = delete;
+  HttpKeepAliveClient& operator=(const HttpKeepAliveClient&) = delete;
+
+  /// Sends one request and waits for its response. nullopt on IO error,
+  /// parse error, or timeout (the connection is unusable afterwards).
+  std::optional<http::Response> call(const http::Request& request);
+
+ private:
+  int fd_;
+  http::ResponseParser parser_;
+};
+
+/// Reply from a FrameClient exchange; owns its payload (unlike frame::Reply,
+/// whose payload is a view into a receive buffer).
+struct FrameReply {
+  uint64_t request_id = 0;
+  http::Fidelity fidelity = http::Fidelity::kFull;
+  uint8_t flags = 0;
+  std::string payload;
+};
+
+/// Persistent blocking connection speaking the binary frame protocol
+/// (net/frame.h) against the daemon's main port.
+class FrameClient {
+ public:
+  /// Connects immediately; throws std::runtime_error on failure.
+  explicit FrameClient(uint16_t port, int timeout_ms = kDefaultClientTimeoutMs);
+  ~FrameClient();
+  FrameClient(const FrameClient&) = delete;
+  FrameClient& operator=(const FrameClient&) = delete;
+
+  /// One frame exchange: sends the request, waits for the matching reply.
+  /// nullopt on IO error or timeout.
+  std::optional<FrameReply> call(uint64_t request_id, std::string_view query,
+                                 uint8_t qos_level = 1, uint32_t deadline_ms = 0);
+
+  /// Pipelined burst: encodes every request into one send (ids are
+  /// `first_id, first_id+1, ...`), then collects that many replies. The
+  /// returned vector is shorter than `queries` if the connection failed
+  /// mid-burst.
+  std::vector<FrameReply> call_burst(uint64_t first_id,
+                                     const std::vector<std::string>& queries,
+                                     uint8_t qos_level = 1,
+                                     uint32_t deadline_ms = 0);
+
+  /// Raw escape hatches for protocol-robustness tests: push arbitrary bytes
+  /// (e.g. half a frame) and read back one reply frame.
+  bool send_raw(std::string_view bytes);
+  std::optional<FrameReply> read_reply();
+
+ private:
+  int fd_;
+  int timeout_ms_;
+  std::string inbox_;
+  std::string outbox_;  ///< encode scratch, capacity reused across calls
 };
 
 }  // namespace sbroker::net

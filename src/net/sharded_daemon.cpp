@@ -53,6 +53,7 @@ ShardedBrokerDaemon::ShardedBrokerDaemon(std::string name,
     // De-correlate the shards' random balancer choices.
     cfg.broker.rng_seed = config_.broker.rng_seed + i;
     cfg.tick_interval = config_.tick_interval;
+    cfg.io_uring = config_.io_uring;
     if (kernel_sharding) {
       cfg.reuse_port = true;
       cfg.listen_port = i == 0 ? config_.listen_port : port_;
@@ -140,6 +141,23 @@ void ShardedBrokerDaemon::stop() {
     if (shard->thread.joinable()) shard->thread.join();
   }
   running_ = false;
+}
+
+WireStats ShardedBrokerDaemon::aggregate_wire_stats() {
+  WireStats total;
+  if (!running_) {
+    for (auto& shard : shards_) total.merge(shard->daemon->wire_stats());
+    return total;
+  }
+  for (auto& shard : shards_) {
+    std::promise<WireStats> snapshot;
+    auto done = snapshot.get_future();
+    shard->reactor->post([&snapshot, daemon = shard->daemon.get()]() {
+      snapshot.set_value(daemon->wire_stats());
+    });
+    total.merge(done.get());
+  }
+  return total;
 }
 
 core::BrokerMetrics ShardedBrokerDaemon::aggregate_metrics() {

@@ -53,6 +53,9 @@ struct ShardedBrokerDaemonConfig {
   /// Admin plane (/healthz /metrics /statusz /tracez) on its own reactor
   /// thread; enabled by default on an ephemeral port.
   AdminConfig admin;
+  /// Opt every shard reactor into the io_uring write backend (see
+  /// BrokerDaemonConfig::io_uring; epoll/writev fallback when unavailable).
+  bool io_uring = false;
 };
 
 class ShardedBrokerDaemon {
@@ -105,6 +108,10 @@ class ShardedBrokerDaemon {
   /// thread: while running it snapshots each shard via Reactor::post(),
   /// when stopped it reads directly.
   core::BrokerMetrics aggregate_metrics();
+
+  /// Main-port protocol mix / write-coalescing counters folded across all
+  /// shards. Same threading contract as aggregate_metrics().
+  WireStats aggregate_wire_stats();
 
   /// Per-shard status snapshots (metrics + latency histograms + replica
   /// health). Same threading contract as aggregate_metrics(); the admin

@@ -6,6 +6,7 @@
 #include <netinet/tcp.h>
 #include <sys/epoll.h>
 #include <sys/socket.h>
+#include <sys/uio.h>
 #include <unistd.h>
 
 #include <cerrno>
@@ -145,16 +146,84 @@ void TcpConn::handle_readable() {
 }
 
 void TcpConn::send(std::string_view bytes) {
-  if (fd_ < 0) return;
-  write_buffer_.append(bytes);
+  queue(bytes);
   flush();
 }
 
+namespace {
+// Appends below this coalesce into the tail segment; at or above it a moved
+// string becomes its own segment (adopt, don't copy).
+constexpr size_t kCoalesceLimit = 64 * 1024;
+// iovecs per writev call; longer queues just loop.
+constexpr int kMaxIov = 64;
+}  // namespace
+
+void TcpConn::queue(std::string_view bytes) {
+  if (fd_ < 0 || bytes.empty()) return;
+  if (segments_.empty() || segments_.back().size() + bytes.size() > kCoalesceLimit) {
+    segments_.emplace_back(bytes);
+  } else {
+    segments_.back().append(bytes);
+  }
+  queued_bytes_ += bytes.size();
+}
+
+void TcpConn::queue(std::string&& bytes) {
+  if (fd_ < 0 || bytes.empty()) return;
+  if (!segments_.empty() && segments_.back().size() + bytes.size() <= kCoalesceLimit) {
+    queued_bytes_ += bytes.size();
+    segments_.back().append(bytes);
+    return;
+  }
+  queued_bytes_ += bytes.size();
+  segments_.push_back(std::move(bytes));
+}
+
 void TcpConn::flush() {
-  while (fd_ >= 0 && !write_buffer_.empty()) {
-    ssize_t n = ::write(fd_, write_buffer_.data(), write_buffer_.size());
+  // While an io_uring batch is in flight nothing else may write: the
+  // completion handler continues (ordering would break otherwise).
+  if (fd_ < 0 || uring_inflight_) return;
+  if (queued_bytes_ == 0) {
+    if (shutdown_after_flush_) {
+      close_now();
+      return;
+    }
+    update_interest();
+    return;
+  }
+  if (!uring_backoff_ && reactor_.io_uring_enabled()) {
+    if (reactor_.uring_submit(shared_from_this(), segments_, head_, queued_bytes_)) {
+      uring_inflight_ = true;
+      uring_inflight_bytes_ = queued_bytes_;
+      segments_.clear();
+      head_ = 0;
+      queued_bytes_ = 0;
+      update_interest();  // completion, not EPOLLOUT, drives progress
+      return;
+    }
+    // Ring unavailable for this batch (SQ exhausted / too fragmented):
+    // write synchronously below.
+  }
+  flush_writev();
+}
+
+void TcpConn::flush_writev() {
+  while (fd_ >= 0 && queued_bytes_ > 0) {
+    iovec iov[kMaxIov];
+    int count = 0;
+    size_t offset = head_;
+    for (auto& segment : segments_) {
+      if (count == kMaxIov) break;
+      if (segment.size() > offset) {
+        iov[count].iov_base = segment.data() + offset;
+        iov[count].iov_len = segment.size() - offset;
+        ++count;
+      }
+      offset = 0;
+    }
+    ssize_t n = ::writev(fd_, iov, count);
     if (n > 0) {
-      write_buffer_.erase(0, static_cast<size_t>(n));
+      consume_queued(static_cast<size_t>(n));
       continue;
     }
     if (errno == EAGAIN || errno == EWOULDBLOCK) break;
@@ -162,16 +231,76 @@ void TcpConn::flush() {
     close_now();
     return;
   }
-  if (fd_ >= 0 && write_buffer_.empty() && shutdown_after_flush_) {
-    close_now();
-    return;
+  if (fd_ >= 0 && queued_bytes_ == 0) {
+    uring_backoff_ = false;  // drained; the ring may be used again
+    if (shutdown_after_flush_) {
+      close_now();
+      return;
+    }
   }
   update_interest();
 }
 
+void TcpConn::consume_queued(size_t n) {
+  queued_bytes_ -= n;
+  while (n > 0) {
+    size_t front_left = segments_.front().size() - head_;
+    if (n >= front_left) {
+      n -= front_left;
+      segments_.pop_front();
+      head_ = 0;
+    } else {
+      head_ += n;
+      n = 0;
+    }
+  }
+}
+
+void TcpConn::uring_complete(int32_t result, UringWrite& op) {
+  uring_inflight_ = false;
+  uring_inflight_bytes_ = 0;
+  if (fd_ < 0) return;  // closed while in flight; op's buffers just die
+  if (result < 0 && result != -EAGAIN && result != -EINTR) {
+    close_now();
+    return;
+  }
+  size_t written = result > 0 ? static_cast<size_t>(result) : 0;
+  if (written < op.total) {
+    // Socket buffer filled mid-batch. Re-queue the unwritten tail AT THE
+    // FRONT (bytes queued while we were in flight come after it) and drain
+    // via EPOLLOUT before touching the ring again.
+    size_t skip = written;
+    while (skip > 0) {
+      size_t front_left = op.segments.front().size() - op.head;
+      if (skip >= front_left) {
+        skip -= front_left;
+        op.segments.pop_front();
+        op.head = 0;
+      } else {
+        op.head += skip;
+        skip = 0;
+      }
+    }
+    queued_bytes_ += op.total - written;
+    head_ = op.head;
+    while (!op.segments.empty()) {
+      segments_.push_front(std::move(op.segments.back()));
+      op.segments.pop_back();
+    }
+    uring_backoff_ = true;
+    update_interest();
+    return;
+  }
+  if (queued_bytes_ > 0) {
+    flush();  // bytes queued during the flight: next batch
+  } else if (shutdown_after_flush_) {
+    close_now();
+  }
+}
+
 void TcpConn::update_interest() {
   if (fd_ < 0) return;
-  bool need_write = !write_buffer_.empty();
+  bool need_write = queued_bytes_ > 0 && !uring_inflight_;
   if (need_write == want_write_) return;
   want_write_ = need_write;
   reactor_.mod_fd(fd_, EPOLLIN | (need_write ? static_cast<uint32_t>(EPOLLOUT) : 0u));
@@ -179,7 +308,7 @@ void TcpConn::update_interest() {
 
 void TcpConn::shutdown() {
   if (fd_ < 0) return;
-  if (write_buffer_.empty()) {
+  if (pending_bytes() == 0) {
     close_now();
   } else {
     shutdown_after_flush_ = true;

@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <memory>
 #include <string>
@@ -45,8 +46,19 @@ class TcpConn : public std::enable_shared_from_this<TcpConn> {
   /// start() again replaces both callbacks (connection reuse by a new owner).
   void start(DataFn on_data, CloseFn on_close);
 
-  /// Buffers and flushes opportunistically.
+  /// Buffers and flushes opportunistically (queue + flush).
   void send(std::string_view bytes);
+
+  /// Buffers WITHOUT flushing. Responses produced during one reactor wakeup
+  /// queue here and go out in a single writev when flush() runs (the daemon
+  /// arms a cycle-end flush). Small appends coalesce into the tail segment;
+  /// use the rvalue overload to adopt a large buffer without copying.
+  void queue(std::string_view bytes);
+  void queue(std::string&& bytes);
+
+  /// Writes everything queued: one writev on the epoll path, or one SQE
+  /// handed to the reactor's io_uring backend when enabled.
+  void flush();
 
   /// Graceful close: flushes buffered writes, then closes.
   void shutdown();
@@ -56,14 +68,21 @@ class TcpConn : public std::enable_shared_from_this<TcpConn> {
 
   bool closed() const { return fd_ < 0; }
   int fd() const { return fd_; }
-  size_t pending_bytes() const { return write_buffer_.size(); }
+  /// Bytes accepted but not yet written (including an in-flight io_uring
+  /// batch).
+  size_t pending_bytes() const { return queued_bytes_ + uring_inflight_bytes_; }
+
+  /// Reactor-internal: completion of an io_uring batch. `result` is bytes
+  /// written or a negative errno; unwritten bytes in `op` are re-queued.
+  void uring_complete(int32_t result, UringWrite& op);
 
  private:
   TcpConn(Reactor& reactor, int fd);
 
   void on_events(uint32_t events);
   void handle_readable();
-  void flush();
+  void flush_writev();
+  void consume_queued(size_t n);
   void close_now();
   void reactor_teardown();
   void update_interest();
@@ -72,7 +91,17 @@ class TcpConn : public std::enable_shared_from_this<TcpConn> {
   int fd_;
   DataFn on_data_;
   CloseFn on_close_;
-  std::string write_buffer_;
+  /// Outgoing bytes as a segment list: head_ bytes of the front segment are
+  /// already written. Segments are what writev's iovecs point at.
+  std::deque<std::string> segments_;
+  size_t head_ = 0;
+  size_t queued_bytes_ = 0;
+  size_t uring_inflight_bytes_ = 0;
+  bool uring_inflight_ = false;
+  /// After a short io_uring write the socket buffer is full; drain the
+  /// remainder through EPOLLOUT + writev before submitting to the ring
+  /// again (keeps byte order without overlapping submissions).
+  bool uring_backoff_ = false;
   bool shutdown_after_flush_ = false;
   bool want_write_ = false;
   bool registered_ = false;

@@ -1,0 +1,201 @@
+#include "net/uring.h"
+
+#if defined(SBROKER_HAVE_IOURING) && __has_include(<linux/io_uring.h>)
+#define SBROKER_URING_REAL 1
+#endif
+
+#ifdef SBROKER_URING_REAL
+
+#include <linux/io_uring.h>
+#include <sys/mman.h>
+#include <sys/syscall.h>
+#include <sys/uio.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <cstring>
+
+namespace sbroker::net {
+namespace {
+
+int sys_io_uring_setup(unsigned entries, io_uring_params* p) {
+  return static_cast<int>(syscall(__NR_io_uring_setup, entries, p));
+}
+
+int sys_io_uring_enter(int fd, unsigned to_submit, unsigned min_complete, unsigned flags) {
+  return static_cast<int>(
+      syscall(__NR_io_uring_enter, fd, to_submit, min_complete, flags, nullptr, 0));
+}
+
+unsigned* ring_u32(void* base, unsigned off) {
+  return reinterpret_cast<unsigned*>(static_cast<char*>(base) + off);
+}
+
+// The kernel updates SQ head / CQ tail concurrently with userspace; access
+// the shared ring indices through atomic_ref with acquire/release ordering
+// (the same protocol liburing implements with barrier macros).
+unsigned load_acquire(unsigned* p) {
+  return std::atomic_ref<unsigned>(*p).load(std::memory_order_acquire);
+}
+
+void store_release(unsigned* p, unsigned v) {
+  std::atomic_ref<unsigned>(*p).store(v, std::memory_order_release);
+}
+
+}  // namespace
+
+struct UringQueue::Impl {
+  int fd = -1;
+  void* sq_ring = MAP_FAILED;
+  size_t sq_ring_bytes = 0;
+  void* cq_ring = MAP_FAILED;
+  size_t cq_ring_bytes = 0;
+  io_uring_sqe* sqes = static_cast<io_uring_sqe*>(MAP_FAILED);
+  size_t sqes_bytes = 0;
+  bool single_mmap = false;
+
+  unsigned sq_entries = 0;
+  unsigned* sq_head = nullptr;
+  unsigned* sq_tail = nullptr;
+  unsigned* sq_mask = nullptr;
+  unsigned* sq_array = nullptr;
+  unsigned local_tail = 0;  ///< our view of the tail; published at flush()
+  unsigned queued = 0;      ///< SQEs staged since the last flush
+
+  unsigned* cq_head = nullptr;
+  unsigned* cq_tail = nullptr;
+  unsigned* cq_mask = nullptr;
+  io_uring_cqe* cqes = nullptr;
+
+  ~Impl() {
+    if (sqes != MAP_FAILED) munmap(sqes, sqes_bytes);
+    if (!single_mmap && cq_ring != MAP_FAILED) munmap(cq_ring, cq_ring_bytes);
+    if (sq_ring != MAP_FAILED) munmap(sq_ring, sq_ring_bytes);
+    if (fd >= 0) close(fd);
+  }
+};
+
+bool UringQueue::compiled_in() { return true; }
+
+std::unique_ptr<UringQueue> UringQueue::create(unsigned entries) {
+  auto impl = std::make_unique<Impl>();
+  io_uring_params params{};
+  int fd = sys_io_uring_setup(entries, &params);
+  if (fd < 0) return nullptr;
+  impl->fd = fd;
+  impl->sq_entries = params.sq_entries;
+
+  size_t sq_bytes = params.sq_off.array + params.sq_entries * sizeof(unsigned);
+  size_t cq_bytes = params.cq_off.cqes + params.cq_entries * sizeof(io_uring_cqe);
+  impl->single_mmap = (params.features & IORING_FEAT_SINGLE_MMAP) != 0;
+  if (impl->single_mmap) sq_bytes = cq_bytes = std::max(sq_bytes, cq_bytes);
+
+  impl->sq_ring_bytes = sq_bytes;
+  impl->sq_ring = mmap(nullptr, sq_bytes, PROT_READ | PROT_WRITE,
+                       MAP_SHARED | MAP_POPULATE, fd, IORING_OFF_SQ_RING);
+  if (impl->sq_ring == MAP_FAILED) return nullptr;
+  impl->cq_ring_bytes = cq_bytes;
+  if (impl->single_mmap) {
+    impl->cq_ring = impl->sq_ring;
+  } else {
+    impl->cq_ring = mmap(nullptr, cq_bytes, PROT_READ | PROT_WRITE,
+                         MAP_SHARED | MAP_POPULATE, fd, IORING_OFF_CQ_RING);
+    if (impl->cq_ring == MAP_FAILED) return nullptr;
+  }
+  impl->sqes_bytes = params.sq_entries * sizeof(io_uring_sqe);
+  impl->sqes = static_cast<io_uring_sqe*>(mmap(nullptr, impl->sqes_bytes,
+                                               PROT_READ | PROT_WRITE,
+                                               MAP_SHARED | MAP_POPULATE, fd,
+                                               IORING_OFF_SQES));
+  if (impl->sqes == MAP_FAILED) return nullptr;
+
+  impl->sq_head = ring_u32(impl->sq_ring, params.sq_off.head);
+  impl->sq_tail = ring_u32(impl->sq_ring, params.sq_off.tail);
+  impl->sq_mask = ring_u32(impl->sq_ring, params.sq_off.ring_mask);
+  impl->sq_array = ring_u32(impl->sq_ring, params.sq_off.array);
+  impl->cq_head = ring_u32(impl->cq_ring, params.cq_off.head);
+  impl->cq_tail = ring_u32(impl->cq_ring, params.cq_off.tail);
+  impl->cq_mask = ring_u32(impl->cq_ring, params.cq_off.ring_mask);
+  impl->cqes = reinterpret_cast<io_uring_cqe*>(
+      static_cast<char*>(impl->cq_ring) + params.cq_off.cqes);
+  impl->local_tail = *impl->sq_tail;
+  return std::unique_ptr<UringQueue>(new UringQueue(std::move(impl)));
+}
+
+int UringQueue::ring_fd() const { return impl_->fd; }
+
+bool UringQueue::submit_writev(int fd, const iovec* iov, unsigned iovcnt,
+                               uint64_t user_data) {
+  Impl& im = *impl_;
+  unsigned head = load_acquire(im.sq_head);
+  if (im.local_tail - head >= im.sq_entries) return false;
+  unsigned idx = im.local_tail & *im.sq_mask;
+  io_uring_sqe& sqe = im.sqes[idx];
+  std::memset(&sqe, 0, sizeof(sqe));
+  sqe.opcode = IORING_OP_WRITEV;
+  sqe.fd = fd;
+  sqe.addr = reinterpret_cast<uint64_t>(iov);
+  sqe.len = iovcnt;
+  sqe.user_data = user_data;
+  im.sq_array[idx] = idx;
+  ++im.local_tail;
+  ++im.queued;
+  return true;
+}
+
+int UringQueue::flush() {
+  Impl& im = *impl_;
+  if (im.queued == 0) return 0;
+  store_release(im.sq_tail, im.local_tail);
+  unsigned to_submit = im.queued;
+  im.queued = 0;
+  int ret = sys_io_uring_enter(im.fd, to_submit, 0, 0);
+  if (ret < 0) return -errno;
+  return ret;
+}
+
+unsigned UringQueue::drain_completions(const CompletionFn& fn) {
+  Impl& im = *impl_;
+  unsigned head = load_acquire(im.cq_head);
+  unsigned count = 0;
+  while (true) {
+    unsigned tail = load_acquire(im.cq_tail);
+    if (head == tail) break;
+    io_uring_cqe& cqe = im.cqes[head & *im.cq_mask];
+    uint64_t user_data = cqe.user_data;
+    int32_t result = cqe.res;
+    ++head;
+    // Release the slot before the callback: it may submit more work.
+    store_release(im.cq_head, head);
+    ++count;
+    fn(user_data, result);
+  }
+  return count;
+}
+
+unsigned UringQueue::pending() const { return impl_->queued; }
+
+#else  // !SBROKER_URING_REAL
+
+namespace sbroker::net {
+
+// Stub build (SBROKER_IOURING=OFF or header missing): everything reports
+// unsupported and the reactor stays on the epoll/writev path.
+struct UringQueue::Impl {};
+
+bool UringQueue::compiled_in() { return false; }
+std::unique_ptr<UringQueue> UringQueue::create(unsigned) { return nullptr; }
+int UringQueue::ring_fd() const { return -1; }
+bool UringQueue::submit_writev(int, const iovec*, unsigned, uint64_t) { return false; }
+int UringQueue::flush() { return 0; }
+unsigned UringQueue::drain_completions(const CompletionFn&) { return 0; }
+unsigned UringQueue::pending() const { return 0; }
+
+#endif  // SBROKER_URING_REAL
+
+UringQueue::UringQueue(std::unique_ptr<Impl> impl) : impl_(std::move(impl)) {}
+UringQueue::~UringQueue() = default;
+
+}  // namespace sbroker::net

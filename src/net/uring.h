@@ -1,0 +1,69 @@
+// Minimal io_uring submission queue for batched socket writes.
+//
+// The reactor's syscall-batching backend: writev SQEs are queued during a
+// dispatch cycle and submitted with ONE io_uring_enter at cycle end, so N
+// connections flushed in one wakeup cost one syscall instead of N.
+//
+// Completion model is fully asynchronous: the ring fd is registered with the
+// reactor's epoll (readable when CQEs are pending) and completions are
+// reaped with drain_completions. Never wait in io_uring_enter — the kernel
+// polls non-blocking sockets internally rather than failing with EAGAIN, so
+// a synchronous min_complete wait could park the reactor thread.
+//
+// Implemented with raw syscalls (no liburing dependency); compiled to a
+// stub that reports unsupported unless the build sets SBROKER_HAVE_IOURING
+// (CMake -DSBROKER_IOURING=ON) and <linux/io_uring.h> exists. create() also
+// returns null when the running kernel rejects io_uring_setup, so callers
+// get graceful epoll fallback in every environment.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+struct iovec;
+
+namespace sbroker::net {
+
+class UringQueue {
+ public:
+  /// True when the io_uring backend was compiled in (build-time capability;
+  /// the kernel may still refuse at create()).
+  static bool compiled_in();
+
+  /// Sets up a ring with `entries` SQ slots. Null when compiled out or the
+  /// kernel refuses.
+  static std::unique_ptr<UringQueue> create(unsigned entries = 256);
+
+  ~UringQueue();
+  UringQueue(const UringQueue&) = delete;
+  UringQueue& operator=(const UringQueue&) = delete;
+
+  /// Pollable ring fd (EPOLLIN = completions pending).
+  int ring_fd() const;
+
+  /// Queues one writev without submitting. `iov` (and the buffers it points
+  /// at) must stay valid until the matching completion is drained. False
+  /// when the SQ is full — flush() and retry, or fall back to plain writev.
+  bool submit_writev(int fd, const iovec* iov, unsigned iovcnt, uint64_t user_data);
+
+  /// Submits everything queued since the last flush in one io_uring_enter.
+  /// Returns the kernel's submitted count, or a negative errno.
+  int flush();
+
+  using CompletionFn = std::function<void(uint64_t user_data, int32_t result)>;
+
+  /// Reaps all pending CQEs, invoking `fn(user_data, result)` per entry
+  /// (result is bytes written or a negative errno). Returns the count.
+  unsigned drain_completions(const CompletionFn& fn);
+
+  /// SQEs queued but not yet flushed.
+  unsigned pending() const;
+
+ private:
+  struct Impl;
+  explicit UringQueue(std::unique_ptr<Impl> impl);
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace sbroker::net

@@ -1,0 +1,106 @@
+#include "core/arena.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+namespace sbroker::core {
+namespace {
+
+TEST(ArenaTest, AllocatesAlignedMemory) {
+  Arena arena;
+  void* a = arena.allocate(13, 1);
+  void* b = arena.allocate(8, 8);
+  void* c = arena.allocate(1, 64);
+  ASSERT_NE(a, nullptr);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(b) % 8, 0u);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(c) % 64, 0u);
+}
+
+TEST(ArenaTest, StoreCopiesBytes) {
+  Arena arena;
+  std::string original = "hello arena";
+  std::string_view view = arena.store(original);
+  original.assign(original.size(), 'x');  // mutate the source
+  EXPECT_EQ(view, "hello arena");
+}
+
+TEST(ArenaTest, StoreEmptyIsEmpty) {
+  Arena arena;
+  EXPECT_TRUE(arena.store("").empty());
+  EXPECT_EQ(arena.bytes_used(), 0u);
+}
+
+TEST(ArenaTest, ResetRetainsFirstBlockOnly) {
+  Arena arena(256);
+  // Force several overflow blocks.
+  for (int i = 0; i < 20; ++i) arena.allocate(100, 1);
+  EXPECT_GT(arena.block_count(), 1u);
+  arena.reset();
+  EXPECT_EQ(arena.block_count(), 1u);
+  EXPECT_EQ(arena.bytes_used(), 0u);
+}
+
+TEST(ArenaTest, SteadyStateReusesFirstBlock) {
+  Arena arena(1024);
+  arena.allocate(100, 1);
+  arena.reset();
+  void* first = arena.allocate(100, 1);
+  arena.reset();
+  void* second = arena.allocate(100, 1);
+  // Same block, same offset: no new heap memory between requests.
+  EXPECT_EQ(first, second);
+  EXPECT_EQ(arena.block_count(), 1u);
+}
+
+TEST(ArenaTest, OversizedAllocationGetsDedicatedBlock) {
+  Arena arena(256);
+  char* small = arena.scratch(10);
+  std::memset(small, 'a', 10);
+  char* big = arena.scratch(10000);
+  std::memset(big, 'b', 10000);
+  // The small allocation's block stays active: the next small allocation
+  // must not come out of the jumbo block.
+  char* small2 = arena.scratch(10);
+  EXPECT_EQ(small + 10, small2);
+  EXPECT_EQ(small[0], 'a');
+  EXPECT_EQ(big[9999], 'b');
+  arena.reset();
+  EXPECT_EQ(arena.block_count(), 1u);
+}
+
+TEST(ArenaTest, CreatePlacesObject) {
+  struct Pair {
+    uint64_t a;
+    uint64_t b;
+  };
+  Arena arena;
+  Pair* p = arena.create<Pair>(Pair{7, 9});
+  EXPECT_EQ(p->a, 7u);
+  EXPECT_EQ(p->b, 9u);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(p) % alignof(Pair), 0u);
+}
+
+TEST(ArenaPoolTest, RecyclesArenas) {
+  ArenaPool pool(512);
+  std::unique_ptr<Arena> a = pool.acquire();
+  a->allocate(64, 1);
+  Arena* raw = a.get();
+  pool.release(std::move(a));
+  EXPECT_EQ(pool.pooled(), 1u);
+  std::unique_ptr<Arena> b = pool.acquire();
+  EXPECT_EQ(b.get(), raw);          // same arena comes back
+  EXPECT_EQ(b->bytes_used(), 0u);   // and it was reset
+  EXPECT_EQ(pool.pooled(), 0u);
+}
+
+TEST(ArenaPoolTest, ReleaseNullIsNoop) {
+  ArenaPool pool;
+  pool.release(nullptr);
+  EXPECT_EQ(pool.pooled(), 0u);
+}
+
+}  // namespace
+}  // namespace sbroker::core

@@ -3,6 +3,9 @@
 #include "net/broker_daemon.h"
 
 #include <gtest/gtest.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
 
 #include <atomic>
 #include <chrono>
@@ -121,24 +124,38 @@ TEST_F(BrokerDaemonTest, UnreachableBackendYieldsError) {
 }
 
 TEST_F(BrokerDaemonTest, MalformedBytesCloseConnection) {
-  // Hand-roll a raw client sending garbage.
   BrokerClient good(daemon_->port());
-  int fd = -1;
   {
-    // Reuse BrokerClient's connect through a throwaway client object is not
-    // possible (it validates), so use http_fetch's socket path instead: send
-    // garbage via a raw BrokerClient would require friend access. Simplest:
-    // an HTTP fetch against the broker port is garbage to the wire decoder.
-    http::Request junk;
-    junk.target = "/not-wire-protocol";
-    auto resp = http_fetch(daemon_->port(), junk, 500);
-    EXPECT_FALSE(resp.has_value());  // daemon closes without HTTP reply
+    // A first byte that is neither the frame magic, the legacy 'S' of SBRK,
+    // nor an ASCII letter fails the protocol sniff; the daemon closes the
+    // connection without replying.
+    int fd = connect_tcp(daemon_->port());
+    ASSERT_GE(fd, 0);
+    const char junk[] = "\x01\x02garbage";
+    ASSERT_GT(::send(fd, junk, sizeof(junk) - 1, 0), 0);
+    // connect_tcp hands back a non-blocking fd; wait for the peer close.
+    pollfd pfd{fd, POLLIN, 0};
+    ASSERT_EQ(::poll(&pfd, 1, 2000), 1);
+    char buf[64];
+    ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    EXPECT_EQ(n, 0);  // EOF, not data: closed without replying
+    ::close(fd);
   }
-  (void)fd;
   // The daemon must still serve well-formed clients afterwards.
   auto reply = good.call(request(5, 3, "/still-alive"));
   ASSERT_TRUE(reply.has_value());
   EXPECT_EQ(reply->payload, "content of /still-alive");
+}
+
+TEST_F(BrokerDaemonTest, HttpOnMainPortIsSniffedAndServed) {
+  // Plain HTTP/1.1 arriving on the wire-protocol port is recognized by the
+  // first-byte sniff and answered as the HTTP gateway would.
+  http::Request req;
+  req.target = "/sniffed-page";
+  auto resp = http_fetch(daemon_->port(), req, 2000);
+  ASSERT_TRUE(resp.has_value());
+  EXPECT_EQ(resp->status, 200);
+  EXPECT_EQ(resp->body, "content of /sniffed-page");
 }
 
 TEST(HttpBackendIdlePool, CapsParkedConnectionsAndPrunesByTtl) {

@@ -1,0 +1,180 @@
+#include "net/frame.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace sbroker::net::frame {
+namespace {
+
+TEST(FrameTest, RequestRoundTrip) {
+  Request in;
+  in.request_id = 0x1122334455667788ull;
+  in.qos_level = 3;
+  in.deadline_ms = 1500;
+  in.query = "/object-42";
+  std::string wire;
+  encode_request(in, wire);
+  ASSERT_EQ(wire.size(), kHeaderSize + kRequestFixed + in.query.size());
+
+  Request out;
+  size_t consumed = 0;
+  ASSERT_EQ(parse_request(wire, out, &consumed), ParseResult::kFrame);
+  EXPECT_EQ(consumed, wire.size());
+  EXPECT_EQ(out.request_id, in.request_id);
+  EXPECT_EQ(out.qos_level, in.qos_level);
+  EXPECT_EQ(out.deadline_ms, in.deadline_ms);
+  EXPECT_EQ(out.query, in.query);
+}
+
+TEST(FrameTest, ReplyRoundTrip) {
+  std::string wire;
+  encode_reply(99, http::Fidelity::kCached, kFlagCacheServed | kFlagDegraded,
+               "cached body", wire);
+  Reply out;
+  size_t consumed = 0;
+  ASSERT_EQ(parse_reply(wire, out, &consumed), ParseResult::kFrame);
+  EXPECT_EQ(consumed, wire.size());
+  EXPECT_EQ(out.request_id, 99u);
+  EXPECT_EQ(out.fidelity, http::Fidelity::kCached);
+  EXPECT_EQ(out.flags, kFlagCacheServed | kFlagDegraded);
+  EXPECT_EQ(out.payload, "cached body");
+}
+
+TEST(FrameTest, EmptyQueryAndPayload) {
+  Request rin;
+  rin.request_id = 1;
+  std::string wire;
+  encode_request(rin, wire);
+  Request rout;
+  ASSERT_EQ(parse_request(wire, rout, nullptr), ParseResult::kFrame);
+  EXPECT_TRUE(rout.query.empty());
+
+  wire.clear();
+  encode_reply(1, http::Fidelity::kFull, 0, "", wire);
+  Reply pout;
+  ASSERT_EQ(parse_reply(wire, pout, nullptr), ParseResult::kFrame);
+  EXPECT_TRUE(pout.payload.empty());
+}
+
+TEST(FrameTest, TruncatedFramesNeedMore) {
+  Request in;
+  in.request_id = 7;
+  in.query = "/object-1";
+  std::string wire;
+  encode_request(in, wire);
+  Request out;
+  size_t consumed = 123;
+  for (size_t cut = 0; cut < wire.size(); ++cut) {
+    EXPECT_EQ(parse_request(std::string_view(wire).substr(0, cut), out, &consumed),
+              ParseResult::kNeedMore)
+        << "at prefix length " << cut;
+  }
+  EXPECT_EQ(parse_request(wire, out, &consumed), ParseResult::kFrame);
+}
+
+TEST(FrameTest, GarbageMagicIsError) {
+  std::string wire = "GET / HTTP/1.1\r\n\r\n";
+  Request out;
+  EXPECT_EQ(parse_request(wire, out, nullptr), ParseResult::kError);
+}
+
+TEST(FrameTest, WrongVersionIsError) {
+  Request in;
+  in.request_id = 1;
+  std::string wire;
+  encode_request(in, wire);
+  wire[1] = 2;  // bump version
+  Request out;
+  EXPECT_EQ(parse_request(wire, out, nullptr), ParseResult::kError);
+}
+
+TEST(FrameTest, WrongKindIsError) {
+  std::string wire;
+  encode_reply(1, http::Fidelity::kFull, 0, "x", wire);
+  Request out;
+  EXPECT_EQ(parse_request(wire, out, nullptr), ParseResult::kError);
+}
+
+TEST(FrameTest, OversizedLengthIsErrorNotNeedMore) {
+  std::string wire;
+  wire.push_back(static_cast<char>(kMagic));
+  wire.push_back(static_cast<char>(kVersion));
+  wire.push_back(static_cast<char>(kKindRequest));
+  wire.push_back(1);
+  uint32_t huge = kMaxSectionLength + 1;
+  for (int i = 0; i < 4; ++i) wire.push_back(static_cast<char>((huge >> (8 * i)) & 0xff));
+  Request out;
+  EXPECT_EQ(parse_request(wire, out, nullptr), ParseResult::kError);
+}
+
+TEST(FrameTest, SectionShorterThanFixedPartIsError) {
+  std::string wire;
+  wire.push_back(static_cast<char>(kMagic));
+  wire.push_back(static_cast<char>(kVersion));
+  wire.push_back(static_cast<char>(kKindRequest));
+  wire.push_back(1);
+  uint32_t len = 4;  // request fixed part needs 12
+  for (int i = 0; i < 4; ++i) wire.push_back(static_cast<char>((len >> (8 * i)) & 0xff));
+  wire.append(4, '\0');
+  Request out;
+  EXPECT_EQ(parse_request(wire, out, nullptr), ParseResult::kError);
+}
+
+TEST(FrameTest, BadReplyStatusIsError) {
+  std::string wire;
+  encode_reply(1, http::Fidelity::kFull, 0, "", wire);
+  wire[3] = 42;  // no such fidelity
+  Reply out;
+  EXPECT_EQ(parse_reply(wire, out, nullptr), ParseResult::kError);
+}
+
+TEST(FrameTest, FrameSizeFromHeader) {
+  Request in;
+  in.request_id = 5;
+  in.query = "/object-123";
+  std::string wire;
+  encode_request(in, wire);
+  EXPECT_EQ(frame_size(wire), wire.size());
+  EXPECT_EQ(frame_size(std::string_view(wire).substr(0, kHeaderSize - 1)), 0u);
+}
+
+TEST(FrameTest, BackToBackFramesParseSequentially) {
+  std::string wire;
+  Request a;
+  a.request_id = 1;
+  a.query = "/object-1";
+  Request b;
+  b.request_id = 2;
+  b.query = "/object-2";
+  encode_request(a, wire);
+  encode_request(b, wire);
+
+  std::string_view rest = wire;
+  Request out;
+  size_t consumed = 0;
+  ASSERT_EQ(parse_request(rest, out, &consumed), ParseResult::kFrame);
+  EXPECT_EQ(out.request_id, 1u);
+  rest.remove_prefix(consumed);
+  ASSERT_EQ(parse_request(rest, out, &consumed), ParseResult::kFrame);
+  EXPECT_EQ(out.request_id, 2u);
+  rest.remove_prefix(consumed);
+  EXPECT_TRUE(rest.empty());
+}
+
+TEST(FrameTest, MagicDistinctFromOtherProtocols) {
+  // First-byte sniffing relies on these being disjoint.
+  EXPECT_NE(kMagic, 'S');                 // legacy SBRK
+  EXPECT_FALSE(kMagic >= 'A' && kMagic <= 'Z');  // HTTP method letters
+}
+
+TEST(FrameTest, FlagsForFidelity) {
+  EXPECT_EQ(flags_for(http::Fidelity::kFull), 0);
+  EXPECT_EQ(flags_for(http::Fidelity::kCached), kFlagCacheServed);
+  EXPECT_EQ(flags_for(http::Fidelity::kBusy), kFlagShed);
+  EXPECT_EQ(flags_for(http::Fidelity::kError), kFlagError);
+  EXPECT_EQ(flags_for(http::Fidelity::kDegraded), kFlagDegraded);
+}
+
+}  // namespace
+}  // namespace sbroker::net::frame
