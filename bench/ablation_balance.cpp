@@ -2,9 +2,12 @@
 // (Section III: the API model "can only work in a speculative manner";
 // brokers "accurately distribute the workload").
 //
-// Three backend replicas, one of them 3x slower. Speculative policies
-// (random, round-robin) keep feeding the slow replica at the same rate;
-// the broker's least-outstanding and weighted policies shift load away.
+// Three backend replicas, one of them 3x slower (a ServiceProfile with
+// multiplier 3 and ±10% jitter — an older box). Speculative policies
+// (random, round-robin) keep feeding the slow replica at the same rate; the
+// broker's stateful policies shift load away: least-outstanding and weighted
+// from in-flight counts, ewma and p2c from the observed response times the
+// broker's completion path feeds back.
 //
 // Usage: ablation_balance [requests=600] [concurrency=30]
 #include <cstdio>
@@ -37,9 +40,13 @@ double run_once(core::BalancePolicy policy, uint64_t requests, size_t concurrenc
     srv::DbBackendConfig backend_cfg;
     backend_cfg.capacity = 4;
     backend_cfg.link_seed = 100 + static_cast<uint64_t>(i);
-    // Replica 2 is 3x slower per access (older box).
-    backend_cfg.cost.fixed_seconds = i == 2 ? 0.030 : 0.010;
-    backend_cfg.cost.per_repeat_seconds = i == 2 ? 0.015 : 0.005;
+    backend_cfg.cost.fixed_seconds = 0.010;
+    backend_cfg.cost.per_repeat_seconds = 0.005;
+    if (i == 2) {
+      // Replica 2 is 3x slower per access, with service-time jitter.
+      backend_cfg.profile.multiplier = 3.0;
+      backend_cfg.profile.jitter = 0.1;
+    }
     double weight = i == 2 ? 1.0 : 3.0;
     host.broker().add_backend(std::make_shared<srv::SimDbBackend>(sim, db, backend_cfg),
                               weight);
@@ -71,12 +78,14 @@ int main(int argc, char** argv) {
   util::TablePrinter table({"policy", "mean_ms"});
   for (auto policy : {core::BalancePolicy::kRandom, core::BalancePolicy::kRoundRobin,
                       core::BalancePolicy::kLeastOutstanding,
-                      core::BalancePolicy::kWeighted}) {
+                      core::BalancePolicy::kWeighted, core::BalancePolicy::kEwma,
+                      core::BalancePolicy::kP2c}) {
     table.add_row({core::balance_policy_name(policy),
                    util::TablePrinter::fmt(run_once(policy, requests, concurrency), 2)});
   }
   std::fputs(table.render().c_str(), stdout);
-  std::printf("\nExpected: least-outstanding and weighted beat the speculative\n"
-              "(random / round-robin) policies the API model is limited to.\n");
+  std::printf("\nExpected: the stateful policies (least-outstanding, weighted,\n"
+              "ewma, p2c) beat the speculative (random / round-robin) policies\n"
+              "the API model is limited to.\n");
   return 0;
 }

@@ -65,7 +65,31 @@
 //             measured)
 //   iouring   1 = opt shard reactors into the io_uring write backend (no-op
 //             without -DSBROKER_IOURING=ON or kernel support) (default 0)
+//   policy    comma list of balancer policies swept per combination, from
+//             random, round-robin (rr), least-outstanding (least), weighted,
+//             ewma, p2c (see core/balance.h)   (default "least-outstanding",
+//             the broker's own default, so existing smokes are unchanged)
+//   replicas  backend replicas in the fake pool, each its own HTTP server
+//             with its own port                        (default 1)
+//   svc       per-request service time in ms at every replica; each replica
+//             is a serial (capacity-1) server, so queueing delay is real and
+//             responses stay in arrival order (HTTP/1.1 pipelining needs
+//             in-order responses). 0 = reply immediately (default 0)
+//   svcjitter fractional service-time jitter, e.g. 0.1 = ±10% (default 0.1;
+//             only matters with svc>0)
+//   skew      comma list of slow-replica multipliers swept per combination:
+//             the LAST replica serves svc*skew ms per request, modelling a
+//             degraded box in an otherwise uniform pool. skew>1 requires
+//             replicas>=2 and svc>0                    (default "1")
+//   degrade   seconds into each run before the slow replica's skew kicks in
+//             (0 = slow from the start)                (default 0)
+//             With check=1, every run must satisfy pick conservation
+//             (Σ per-replica balancer picks == backend calls), and at
+//             skew>=4 the ewma/p2c runs must route a smaller share of picks
+//             to the slow replica than the round-robin run of the same
+//             combination.
 //   out       JSON result file; "" = stdout only      (default BENCH_daemon.json)
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdio>
@@ -74,12 +98,16 @@
 #include <thread>
 #include <vector>
 
+#include "core/balance.h"
 #include "net/http_server.h"
 #include "net/http_client.h"
 #include "net/pipelined_backend.h"
+#include "net/reactor.h"
 #include "net/sharded_daemon.h"
+#include "srv/service_profile.h"
 #include "util/config.h"
 #include "util/json.h"
+#include "util/rng.h"
 #include "util/stats.h"
 
 using namespace sbroker;
@@ -98,6 +126,15 @@ struct RunResult {
   std::string proto;  // client protocol this run was driven with
   net::WireStats wire;  // main-port protocol mix + flush coalescing
   double dup = 0.0;  // hot-key fraction this run was driven with
+  std::string policy;  // balancer policy this run was driven with
+  double skew = 1.0;   // slow-replica service-time multiplier
+  size_t replicas = 1;
+  // Per-replica picker state from the post-run shard snapshots: picks summed
+  // across shards, EWMA the max across shards (each shard has its own view).
+  std::vector<uint64_t> replica_picks;
+  std::vector<double> replica_ewma_ms;
+  uint64_t picks_total = 0;
+  double slow_share = 0.0;  // last replica's share of picks (replicas > 1)
   uint64_t requests = 0;   // replies received by clients
   uint64_t failures = 0;   // timeouts / io errors
   double seconds = 0.0;
@@ -124,11 +161,84 @@ struct CacheKnobs {
   bool coalesce = true;
 };
 
+/// Replica-selection knobs swept through to the broker + fake backend pool
+/// (the policy=, replicas=, svc=, svcjitter=, skew=, degrade= parameters).
+struct ReplicaKnobs {
+  core::BalancePolicy policy = core::BalancePolicy::kLeastOutstanding;
+  size_t replicas = 1;
+  double svc_ms = 0.0;
+  double svc_jitter = 0.1;
+  double skew = 1.0;
+  double degrade = 0.0;
+};
+
 double monotonic_seconds() {
   return std::chrono::duration<double>(
              std::chrono::steady_clock::now().time_since_epoch())
       .count();
 }
+
+/// Heterogeneous fake-backend pool: one HTTP server per replica, all on one
+/// reactor thread. Each replica is a serial (capacity-1) server — requests
+/// queue behind a busy-until cursor and the reply fires from a reactor timer
+/// — so a slow replica shows real queueing delay, and responses leave in
+/// arrival order, which HTTP/1.1 pipelining (PipelinedBackend's FIFO
+/// matching) requires. The LAST replica carries the skew multiplier.
+/// Targets under /stall- are swallowed: the response is parked forever,
+/// modelling a backend that accepts work and goes mute.
+class BackendPool {
+ public:
+  explicit BackendPool(const ReplicaKnobs& rk) {
+    double start = monotonic_seconds();
+    for (size_t i = 0; i < rk.replicas; ++i) {
+      srv::ServiceProfile profile;
+      profile.base = rk.svc_ms * 1e-3;
+      profile.jitter = rk.svc_jitter;
+      if (rk.replicas > 1 && i + 1 == rk.replicas) {
+        profile.multiplier = rk.skew;
+        profile.degrade_after = rk.degrade;
+      }
+      auto rng = std::make_shared<util::Rng>(0xb0c0 + i);
+      auto busy_until = std::make_shared<double>(0.0);
+      auto parked = parked_;
+      servers_.push_back(std::make_unique<net::HttpServer>(
+          reactor_, 0,
+          [this, profile, rng, busy_until, parked, start](
+              const http::Request& req, net::HttpServer::Responder respond) {
+            if (req.target.rfind("/stall-", 0) == 0) {
+              parked->push_back(std::move(respond));
+              return;
+            }
+            http::Response resp =
+                http::make_response(200, "body of " + req.target);
+            double now = monotonic_seconds();
+            double svc = profile.sample(0.0, now - start, *rng);
+            if (svc <= 0.0) {
+              respond(std::move(resp));
+              return;
+            }
+            double begin = std::max(now, *busy_until);
+            *busy_until = begin + svc;  // strictly increasing: replies in order
+            reactor_.add_timer(*busy_until - now, [respond, resp]() {
+              respond(resp);
+            });
+          }));
+    }
+    thread_ = std::thread([this] { reactor_.run(); });
+  }
+  ~BackendPool() {
+    reactor_.stop();
+    thread_.join();
+  }
+  uint16_t port(size_t replica) const { return servers_[replica]->port(); }
+
+ private:
+  net::Reactor reactor_;
+  std::vector<std::unique_ptr<net::HttpServer>> servers_;
+  std::shared_ptr<std::vector<net::HttpServer::Responder>> parked_ =
+      std::make_shared<std::vector<net::HttpServer::Responder>>();
+  std::thread thread_;
+};
 
 /// Parses the /statusz JSON into broker-side latency percentiles.
 bool parse_statusz(const std::string& body, RunResult& r) {
@@ -157,7 +267,8 @@ RunResult run_one(size_t shards, bool pipelined, size_t clients, double seconds,
                   uint32_t timeout_ms, uint64_t stallpct, int attempts,
                   bool obs_on, bool scrape, const CacheKnobs& knobs,
                   const std::string& proto, size_t burst, bool iouring,
-                  uint16_t backend_port) {
+                  const ReplicaKnobs& rk) {
+  BackendPool backends(rk);
   net::ShardedBrokerDaemonConfig cfg;
   cfg.broker.rules = core::QosRules{3, threshold};
   cfg.broker.enable_cache = cache;
@@ -170,22 +281,26 @@ RunResult run_one(size_t shards, bool pipelined, size_t clients, double seconds,
   cfg.broker.lifecycle.max_attempts = attempts;
   cfg.broker.obs.histograms = obs_on;
   cfg.broker.obs.trace = obs_on;
+  cfg.broker.balance = rk.policy;
   cfg.shards = shards;
   cfg.enable_udp = false;
   cfg.force_acceptor_fallback = fallback;
   cfg.io_uring = iouring;
   net::ShardedBrokerDaemon daemon("loadgen-broker", cfg);
   core::PoolConfig pool = cfg.broker.pool;
-  daemon.add_backend([backend_port, pipelined, pool](net::Reactor& reactor,
-                                                     size_t) -> std::shared_ptr<core::Backend> {
-    if (pipelined) {
-      // Same caps as the broker's ConnectionPool, so the wire enforces the
-      // bounds the core accounting already promised.
-      return std::make_shared<net::PipelinedBackend>(
-          reactor, backend_port, net::PipelinedBackend::Config::from_pool(pool));
-    }
-    return std::make_shared<net::HttpBackend>(reactor, backend_port);
-  });
+  for (size_t i = 0; i < rk.replicas; ++i) {
+    uint16_t backend_port = backends.port(i);
+    daemon.add_backend([backend_port, pipelined, pool](net::Reactor& reactor,
+                                                       size_t) -> std::shared_ptr<core::Backend> {
+      if (pipelined) {
+        // Same caps as the broker's ConnectionPool, so the wire enforces the
+        // bounds the core accounting already promised.
+        return std::make_shared<net::PipelinedBackend>(
+            reactor, backend_port, net::PipelinedBackend::Config::from_pool(pool));
+      }
+      return std::make_shared<net::HttpBackend>(reactor, backend_port);
+    });
+  }
   daemon.start();
 
   std::atomic<bool> stop_flag{false};
@@ -329,6 +444,9 @@ RunResult run_one(size_t shards, bool pipelined, size_t clients, double seconds,
   r.proto = proto;
   r.wire = daemon.aggregate_wire_stats();
   r.dup = knobs.dup;
+  r.policy = core::balance_policy_name(rk.policy);
+  r.skew = rk.skew;
+  r.replicas = rk.replicas;
   r.seconds = wall;
   for (size_t c = 0; c < clients; ++c) {
     r.requests += counts[c];
@@ -337,7 +455,32 @@ RunResult run_one(size_t shards, bool pipelined, size_t clients, double seconds,
   }
   r.rps = wall > 0 ? static_cast<double>(r.requests) / wall : 0.0;
   r.hit_ratio = daemon.shared_cache().hit_ratio();
-  r.metrics = daemon.aggregate_metrics();
+  // One consistent post-run snapshot per shard: both the folded metrics and
+  // the per-replica picker state come from it, so the pick-conservation gate
+  // (Σ picks == backend calls) compares numbers read at the same instant.
+  std::vector<net::ShardStatus> status = daemon.shard_status();
+  int num_levels = 1;
+  for (const net::ShardStatus& s : status) {
+    num_levels = std::max(num_levels, s.metrics.num_levels());
+  }
+  core::BrokerMetrics folded(num_levels);
+  for (const net::ShardStatus& s : status) folded.merge(s.metrics);
+  r.metrics = std::move(folded);
+  r.replica_picks.assign(rk.replicas, 0);
+  r.replica_ewma_ms.assign(rk.replicas, 0.0);
+  for (const net::ShardStatus& s : status) {
+    for (const net::ReplicaStatus& rep : s.replicas) {
+      if (rep.index >= rk.replicas) continue;
+      r.replica_picks[rep.index] += rep.picks;
+      r.replica_ewma_ms[rep.index] =
+          std::max(r.replica_ewma_ms[rep.index], rep.ewma_ms);
+    }
+  }
+  for (uint64_t p : r.replica_picks) r.picks_total += p;
+  if (rk.replicas > 1 && r.picks_total > 0) {
+    r.slow_share = static_cast<double>(r.replica_picks[rk.replicas - 1]) /
+                   static_cast<double>(r.picks_total);
+  }
   daemon.stop();
   return r;
 }
@@ -382,6 +525,44 @@ std::vector<size_t> parse_list(const std::string& list, size_t min_value) {
     } catch (const std::exception&) {
       return {};
     }
+    pos = comma + 1;
+  }
+  return values;
+}
+
+/// Parses a comma list of doubles >= min_value; empty means a parse error
+/// (the skew= sweep dimension).
+std::vector<double> parse_double_list(const std::string& list,
+                                      double min_value) {
+  std::vector<double> values;
+  for (size_t pos = 0; pos < list.size();) {
+    size_t comma = list.find(',', pos);
+    if (comma == std::string::npos) comma = list.size();
+    std::string token = list.substr(pos, comma - pos);
+    try {
+      size_t consumed = 0;
+      double f = std::stod(token, &consumed);
+      if (consumed != token.size() || f < min_value) {
+        throw std::invalid_argument(token);
+      }
+      values.push_back(f);
+    } catch (const std::exception&) {
+      return {};
+    }
+    pos = comma + 1;
+  }
+  return values;
+}
+
+/// Parses the policy= comma list; empty result means a parse error.
+std::vector<core::BalancePolicy> parse_policy_list(const std::string& list) {
+  std::vector<core::BalancePolicy> values;
+  for (size_t pos = 0; pos < list.size();) {
+    size_t comma = list.find(',', pos);
+    if (comma == std::string::npos) comma = list.size();
+    auto policy = core::parse_balance_policy(list.substr(pos, comma - pos));
+    if (!policy) return {};
+    values.push_back(*policy);
     pos = comma + 1;
   }
   return values;
@@ -467,6 +648,13 @@ int main(int argc, char** argv) {
   std::string proto_list = cfg.get_string("proto", "wire");
   size_t burst = static_cast<size_t>(cfg.get_int("burst", 1));
   bool iouring = cfg.get_bool("iouring", false);
+  std::string policy_list = cfg.get_string("policy", "least-outstanding");
+  std::string skew_list = cfg.get_string("skew", "1");
+  ReplicaKnobs rk;
+  rk.replicas = static_cast<size_t>(cfg.get_int("replicas", 1));
+  rk.svc_ms = cfg.get_double("svc", 0.0);
+  rk.svc_jitter = cfg.get_double("svcjitter", 0.1);
+  rk.degrade = cfg.get_double("degrade", 0.0);
   std::string out = cfg.get_string("out", "BENCH_daemon.json");
 
   std::vector<size_t> sweep = parse_list(shard_list, 1);
@@ -532,54 +720,74 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "error: burst>1 requires proto=bin (frame pipelining)\n");
     return 1;
   }
-
-  // One shared zero-delay HTTP backend on its own reactor thread. Targets
-  // under /stall- are swallowed: the response is parked forever, modelling a
-  // backend that accepts work and goes mute (stallpct routes traffic there).
-  net::Reactor backend_reactor;
-  auto parked = std::make_shared<std::vector<net::HttpServer::Responder>>();
-  net::HttpServer backend(backend_reactor, 0,
-                          [parked](const http::Request& req,
-                                   net::HttpServer::Responder respond) {
-                            if (req.target.rfind("/stall-", 0) == 0) {
-                              parked->push_back(std::move(respond));
-                              return;
-                            }
-                            respond(http::make_response(200, "body of " + req.target));
-                          });
-  std::thread backend_thread([&] { backend_reactor.run(); });
+  std::vector<core::BalancePolicy> policies = parse_policy_list(policy_list);
+  if (policies.empty()) {
+    std::fprintf(stderr,
+                 "error: policy=%s must be a comma list drawn from random,"
+                 "round-robin,least-outstanding,weighted,ewma,p2c\n",
+                 policy_list.c_str());
+    return 1;
+  }
+  std::vector<double> skews = parse_double_list(skew_list, 1.0);
+  if (skews.empty()) {
+    std::fprintf(stderr,
+                 "error: skew=%s must be a comma list of multipliers >= 1\n",
+                 skew_list.c_str());
+    return 1;
+  }
+  if (rk.replicas < 1 || rk.svc_ms < 0.0 || rk.svc_jitter < 0.0 ||
+      rk.degrade < 0.0) {
+    std::fprintf(stderr,
+                 "error: need replicas>=1, svc>=0, svcjitter>=0, degrade>=0\n");
+    return 1;
+  }
+  double max_skew = *std::max_element(skews.begin(), skews.end());
+  if (max_skew > 1.0 && (rk.replicas < 2 || rk.svc_ms <= 0.0)) {
+    std::fprintf(stderr,
+                 "error: skew>1 needs replicas>=2 and svc>0 — with a single "
+                 "replica or zero service time there is nothing to skew\n");
+    return 1;
+  }
 
   unsigned cpus = std::thread::hardware_concurrency();
   std::printf(
       "daemon_loadgen: %zu clients, %.1fs per run, %llu keys, cache=%d, "
       "timeout=%ums, stallpct=%llu, attempts=%d, obs=%d, scrape=%d, "
       "dup=%s, ttl=%.3g, grace=%.3g, jitter=%.3g, negttl=%.3g, "
-      "coalesce=%d, proto=%s, burst=%zu, iouring=%d, %u cpus\n",
+      "coalesce=%d, proto=%s, burst=%zu, iouring=%d, policy=%s, "
+      "replicas=%zu, svc=%.3gms, svcjitter=%.3g, skew=%s, degrade=%.3g, "
+      "%u cpus\n",
       clients, seconds, static_cast<unsigned long long>(keys), cache ? 1 : 0,
       timeout_ms, static_cast<unsigned long long>(stallpct), attempts,
       obs_on ? 1 : 0, scrape ? 1 : 0, dup_list.c_str(), knobs.ttl, knobs.grace,
       knobs.jitter, knobs.negttl, knobs.coalesce ? 1 : 0, proto_list.c_str(),
-      burst, iouring ? 1 : 0, cpus);
-  std::printf("%-5s %-5s %-7s %-9s %-8s %10s %10s %9s %9s %9s %9s %10s %8s %8s %9s %9s %9s\n",
-              "proto", "dup", "shards", "channel", "accept", "requests", "req/s",
-              "p50 ms", "p99 ms", "brk p50", "hit%", "dropped", "misses",
-              "retries", "conns", "bkcalls", "coalesc");
+      burst, iouring ? 1 : 0, policy_list.c_str(), rk.replicas, rk.svc_ms,
+      rk.svc_jitter, skew_list.c_str(), rk.degrade, cpus);
+  std::printf("%-5s %-5s %-9s %-4s %-7s %-9s %-8s %10s %10s %9s %9s %9s %9s %10s %8s %8s %9s %9s %9s %7s\n",
+              "proto", "dup", "policy", "skew", "shards", "channel", "accept",
+              "requests", "req/s", "p50 ms", "p99 ms", "brk p50", "hit%",
+              "dropped", "misses", "retries", "conns", "bkcalls", "coalesc",
+              "slow%");
 
   bool conservation_ok = true;
   std::vector<RunResult> results;
   for (const std::string& proto : protos) {
   for (double dup : dups) {
   knobs.dup = dup;
+  for (core::BalancePolicy policy : policies) {
+  rk.policy = policy;
+  for (double skew : skews) {
+  rk.skew = skew;
   for (size_t shards : sweep) {
     for (size_t mode : modes) {
       RunResult r = run_one(shards, mode != 0, clients, seconds, keys,
                             threshold, cache, fallback, timeout_ms, stallpct,
                             attempts, obs_on, scrape, knobs, proto, burst,
-                            iouring, backend.port());
+                            iouring, rk);
       core::BrokerMetrics::ClassCounters total = r.metrics.total();
-      std::printf("%-5s %-5.2f %-7zu %-9s %-8s %10llu %10.0f %9.3f %9.3f %9.3f %8.1f%% "
-                  "%10llu %8llu %8llu %9llu %9llu %9llu\n",
-                  r.proto.c_str(), r.dup, r.shards,
+      std::printf("%-5s %-5.2f %-9.9s %-4.3g %-7zu %-9s %-8s %10llu %10.0f %9.3f %9.3f %9.3f %8.1f%% "
+                  "%10llu %8llu %8llu %9llu %9llu %9llu %6.1f%%\n",
+                  r.proto.c_str(), r.dup, r.policy.c_str(), r.skew, r.shards,
                   r.pipelined ? "pipeline" : "stopwait",
                   r.kernel_accept_sharding ? "kernel" : "rrobin",
                   static_cast<unsigned long long>(r.requests), r.rps,
@@ -592,7 +800,20 @@ int main(int argc, char** argv) {
                       r.metrics.transport.connections_opened),
                   static_cast<unsigned long long>(r.metrics.transport.calls),
                   static_cast<unsigned long long>(
-                      r.metrics.flight.coalesced_waiters));
+                      r.metrics.flight.coalesced_waiters),
+                  r.slow_share * 100.0);
+      if (check && r.picks_total != r.metrics.transport.calls) {
+        // Every balancer pick carries exactly one backend invoke (the
+        // connection pool never saturates at these client counts), so the
+        // per-replica pick counters must sum to the channel's call counter.
+        std::fprintf(stderr,
+                     "pick conservation FAILED: picks %llu != backend calls "
+                     "%llu (policy=%s shards=%zu pipeline=%zu)\n",
+                     static_cast<unsigned long long>(r.picks_total),
+                     static_cast<unsigned long long>(r.metrics.transport.calls),
+                     r.policy.c_str(), shards, mode);
+        conservation_ok = false;
+      }
       if (check && !conservation_holds(r)) {
         std::fprintf(stderr, "conservation violated: shards=%zu pipeline=%zu\n",
                      shards, mode);
@@ -677,9 +898,35 @@ int main(int argc, char** argv) {
   }
   }
   }
+  }
+  }
 
-  backend_reactor.stop();
-  backend_thread.join();
+  if (check && max_skew >= 4.0 && rk.replicas >= 2) {
+    // The point of the policy dimension: at heavy skew the latency-aware
+    // policies must route a smaller share of picks to the slow replica than
+    // blind round-robin does, per matching sweep combination.
+    for (const RunResult& rr_run : results) {
+      if (rr_run.policy != "round-robin" || rr_run.skew < 4.0) continue;
+      for (const RunResult& r : results) {
+        if ((r.policy != "ewma" && r.policy != "p2c") ||
+            r.proto != rr_run.proto || r.dup != rr_run.dup ||
+            r.skew != rr_run.skew || r.shards != rr_run.shards ||
+            r.pipelined != rr_run.pipelined) {
+          continue;
+        }
+        if (r.slow_share >= rr_run.slow_share) {
+          std::fprintf(stderr,
+                       "policy check FAILED: %s slow-replica share %.1f%% not "
+                       "below round-robin's %.1f%% (skew=%.3g shards=%zu "
+                       "pipeline=%d)\n",
+                       r.policy.c_str(), r.slow_share * 100.0,
+                       rr_run.slow_share * 100.0, r.skew, r.shards,
+                       r.pipelined ? 1 : 0);
+          conservation_ok = false;
+        }
+      }
+    }
+  }
 
   util::JsonWriter json;
   json.begin_object()
@@ -702,6 +949,10 @@ int main(int argc, char** argv) {
       .field("coalesce", knobs.coalesce)
       .field("burst", burst)
       .field("iouring", iouring)
+      .field("replicas", static_cast<uint64_t>(rk.replicas))
+      .field("svc_ms", rk.svc_ms)
+      .field("svc_jitter", rk.svc_jitter)
+      .field("degrade_after", rk.degrade)
       .key("runs")
       .begin_array();
   for (const RunResult& r : results) {
@@ -709,6 +960,9 @@ int main(int argc, char** argv) {
     json.begin_object()
         .field("proto", r.proto)
         .field("dup", r.dup)
+        .field("policy", r.policy)
+        .field("skew", r.skew)
+        .field("replicas", static_cast<uint64_t>(r.replicas))
         .field("shards", r.shards)
         .field("pipelined", r.pipelined)
         .field("kernel_accept_sharding", r.kernel_accept_sharding)
@@ -751,6 +1005,14 @@ int main(int argc, char** argv) {
         .field("fast_hits", r.wire.fast_hits)
         .field("wire_flushes", r.wire.flushes)
         .field("wire_flushed_responses", r.wire.flushed_responses)
+        .field("picks_total", r.picks_total)
+        .field("slow_replica_share", r.slow_share)
+        .key("replica_picks")
+        .begin_array();
+    for (uint64_t p : r.replica_picks) json.value(p);
+    json.end_array().key("replica_ewma_ms").begin_array();
+    for (double e : r.replica_ewma_ms) json.value(e);
+    json.end_array()
         .key("drop_ratio_per_class")
         .begin_array();
     for (int level = 1; level <= r.metrics.num_levels(); ++level) {

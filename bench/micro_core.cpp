@@ -6,6 +6,7 @@
 
 #include "core/admission.h"
 #include "core/arena.h"
+#include "core/balance.h"
 #include "core/cache.h"
 #include "core/request.h"
 #include "core/cluster.h"
@@ -85,6 +86,37 @@ void BM_StripedCacheGetHit(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_StripedCacheGetHit)->Threads(1)->Threads(4);
+
+// pick() sits on the dispatch hot path (once per batch, plus once per retry
+// and background fetch); it must stay an allocation-free index scan for
+// every policy. Arg(0..5) selects the BalancePolicy enum value; 8 replicas
+// with warmed EWMA state and a standing avoid hint exercise the worst-case
+// scan.
+void BM_BalancerPick(benchmark::State& state) {
+  auto policy = static_cast<core::BalancePolicy>(state.range(0));
+  core::LoadBalancer lb(policy, util::Rng(17));
+  for (int i = 0; i < 8; ++i) lb.add_backend(1.0 + i % 3);
+  double now = 0.0;
+  for (size_t i = 0; i < 8; ++i) {
+    auto b = lb.pick(now);
+    lb.report(*b, true, now, 0.001 * static_cast<double>(i + 1));
+    lb.complete(*b);
+  }
+  for (auto _ : state) {
+    now += 1e-4;
+    auto b = lb.pick(now, /*avoid=*/3);
+    benchmark::DoNotOptimize(b);
+    lb.report(*b, true, now, 0.002);
+    lb.complete(*b);
+  }
+}
+BENCHMARK(BM_BalancerPick)
+    ->Arg(static_cast<int>(core::BalancePolicy::kRandom))
+    ->Arg(static_cast<int>(core::BalancePolicy::kRoundRobin))
+    ->Arg(static_cast<int>(core::BalancePolicy::kLeastOutstanding))
+    ->Arg(static_cast<int>(core::BalancePolicy::kWeighted))
+    ->Arg(static_cast<int>(core::BalancePolicy::kEwma))
+    ->Arg(static_cast<int>(core::BalancePolicy::kP2c));
 
 void BM_SchedulerPushPop(benchmark::State& state) {
   core::QosScheduler<int> scheduler;

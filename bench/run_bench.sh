@@ -47,6 +47,17 @@
 #   BENCH_BURST    frames pipelined per send, proto=bin only (default 1)
 #   BENCH_IOURING  opt shard reactors into io_uring submission (default 0;
 #                  needs -DSBROKER_IOURING=ON, silently falls back to epoll)
+#
+# Replica-selection sweep knobs (the second loadgen invocation below; its
+# runs land in BENCH_daemon.json under "policy_runs"):
+#   BENCH_POLICY   comma list of balancer policies    (default
+#                  "round-robin,least-outstanding,ewma,p2c")
+#   BENCH_REPLICAS backend replicas in the fake pool  (default 3)
+#   BENCH_SVC      per-request service time, ms       (default 2)
+#   BENCH_SKEW     comma list of slow-replica service-time multipliers; the
+#                  last replica serves svc*skew ms    (default "1,6")
+#   BENCH_DEGRADE  seconds into each run before the skew kicks in (default 0)
+#   BENCH_POLICY_SWEEP set to 0 to skip the policy sweep entirely
 set -eu
 
 repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
@@ -64,7 +75,10 @@ echo "== micro benches -> BENCH_core.json"
   --benchmark_out="$repo_root/BENCH_core.json" \
   --benchmark_out_format=json
 
-echo "== daemon loadgen -> BENCH_daemon.json"
+tmp_main="$build_dir/bench_daemon_main.json"
+tmp_policy="$build_dir/bench_daemon_policy.json"
+
+echo "== daemon loadgen (channel/cache sweep)"
 "$build_dir/bench/daemon_loadgen" \
   "shards=${BENCH_SHARDS:-1,2,4}" \
   "pipeline=${BENCH_PIPELINE:-0,1}" \
@@ -86,6 +100,45 @@ echo "== daemon loadgen -> BENCH_daemon.json"
   "proto=${BENCH_PROTO:-wire,http,bin}" \
   "burst=${BENCH_BURST:-1}" \
   "iouring=${BENCH_IOURING:-0}" \
-  "out=$repo_root/BENCH_daemon.json"
+  "out=$tmp_main"
+
+if [ "${BENCH_POLICY_SWEEP:-1}" = "1" ]; then
+  # Replica-selection sweep: heterogeneous pool (the last replica is
+  # BENCH_SKEW x slower), cache off so every request rides the picker under
+  # test. check=1 gates pick conservation and the slow-share ordering.
+  echo "== daemon loadgen (policy sweep)"
+  "$build_dir/bench/daemon_loadgen" \
+    "shards=${BENCH_SHARDS_POLICY:-1}" \
+    "pipeline=${BENCH_PIPELINE_POLICY:-1}" \
+    "clients=${BENCH_CLIENTS:-64}" \
+    "seconds=${BENCH_SECONDS:-2}" \
+    "keys=${BENCH_KEYS:-512}" \
+    cache=0 \
+    "obs=${BENCH_OBS:-1}" \
+    "scrape=${BENCH_SCRAPE:-1}" \
+    "proto=${BENCH_PROTO_POLICY:-bin}" \
+    "policy=${BENCH_POLICY:-round-robin,least-outstanding,ewma,p2c}" \
+    "replicas=${BENCH_REPLICAS:-3}" \
+    "svc=${BENCH_SVC:-2}" \
+    "skew=${BENCH_SKEW:-1,6}" \
+    "degrade=${BENCH_DEGRADE:-0}" \
+    "iouring=${BENCH_IOURING:-0}" \
+    check=1 \
+    "out=$tmp_policy"
+else
+  printf 'null\n' > "$tmp_policy"
+fi
+
+# Compose both sweeps into one artifact: the channel/cache sweep's document
+# under "main" (its "runs" array is the historical trajectory), the
+# replica-selection sweep under "policy".
+{
+  printf '{"bench":"daemon_loadgen","main":'
+  cat "$tmp_main"
+  printf ',"policy":'
+  cat "$tmp_policy"
+  printf '}\n'
+} > "$repo_root/BENCH_daemon.json"
+rm -f "$tmp_main" "$tmp_policy"
 
 echo "== wrote $repo_root/BENCH_core.json and $repo_root/BENCH_daemon.json"

@@ -2,8 +2,22 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cmath>
 
 namespace sbroker::core {
+namespace {
+
+// A replica with no latency sample yet scores as if it were this fast, so
+// cold replicas are explored before loaded ones and the outstanding factor
+// still spreads concurrent picks across several cold replicas.
+constexpr double kColdLatency = 1e-6;
+
+// Glide rate toward a *faster* sample. Slower samples are adopted outright
+// (the peak-decaying part), so one slow burst is visible immediately while
+// recovery needs a couple of confirming fast samples.
+constexpr double kDownGain = 0.5;
+
+}  // namespace
 
 const char* balance_policy_name(BalancePolicy p) {
   switch (p) {
@@ -15,61 +29,160 @@ const char* balance_policy_name(BalancePolicy p) {
       return "least-outstanding";
     case BalancePolicy::kWeighted:
       return "weighted";
+    case BalancePolicy::kEwma:
+      return "ewma";
+    case BalancePolicy::kP2c:
+      return "p2c";
   }
   return "?";
 }
 
-LoadBalancer::LoadBalancer(BalancePolicy policy, util::Rng rng, HealthConfig health)
-    : policy_(policy), rng_(rng), health_config_(health) {}
+std::optional<BalancePolicy> parse_balance_policy(std::string_view name) {
+  if (name == "random") return BalancePolicy::kRandom;
+  if (name == "round-robin" || name == "rr") return BalancePolicy::kRoundRobin;
+  if (name == "least-outstanding" || name == "least")
+    return BalancePolicy::kLeastOutstanding;
+  if (name == "weighted") return BalancePolicy::kWeighted;
+  if (name == "ewma") return BalancePolicy::kEwma;
+  if (name == "p2c") return BalancePolicy::kP2c;
+  return std::nullopt;
+}
+
+LoadBalancer::LoadBalancer(BalancePolicy policy, util::Rng rng,
+                           HealthConfig health, double ewma_tau)
+    : policy_(policy),
+      rng_(rng),
+      health_config_(health),
+      ewma_tau_(std::max(ewma_tau, 1e-3)) {}
 
 size_t LoadBalancer::add_backend(double weight) {
   outstanding_.push_back(0);
   weights_.push_back(std::max(weight, 0.01));
   picks_.push_back(0);
   health_.push_back(Health{});
+  ewma_.push_back(Ewma{});
   return outstanding_.size() - 1;
 }
 
-size_t LoadBalancer::pick_among(const std::vector<size_t>& candidates) {
-  assert(!candidates.empty());
-  size_t chosen = candidates[0];
+bool LoadBalancer::eligible(size_t i, int pass,
+                            std::optional<size_t> avoid) const {
+  if (pass >= 2) return true;
+  if (health_[i].ejected) return false;
+  return pass >= 1 || !avoid || *avoid != i;
+}
+
+size_t LoadBalancer::count_eligible(int pass,
+                                    std::optional<size_t> avoid) const {
+  size_t n = 0;
+  for (size_t i = 0; i < outstanding_.size(); ++i) {
+    if (eligible(i, pass, avoid)) ++n;
+  }
+  return n;
+}
+
+size_t LoadBalancer::nth_eligible(size_t rank, int pass,
+                                  std::optional<size_t> avoid) const {
+  for (size_t i = 0; i < outstanding_.size(); ++i) {
+    if (!eligible(i, pass, avoid)) continue;
+    if (rank == 0) return i;
+    --rank;
+  }
+  assert(false && "rank out of range");
+  return 0;
+}
+
+double LoadBalancer::ewma_seconds(size_t backend, double now) const {
+  const Ewma& e = ewma_.at(backend);
+  if (e.value <= 0.0) return 0.0;
+  double dt = now - e.stamp;
+  if (dt <= 0.0) return e.value;
+  return e.value * std::exp(-dt / ewma_tau_);
+}
+
+double LoadBalancer::ewma_score(size_t i, double now) const {
+  double latency = std::max(ewma_seconds(i, now), kColdLatency);
+  return latency * static_cast<double>(outstanding_[i] + 1);
+}
+
+size_t LoadBalancer::pick_eligible(size_t count, int pass,
+                                   std::optional<size_t> avoid, double now) {
+  assert(count > 0);
   switch (policy_) {
     case BalancePolicy::kRandom:
-      chosen = candidates[static_cast<size_t>(
-          rng_.uniform_int(0, static_cast<int64_t>(candidates.size()) - 1))];
-      break;
+      return nth_eligible(
+          static_cast<size_t>(
+              rng_.uniform_int(0, static_cast<int64_t>(count) - 1)),
+          pass, avoid);
     case BalancePolicy::kRoundRobin: {
-      // Advance the cursor to the next candidate position so the rotation is
-      // preserved across the holes left by ejected replicas.
+      // Scan forward from the cursor so the rotation is preserved across the
+      // holes left by ejected replicas.
       for (size_t step = 0; step < outstanding_.size(); ++step) {
         size_t index = (rr_next_ + step) % outstanding_.size();
-        if (std::find(candidates.begin(), candidates.end(), index) !=
-            candidates.end()) {
-          chosen = index;
+        if (eligible(index, pass, avoid)) {
           rr_next_ = (index + 1) % outstanding_.size();
-          break;
+          return index;
         }
       }
-      break;
+      assert(false && "eligible set vanished");
+      return 0;
     }
-    case BalancePolicy::kLeastOutstanding:
-      for (size_t i : candidates) {
-        if (outstanding_[i] < outstanding_[chosen]) chosen = i;
+    case BalancePolicy::kLeastOutstanding: {
+      size_t chosen = outstanding_.size();
+      for (size_t i = 0; i < outstanding_.size(); ++i) {
+        if (!eligible(i, pass, avoid)) continue;
+        if (chosen == outstanding_.size() ||
+            outstanding_[i] < outstanding_[chosen]) {
+          chosen = i;
+        }
       }
-      break;
+      return chosen;
+    }
     case BalancePolicy::kWeighted: {
-      double best = static_cast<double>(outstanding_[chosen]) / weights_[chosen];
-      for (size_t i : candidates) {
+      size_t chosen = outstanding_.size();
+      double best = 0.0;
+      for (size_t i = 0; i < outstanding_.size(); ++i) {
+        if (!eligible(i, pass, avoid)) continue;
         double load = static_cast<double>(outstanding_[i]) / weights_[i];
-        if (load < best) {
+        if (chosen == outstanding_.size() || load < best) {
           best = load;
           chosen = i;
         }
       }
-      break;
+      return chosen;
+    }
+    case BalancePolicy::kEwma: {
+      size_t chosen = outstanding_.size();
+      double best = 0.0;
+      for (size_t i = 0; i < outstanding_.size(); ++i) {
+        if (!eligible(i, pass, avoid)) continue;
+        double score = ewma_score(i, now);
+        if (chosen == outstanding_.size() || score < best ||
+            (score == best && outstanding_[i] < outstanding_[chosen])) {
+          best = score;
+          chosen = i;
+        }
+      }
+      return chosen;
+    }
+    case BalancePolicy::kP2c: {
+      if (count == 1) return nth_eligible(0, pass, avoid);
+      // Two distinct uniform ranks; one scan resolves both to indices.
+      size_t ra = static_cast<size_t>(
+          rng_.uniform_int(0, static_cast<int64_t>(count) - 1));
+      size_t rb = static_cast<size_t>(
+          rng_.uniform_int(0, static_cast<int64_t>(count) - 2));
+      if (rb >= ra) ++rb;
+      size_t a = nth_eligible(ra, pass, avoid);
+      size_t b = nth_eligible(rb, pass, avoid);
+      double sa = ewma_score(a, now);
+      double sb = ewma_score(b, now);
+      if (sa < sb) return a;
+      if (sb < sa) return b;
+      return outstanding_[a] <= outstanding_[b] ? a : b;
     }
   }
-  return chosen;
+  assert(false && "unknown policy");
+  return 0;
 }
 
 std::optional<size_t> LoadBalancer::pick(double now, std::optional<size_t> avoid,
@@ -93,23 +206,20 @@ std::optional<size_t> LoadBalancer::pick(double now, std::optional<size_t> avoid
     }
   }
 
-  std::vector<size_t> candidates;
-  candidates.reserve(outstanding_.size());
-  for (size_t i = 0; i < outstanding_.size(); ++i) {
-    if (!health_[i].ejected && (!avoid || *avoid != i)) candidates.push_back(i);
+  // Relax `avoid`, then health: with everything ejected the broker still
+  // forwards somewhere rather than failing outright.
+  int pass = 0;
+  size_t count = count_eligible(0, avoid);
+  if (count == 0) {
+    pass = 1;
+    count = count_eligible(1, avoid);
   }
-  if (candidates.empty()) {
-    // Relax `avoid`, then health: with everything ejected the broker still
-    // forwards somewhere rather than failing outright.
-    for (size_t i = 0; i < outstanding_.size(); ++i) {
-      if (!health_[i].ejected) candidates.push_back(i);
-    }
-  }
-  if (candidates.empty()) {
-    for (size_t i = 0; i < outstanding_.size(); ++i) candidates.push_back(i);
+  if (count == 0) {
+    pass = 2;
+    count = outstanding_.size();
   }
 
-  size_t chosen = pick_among(candidates);
+  size_t chosen = pick_eligible(count, pass, avoid, now);
   ++outstanding_[chosen];
   ++picks_[chosen];
   return chosen;
@@ -120,7 +230,16 @@ void LoadBalancer::complete(size_t backend) {
   --outstanding_[backend];
 }
 
-ReplicaEvent LoadBalancer::report(size_t backend, bool ok, double now) {
+ReplicaEvent LoadBalancer::report(size_t backend, bool ok, double now,
+                                  double latency) {
+  if (ok && latency >= 0.0) {
+    // Peak-decaying update: a slower sample is adopted outright, a faster
+    // one is approached at kDownGain per sample from the aged estimate.
+    Ewma& e = ewma_.at(backend);
+    double aged = ewma_seconds(backend, now);
+    e.value = latency >= aged ? latency : aged + (latency - aged) * kDownGain;
+    e.stamp = now;
+  }
   if (health_config_.eject_after <= 0) return ReplicaEvent::kNone;
   Health& h = health_.at(backend);
   if (ok) {

@@ -17,7 +17,8 @@ ServiceBroker::ServiceBroker(std::string name, BrokerConfig config)
       load_(std::make_shared<LoadTracker>()),
       cluster_(config.cluster),
       pool_(config.pool),
-      balancer_(config.balance, util::Rng(config.rng_seed), config.health),
+      balancer_(config.balance, util::Rng(config.rng_seed), config.health,
+                config.balance_ewma_tau),
       txn_(std::make_shared<TransactionTracker>(config.rules, config.txn)),
       prefetcher_(config.prefetch_idle_threshold),
       hotspot_(config.hotspot),
@@ -358,6 +359,7 @@ void ServiceBroker::dispatch(ReadyBatch ready, double now) {
   exchange.backend = *backend_index;
   exchange.connection = lease.connection;
   exchange.unfinished = live;
+  exchange.dispatched_at = now;
   exchange.cancel = std::make_shared<CancelToken>();
   for (uint64_t id : ready.batch.member_ids) {
     auto it = contexts_.find(id);
@@ -402,7 +404,7 @@ void ServiceBroker::on_exchange_complete(uint64_t exchange_id, double now, bool 
   exchanges_.erase(it);
   pool_.release(exchange.connection);
   balancer_.complete(exchange.backend);
-  report_health(exchange.backend, ok, now);
+  report_health(exchange.backend, ok, now, now - exchange.dispatched_at);
   assert(in_flight_batches_ > 0);
   --in_flight_batches_;
 
@@ -619,8 +621,9 @@ void ServiceBroker::harvest_exchange(uint64_t exchange_id, double now) {
   }
 }
 
-void ServiceBroker::report_health(size_t backend, bool ok, double now) {
-  switch (balancer_.report(backend, ok, now)) {
+void ServiceBroker::report_health(size_t backend, bool ok, double now,
+                                  double latency) {
+  switch (balancer_.report(backend, ok, now, latency)) {
     case ReplicaEvent::kEjected:
       ++metrics_.lifecycle.ejections;
       break;

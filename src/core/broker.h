@@ -92,6 +92,9 @@ struct BrokerConfig {
   ClusterConfig cluster;           ///< degree 1 = no clustering
   PoolConfig pool;
   BalancePolicy balance = BalancePolicy::kLeastOutstanding;
+  /// Decay time constant of the balancer's per-replica latency EWMA
+  /// (kEwma / kP2c policies), seconds.
+  double balance_ewma_tau = kDefaultEwmaTau;
   TxnConfig txn;
   HotSpotConfig hotspot;    ///< thresholds for WARM/HOT load classification
   RewriteConfig rewrite;    ///< fidelity-variation rules (disabled by default)
@@ -238,6 +241,7 @@ class ServiceBroker {
     size_t backend = 0;
     size_t connection = 0;
     size_t unfinished = 0;  ///< live members not yet individually resolved
+    double dispatched_at = 0.0;  ///< feeds the balancer's latency EWMA
     CancelTokenPtr cancel;
   };
 
@@ -283,7 +287,8 @@ class ServiceBroker {
   void expire_deadlines(double now);
   void drain_retries(double now);
   void harvest_exchange(uint64_t exchange_id, double now);
-  void report_health(size_t backend, bool ok, double now);
+  void report_health(size_t backend, bool ok, double now,
+                     double latency = -1.0);
   void reply_drop(double now, const http::BrokerRequest& request, QosLevel base_level,
                   ReplyFn& reply);
   void issue_prefetch(const PrefetchEntry& entry, double now);

@@ -98,10 +98,12 @@ ShardStatus snapshot_shard(const core::ServiceBroker& broker, size_t shard) {
   s.trace_recorded = broker.observer().recorder().recorded();
   s.trace_dropped = broker.observer().recorder().dropped();
   const core::LoadBalancer& lb = broker.balancer();
+  s.policy = core::balance_policy_name(lb.policy());
   s.replicas.reserve(lb.backend_count());
   for (size_t i = 0; i < lb.backend_count(); ++i) {
     s.replicas.push_back(ReplicaStatus{i, lb.outstanding(i), lb.picks(i),
-                                       lb.ejected(i)});
+                                       lb.ejected(i),
+                                       lb.last_ewma_seconds(i) * 1e3});
   }
   return s;
 }
@@ -229,6 +231,11 @@ std::string render_prometheus(const std::vector<ShardStatus>& shards) {
                "In-flight exchanges per backend replica.");
   append_gauge(out, "sbroker_replica_ejected",
                "1 when the balancer has ejected the replica.");
+  append_counter(out, "sbroker_replica_picks_total",
+                 "Requests the balancer has routed to the replica.");
+  append_gauge(out, "sbroker_replica_ewma_seconds",
+               "Peak-decaying response-time EWMA per replica as of its last "
+               "observation (0 = no sample).");
   for (const auto& s : shards) {
     std::string shard_label = "shard=\"" + std::to_string(s.shard) + "\"";
     append_sample(out, "sbroker_shard_load_state", shard_label,
@@ -244,6 +251,9 @@ std::string render_prometheus(const std::vector<ShardStatus>& shards) {
                     static_cast<uint64_t>(r.outstanding));
       append_sample(out, "sbroker_replica_ejected", labels,
                     static_cast<uint64_t>(r.ejected ? 1 : 0));
+      append_sample(out, "sbroker_replica_picks_total", labels, r.picks);
+      append_sample(out, "sbroker_replica_ewma_seconds", labels,
+                    r.ewma_ms * 1e-3);
     }
   }
   return out;
@@ -324,6 +334,7 @@ std::string render_statusz(const std::vector<ShardStatus>& shards) {
   for (const auto& s : shards) {
     w.begin_object()
         .field("shard", static_cast<uint64_t>(s.shard))
+        .field("policy", s.policy)
         .field("outstanding", static_cast<uint64_t>(s.outstanding))
         .field("load_state", core::load_state_name(s.load_state))
         .field("trace_recorded", s.trace_recorded)
@@ -335,6 +346,7 @@ std::string render_statusz(const std::vector<ShardStatus>& shards) {
           .field("outstanding", static_cast<uint64_t>(r.outstanding))
           .field("picks", r.picks)
           .field("ejected", r.ejected)
+          .field("ewma_ms", r.ewma_ms)
           .end_object();
     }
     w.end_array();

@@ -32,11 +32,16 @@ struct ReplicaStatus {
   size_t outstanding = 0;
   uint64_t picks = 0;
   bool ejected = false;
+  /// Peak-decaying response-time EWMA, milliseconds, as of its last
+  /// observation (snapshots carry no timeline to age it against). 0 = the
+  /// replica has no latency sample yet.
+  double ewma_ms = 0.0;
 };
 
 /// Point-in-time snapshot of one broker shard, taken on its owning thread.
 struct ShardStatus {
   size_t shard = 0;
+  const char* policy = "";       ///< balancer policy name (see balance.h)
   core::BrokerMetrics metrics;   ///< transport stats already folded in
   obs::BrokerObserver obs;       ///< histogram copy (trace stays behind)
   size_t outstanding = 0;

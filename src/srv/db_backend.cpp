@@ -13,7 +13,8 @@ SimDbBackend::SimDbBackend(sim::Simulation& sim, db::Database& db,
       config_(config),
       station_(sim, config.capacity, config.queue_limit),
       request_link_(sim, config.link, util::Rng(config.link_seed)),
-      response_link_(sim, config.link, util::Rng(config.link_seed + 1)) {}
+      response_link_(sim, config.link, util::Rng(config.link_seed + 1)),
+      profile_rng_(config.link_seed + 2) {}
 
 SimDbBackend::Execution SimDbBackend::execute_payload(const std::string& payload) const {
   Execution result;
@@ -126,7 +127,9 @@ void SimDbBackend::invoke(const Call& call, Completion done) {
       respond(false, "backend queue full", std::move(done));
       return;
     }
-    double service_time = setup + exec.service_time;
+    double service_time =
+        setup + config_.profile.sample(exec.service_time, sim_.now(),
+                                       profile_rng_);
     bool exec_ok = exec.ok;
     std::string reply = std::move(exec.reply);
     station_.submit(service_time,

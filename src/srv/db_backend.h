@@ -22,6 +22,7 @@
 #include "sim/link.h"
 #include "sim/simulation.h"
 #include "sim/station.h"
+#include "srv/service_profile.h"
 
 namespace sbroker::srv {
 
@@ -32,6 +33,8 @@ struct DbBackendConfig {
   double connection_setup = 0.010;  ///< TCP+auth handshake when not pooled
   db::CostModel cost;
   uint64_t link_seed = 11;
+  /// Heterogeneity: shapes this replica's service times (identity default).
+  ServiceProfile profile;
 };
 
 class SimDbBackend : public core::Backend {
@@ -73,6 +76,7 @@ class SimDbBackend : public core::Backend {
   sim::BoundedStation station_;
   sim::Link request_link_;
   sim::Link response_link_;
+  util::Rng profile_rng_;
   uint64_t calls_ = 0;
   uint64_t failures_ = 0;
   uint64_t stalls_ = 0;

@@ -1,0 +1,39 @@
+// Per-replica service-time profile: makes backend replicas genuinely
+// heterogeneous so latency-aware balancing has something to measure.
+//
+// A profile shapes a backend's nominal service time with a constant base
+// cost, multiplicative jitter, and an optional slow phase: `multiplier`
+// applies from `degrade_after` seconds of simulated/elapsed time onward
+// (degrade_after = 0 means it applies from the start, modelling a replica
+// that is simply slower hardware; > 0 models one that degrades mid-run, the
+// case EWMA decay must notice and react to). The default profile is the
+// identity — existing backends keep their exact service times.
+#pragma once
+
+#include <algorithm>
+
+#include "util/rng.h"
+
+namespace sbroker::srv {
+
+struct ServiceProfile {
+  double base = 0.0;          ///< seconds added to every request
+  double jitter = 0.0;        ///< fractional uniform jitter, e.g. 0.1 = ±10%
+  double multiplier = 1.0;    ///< slow-phase service-time factor
+  double degrade_after = 0.0; ///< seconds of run time before the slow phase
+
+  /// Shapes one request's service time. `nominal` is the backend's own cost
+  /// model output, `elapsed` the time since the replica started serving.
+  double sample(double nominal, double elapsed, util::Rng& rng) const {
+    double m = elapsed >= degrade_after ? multiplier : 1.0;
+    double t = (nominal + base) * m;
+    if (jitter > 0.0) t *= 1.0 + jitter * (2.0 * rng.next_double() - 1.0);
+    return std::max(t, 0.0);
+  }
+
+  bool is_identity() const {
+    return base == 0.0 && jitter == 0.0 && multiplier == 1.0;
+  }
+};
+
+}  // namespace sbroker::srv

@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "core/balance.h"
 #include "core/pool.h"
 
@@ -181,6 +183,165 @@ TEST(Balance, PolicyNames) {
   EXPECT_STREQ(balance_policy_name(BalancePolicy::kLeastOutstanding),
                "least-outstanding");
   EXPECT_STREQ(balance_policy_name(BalancePolicy::kWeighted), "weighted");
+  EXPECT_STREQ(balance_policy_name(BalancePolicy::kEwma), "ewma");
+  EXPECT_STREQ(balance_policy_name(BalancePolicy::kP2c), "p2c");
+}
+
+TEST(Balance, ParsePolicyNamesAndAliases) {
+  EXPECT_EQ(parse_balance_policy("random"), BalancePolicy::kRandom);
+  EXPECT_EQ(parse_balance_policy("round-robin"), BalancePolicy::kRoundRobin);
+  EXPECT_EQ(parse_balance_policy("rr"), BalancePolicy::kRoundRobin);
+  EXPECT_EQ(parse_balance_policy("least-outstanding"),
+            BalancePolicy::kLeastOutstanding);
+  EXPECT_EQ(parse_balance_policy("least"), BalancePolicy::kLeastOutstanding);
+  EXPECT_EQ(parse_balance_policy("weighted"), BalancePolicy::kWeighted);
+  EXPECT_EQ(parse_balance_policy("ewma"), BalancePolicy::kEwma);
+  EXPECT_EQ(parse_balance_policy("p2c"), BalancePolicy::kP2c);
+  EXPECT_FALSE(parse_balance_policy("p3c").has_value());
+  EXPECT_FALSE(parse_balance_policy("").has_value());
+}
+
+// --------------------------------------------------------------------------
+// Latency-aware policies: peak-decaying EWMA and power-of-two-choices
+
+TEST(Ewma, PeakJumpsUpGlidesDownAndDecays) {
+  LoadBalancer lb(BalancePolicy::kEwma, util::Rng(7), HealthConfig{},
+                  /*ewma_tau=*/0.5);
+  lb.add_backend();
+  EXPECT_DOUBLE_EQ(lb.ewma_seconds(0, 1.0), 0.0);  // no sample yet
+  lb.report(0, true, 0.0, 0.010);
+  EXPECT_DOUBLE_EQ(lb.ewma_seconds(0, 0.0), 0.010);
+  // A slower sample is adopted outright (peak sensitivity)...
+  lb.report(0, true, 0.0, 0.100);
+  EXPECT_DOUBLE_EQ(lb.ewma_seconds(0, 0.0), 0.100);
+  // ...a faster one only pulls the estimate partway down...
+  lb.report(0, true, 0.0, 0.010);
+  double glided = lb.ewma_seconds(0, 0.0);
+  EXPECT_GT(glided, 0.010);
+  EXPECT_LT(glided, 0.100);
+  // ...and with no samples at all the estimate ages toward zero with tau.
+  EXPECT_NEAR(lb.ewma_seconds(0, 0.5), glided * std::exp(-1.0), 1e-12);
+  EXPECT_LT(lb.ewma_seconds(0, 5.0), 1e-4);
+}
+
+TEST(Ewma, FailuresAndMissingLatencyLeaveEstimateAlone) {
+  LoadBalancer lb(BalancePolicy::kEwma, util::Rng(7));
+  lb.add_backend();
+  lb.report(0, true, 0.0, 0.010);
+  lb.report(0, false, 0.0, 0.500);  // failed exchange: no latency signal
+  lb.report(0, true, 0.0);          // default latency: none recorded
+  EXPECT_DOUBLE_EQ(lb.ewma_seconds(0, 0.0), 0.010);
+}
+
+TEST(Ewma, PrefersFasterReplicaAndExploresColdOnes) {
+  LoadBalancer lb(BalancePolicy::kEwma, util::Rng(7));
+  lb.add_backend();
+  lb.add_backend();
+  lb.add_backend();
+  lb.report(0, true, 0.0, 0.005);
+  lb.report(1, true, 0.0, 0.050);
+  // Replica 2 has no sample: it scores near zero and is explored first.
+  auto cold = lb.pick(0.0);
+  ASSERT_TRUE(cold.has_value());
+  EXPECT_EQ(*cold, 2u);
+  lb.complete(*cold);
+  lb.report(2, true, 0.0, 0.050);
+  // All warmed: the fast replica wins until its outstanding pile up.
+  for (int i = 0; i < 8; ++i) {
+    auto p = lb.pick(0.0);
+    ASSERT_TRUE(p.has_value());
+    EXPECT_EQ(*p, 0u);
+    lb.complete(*p);
+    lb.report(0, true, 0.0, 0.005);
+  }
+}
+
+TEST(Ewma, DecayRecoversReplicaThatWasSlowThenGotFast) {
+  // Replica 1 was slow (100ms) and stopped being picked; once its estimate
+  // ages out it must be retried, and fresh fast samples keep it preferred.
+  LoadBalancer lb(BalancePolicy::kEwma, util::Rng(7), HealthConfig{},
+                  /*ewma_tau=*/0.5);
+  lb.add_backend();
+  lb.add_backend();
+  lb.report(0, true, 0.0, 0.010);
+  lb.report(1, true, 0.0, 0.100);
+  for (double t = 0.1; t <= 0.5; t += 0.1) {
+    auto p = lb.pick(t);
+    ASSERT_TRUE(p.has_value());
+    EXPECT_EQ(*p, 0u);  // the slow estimate still dominates
+    lb.complete(*p);
+    lb.report(0, true, t, 0.010);
+  }
+  // Seconds later replica 1's stale estimate has decayed below replica 0's
+  // freshly refreshed one, so the balancer probes it again...
+  auto p = lb.pick(3.0);
+  ASSERT_TRUE(p.has_value());
+  lb.complete(*p);
+  lb.report(*p, true, 3.0, 0.010);
+  auto q = lb.pick(3.01);
+  ASSERT_TRUE(q.has_value());
+  EXPECT_EQ(*q, 1u);
+  lb.complete(*q);
+  // ...and once it reports fast, it stays in rotation.
+  lb.report(1, true, 3.01, 0.005);
+  auto r = lb.pick(3.1);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(*r, 1u);
+  lb.complete(*r);
+}
+
+TEST(Balance, P2cShunsSlowReplica) {
+  // With static estimates, the slow replica loses every pairing it appears
+  // in, so it is only reached when outstanding load makes the fast ones
+  // score worse — with instant completions, never.
+  LoadBalancer lb(BalancePolicy::kP2c, util::Rng(11));
+  lb.add_backend();
+  lb.add_backend();
+  lb.add_backend();
+  lb.report(0, true, 0.0, 0.005);
+  lb.report(1, true, 0.0, 0.005);
+  lb.report(2, true, 0.0, 0.100);
+  for (int i = 0; i < 300; ++i) {
+    auto p = lb.pick(0.0);
+    ASSERT_TRUE(p.has_value());
+    lb.complete(*p);
+    lb.report(*p, true, 0.0, *p == 2 ? 0.100 : 0.005);
+  }
+  EXPECT_EQ(lb.picks(2), 0u);
+  EXPECT_GT(lb.picks(0), 50u);
+  EXPECT_GT(lb.picks(1), 50u);
+}
+
+TEST(Balance, P2cSpreadsLoadWhenFastReplicaBacksUp) {
+  // Without completions the fast replica's outstanding factor grows until
+  // even the slow replica wins some pairings: no starvation herding.
+  LoadBalancer lb(BalancePolicy::kP2c, util::Rng(11));
+  lb.add_backend();
+  lb.add_backend();
+  lb.report(0, true, 0.0, 0.005);
+  lb.report(1, true, 0.0, 0.050);
+  for (int i = 0; i < 100; ++i) lb.pick(0.0);  // nothing completes
+  EXPECT_GT(lb.picks(1), 0u);
+  EXPECT_GT(lb.picks(0), lb.picks(1));
+}
+
+TEST(Balance, LeastOutstandingDrainsAroundStalledReplica) {
+  // A stalled replica keeps its in-flight charge forever; every subsequent
+  // pick must drain to the live one.
+  LoadBalancer lb(BalancePolicy::kLeastOutstanding);
+  lb.add_backend();
+  lb.add_backend();
+  auto stalled = lb.pick();
+  ASSERT_TRUE(stalled.has_value());
+  EXPECT_EQ(*stalled, 0u);  // never completes
+  for (int i = 0; i < 100; ++i) {
+    auto p = lb.pick();
+    ASSERT_TRUE(p.has_value());
+    EXPECT_EQ(*p, 1u);
+    lb.complete(*p);
+  }
+  EXPECT_EQ(lb.picks(0), 1u);
+  EXPECT_EQ(lb.picks(1), 100u);
 }
 
 // --------------------------------------------------------------------------
@@ -305,6 +466,88 @@ TEST(Health, DisabledConfigNeverEjects) {
     EXPECT_EQ(lb.report(0, false, 0.1 * i), ReplicaEvent::kNone);
   }
   EXPECT_FALSE(lb.ejected(0));
+}
+
+// --------------------------------------------------------------------------
+// Policy x health interaction: probes, fallback, and avoid hints must behave
+// identically under the latency-aware policies.
+
+LoadBalancer latency_policy_balancer(BalancePolicy policy) {
+  LoadBalancer lb(policy, util::Rng(7), HealthConfig{2, 1.0});
+  lb.add_backend(1.0);
+  lb.add_backend(1.0);
+  // Warm both estimates so the policy path (not cold exploration) decides.
+  lb.report(0, true, 0.0, 0.005);
+  lb.report(1, true, 0.0, 0.005);
+  return lb;
+}
+
+TEST(Health, HalfOpenProbeHonoredUnderEwmaAndP2c) {
+  for (auto policy : {BalancePolicy::kEwma, BalancePolicy::kP2c}) {
+    auto lb = latency_policy_balancer(policy);
+    lb.report(1, false, 0.1);
+    lb.report(1, false, 0.2);
+    ASSERT_TRUE(lb.ejected(1)) << balance_policy_name(policy);
+    // While ejected (window not elapsed), traffic avoids the replica.
+    for (int i = 0; i < 6; ++i) {
+      auto p = lb.pick(0.5);
+      ASSERT_TRUE(p.has_value());
+      EXPECT_EQ(*p, 0u) << balance_policy_name(policy);
+      lb.complete(*p);
+      lb.report(0, true, 0.5, 0.005);
+    }
+    // After the window, exactly one probe goes to the ejected replica.
+    bool probe = false;
+    auto p = lb.pick(1.5, std::nullopt, &probe);
+    ASSERT_TRUE(p.has_value());
+    EXPECT_EQ(*p, 1u) << balance_policy_name(policy);
+    EXPECT_TRUE(probe) << balance_policy_name(policy);
+    EXPECT_EQ(lb.probes(), 1u) << balance_policy_name(policy);
+    // While the probe is outstanding, no second request reaches it.
+    probe = false;
+    auto q = lb.pick(1.6, std::nullopt, &probe);
+    ASSERT_TRUE(q.has_value());
+    EXPECT_EQ(*q, 0u) << balance_policy_name(policy);
+    EXPECT_FALSE(probe) << balance_policy_name(policy);
+    // A successful probe recovers the replica under either policy.
+    lb.complete(*p);
+    lb.complete(*q);
+    EXPECT_EQ(lb.report(1, true, 1.7, 0.005), ReplicaEvent::kRecovered)
+        << balance_policy_name(policy);
+    EXPECT_FALSE(lb.ejected(1)) << balance_policy_name(policy);
+  }
+}
+
+TEST(Health, AllEjectedStillServesUnderEveryPolicy) {
+  for (auto policy :
+       {BalancePolicy::kRandom, BalancePolicy::kRoundRobin,
+        BalancePolicy::kLeastOutstanding, BalancePolicy::kWeighted,
+        BalancePolicy::kEwma, BalancePolicy::kP2c}) {
+    LoadBalancer lb(policy, util::Rng(7), HealthConfig{2, 100.0});
+    lb.add_backend(1.0);
+    lb.add_backend(1.0);
+    for (size_t b = 0; b < 2; ++b) {
+      lb.report(b, false, 0.0);
+      lb.report(b, false, 0.1);
+    }
+    ASSERT_EQ(lb.ejected_count(), 2u) << balance_policy_name(policy);
+    EXPECT_TRUE(lb.pick(0.2).has_value()) << balance_policy_name(policy);
+  }
+}
+
+TEST(Health, AvoidHintRespectedUnderEwmaAndP2c) {
+  for (auto policy : {BalancePolicy::kEwma, BalancePolicy::kP2c}) {
+    auto lb = latency_policy_balancer(policy);
+    // Replica 0 is the faster one by estimate; the avoid hint (a retry that
+    // just failed there) must still steer the pick to replica 1.
+    lb.report(1, true, 0.0, 0.050);
+    for (int i = 0; i < 6; ++i) {
+      auto p = lb.pick(0.1, /*avoid=*/size_t{0});
+      ASSERT_TRUE(p.has_value());
+      EXPECT_EQ(*p, 1u) << balance_policy_name(policy);
+      lb.complete(*p);
+    }
+  }
 }
 
 }  // namespace
