@@ -88,6 +88,35 @@
 //             skew>=4 the ewma/p2c runs must route a smaller share of picks
 //             to the slow replica than the round-robin run of the same
 //             combination.
+//   overload  comma list of overload-control specs swept per combination,
+//             from: static (the paper's fixed admission threshold), aimd
+//             (feedback-driven threshold, see core/overload.h), aimd+lifo /
+//             static+lifo (per-class queues flip to LIFO while the
+//             controller declares overload)
+//             (default "static", the historic behavior)
+//   window    broker dispatch window (max batches in flight to backends);
+//             0 = unbounded. Flash-crowd runs need window>0 so admitted
+//             work queues in the QoS scheduler, where the LIFO discipline
+//             and deadline shedding can act on it        (default 0)
+//   oeval     overload-controller feedback interval, seconds, applied to
+//             every spec that wants feedback            (default 0.05)
+//   crowd     flash-crowd multiplier: at t=ramp the client count steps
+//             from `clients` to clients*crowd via fresh connections (the
+//             paper's flash-crowd arrival shape). Splits the run into a
+//             pre phase [0,ramp) and a crowd phase [ramp,end), each with
+//             its own goodput/drop/p99 in the JSON. A reply is "good" if
+//             it carried useful fidelity (not busy, not error) AND met the
+//             client deadline. crowd>1 requires timeout>0 and burst=1.
+//             With check=1 and a static run present, every non-static
+//             run's crowd-phase goodput must be >= the static run's for
+//             the same combination                       (default 1)
+//   ramp      seconds into each run at which the crowd joins
+//             (default seconds/3; only meaningful with crowd>1)
+//   backoff   ms a client sleeps after a busy/error reply before retrying
+//             (the closed-loop user reading the "system is busy" page).
+//             Without it a drop is instant and the rejected crowd re-offers
+//             at wire speed, so on a small host the drop storm itself
+//             starves the backend — real browsers do not do that (default 0)
 //   out       JSON result file; "" = stdout only      (default BENCH_daemon.json)
 #include <algorithm>
 #include <atomic>
@@ -99,6 +128,7 @@
 #include <vector>
 
 #include "core/balance.h"
+#include "core/overload.h"
 #include "net/http_server.h"
 #include "net/http_client.h"
 #include "net/pipelined_backend.h"
@@ -117,6 +147,19 @@ namespace {
 struct BrokerPercentiles {
   uint64_t count = 0;
   double p50 = 0.0, p95 = 0.0, p99 = 0.0;  // seconds
+};
+
+/// Per-phase accounting for flash-crowd runs (crowd>1): pre = [0, ramp),
+/// crowd = [ramp, end of window). "Useful" counts replies with a usable
+/// fidelity (full/cached/degraded — not busy, not error); "good" counts
+/// useful replies that also met the client deadline, the goodput basis.
+struct PhaseStats {
+  double duration = 0.0;
+  uint64_t replies = 0;
+  uint64_t useful = 0;
+  uint64_t good = 0;
+  double goodput = 0.0;  // good replies per second of phase time
+  double p99_ms = 0.0;   // p99 latency over useful replies
 };
 
 struct RunResult {
@@ -148,6 +191,18 @@ struct RunResult {
   bool scraped = false;     // /statusz fetched and parsed post-window
   BrokerPercentiles broker_total;
   std::vector<BrokerPercentiles> broker_class;
+  // Overload-control view of the run (the overload=/window=/crowd=/ramp=
+  // dimensions): the spec driven, the post-run mean effective admission
+  // threshold across shards, and per-phase goodput when crowd>1.
+  std::string overload;
+  size_t window = 0;
+  size_t crowd = 1;
+  double ramp = 0.0;
+  double admission_threshold = 0.0;
+  bool overload_mode = false;  // any shard still in declared overload
+  bool phased = false;         // crowd>1: pre/crowd_phase are meaningful
+  PhaseStats pre;
+  PhaseStats crowd_phase;
 };
 
 /// Anti-stampede knobs swept through to the broker config (see the dup=,
@@ -170,6 +225,18 @@ struct ReplicaKnobs {
   double svc_jitter = 0.1;
   double skew = 1.0;
   double degrade = 0.0;
+};
+
+/// Overload-control knobs swept through to the broker config (the
+/// overload=, window=, crowd=, ramp= parameters). One per overload= token;
+/// window/crowd/ramp are shared across the sweep.
+struct OverloadKnobs {
+  std::string spec = "static";
+  core::OverloadConfig config;
+  size_t window = 0;
+  size_t crowd = 1;        // client multiplier during the crowd phase
+  double ramp = 0.0;       // seconds into the run at which the crowd joins
+  double backoff_ms = 0.0; // client sleep after a busy/error reply
 };
 
 double monotonic_seconds() {
@@ -267,10 +334,12 @@ RunResult run_one(size_t shards, bool pipelined, size_t clients, double seconds,
                   uint32_t timeout_ms, uint64_t stallpct, int attempts,
                   bool obs_on, bool scrape, const CacheKnobs& knobs,
                   const std::string& proto, size_t burst, bool iouring,
-                  const ReplicaKnobs& rk) {
+                  const ReplicaKnobs& rk, const OverloadKnobs& ok) {
   BackendPool backends(rk);
   net::ShardedBrokerDaemonConfig cfg;
   cfg.broker.rules = core::QosRules{3, threshold};
+  cfg.broker.overload = ok.config;
+  cfg.broker.dispatch_window = ok.window;
   cfg.broker.enable_cache = cache;
   cfg.broker.cache_capacity = 4096;
   cfg.broker.cache_ttl = knobs.ttl;
@@ -304,15 +373,37 @@ RunResult run_one(size_t shards, bool pipelined, size_t clients, double seconds,
   daemon.start();
 
   std::atomic<bool> stop_flag{false};
-  std::vector<uint64_t> counts(clients, 0);
-  std::vector<uint64_t> failures(clients, 0);
-  std::vector<std::vector<double>> latencies(clients);
+  size_t total_clients = clients * std::max<size_t>(1, ok.crowd);
+  std::vector<uint64_t> counts(total_clients, 0);
+  std::vector<uint64_t> failures(total_clients, 0);
+  std::vector<std::vector<double>> latencies(total_clients);
+  // Flash-crowd phase records: reply completion time relative to t0, its
+  // latency, and the useful/good classification (only kept with crowd>1).
+  struct ReplyRec {
+    float t = 0.0f;
+    float lat = 0.0f;
+    bool useful = false;
+    bool good = false;
+  };
+  std::vector<std::vector<ReplyRec>> records(total_clients);
   std::vector<std::thread> threads;
-  threads.reserve(clients);
+  threads.reserve(total_clients);
 
   double t0 = monotonic_seconds();
-  for (size_t c = 0; c < clients; ++c) {
+  for (size_t c = 0; c < total_clients; ++c) {
     threads.emplace_back([&, c]() {
+      if (c >= clients) {
+        // Crowd client: sleeps until t0+ramp, then joins with a fresh
+        // connection — the step arrival the flash-crowd runs measure
+        // overload-control recovery from.
+        while (!stop_flag.load(std::memory_order_relaxed)) {
+          double wait = t0 + ok.ramp - monotonic_seconds();
+          if (wait <= 0.0) break;
+          std::this_thread::sleep_for(
+              std::chrono::duration<double>(std::min(wait, 0.01)));
+        }
+        if (stop_flag.load(std::memory_order_relaxed)) return;
+      }
       // One persistent connection of the selected protocol per thread; all
       // three speak to the same sniffed main port.
       std::unique_ptr<net::BrokerClient> wire_client;
@@ -367,10 +458,16 @@ RunResult run_one(size_t shards, bool pipelined, size_t clients, double seconds,
         uint64_t rid = ++id;
         bool got_reply = false;
         bool matched = false;
+        // Useful = the reply carried a usable result (full/cached/degraded
+        // fidelity, or HTTP 200) — busy notices and errors are completed but
+        // not useful, the distinction goodput accounting rests on.
+        bool useful = false;
         if (bin_client) {
           auto reply = bin_client->call(rid, payload, qos, timeout_ms);
           got_reply = reply.has_value();
           matched = reply && reply->request_id == rid;
+          useful = matched && reply->fidelity != http::Fidelity::kBusy &&
+                   reply->fidelity != http::Fidelity::kError;
         } else if (http_client) {
           http::Request hreq;
           hreq.target = payload;
@@ -382,6 +479,7 @@ RunResult run_one(size_t shards, bool pipelined, size_t clients, double seconds,
           auto resp = http_client->call(hreq);
           got_reply = resp.has_value();
           matched = got_reply;  // HTTP/1.1: responses arrive strictly in order
+          useful = got_reply && resp->status == 200;
         } else {
           http::BrokerRequest req;
           req.request_id = rid;
@@ -392,14 +490,27 @@ RunResult run_one(size_t shards, bool pipelined, size_t clients, double seconds,
           auto reply = wire_client->call(req);
           got_reply = reply.has_value();
           matched = reply && reply->request_id == rid;
+          useful = matched && reply->fidelity != http::Fidelity::kBusy &&
+                   reply->fidelity != http::Fidelity::kError;
         }
         double elapsed = monotonic_seconds() - start;
         if (matched) {
           ++counts[c];
           latencies[c].push_back(elapsed);
+          if (ok.crowd > 1) {
+            // Good = useful and within the client deadline (5ms wire slack).
+            bool good = useful && (timeout_ms == 0 ||
+                                   elapsed <= timeout_ms * 1e-3 + 0.005);
+            records[c].push_back({static_cast<float>(start + elapsed - t0),
+                                  static_cast<float>(elapsed), useful, good});
+          }
         } else {
           ++failures[c];
           if (!got_reply) break;  // connection is gone; stop this client
+        }
+        if (matched && !useful && ok.backoff_ms > 0.0) {
+          std::this_thread::sleep_for(
+              std::chrono::duration<double>(ok.backoff_ms * 1e-3));
         }
       }
     });
@@ -448,10 +559,41 @@ RunResult run_one(size_t shards, bool pipelined, size_t clients, double seconds,
   r.skew = rk.skew;
   r.replicas = rk.replicas;
   r.seconds = wall;
-  for (size_t c = 0; c < clients; ++c) {
+  r.overload = ok.spec;
+  r.window = ok.window;
+  r.crowd = ok.crowd;
+  r.ramp = ok.ramp;
+  for (size_t c = 0; c < total_clients; ++c) {
     r.requests += counts[c];
     r.failures += failures[c];
     for (double s : latencies[c]) r.latency.add(s);
+  }
+  if (ok.crowd > 1) {
+    r.phased = true;
+    r.pre.duration = std::min(ok.ramp, wall);
+    r.crowd_phase.duration = std::max(0.0, wall - ok.ramp);
+    util::Histogram pre_lat, crowd_lat;
+    for (const auto& recs : records) {
+      for (const ReplyRec& rec : recs) {
+        bool in_pre = rec.t < ok.ramp;
+        PhaseStats& ph = in_pre ? r.pre : r.crowd_phase;
+        ++ph.replies;
+        if (rec.useful) {
+          ++ph.useful;
+          (in_pre ? pre_lat : crowd_lat).add(rec.lat);
+        }
+        if (rec.good) ++ph.good;
+      }
+    }
+    if (r.pre.duration > 0.0) {
+      r.pre.goodput = static_cast<double>(r.pre.good) / r.pre.duration;
+    }
+    if (r.crowd_phase.duration > 0.0) {
+      r.crowd_phase.goodput =
+          static_cast<double>(r.crowd_phase.good) / r.crowd_phase.duration;
+    }
+    r.pre.p99_ms = pre_lat.p99() * 1e3;
+    r.crowd_phase.p99_ms = crowd_lat.p99() * 1e3;
   }
   r.rps = wall > 0 ? static_cast<double>(r.requests) / wall : 0.0;
   r.hit_ratio = daemon.shared_cache().hit_ratio();
@@ -466,6 +608,14 @@ RunResult run_one(size_t shards, bool pipelined, size_t clients, double seconds,
   core::BrokerMetrics folded(num_levels);
   for (const net::ShardStatus& s : status) folded.merge(s.metrics);
   r.metrics = std::move(folded);
+  double threshold_sum = 0.0;
+  for (const net::ShardStatus& s : status) {
+    threshold_sum += s.admission_threshold;
+    r.overload_mode = r.overload_mode || s.overload_mode;
+  }
+  if (!status.empty()) {
+    r.admission_threshold = threshold_sum / static_cast<double>(status.size());
+  }
   r.replica_picks.assign(rk.replicas, 0);
   r.replica_ewma_ms.assign(rk.replicas, 0.0);
   for (const net::ShardStatus& s : status) {
@@ -582,6 +732,26 @@ std::vector<std::string> parse_proto_list(const std::string& list) {
   return values;
 }
 
+/// Parses the overload= comma list into controller configs on top of the
+/// shared base; empty result means a parse error.
+std::vector<OverloadKnobs> parse_overload_list(
+    const std::string& list, const core::OverloadConfig& base) {
+  std::vector<OverloadKnobs> values;
+  for (size_t pos = 0; pos < list.size();) {
+    size_t comma = list.find(',', pos);
+    if (comma == std::string::npos) comma = list.size();
+    std::string token = list.substr(pos, comma - pos);
+    auto config = core::parse_overload_spec(token, base);
+    if (!config) return {};
+    OverloadKnobs ok;
+    ok.spec = std::move(token);
+    ok.config = *config;
+    values.push_back(std::move(ok));
+    pos = comma + 1;
+  }
+  return values;
+}
+
 /// The bench smoke invariants: every request issued at some shard was
 /// answered exactly once, partitioned cleanly into the four outcomes, and
 /// every client got every reply it waited for.
@@ -655,6 +825,12 @@ int main(int argc, char** argv) {
   rk.svc_ms = cfg.get_double("svc", 0.0);
   rk.svc_jitter = cfg.get_double("svcjitter", 0.1);
   rk.degrade = cfg.get_double("degrade", 0.0);
+  std::string overload_list = cfg.get_string("overload", "static");
+  size_t window = static_cast<size_t>(cfg.get_int("window", 0));
+  double oeval = cfg.get_double("oeval", 0.05);
+  size_t crowd_mult = static_cast<size_t>(cfg.get_int("crowd", 1));
+  double ramp = cfg.get_double("ramp", seconds / 3.0);
+  double backoff = cfg.get_double("backoff", 0.0);
   std::string out = cfg.get_string("out", "BENCH_daemon.json");
 
   std::vector<size_t> sweep = parse_list(shard_list, 1);
@@ -748,6 +924,50 @@ int main(int argc, char** argv) {
                  "replica or zero service time there is nothing to skew\n");
     return 1;
   }
+  if (oeval <= 0.0) {
+    std::fprintf(stderr, "error: oeval must be > 0\n");
+    return 1;
+  }
+  core::OverloadConfig overload_base;
+  overload_base.eval_interval = oeval;
+  std::vector<OverloadKnobs> overloads =
+      parse_overload_list(overload_list, overload_base);
+  if (overloads.empty()) {
+    std::fprintf(stderr,
+                 "error: overload=%s must be a comma list drawn from "
+                 "static,aimd,aimd+lifo,static+lifo\n", overload_list.c_str());
+    return 1;
+  }
+  if (crowd_mult < 1) {
+    std::fprintf(stderr, "error: crowd must be >= 1\n");
+    return 1;
+  }
+  if (crowd_mult > 1 && timeout_ms == 0) {
+    std::fprintf(stderr,
+                 "error: crowd>1 needs timeout>0 — goodput is defined against "
+                 "the client deadline\n");
+    return 1;
+  }
+  if (crowd_mult > 1 && burst > 1) {
+    std::fprintf(stderr, "error: crowd>1 requires burst=1\n");
+    return 1;
+  }
+  if (crowd_mult > 1 && (ramp <= 0.0 || ramp >= seconds)) {
+    std::fprintf(stderr,
+                 "error: ramp=%.3g must fall strictly inside the %.3gs "
+                 "window for crowd>1\n", ramp, seconds);
+    return 1;
+  }
+  if (backoff < 0.0) {
+    std::fprintf(stderr, "error: backoff must be >= 0\n");
+    return 1;
+  }
+  for (OverloadKnobs& ok : overloads) {
+    ok.window = window;
+    ok.crowd = crowd_mult;
+    ok.ramp = ramp;
+    ok.backoff_ms = backoff;
+  }
 
   unsigned cpus = std::thread::hardware_concurrency();
   std::printf(
@@ -756,18 +976,20 @@ int main(int argc, char** argv) {
       "dup=%s, ttl=%.3g, grace=%.3g, jitter=%.3g, negttl=%.3g, "
       "coalesce=%d, proto=%s, burst=%zu, iouring=%d, policy=%s, "
       "replicas=%zu, svc=%.3gms, svcjitter=%.3g, skew=%s, degrade=%.3g, "
-      "%u cpus\n",
+      "overload=%s, window=%zu, oeval=%.3g, crowd=%zu, ramp=%.3g, "
+      "backoff=%.3g, %u cpus\n",
       clients, seconds, static_cast<unsigned long long>(keys), cache ? 1 : 0,
       timeout_ms, static_cast<unsigned long long>(stallpct), attempts,
       obs_on ? 1 : 0, scrape ? 1 : 0, dup_list.c_str(), knobs.ttl, knobs.grace,
       knobs.jitter, knobs.negttl, knobs.coalesce ? 1 : 0, proto_list.c_str(),
       burst, iouring ? 1 : 0, policy_list.c_str(), rk.replicas, rk.svc_ms,
-      rk.svc_jitter, skew_list.c_str(), rk.degrade, cpus);
-  std::printf("%-5s %-5s %-9s %-4s %-7s %-9s %-8s %10s %10s %9s %9s %9s %9s %10s %8s %8s %9s %9s %9s %7s\n",
-              "proto", "dup", "policy", "skew", "shards", "channel", "accept",
-              "requests", "req/s", "p50 ms", "p99 ms", "brk p50", "hit%",
-              "dropped", "misses", "retries", "conns", "bkcalls", "coalesc",
-              "slow%");
+      rk.svc_jitter, skew_list.c_str(), rk.degrade, overload_list.c_str(),
+      window, oeval, crowd_mult, ramp, backoff, cpus);
+  std::printf("%-5s %-5s %-9s %-11s %-4s %-7s %-9s %-8s %10s %10s %9s %9s %9s %9s %10s %8s %8s %9s %9s %9s %7s\n",
+              "proto", "dup", "policy", "overload", "skew", "shards", "channel",
+              "accept", "requests", "req/s", "p50 ms", "p99 ms", "brk p50",
+              "hit%", "dropped", "misses", "retries", "conns", "bkcalls",
+              "coalesc", "slow%");
 
   bool conservation_ok = true;
   std::vector<RunResult> results;
@@ -776,6 +998,7 @@ int main(int argc, char** argv) {
   knobs.dup = dup;
   for (core::BalancePolicy policy : policies) {
   rk.policy = policy;
+  for (const OverloadKnobs& ok : overloads) {
   for (double skew : skews) {
   rk.skew = skew;
   for (size_t shards : sweep) {
@@ -783,11 +1006,12 @@ int main(int argc, char** argv) {
       RunResult r = run_one(shards, mode != 0, clients, seconds, keys,
                             threshold, cache, fallback, timeout_ms, stallpct,
                             attempts, obs_on, scrape, knobs, proto, burst,
-                            iouring, rk);
+                            iouring, rk, ok);
       core::BrokerMetrics::ClassCounters total = r.metrics.total();
-      std::printf("%-5s %-5.2f %-9.9s %-4.3g %-7zu %-9s %-8s %10llu %10.0f %9.3f %9.3f %9.3f %8.1f%% "
+      std::printf("%-5s %-5.2f %-9.9s %-11.11s %-4.3g %-7zu %-9s %-8s %10llu %10.0f %9.3f %9.3f %9.3f %8.1f%% "
                   "%10llu %8llu %8llu %9llu %9llu %9llu %6.1f%%\n",
-                  r.proto.c_str(), r.dup, r.policy.c_str(), r.skew, r.shards,
+                  r.proto.c_str(), r.dup, r.policy.c_str(), r.overload.c_str(),
+                  r.skew, r.shards,
                   r.pipelined ? "pipeline" : "stopwait",
                   r.kernel_accept_sharding ? "kernel" : "rrobin",
                   static_cast<unsigned long long>(r.requests), r.rps,
@@ -802,6 +1026,23 @@ int main(int argc, char** argv) {
                   static_cast<unsigned long long>(
                       r.metrics.flight.coalesced_waiters),
                   r.slow_share * 100.0);
+      if (r.phased) {
+        std::printf(
+            "      phase pre  : %5.2fs %7llu replies %7llu good %8.1f good/s "
+            "p99 %8.2f ms   thresh %.1f sheds %llu lifo %llu\n",
+            r.pre.duration, static_cast<unsigned long long>(r.pre.replies),
+            static_cast<unsigned long long>(r.pre.good), r.pre.goodput,
+            r.pre.p99_ms, r.admission_threshold,
+            static_cast<unsigned long long>(total.deadline_misses),
+            static_cast<unsigned long long>(total.lifo_sheds));
+        std::printf(
+            "      phase crowd: %5.2fs %7llu replies %7llu good %8.1f good/s "
+            "p99 %8.2f ms\n",
+            r.crowd_phase.duration,
+            static_cast<unsigned long long>(r.crowd_phase.replies),
+            static_cast<unsigned long long>(r.crowd_phase.good),
+            r.crowd_phase.goodput, r.crowd_phase.p99_ms);
+      }
       if (check && r.picks_total != r.metrics.transport.calls) {
         // Every balancer pick carries exactly one backend invoke (the
         // connection pool never saturates at these client counts), so the
@@ -900,6 +1141,7 @@ int main(int argc, char** argv) {
   }
   }
   }
+  }
 
   if (check && max_skew >= 4.0 && rk.replicas >= 2) {
     // The point of the policy dimension: at heavy skew the latency-aware
@@ -921,6 +1163,32 @@ int main(int argc, char** argv) {
                        "pipeline=%d)\n",
                        r.policy.c_str(), r.slow_share * 100.0,
                        rr_run.slow_share * 100.0, r.skew, r.shards,
+                       r.pipelined ? 1 : 0);
+          conservation_ok = false;
+        }
+      }
+    }
+  }
+
+  if (check && crowd_mult > 1) {
+    // The point of the overload dimension: under the flash crowd the
+    // feedback-driven controllers must deliver at least the static rule's
+    // crowd-phase goodput, per matching sweep combination.
+    for (const RunResult& base : results) {
+      if (base.overload != "static") continue;
+      for (const RunResult& r : results) {
+        if (r.overload == "static" || r.proto != base.proto ||
+            r.dup != base.dup || r.policy != base.policy ||
+            r.skew != base.skew || r.shards != base.shards ||
+            r.pipelined != base.pipelined) {
+          continue;
+        }
+        if (r.crowd_phase.goodput < base.crowd_phase.goodput) {
+          std::fprintf(stderr,
+                       "overload check FAILED: %s crowd-phase goodput %.1f/s "
+                       "below static's %.1f/s (shards=%zu pipeline=%d)\n",
+                       r.overload.c_str(), r.crowd_phase.goodput,
+                       base.crowd_phase.goodput, r.shards,
                        r.pipelined ? 1 : 0);
           conservation_ok = false;
         }
@@ -953,6 +1221,11 @@ int main(int argc, char** argv) {
       .field("svc_ms", rk.svc_ms)
       .field("svc_jitter", rk.svc_jitter)
       .field("degrade_after", rk.degrade)
+      .field("dispatch_window", static_cast<uint64_t>(window))
+      .field("overload_eval_interval", oeval)
+      .field("crowd", static_cast<uint64_t>(crowd_mult))
+      .field("ramp_seconds", ramp)
+      .field("busy_backoff_ms", backoff)
       .key("runs")
       .begin_array();
   for (const RunResult& r : results) {
@@ -961,6 +1234,7 @@ int main(int argc, char** argv) {
         .field("proto", r.proto)
         .field("dup", r.dup)
         .field("policy", r.policy)
+        .field("overload", r.overload)
         .field("skew", r.skew)
         .field("replicas", static_cast<uint64_t>(r.replicas))
         .field("shards", r.shards)
@@ -980,6 +1254,14 @@ int main(int argc, char** argv) {
         .field("cache_hits", total.cache_hits)
         .field("errors", total.errors)
         .field("deadline_misses", total.deadline_misses)
+        .field("lifo_sheds", total.lifo_sheds)
+        .field("admission_threshold", r.admission_threshold)
+        .field("overload_mode", r.overload_mode)
+        .field("overload_evals", r.metrics.overload.evals)
+        .field("overload_increases", r.metrics.overload.increases)
+        .field("overload_decreases", r.metrics.overload.decreases)
+        .field("overload_enters", r.metrics.overload.enters)
+        .field("overload_exits", r.metrics.overload.exits)
         .field("retries", total.retries)
         .field("cancellations", r.metrics.lifecycle.cancellations)
         .field("late_completions", r.metrics.lifecycle.late_completions)
@@ -1019,6 +1301,24 @@ int main(int argc, char** argv) {
       json.value(r.metrics.at(level).drop_ratio());
     }
     json.end_array();
+    if (r.phased) {
+      // Flash-crowd phase split: pre = [0, ramp), crowd = [ramp, end).
+      json.key("phases").begin_array();
+      const PhaseStats* phases[2] = {&r.pre, &r.crowd_phase};
+      const char* names[2] = {"pre", "crowd"};
+      for (size_t i = 0; i < 2; ++i) {
+        json.begin_object()
+            .field("name", names[i])
+            .field("seconds", phases[i]->duration)
+            .field("replies", phases[i]->replies)
+            .field("useful", phases[i]->useful)
+            .field("good", phases[i]->good)
+            .field("goodput_rps", phases[i]->goodput)
+            .field("p99_ms", phases[i]->p99_ms)
+            .end_object();
+      }
+      json.end_array();
+    }
     if (r.scraped) {
       // Broker-side (submit -> reply inside the daemon) percentiles scraped
       // from /statusz, next to the client-side numbers above.

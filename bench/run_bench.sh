@@ -58,6 +58,23 @@
 #                  last replica serves svc*skew ms    (default "1,6")
 #   BENCH_DEGRADE  seconds into each run before the skew kicks in (default 0)
 #   BENCH_POLICY_SWEEP set to 0 to skip the policy sweep entirely
+#
+# Flash-crowd overload sweep knobs (the third loadgen invocation below; its
+# runs land in BENCH_daemon.json under "overload"): one serial replica at
+# BENCH_OVERLOAD_SVC ms per request, clients stepping x BENCH_CROWD at
+# t=BENCH_RAMP, per-phase goodput/drop/p99 per overload-control spec.
+#   BENCH_OVERLOAD       comma list of specs  (default "static,aimd,aimd+lifo")
+#   BENCH_CROWD          flash-crowd client multiplier      (default 10)
+#   BENCH_RAMP           seconds before the crowd joins     (default 0.4)
+#   BENCH_OVERLOAD_SECONDS  window per overload run         (default 2.4)
+#   BENCH_OVERLOAD_CLIENTS  pre-crowd client count          (default 6)
+#   BENCH_OVERLOAD_SVC   service time ms at the one replica (default 10)
+#   BENCH_OVERLOAD_TIMEOUT_MS  client deadline              (default 150)
+#   BENCH_OVERLOAD_THRESHOLD   (mistuned) static threshold  (default 150)
+#   BENCH_WINDOW         broker dispatch window             (default 2)
+#   BENCH_BACKOFF        client sleep after a busy reply, ms (default 20)
+#   BENCH_OEVAL          controller feedback interval, s    (default 0.1)
+#   BENCH_OVERLOAD_SWEEP set to 0 to skip the overload sweep entirely
 set -eu
 
 repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
@@ -77,6 +94,7 @@ echo "== micro benches -> BENCH_core.json"
 
 tmp_main="$build_dir/bench_daemon_main.json"
 tmp_policy="$build_dir/bench_daemon_policy.json"
+tmp_overload="$build_dir/bench_daemon_overload.json"
 
 echo "== daemon loadgen (channel/cache sweep)"
 "$build_dir/bench/daemon_loadgen" \
@@ -129,16 +147,51 @@ else
   printf 'null\n' > "$tmp_policy"
 fi
 
-# Compose both sweeps into one artifact: the channel/cache sweep's document
+if [ "${BENCH_OVERLOAD_SWEEP:-1}" = "1" ]; then
+  # Flash-crowd overload sweep: a deliberately mistuned static threshold
+  # against one saturated serial replica, so the feedback-driven controllers
+  # have something to recover. check=1 gates that every aimd run's
+  # crowd-phase goodput >= the static run's, plus conservation.
+  echo "== daemon loadgen (flash-crowd overload sweep)"
+  "$build_dir/bench/daemon_loadgen" \
+    shards=1 \
+    pipeline=1 \
+    "clients=${BENCH_OVERLOAD_CLIENTS:-6}" \
+    "seconds=${BENCH_OVERLOAD_SECONDS:-2.4}" \
+    "keys=${BENCH_KEYS:-512}" \
+    cache=0 \
+    "obs=${BENCH_OBS:-1}" \
+    "scrape=${BENCH_SCRAPE:-1}" \
+    "timeout=${BENCH_OVERLOAD_TIMEOUT_MS:-150}" \
+    "threshold=${BENCH_OVERLOAD_THRESHOLD:-150}" \
+    replicas=1 \
+    "svc=${BENCH_OVERLOAD_SVC:-10}" \
+    "window=${BENCH_WINDOW:-2}" \
+    "crowd=${BENCH_CROWD:-10}" \
+    "ramp=${BENCH_RAMP:-0.4}" \
+    "backoff=${BENCH_BACKOFF:-20}" \
+    "oeval=${BENCH_OEVAL:-0.1}" \
+    "overload=${BENCH_OVERLOAD:-static,aimd,aimd+lifo}" \
+    "iouring=${BENCH_IOURING:-0}" \
+    check=1 \
+    "out=$tmp_overload"
+else
+  printf 'null\n' > "$tmp_overload"
+fi
+
+# Compose the sweeps into one artifact: the channel/cache sweep's document
 # under "main" (its "runs" array is the historical trajectory), the
-# replica-selection sweep under "policy".
+# replica-selection sweep under "policy", the flash-crowd overload sweep
+# under "overload".
 {
   printf '{"bench":"daemon_loadgen","main":'
   cat "$tmp_main"
   printf ',"policy":'
   cat "$tmp_policy"
+  printf ',"overload":'
+  cat "$tmp_overload"
   printf '}\n'
 } > "$repo_root/BENCH_daemon.json"
-rm -f "$tmp_main" "$tmp_policy"
+rm -f "$tmp_main" "$tmp_policy" "$tmp_overload"
 
 echo "== wrote $repo_root/BENCH_core.json and $repo_root/BENCH_daemon.json"

@@ -28,11 +28,19 @@ run_plain() {
 }
 
 run_tsan() {
-  echo "== TSan build (core_test, net_test)"
+  echo "== TSan build (core_test, net_test, overload smoke)"
   cmake -B "$repo_root/build-tsan" -S "$repo_root" -DSBROKER_SANITIZE=thread
-  cmake --build "$repo_root/build-tsan" -j "$jobs" --target core_test net_test
+  cmake --build "$repo_root/build-tsan" -j "$jobs" \
+    --target core_test net_test daemon_loadgen
   TSAN_OPTIONS="halt_on_error=0" "$repo_root/build-tsan/tests/core_test"
   TSAN_OPTIONS="halt_on_error=0" "$repo_root/build-tsan/tests/net_test"
+  # Flash-crowd overload smoke under TSan: the LIFO flip, AIMD feedback and
+  # per-class shed counters all run on live shard reactors here (the plain
+  # tree runs the same command via ctest bench_daemon_overload_smoke).
+  TSAN_OPTIONS="halt_on_error=0" "$repo_root/build-tsan/bench/daemon_loadgen" \
+    shards=1 pipeline=1 clients=6 seconds=2.4 ramp=0.4 crowd=10 keys=64 \
+    cache=0 timeout=150 svc=10 replicas=1 window=2 threshold=150 backoff=20 \
+    oeval=0.1 overload=static,aimd,aimd+lifo check=1 out=
 }
 
 run_asan() {

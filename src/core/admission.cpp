@@ -1,5 +1,7 @@
 #include "core/admission.h"
 
+#include <cstdlib>
+
 namespace sbroker::core {
 
 const char* admission_decision_name(AdmissionDecision d) {
@@ -11,11 +13,14 @@ const char* admission_decision_name(AdmissionDecision d) {
     case AdmissionDecision::kDropContract:
       return "drop-contract";
   }
-  return "?";
+  std::abort();  // exhaustive switch above (-Wswitch keeps it that way)
 }
 
-AdmissionController::AdmissionController(QosRules rules)
-    : rules_(rules), contracts_(static_cast<size_t>(rules.num_levels)) {}
+AdmissionController::AdmissionController(QosRules rules,
+                                         const OverloadConfig& overload)
+    : rules_(rules),
+      overload_(make_overload_controller(overload, rules)),
+      contracts_(static_cast<size_t>(rules.num_levels)) {}
 
 void AdmissionController::set_contract(QosLevel level, double rate, double burst) {
   level = rules_.clamp_level(level);
@@ -25,7 +30,7 @@ void AdmissionController::set_contract(QosLevel level, double rate, double burst
 AdmissionDecision AdmissionController::decide(QosLevel level, double outstanding,
                                               double now) {
   level = rules_.clamp_level(level);
-  if (!rules_.admit(level, outstanding)) {
+  if (!overload_->admit(level, outstanding)) {
     ++dropped_over_limit_;
     return AdmissionDecision::kDropOverLimit;
   }

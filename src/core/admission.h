@@ -1,17 +1,19 @@
 // Admission control: the broker-side overload gate.
 //
-// Combines the paper's threshold rule (qos.h) with optional per-class
-// traffic contracts: "When traffic intensity of QoS classes exceed their
-// limits, their requests are dropped and other classes are not affected"
-// (Section III). Contracts are token buckets per class; a request must pass
-// both its class contract and the outstanding-threshold rule to be
-// forwarded.
+// Combines the paper's threshold rule — delegated to the pluggable
+// OverloadController (overload.h), which owns the live effective
+// threshold — with optional per-class traffic contracts: "When traffic
+// intensity of QoS classes exceed their limits, their requests are dropped
+// and other classes are not affected" (Section III). Contracts are token
+// buckets per class; a request must pass both its class contract and the
+// controller's outstanding-threshold rule to be forwarded.
 #pragma once
 
 #include <memory>
 #include <optional>
 #include <vector>
 
+#include "core/overload.h"
 #include "core/qos.h"
 #include "util/token_bucket.h"
 
@@ -27,7 +29,9 @@ const char* admission_decision_name(AdmissionDecision d);
 
 class AdmissionController {
  public:
-  explicit AdmissionController(QosRules rules);
+  /// `overload` selects the threshold policy; the default (static, no
+  /// feedback) reproduces the paper's fixed rule exactly.
+  explicit AdmissionController(QosRules rules, const OverloadConfig& overload = {});
 
   /// Installs a rate contract for `level`: `rate` requests/second with
   /// `burst` burst capacity. Levels without contracts are unconstrained.
@@ -40,12 +44,18 @@ class AdmissionController {
 
   const QosRules& rules() const { return rules_; }
 
+  /// The threshold policy behind decide(); owners feed it measurements
+  /// (OverloadController::observe) and read its live effective threshold.
+  OverloadController& overload() { return *overload_; }
+  const OverloadController& overload() const { return *overload_; }
+
   uint64_t forwarded() const { return forwarded_; }
   uint64_t dropped_over_limit() const { return dropped_over_limit_; }
   uint64_t dropped_contract() const { return dropped_contract_; }
 
  private:
   QosRules rules_;
+  std::unique_ptr<OverloadController> overload_;
   std::vector<std::optional<util::TokenBucket>> contracts_;  // index: level-1
   uint64_t forwarded_ = 0;
   uint64_t dropped_over_limit_ = 0;

@@ -11,7 +11,7 @@ namespace sbroker::core {
 ServiceBroker::ServiceBroker(std::string name, BrokerConfig config)
     : name_(std::move(name)),
       config_(config),
-      admission_(config.rules),
+      admission_(config.rules, config.overload),
       cache_(std::make_shared<ResultCache>(config.cache_capacity, config.cache_ttl,
                                            config.cache_tuning)),
       load_(std::make_shared<LoadTracker>()),
@@ -203,7 +203,15 @@ void ServiceBroker::submit_tail(double now, const http::BrokerRequest& request,
   ctx->payload = ctx->arena->store(rewritten.payload);
   ctx->degraded = rewritten.degraded;
   ctx->reply = std::move(reply);
-  if (ctx->deadline != kNoDeadline) deadlines_.emplace(ctx->deadline, ctx->id);
+  if (ctx->deadline != kNoDeadline) {
+    deadlines_.emplace(ctx->deadline, ctx->id);
+    // Track the budget in force so the overload controller can derive its
+    // latency target from what the traffic actually demands.
+    double budget = ctx->deadline - now;
+    deadline_budget_ewma_ = deadline_budget_ewma_ > 0.0
+                                ? 0.9 * deadline_budget_ewma_ + 0.1 * budget
+                                : budget;
+  }
   contexts_[request.request_id] = ctx;
   obs_.trace(now, request.request_id, obs::TraceEventKind::kAdmit,
              static_cast<uint8_t>(base_level), static_cast<uint16_t>(effective));
@@ -524,7 +532,12 @@ void ServiceBroker::shed_context(RequestContext* ctx, double now, bool deadline_
 
   auto& c = metrics_.at(ctx->base_level);
   c.dropped += 1;
-  if (deadline_miss) c.deadline_misses += 1;
+  if (deadline_miss) {
+    c.deadline_misses += 1;
+    // Under LIFO discipline the aged-out entries shed here *are* the queue
+    // tail the discipline sacrificed; count them so the win is observable.
+    if (admission_.overload().lifo_active()) c.lifo_sheds += 1;
+  }
   c.completed += 1;
   c.response_time.add(now - ctx->submitted_at);
   obs_.record(ctx->base_level, obs::Stage::kTotal, now - ctx->submitted_at);
@@ -659,6 +672,7 @@ void ServiceBroker::drain_retries(double now) {
 
 void ServiceBroker::tick(double now) {
   ++ticks_;
+  evaluate_overload(now);
   if (auto batch = cluster_.flush(now)) {
     enqueue_batch(std::move(*batch), now);
   }
@@ -674,6 +688,45 @@ void ServiceBroker::tick(double now) {
                          config_.prefetch_burst)) {
       issue_prefetch(entry, now);
     }
+  }
+}
+
+void ServiceBroker::evaluate_overload(double now) {
+  OverloadController& ctl = admission_.overload();
+  // Static-without-lifo never reads the signal; and without histograms
+  // there is no signal to read (feedback policies need obs.histograms on).
+  if (!ctl.wants_feedback() || !config_.obs.histograms) return;
+  if (now < next_overload_eval_) return;
+  next_overload_eval_ = now + config_.overload.eval_interval;
+
+  obs::LatencyHistogram total = obs_.merged_histogram(obs::Stage::kTotal);
+  obs::LatencyHistogram queue = obs_.merged_histogram(obs::Stage::kQueueWait);
+  // Sub-microsecond kTotal records are admission drops and cache hits; the
+  // controller must judge the requests that did real work, so exclude the
+  // [0,1us) bucket from the interval view.
+  constexpr double kMinSignal = 1e-6;
+  OverloadSignal signal;
+  signal.samples = std::max(total.count_since(overload_total_base_, kMinSignal),
+                            queue.count_since(overload_queue_base_, kMinSignal));
+  signal.p95 =
+      std::max(total.quantile_since(overload_total_base_, 0.95, kMinSignal),
+               queue.quantile_since(overload_queue_base_, 0.95, kMinSignal));
+  signal.budget = deadline_budget_ewma_;
+
+  bool was_overloaded = ctl.overloaded();
+  bool was_lifo = ctl.lifo_active();
+  ctl.observe(signal, now);
+  overload_total_base_ = std::move(total);
+  overload_queue_base_ = std::move(queue);
+  metrics_.overload = ctl.stats();
+
+  if (ctl.overloaded() != was_overloaded) {
+    obs_.trace(now, /*request_id=*/0, obs::TraceEventKind::kOverload,
+               static_cast<uint8_t>(std::min(ctl.threshold(), 255.0)),
+               ctl.overloaded() ? 1 : 0);
+  }
+  if (ctl.lifo_active() != was_lifo) {
+    dispatch_queue_.set_lifo(ctl.lifo_active());
   }
 }
 
@@ -912,6 +965,15 @@ std::optional<double> ServiceBroker::next_deadline() const {
   // owner's event loop until load drains.
   if (static_cast<double>(outstanding_) <= config_.prefetch_idle_threshold) {
     fold(prefetcher_.next_due());
+  }
+  // Fold the overload-feedback cadence only while requests are in flight:
+  // an idle broker has nothing to measure, and folding unconditionally
+  // would re-arm a discrete-event owner's timer forever (the sim would
+  // never drain). An overload mode latched at drain time simply waits for
+  // traffic to resume before its exit evaluations run.
+  if (outstanding_ > 0 && config_.obs.histograms &&
+      admission_.overload().wants_feedback()) {
+    fold(next_overload_eval_);
   }
   while (!deadlines_.empty() && !contexts_.count(deadlines_.top().second)) {
     deadlines_.pop();

@@ -72,6 +72,9 @@ namespace sbroker::core {
 
 struct BrokerConfig {
   QosRules rules;                  ///< levels + outstanding threshold
+  /// Threshold policy (static vs AIMD feedback) and LIFO-under-overload
+  /// queue discipline; the default reproduces the paper's fixed rule.
+  OverloadConfig overload;
   bool enable_cache = true;
   size_t cache_capacity = 4096;
   double cache_ttl = 5.0;          ///< seconds
@@ -216,6 +219,12 @@ class ServiceBroker {
   LoadTracker& load_tracker() { return *load_; }
   Prefetcher& prefetcher() { return prefetcher_; }
   AdmissionController& admission() { return admission_; }
+  /// The overload controller every admission decision routes through: live
+  /// effective threshold, overload mode, feedback stats.
+  OverloadController& overload_control() { return admission_.overload(); }
+  const OverloadController& overload_control() const {
+    return admission_.overload();
+  }
   TransactionTracker& transactions() { return *txn_; }
   HotSpotDetector& hotspot() { return hotspot_; }
   /// Current load classification of this broker's backend service.
@@ -284,6 +293,12 @@ class ServiceBroker {
                       const std::string& payload, bool count_error);
   void shed_context(RequestContext* ctx, double now, bool deadline_miss);
   bool may_retry(const RequestContext& ctx, double now) const;
+  /// Feedback-control evaluation on the tick path: snapshots the observer's
+  /// total/queue-wait histograms, feeds the interval's p95 + deadline budget
+  /// to the OverloadController, and flips the dispatch queue's LIFO
+  /// discipline when the overload mode changed. No-op off the evaluation
+  /// cadence, for static-without-lifo policies, and with histograms off.
+  void evaluate_overload(double now);
   void expire_deadlines(double now);
   void drain_retries(double now);
   void harvest_exchange(uint64_t exchange_id, double now);
@@ -368,6 +383,14 @@ class ServiceBroker {
   size_t outstanding_ = 0;
   size_t in_flight_batches_ = 0;
   uint64_t ticks_ = 0;
+  /// Overload-feedback state: next evaluation time, the previous evaluation's
+  /// histogram snapshots (the histograms are cumulative; the controller
+  /// judges per-interval deltas) and an EWMA of the deadline budgets seen at
+  /// admission — the latency yardstick when no explicit target is set.
+  double next_overload_eval_ = 0.0;
+  double deadline_budget_ewma_ = 0.0;
+  obs::LatencyHistogram overload_total_base_;
+  obs::LatencyHistogram overload_queue_base_;
 };
 
 }  // namespace sbroker::core

@@ -1,10 +1,15 @@
 #include "core/centralized.h"
 
+#include <cstdlib>
+
 namespace sbroker::core {
 
 CentralizedController::CentralizedController(QosRules rules,
-                                             double report_staleness_limit)
-    : rules_(rules), staleness_limit_(report_staleness_limit) {}
+                                             double report_staleness_limit,
+                                             const OverloadConfig& overload)
+    : rules_(rules),
+      overload_(make_overload_controller(overload, rules)),
+      staleness_limit_(report_staleness_limit) {}
 
 void CentralizedController::register_profile(std::string url, ResourceProfile profile) {
   profiles_[std::move(url)] = std::move(profile);
@@ -41,7 +46,7 @@ CentralizedController::Verdict CentralizedController::admit(const std::string& u
       ++rejects_;
       return Verdict::kRejectStale;
     }
-    if (!rules_.admit(level, entry.outstanding)) {
+    if (!overload_->admit(level, entry.outstanding)) {
       ++rejects_;
       return Verdict::kRejectOverload;
     }
@@ -62,7 +67,7 @@ const char* verdict_name(CentralizedController::Verdict v) {
     case Verdict::kRejectStale:
       return "reject-stale";
   }
-  return "?";
+  std::abort();  // exhaustive switch above (-Wswitch keeps it that way)
 }
 
 }  // namespace sbroker::core

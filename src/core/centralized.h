@@ -19,10 +19,12 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "core/overload.h"
 #include "core/qos.h"
 
 namespace sbroker::core {
@@ -43,8 +45,11 @@ class CentralizedController {
 
   /// `rules`: the shared QoS thresholds. `report_staleness_limit`: maximum
   /// age (seconds) of a load report before it is distrusted (<=0 disables
-  /// the staleness check).
-  CentralizedController(QosRules rules, double report_staleness_limit = 0.0);
+  /// the staleness check). `overload` selects the threshold policy — the
+  /// same pluggable OverloadController the distributed brokers use, so the
+  /// ablation compares deployment models, not admission rules.
+  CentralizedController(QosRules rules, double report_staleness_limit = 0.0,
+                        const OverloadConfig& overload = {});
 
   void register_profile(std::string url, ResourceProfile profile);
 
@@ -66,6 +71,11 @@ class CentralizedController {
 
   const QosRules& rules() const { return rules_; }
 
+  /// The threshold policy behind admit(); a centralized deployment feeds it
+  /// front-end latency measurements the same way the brokers do.
+  OverloadController& overload() { return *overload_; }
+  const OverloadController& overload() const { return *overload_; }
+
  private:
   struct LoadEntry {
     double outstanding = 0.0;
@@ -73,6 +83,7 @@ class CentralizedController {
   };
 
   QosRules rules_;
+  std::unique_ptr<OverloadController> overload_;
   double staleness_limit_;
   std::unordered_map<std::string, ResourceProfile> profiles_;
   std::unordered_map<std::string, LoadEntry> loads_;

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "core/backend.h"
+#include "core/overload.h"
 #include "util/stats.h"
 
 namespace sbroker::core {
@@ -27,6 +28,8 @@ class BrokerMetrics {
     uint64_t completed = 0;   ///< replies delivered (any fidelity)
     uint64_t errors = 0;      ///< backend failures surfaced to the client
     uint64_t deadline_misses = 0;  ///< deadline-expired sheds (subset of dropped)
+    uint64_t lifo_sheds = 0;  ///< deadline sheds taken while the class queue
+                              ///< ran LIFO (subset of deadline_misses)
     uint64_t retries = 0;     ///< broker-level re-dispatches to another replica
     util::Summary response_time;  ///< submit -> reply, seconds
 
@@ -56,6 +59,7 @@ class BrokerMetrics {
       t.completed += c.completed;
       t.errors += c.errors;
       t.deadline_misses += c.deadline_misses;
+      t.lifo_sheds += c.lifo_sheds;
       t.retries += c.retries;
       t.response_time.merge(c.response_time);
     }
@@ -104,6 +108,7 @@ class BrokerMetrics {
     transport = ChannelStats{};
     lifecycle = LifecycleStats{};
     flight = FlightStats{};
+    overload = OverloadStats{};
   }
 
   /// Wire-level channel counters, filled in by the owner of the transport
@@ -114,6 +119,10 @@ class BrokerMetrics {
   LifecycleStats lifecycle;
 
   FlightStats flight;
+
+  /// Overload-control feedback counters (overload.h), copied out of the
+  /// shard's OverloadController at each evaluation.
+  OverloadStats overload;
 
   /// Accumulates another broker's counters class-by-class — the sharded
   /// daemon folds its per-shard metrics into one report with this.
@@ -131,12 +140,14 @@ class BrokerMetrics {
       mine.completed += theirs.completed;
       mine.errors += theirs.errors;
       mine.deadline_misses += theirs.deadline_misses;
+      mine.lifo_sheds += theirs.lifo_sheds;
       mine.retries += theirs.retries;
       mine.response_time.merge(theirs.response_time);
     }
     transport.merge(other.transport);
     lifecycle.merge(other.lifecycle);
     flight.merge(other.flight);
+    overload.merge(other.overload);
   }
 
  private:

@@ -1,0 +1,100 @@
+#include "core/overload.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace sbroker::core {
+
+const char* overload_policy_name(OverloadPolicy policy) {
+  switch (policy) {
+    case OverloadPolicy::kStatic:
+      return "static";
+    case OverloadPolicy::kAimd:
+      return "aimd";
+  }
+  std::abort();  // exhaustive switch above (-Wswitch keeps it that way)
+}
+
+std::optional<OverloadPolicy> parse_overload_policy(std::string_view name) {
+  if (name == "static") return OverloadPolicy::kStatic;
+  if (name == "aimd" || name == "aimd+lifo" || name == "lifo") {
+    return OverloadPolicy::kAimd;
+  }
+  if (name == "static+lifo") return OverloadPolicy::kStatic;
+  return std::nullopt;
+}
+
+std::optional<OverloadConfig> parse_overload_spec(std::string_view spec,
+                                                  OverloadConfig base) {
+  std::optional<OverloadPolicy> policy = parse_overload_policy(spec);
+  if (!policy) return std::nullopt;
+  base.policy = *policy;
+  base.lifo = spec == "aimd+lifo" || spec == "static+lifo" || spec == "lifo";
+  return base;
+}
+
+OverloadController::OverloadController(const OverloadConfig& config,
+                                       QosRules rules)
+    : config_(config), rules_(rules), threshold_(rules.threshold) {}
+
+void OverloadController::observe(const OverloadSignal& signal, double now) {
+  (void)now;
+  double target = config_.target_p95 > 0.0
+                      ? config_.target_p95
+                      : config_.budget_fraction * signal.budget;
+  // No evidence (too few fresh samples) or no yardstick (deadline-free
+  // traffic with no explicit target): the interval carries no signal.
+  if (signal.samples < config_.min_samples || target <= 0.0) return;
+
+  ++stats_.evals;
+  bool breached = signal.p95 > target;
+  adjust(breached);
+
+  if (breached) {
+    ++breach_streak_;
+    clear_streak_ = 0;
+  } else {
+    ++clear_streak_;
+    breach_streak_ = 0;
+  }
+  if (!overloaded_ && breach_streak_ >= config_.enter_breaches) {
+    overloaded_ = true;
+    ++stats_.enters;
+  } else if (overloaded_ && clear_streak_ >= config_.exit_clears) {
+    overloaded_ = false;
+    ++stats_.exits;
+  }
+}
+
+AimdOverloadController::AimdOverloadController(const OverloadConfig& config,
+                                               QosRules rules)
+    : OverloadController(config, rules),
+      ceiling_(config.ceiling > 0.0 ? config.ceiling : 4.0 * rules.threshold) {
+  ceiling_ = std::max(ceiling_, config_.floor);
+}
+
+void AimdOverloadController::adjust(bool breached) {
+  if (breached) {
+    // Pinned at the floor = no movement: don't count phantom decreases.
+    if (threshold_ > config_.floor) {
+      threshold_ = std::max(config_.floor, threshold_ * config_.decrease);
+      ++stats_.decreases;
+    }
+  } else if (threshold_ < ceiling_) {
+    threshold_ = std::min(ceiling_, threshold_ + config_.increase);
+    ++stats_.increases;
+  }
+}
+
+std::unique_ptr<OverloadController> make_overload_controller(
+    const OverloadConfig& config, QosRules rules) {
+  switch (config.policy) {
+    case OverloadPolicy::kStatic:
+      return std::make_unique<StaticOverloadController>(config, rules);
+    case OverloadPolicy::kAimd:
+      return std::make_unique<AimdOverloadController>(config, rules);
+  }
+  std::abort();  // exhaustive switch above
+}
+
+}  // namespace sbroker::core

@@ -26,15 +26,13 @@ struct QosRules {
   double threshold = 20.0;
 
   /// Admission bound for `level`: the outstanding count below which a
-  /// request of this class may be forwarded.
+  /// request of this class may be forwarded. The forward-or-drop comparison
+  /// itself lives in core::OverloadController (overload.h), the one place
+  /// every admission call site routes through — the effective threshold may
+  /// have moved away from the configured constant under feedback control.
   double bound(QosLevel level) const {
     level = clamp_level(level);
     return threshold * static_cast<double>(level) / static_cast<double>(num_levels);
-  }
-
-  /// The paper's binary forward-or-drop rule.
-  bool admit(QosLevel level, double outstanding) const {
-    return outstanding < bound(level);
   }
 
   QosLevel clamp_level(QosLevel level) const {

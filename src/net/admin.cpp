@@ -81,6 +81,7 @@ void write_class_counters(util::JsonWriter& w,
       .field("completed", c.completed)
       .field("errors", c.errors)
       .field("deadline_misses", c.deadline_misses)
+      .field("lifo_sheds", c.lifo_sheds)
       .field("retries", c.retries)
       .field("drop_ratio", c.drop_ratio());
 }
@@ -97,6 +98,11 @@ ShardStatus snapshot_shard(const core::ServiceBroker& broker, size_t shard) {
   s.load_state = broker.load_state();
   s.trace_recorded = broker.observer().recorder().recorded();
   s.trace_dropped = broker.observer().recorder().dropped();
+  const core::OverloadController& overload = broker.overload_control();
+  s.overload_policy = core::overload_policy_name(overload.policy());
+  s.admission_threshold = overload.threshold();
+  s.overload_mode = overload.overloaded();
+  s.lifo_active = overload.lifo_active();
   const core::LoadBalancer& lb = broker.balancer();
   s.policy = core::balance_policy_name(lb.policy());
   s.replicas.reserve(lb.backend_count());
@@ -144,6 +150,9 @@ std::string render_prometheus(const std::vector<ShardStatus>& shards) {
        &core::BrokerMetrics::ClassCounters::errors},
       {"sbroker_deadline_misses_total", "Deadline-expired sheds.",
        &core::BrokerMetrics::ClassCounters::deadline_misses},
+      {"sbroker_lifo_sheds_total",
+       "Deadline sheds taken while the class queue ran LIFO.",
+       &core::BrokerMetrics::ClassCounters::lifo_sheds},
       {"sbroker_retries_total", "Broker-level re-dispatches.",
        &core::BrokerMetrics::ClassCounters::retries},
   };
@@ -196,6 +205,26 @@ std::string render_prometheus(const std::vector<ShardStatus>& shards) {
                  "Waiters promoted to fetch leader after a dead fetch.");
   append_sample(out, "sbroker_flight_promotions_total", "",
                 metrics.flight.promotions);
+  append_counter(out, "sbroker_overload_evals_total",
+                 "Overload-feedback intervals that carried enough samples.");
+  append_sample(out, "sbroker_overload_evals_total", "",
+                metrics.overload.evals);
+  append_counter(out, "sbroker_overload_increases_total",
+                 "Additive admission-threshold raises.");
+  append_sample(out, "sbroker_overload_increases_total", "",
+                metrics.overload.increases);
+  append_counter(out, "sbroker_overload_decreases_total",
+                 "Multiplicative admission-threshold cuts.");
+  append_sample(out, "sbroker_overload_decreases_total", "",
+                metrics.overload.decreases);
+  append_counter(out, "sbroker_overload_enters_total",
+                 "Overload-mode entries (hysteresis applied).");
+  append_sample(out, "sbroker_overload_enters_total", "",
+                metrics.overload.enters);
+  append_counter(out, "sbroker_overload_exits_total",
+                 "Overload-mode exits (hysteresis applied).");
+  append_sample(out, "sbroker_overload_exits_total", "",
+                metrics.overload.exits);
 
   out +=
       "# HELP sbroker_latency_seconds Request latency by lifecycle stage and "
@@ -221,6 +250,11 @@ std::string render_prometheus(const std::vector<ShardStatus>& shards) {
     }
   }
 
+  append_gauge(out, "sbroker_admission_threshold",
+               "Live effective admission threshold per shard.");
+  append_gauge(out, "sbroker_overload_mode",
+               "1 while the shard's controller declares overload "
+               "(2 when the LIFO queue discipline is also active).");
   append_gauge(out, "sbroker_shard_load_state",
                "Hot-spot classification per shard (0 normal, 1 warm, 2 hot).");
   append_counter(out, "sbroker_trace_events_total",
@@ -238,6 +272,12 @@ std::string render_prometheus(const std::vector<ShardStatus>& shards) {
                "observation (0 = no sample).");
   for (const auto& s : shards) {
     std::string shard_label = "shard=\"" + std::to_string(s.shard) + "\"";
+    append_sample(out, "sbroker_admission_threshold", shard_label,
+                  s.admission_threshold);
+    append_sample(out, "sbroker_overload_mode", shard_label,
+                  static_cast<uint64_t>(s.lifo_active ? 2
+                                        : s.overload_mode ? 1
+                                                          : 0));
     append_sample(out, "sbroker_shard_load_state", shard_label,
                   static_cast<uint64_t>(s.load_state));
     append_sample(out, "sbroker_trace_events_total", shard_label,
@@ -329,6 +369,14 @@ std::string render_statusz(const std::vector<ShardStatus>& shards) {
       .field("negative_hits", metrics.flight.negative_hits)
       .field("promotions", metrics.flight.promotions)
       .end_object();
+  w.key("overload")
+      .begin_object()
+      .field("evals", metrics.overload.evals)
+      .field("increases", metrics.overload.increases)
+      .field("decreases", metrics.overload.decreases)
+      .field("enters", metrics.overload.enters)
+      .field("exits", metrics.overload.exits)
+      .end_object();
 
   w.key("per_shard").begin_array();
   for (const auto& s : shards) {
@@ -338,7 +386,11 @@ std::string render_statusz(const std::vector<ShardStatus>& shards) {
         .field("outstanding", static_cast<uint64_t>(s.outstanding))
         .field("load_state", core::load_state_name(s.load_state))
         .field("trace_recorded", s.trace_recorded)
-        .field("trace_dropped", s.trace_dropped);
+        .field("trace_dropped", s.trace_dropped)
+        .field("overload_policy", s.overload_policy)
+        .field("admission_threshold", s.admission_threshold)
+        .field("overload_mode", s.overload_mode)
+        .field("lifo_active", s.lifo_active);
     w.key("replicas").begin_array();
     for (const auto& r : s.replicas) {
       w.begin_object()

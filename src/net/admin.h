@@ -48,6 +48,12 @@ struct ShardStatus {
   core::LoadState load_state = core::LoadState::kNormal;
   uint64_t trace_recorded = 0;
   uint64_t trace_dropped = 0;
+  /// Overload-control view (overload.h): policy, live effective admission
+  /// threshold, and whether the shard is in declared overload / LIFO mode.
+  const char* overload_policy = "";
+  double admission_threshold = 0.0;
+  bool overload_mode = false;
+  bool lifo_active = false;
   std::vector<ReplicaStatus> replicas;
 };
 

@@ -73,6 +73,61 @@ double LatencyHistogram::quantile(double q) const {
   return static_cast<double>(max_us_) * 1e-6;  // unreachable
 }
 
+namespace {
+
+/// First bucket whose upper edge exceeds `min_seconds` (buckets at or below
+/// it carry no information for an interval signal).
+size_t first_eligible_bucket(double min_seconds) {
+  size_t first = 0;
+  while (first + 1 < LatencyHistogram::num_buckets() &&
+         LatencyHistogram::bucket_upper_seconds(first) <= min_seconds) {
+    ++first;
+  }
+  return first;
+}
+
+/// Bucket-wise saturating delta (a genuine earlier snapshot never exceeds
+/// the current counts; saturation just makes a misuse harmless).
+uint64_t bucket_delta(uint64_t current, uint64_t base) {
+  return current > base ? current - base : 0;
+}
+
+}  // namespace
+
+uint64_t LatencyHistogram::count_since(const LatencyHistogram& baseline,
+                                       double min_seconds) const {
+  uint64_t total = 0;
+  for (size_t i = first_eligible_bucket(min_seconds); i < kNumBuckets; ++i) {
+    total += bucket_delta(buckets_[i], baseline.buckets_[i]);
+  }
+  return total;
+}
+
+double LatencyHistogram::quantile_since(const LatencyHistogram& baseline,
+                                        double q, double min_seconds) const {
+  size_t first = first_eligible_bucket(min_seconds);
+  uint64_t total = 0;
+  for (size_t i = first; i < kNumBuckets; ++i) {
+    total += bucket_delta(buckets_[i], baseline.buckets_[i]);
+  }
+  if (total == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  uint64_t rank =
+      static_cast<uint64_t>(std::ceil(q * static_cast<double>(total)));
+  if (rank == 0) rank = 1;
+  uint64_t seen = 0;
+  for (size_t i = first; i < kNumBuckets; ++i) {
+    seen += bucket_delta(buckets_[i], baseline.buckets_[i]);
+    if (seen >= rank) {
+      if (i >= kOverflowBucket) return static_cast<double>(max_us_) * 1e-6;
+      double mid = static_cast<double>(lower_bound_us(i)) +
+                   static_cast<double>(bucket_width_us(i)) / 2.0;
+      return std::min(mid, static_cast<double>(max_us_)) * 1e-6;
+    }
+  }
+  return static_cast<double>(max_us_) * 1e-6;  // unreachable
+}
+
 uint64_t LatencyHistogram::count_le(double bound_seconds) const {
   if (bound_seconds < 0.0) return 0;
   double bound_us = bound_seconds * 1e6;

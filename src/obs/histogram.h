@@ -66,6 +66,20 @@ class LatencyHistogram {
   /// Samples recorded at or above kMaxTrackableUs.
   uint64_t overflow_count() const { return buckets_[kOverflowBucket]; }
 
+  /// Interval view against an earlier snapshot of this same histogram: the
+  /// histograms are cumulative, so a feedback controller that wants "what
+  /// happened since the last evaluation" subtracts bucket-wise. Buckets
+  /// whose upper edge is <= `min_seconds` are excluded — the broker records
+  /// admission drops and cache hits as 0.0 into kTotal, and those must not
+  /// drag an overload signal's quantile toward zero (min_seconds = 1e-6
+  /// excludes exactly the [0,1us) bucket).
+  uint64_t count_since(const LatencyHistogram& baseline,
+                       double min_seconds = 0.0) const;
+  /// Nearest-rank quantile over the since-`baseline` delta; 0 when the
+  /// interval holds no (eligible) samples.
+  double quantile_since(const LatencyHistogram& baseline, double q,
+                        double min_seconds = 0.0) const;
+
   /// Observations whose bucket upper edge is <= `bound_seconds` — the
   /// cumulative count behind a Prometheus `le` bucket. Conservative for
   /// bounds that cut a bucket in half; monotone in the bound, and equal to

@@ -16,6 +16,7 @@ const char* trace_event_name(TraceEventKind kind) {
     case TraceEventKind::kComplete: return "complete";
     case TraceEventKind::kCoalesce: return "coalesce";
     case TraceEventKind::kSwr: return "swr";
+    case TraceEventKind::kOverload: return "overload";
   }
   return "unknown";
 }

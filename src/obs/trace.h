@@ -29,6 +29,9 @@ enum class TraceEventKind : uint8_t {
                  ///< detail = waiters on the flight after attaching
   kSwr,          ///< stale value served within the revalidation grace
                  ///< window; detail 1 = this request claimed the refresh
+  kOverload,     ///< overload-mode flip (request_id 0: a broker-level
+                 ///< event); detail 1 = entered, 0 = exited; level carries
+                 ///< the effective threshold, saturated at 255
 };
 
 const char* trace_event_name(TraceEventKind kind);

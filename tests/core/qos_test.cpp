@@ -2,8 +2,19 @@
 
 #include <gtest/gtest.h>
 
+#include "core/overload.h"
+
 namespace sbroker::core {
 namespace {
+
+// The admit comparison itself lives in OverloadController (core/overload.h);
+// QosRules only carries the per-level bound shape. A static controller over
+// the rules must reproduce the paper's rule exactly.
+OverloadConfig static_config() {
+  OverloadConfig config;
+  config.policy = OverloadPolicy::kStatic;
+  return config;
+}
 
 TEST(QosRules, BoundsScaleWithLevel) {
   QosRules rules{3, 20.0};
@@ -13,22 +24,22 @@ TEST(QosRules, BoundsScaleWithLevel) {
 }
 
 TEST(QosRules, TopClassAdmittedUpToThreshold) {
-  QosRules rules{3, 20.0};
-  EXPECT_TRUE(rules.admit(3, 19.0));
-  EXPECT_FALSE(rules.admit(3, 20.0));
+  StaticOverloadController ctl(static_config(), QosRules{3, 20.0});
+  EXPECT_TRUE(ctl.admit(3, 19.0));
+  EXPECT_FALSE(ctl.admit(3, 20.0));
 }
 
 TEST(QosRules, LowClassShedFirst) {
-  QosRules rules{3, 20.0};
+  StaticOverloadController ctl(static_config(), QosRules{3, 20.0});
   double outstanding = 10.0;
-  EXPECT_FALSE(rules.admit(1, outstanding));  // bound 6.67
-  EXPECT_TRUE(rules.admit(2, outstanding));   // bound 13.33
-  EXPECT_TRUE(rules.admit(3, outstanding));
+  EXPECT_FALSE(ctl.admit(1, outstanding));  // bound 6.67
+  EXPECT_TRUE(ctl.admit(2, outstanding));   // bound 13.33
+  EXPECT_TRUE(ctl.admit(3, outstanding));
 }
 
 TEST(QosRules, ZeroOutstandingAdmitsEveryone) {
-  QosRules rules{3, 20.0};
-  for (int level = 1; level <= 3; ++level) EXPECT_TRUE(rules.admit(level, 0.0));
+  StaticOverloadController ctl(static_config(), QosRules{3, 20.0});
+  for (int level = 1; level <= 3; ++level) EXPECT_TRUE(ctl.admit(level, 0.0));
 }
 
 TEST(QosRules, ClampLevel) {
@@ -43,6 +54,19 @@ TEST(QosRules, OutOfRangeLevelUsesClampedBound) {
   QosRules rules{3, 20.0};
   EXPECT_DOUBLE_EQ(rules.bound(99), rules.bound(3));
   EXPECT_DOUBLE_EQ(rules.bound(-1), rules.bound(1));
+
+  StaticOverloadController ctl(static_config(), QosRules{3, 20.0});
+  EXPECT_DOUBLE_EQ(ctl.bound(99), ctl.bound(3));
+  EXPECT_DOUBLE_EQ(ctl.bound(-1), ctl.bound(1));
+}
+
+TEST(QosRules, StaticControllerMatchesRulesBound) {
+  QosRules rules{3, 20.0};
+  StaticOverloadController ctl(static_config(), rules);
+  for (int level = 1; level <= 3; ++level) {
+    EXPECT_DOUBLE_EQ(ctl.bound(level), rules.bound(level));
+  }
+  EXPECT_DOUBLE_EQ(ctl.threshold(), rules.threshold);
 }
 
 // Property: admission is monotone — if a level admits at load x, every
@@ -51,17 +75,17 @@ class QosMonotonicity : public ::testing::TestWithParam<int> {};
 
 TEST_P(QosMonotonicity, MonotoneInLevelAndLoad) {
   int levels = GetParam();
-  QosRules rules{levels, 20.0};
+  StaticOverloadController ctl(static_config(), QosRules{levels, 20.0});
   for (double load = 0; load <= 25.0; load += 0.5) {
     for (int level = 1; level < levels; ++level) {
-      if (rules.admit(level, load)) {
-        EXPECT_TRUE(rules.admit(level + 1, load))
+      if (ctl.admit(level, load)) {
+        EXPECT_TRUE(ctl.admit(level + 1, load))
             << "level " << level + 1 << " rejected at load " << load;
       }
     }
     for (int level = 1; level <= levels; ++level) {
-      if (rules.admit(level, load) && load >= 1.0) {
-        EXPECT_TRUE(rules.admit(level, load - 1.0));
+      if (ctl.admit(level, load) && load >= 1.0) {
+        EXPECT_TRUE(ctl.admit(level, load - 1.0));
       }
     }
   }

@@ -83,6 +83,62 @@ TEST(Scheduler, SizeAt) {
   EXPECT_EQ(s.size_at(3), 0u);
 }
 
+TEST(Scheduler, LifoPopsNewestWithinClass) {
+  QosScheduler<int> s;
+  for (int i = 0; i < 5; ++i) s.push(2, i);
+  s.set_lifo(true);
+  for (int i = 4; i >= 0; --i) EXPECT_EQ(s.pop(), i);
+}
+
+TEST(Scheduler, LifoNeverOverridesClassPriority) {
+  QosScheduler<std::string> s;
+  s.set_lifo(true);
+  s.push(1, "low-old");
+  s.push(1, "low-new");
+  s.push(3, "high-old");
+  s.push(3, "high-new");
+  // Class order still wins; LIFO only reverses order *within* the class.
+  EXPECT_EQ(s.pop(), "high-new");
+  EXPECT_EQ(s.pop(), "high-old");
+  EXPECT_EQ(s.pop(), "low-new");
+  EXPECT_EQ(s.pop(), "low-old");
+}
+
+TEST(Scheduler, LifoFlipMidStreamResumesFifoOverSurvivors) {
+  QosScheduler<int> s;
+  for (int i = 0; i < 6; ++i) s.push(2, i);
+  s.set_lifo(true);
+  EXPECT_EQ(s.pop(), 5);
+  EXPECT_EQ(s.pop(), 4);
+  // Exit overload: queued items kept their positions, so FIFO resumes over
+  // the surviving oldest-first order.
+  s.set_lifo(false);
+  EXPECT_EQ(s.pop(), 0);
+  EXPECT_EQ(s.pop(), 1);
+  EXPECT_EQ(s.pop(), 2);
+  EXPECT_EQ(s.pop(), 3);
+  EXPECT_TRUE(s.empty());
+}
+
+TEST(Scheduler, LifoShedLowestStillDropsOldestOfLowestClass) {
+  QosScheduler<int> s;
+  s.set_lifo(true);
+  s.push(1, 10);
+  s.push(1, 11);
+  s.push(2, 20);
+  std::vector<std::pair<QosLevel, int>> dropped;
+  s.shed_lowest(1, [&](QosLevel level, int& item) {
+    dropped.emplace_back(level, item);
+  });
+  // Shedding is deliberately FIFO-from-the-bottom even under LIFO pops: the
+  // oldest entry of the lowest class is the one least likely to make its
+  // deadline, so it is the victim.
+  ASSERT_EQ(dropped.size(), 1u);
+  EXPECT_EQ(dropped[0], std::make_pair(1, 10));
+  EXPECT_EQ(s.pop(), 20);
+  EXPECT_EQ(s.pop(), 11);
+}
+
 // Property: random interleavings never dequeue a lower class while a higher
 // class is waiting.
 TEST(Scheduler, NeverInvertsPriorityUnderRandomWorkload) {

@@ -155,9 +155,11 @@ TEST(ShardedStampede, MissesOnDifferentShardsShareOneFetch) {
     BrokerClient client(daemon.port());
     reply_a = client.call(make_request(1, 3, "/slow"));
   });
-  // Shard 0 must own the flight before the second client connects.
+  // Shard 0 must own the flight before the second client connects. The
+  // claim lands before the fetch reaches the backend thread, so wait for
+  // the hit too instead of asserting it instantaneously.
   ASSERT_TRUE(eventually([&]() { return daemon.shared_flights().in_flight() == 1; }));
-  EXPECT_EQ(backend_hits.load(), 1);
+  ASSERT_TRUE(eventually([&]() { return backend_hits.load() == 1; }));
 
   std::thread client_b([&]() {
     BrokerClient client(daemon.port());

@@ -93,6 +93,57 @@ TEST_F(BrokerHostTest, PrefetchRunsFromKick) {
   EXPECT_EQ(reply->payload, "id\n4\n");
 }
 
+// Overload control on the sim substrate: an open-loop flash crowd (200/s
+// against a serial ~33/s backend) must drive the AIMD loop on the host's
+// tick path — the effective threshold drops below the configured constant,
+// the LIFO flip engages, and the aged-out entries leave through the
+// exactly-once deadline path. The sim must still drain to completion (the
+// eval cadence may not keep the event queue alive forever).
+TEST_F(BrokerHostTest, AimdLifoRunsOnTheSimTickPath) {
+  core::BrokerConfig cfg = config();
+  cfg.dispatch_window = 1;
+  cfg.overload.policy = core::OverloadPolicy::kAimd;
+  cfg.overload.lifo = true;
+  cfg.overload.eval_interval = 0.05;
+  cfg.overload.min_samples = 4;
+  DbBackendConfig slow;
+  slow.capacity = 1;
+  slow.profile.base = 0.03;
+  auto backend = std::make_shared<SimDbBackend>(sim_, db_, slow);
+  BrokerHost host(sim_, "db-broker", cfg);
+  host.broker().add_backend(backend);
+
+  constexpr int kRequests = 400;
+  int replies = 0;
+  for (int i = 0; i < kRequests; ++i) {
+    sim_.at(i * 0.005, [this, &host, &replies, i]() {
+      http::BrokerRequest req =
+          request(static_cast<uint64_t>(i + 1), 1 + (i % 3),
+                  "SELECT id FROM records WHERE id = " + std::to_string(i % 50));
+      req.deadline_ms = 100;
+      host.submit(std::move(req),
+                  [&replies](const http::BrokerReply&) { ++replies; });
+    });
+  }
+  sim_.run();  // must terminate: feedback cadence folds into pending work only
+
+  EXPECT_EQ(replies, kRequests);
+  core::BrokerMetrics metrics = host.broker().metrics();
+  core::BrokerMetrics::ClassCounters total = metrics.total();
+  EXPECT_EQ(total.issued, static_cast<uint64_t>(kRequests));
+  EXPECT_EQ(total.completed, total.issued);
+  EXPECT_EQ(total.forwarded + total.dropped + total.cache_hits + total.errors,
+            total.issued);
+  // The feedback loop ran and cut the threshold below the static setting.
+  EXPECT_GT(metrics.overload.evals, 0u);
+  EXPECT_GT(metrics.overload.decreases, 0u);
+  EXPECT_LT(host.broker().overload_control().threshold(), cfg.rules.threshold);
+  // LIFO mode engaged and its sheds took the exactly-once deadline path.
+  EXPECT_GT(metrics.overload.enters, 0u);
+  EXPECT_GT(total.lifo_sheds, 0u);
+  EXPECT_LE(total.lifo_sheds, total.deadline_misses);
+}
+
 TEST_F(BrokerHostTest, DownInboundLinkLosesRequestSilently) {
   BrokerHost host(sim_, "db-broker", config());
   host.broker().add_backend(backend_);
