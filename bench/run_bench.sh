@@ -75,6 +75,17 @@
 #   BENCH_BACKOFF        client sleep after a busy reply, ms (default 20)
 #   BENCH_OEVAL          controller feedback interval, s    (default 0.1)
 #   BENCH_OVERLOAD_SWEEP set to 0 to skip the overload sweep entirely
+#
+# Federation sweep knobs (the federation_demo invocation below; its runs —
+# a single-node baseline followed by a BENCH_PEERS-member tier over the
+# identical workload — land in BENCH_daemon.json under "federation"):
+#   BENCH_PEERS          federation members (processes)     (default 3)
+#   BENCH_FED_CLIENTS    closed-loop client threads         (default 6)
+#   BENCH_FED_REQUESTS   total requests per phase           (default 1920)
+#   BENCH_FED_KEYS       distinct keys (requests/keys = repetition)
+#                                                           (default 64)
+#   BENCH_FED_SVC        backend service time, ms           (default 0)
+#   BENCH_FED_SWEEP      set to 0 to skip the federation sweep entirely
 set -eu
 
 repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
@@ -95,6 +106,7 @@ echo "== micro benches -> BENCH_core.json"
 tmp_main="$build_dir/bench_daemon_main.json"
 tmp_policy="$build_dir/bench_daemon_policy.json"
 tmp_overload="$build_dir/bench_daemon_overload.json"
+tmp_fed="$build_dir/bench_daemon_federation.json"
 
 echo "== daemon loadgen (channel/cache sweep)"
 "$build_dir/bench/daemon_loadgen" \
@@ -179,10 +191,28 @@ else
   printf 'null\n' > "$tmp_overload"
 fi
 
+if [ "${BENCH_FED_SWEEP:-1}" = "1" ]; then
+  # Federation sweep: a 1-node baseline then a BENCH_PEERS-process tier over
+  # the identical round-robin keyed workload (forked daemons, one shared
+  # backend). check=1 gates aggregate backend-call conservation and tier hit
+  # ratio >= single-node.
+  echo "== federation demo (1 vs ${BENCH_PEERS:-3} nodes)"
+  "$build_dir/examples/federation_demo" \
+    "peers=${BENCH_PEERS:-3}" \
+    "clients=${BENCH_FED_CLIENTS:-6}" \
+    "requests=${BENCH_FED_REQUESTS:-1920}" \
+    "keys=${BENCH_FED_KEYS:-64}" \
+    "svc=${BENCH_FED_SVC:-0}" \
+    check=1 \
+    "out=$tmp_fed"
+else
+  printf 'null\n' > "$tmp_fed"
+fi
+
 # Compose the sweeps into one artifact: the channel/cache sweep's document
 # under "main" (its "runs" array is the historical trajectory), the
 # replica-selection sweep under "policy", the flash-crowd overload sweep
-# under "overload".
+# under "overload", the 1-vs-N federation comparison under "federation".
 {
   printf '{"bench":"daemon_loadgen","main":'
   cat "$tmp_main"
@@ -190,8 +220,10 @@ fi
   cat "$tmp_policy"
   printf ',"overload":'
   cat "$tmp_overload"
+  printf ',"federation":'
+  cat "$tmp_fed"
   printf '}\n'
 } > "$repo_root/BENCH_daemon.json"
-rm -f "$tmp_main" "$tmp_policy" "$tmp_overload"
+rm -f "$tmp_main" "$tmp_policy" "$tmp_overload" "$tmp_fed"
 
 echo "== wrote $repo_root/BENCH_core.json and $repo_root/BENCH_daemon.json"

@@ -28,12 +28,13 @@ run_plain() {
 }
 
 run_tsan() {
-  echo "== TSan build (core_test, net_test, overload smoke)"
+  echo "== TSan build (core_test, net_test, fed_test, overload + federation smokes)"
   cmake -B "$repo_root/build-tsan" -S "$repo_root" -DSBROKER_SANITIZE=thread
   cmake --build "$repo_root/build-tsan" -j "$jobs" \
-    --target core_test net_test daemon_loadgen
+    --target core_test net_test fed_test daemon_loadgen federation_demo
   TSAN_OPTIONS="halt_on_error=0" "$repo_root/build-tsan/tests/core_test"
   TSAN_OPTIONS="halt_on_error=0" "$repo_root/build-tsan/tests/net_test"
+  TSAN_OPTIONS="halt_on_error=0" "$repo_root/build-tsan/tests/fed_test"
   # Flash-crowd overload smoke under TSan: the LIFO flip, AIMD feedback and
   # per-class shed counters all run on live shard reactors here (the plain
   # tree runs the same command via ctest bench_daemon_overload_smoke).
@@ -41,29 +42,39 @@ run_tsan() {
     shards=1 pipeline=1 clients=6 seconds=2.4 ramp=0.4 crowd=10 keys=64 \
     cache=0 timeout=150 svc=10 replicas=1 window=2 threshold=150 backoff=20 \
     oeval=0.1 overload=static,aimd,aimd+lifo check=1 out=
+  # Federation smokes under TSan: every forked member daemon (peer channels,
+  # gossip timers, admin scrapes) runs instrumented; the conservation and
+  # kill-failover gates are the same ones ctest runs in the plain tree.
+  TSAN_OPTIONS="halt_on_error=0" "$repo_root/build-tsan/examples/federation_demo" \
+    peers=3 clients=6 requests=1920 keys=64 check=1 out=
+  TSAN_OPTIONS="halt_on_error=0" "$repo_root/build-tsan/examples/federation_demo" \
+    peers=3 clients=6 requests=1200 keys=64 kill=1 deadline=1500 out=
 }
 
 run_asan() {
-  echo "== ASan build (core_test, net_test, integration_test)"
+  echo "== ASan build (core_test, net_test, fed_test, integration_test)"
   cmake -B "$repo_root/build-asan" -S "$repo_root" -DSBROKER_SANITIZE=address
   cmake --build "$repo_root/build-asan" -j "$jobs" \
-    --target core_test net_test integration_test
+    --target core_test net_test fed_test integration_test
   # No leak suppressions: reactors break TcpConn<->owner cycles at teardown
   # (Reactor::set_teardown / defer_destroy), so exit-time leaks fail for real.
   "$repo_root/build-asan/tests/core_test"
   "$repo_root/build-asan/tests/net_test"
+  "$repo_root/build-asan/tests/fed_test"
   "$repo_root/build-asan/tests/integration_test"
 }
 
 run_ubsan() {
-  echo "== UBSan build (core_test, net_test, obs_test)"
+  echo "== UBSan build (core_test, net_test, fed_test, obs_test)"
   cmake -B "$repo_root/build-ubsan" -S "$repo_root" -DSBROKER_SANITIZE=undefined
   cmake --build "$repo_root/build-ubsan" -j "$jobs" \
-    --target core_test net_test obs_test
+    --target core_test net_test fed_test obs_test
   UBSAN_OPTIONS="halt_on_error=1,print_stacktrace=1" \
     "$repo_root/build-ubsan/tests/core_test"
   UBSAN_OPTIONS="halt_on_error=1,print_stacktrace=1" \
     "$repo_root/build-ubsan/tests/net_test"
+  UBSAN_OPTIONS="halt_on_error=1,print_stacktrace=1" \
+    "$repo_root/build-ubsan/tests/fed_test"
   UBSAN_OPTIONS="halt_on_error=1,print_stacktrace=1" \
     "$repo_root/build-ubsan/tests/obs_test"
 }

@@ -160,8 +160,11 @@ void ServiceBroker::serve_from_cache(double now, const http::BrokerRequest& requ
 void ServiceBroker::submit_tail(double now, const http::BrokerRequest& request,
                                 ReplyFn reply, QosLevel base_level,
                                 QosLevel effective) {
-  // 2. Admission, against the (possibly cross-shard) outstanding count.
-  AdmissionDecision decision = admission_.decide(effective, load_->load(), now);
+  // 2. Admission, against the (possibly cross-shard) outstanding count —
+  //    floored by the federation's gossiped tier pressure when installed.
+  double admission_load = load_->load();
+  if (tier_load_) admission_load = std::max(admission_load, tier_load_());
+  AdmissionDecision decision = admission_.decide(effective, admission_load, now);
   if (decision != AdmissionDecision::kForward) {
     reply_drop(now, request, base_level, reply);
     return;

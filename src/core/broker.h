@@ -156,6 +156,16 @@ class ServiceBroker {
     flight_notifier_ = std::move(notifier);
   }
 
+  /// Registers a tier-wide load source (the federation's gossip view, in
+  /// outstanding-request units comparable to the LoadTracker). Admission
+  /// then decides against max(local load, tier load): a node with local
+  /// headroom sheds for the tier when its peers report overload. The
+  /// callback runs on this broker's thread, once per non-cache-served
+  /// submission; it must synchronize internally. Call before traffic flows.
+  void set_tier_load(std::function<double()> tier_load) {
+    tier_load_ = std::move(tier_load);
+  }
+
   /// Handles one request message. `reply` fires exactly once — possibly
   /// re-entrantly (cache hit / drop) or later (backend completion).
   void submit(double now, const http::BrokerRequest& request, ReplyFn reply);
@@ -380,6 +390,7 @@ class ServiceBroker {
   mutable TimeHeap deadlines_;  ///< (absolute deadline, request id)
   mutable TimeHeap retries_;    ///< (earliest re-dispatch time, request id)
   std::function<void()> wakeup_;
+  std::function<double()> tier_load_;  ///< federation gossip pressure; may be null
   size_t outstanding_ = 0;
   size_t in_flight_batches_ = 0;
   uint64_t ticks_ = 0;

@@ -1,0 +1,64 @@
+#include "fed/global_view.h"
+
+#include <algorithm>
+
+namespace sbroker::fed {
+
+GlobalView::GlobalView(size_t nodes, double stale_after)
+    : peers_(nodes), stale_after_(stale_after) {
+  for (size_t i = 0; i < peers_.size(); ++i) {
+    peers_[i].node = static_cast<uint32_t>(i);
+  }
+}
+
+double GlobalView::clock_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void GlobalView::update(const net::frame::Gossip& gossip) {
+  if (gossip.node >= peers_.size()) return;  // malformed / stale membership
+  std::lock_guard<std::mutex> lock(mu_);
+  PeerLoad& p = peers_[gossip.node];
+  p.outstanding = gossip.outstanding;
+  p.threshold = gossip.threshold;
+  p.overloaded = gossip.overloaded;
+  p.updated_at = clock_seconds();
+  ++updates_;
+}
+
+double GlobalView::remote_pressure() const {
+  double now = clock_seconds();
+  std::lock_guard<std::mutex> lock(mu_);
+  double sum = 0.0;
+  size_t fresh = 0;
+  double overloaded_max = 0.0;
+  for (const PeerLoad& p : peers_) {
+    if (p.updated_at == 0.0 || now - p.updated_at > stale_after_) continue;
+    ++fresh;
+    sum += p.outstanding;
+    if (p.overloaded) {
+      overloaded_max = std::max(overloaded_max, static_cast<double>(p.outstanding));
+    }
+  }
+  if (fresh == 0) return 0.0;
+  return std::max(sum / static_cast<double>(fresh), overloaded_max);
+}
+
+std::vector<PeerLoad> GlobalView::snapshot() const {
+  double now = clock_seconds();
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<PeerLoad> out = peers_;
+  for (PeerLoad& p : out) {
+    p.fresh = p.updated_at != 0.0 && now - p.updated_at <= stale_after_;
+  }
+  return out;
+}
+
+uint64_t GlobalView::updates() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return updates_;
+}
+
+}  // namespace sbroker::fed

@@ -1,0 +1,74 @@
+// Tier-wide load view assembled from peer gossip.
+//
+// Every node periodically broadcasts a kGossip frame (outstanding requests,
+// live effective admission threshold, overload mode — see net/frame.h);
+// each receiver folds the frames into this GlobalView. The view turns the
+// paper's "global view" overload control (PAPER.md §1, item 3) into a
+// concrete admission input: ServiceBroker::set_tier_load() installs
+// remote_pressure() alongside the local LoadTracker, and the admission
+// decision compares the threshold against the *max* of the two — a node
+// that still has local headroom sheds for the tier when its peers are
+// drowning, instead of forwarding misses into them.
+//
+// Thread model: updated from whichever shard reactor thread a gossip frame
+// lands on, read from every shard's admission path. A single mutex guards
+// the tiny per-peer table; the admission path reads it at most once per
+// uncached miss, far off the cache-hit fast path.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "net/frame.h"
+
+namespace sbroker::fed {
+
+/// One peer's last gossip, plus local bookkeeping.
+struct PeerLoad {
+  uint32_t node = 0;
+  uint32_t outstanding = 0;
+  double threshold = 0.0;
+  bool overloaded = false;
+  double updated_at = 0.0;  ///< GlobalView::clock_seconds() of the update
+  bool fresh = false;       ///< updated within the staleness window
+};
+
+class GlobalView {
+ public:
+  /// `nodes` is the federation size (slots for every node id, self
+  /// included; self's slot just stays empty). Gossip older than
+  /// `stale_after` seconds carries no weight — a dead peer's last report
+  /// must not pin the tier's pressure forever.
+  GlobalView(size_t nodes, double stale_after);
+
+  /// Monotonic seconds, self-contained (steady_clock) so the view needs no
+  /// reactor and every shard reads the same timeline.
+  static double clock_seconds();
+
+  /// Folds one received gossip frame in (thread-safe).
+  void update(const net::frame::Gossip& gossip);
+
+  /// Tier-wide remote pressure, in outstanding-request units comparable to
+  /// the local LoadTracker: the mean outstanding across fresh peers, or —
+  /// when any fresh peer declares overload — at least that peer's
+  /// outstanding count, so one drowning node is not averaged away by idle
+  /// ones. 0 with no fresh gossip (bootstrap, all peers dead): the node
+  /// falls back to purely local admission rather than failing closed.
+  double remote_pressure() const;
+
+  /// Snapshot of every peer slot with freshness evaluated now (admin plane).
+  std::vector<PeerLoad> snapshot() const;
+
+  /// Gossip frames folded in so far.
+  uint64_t updates() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<PeerLoad> peers_;
+  double stale_after_;
+  uint64_t updates_ = 0;
+};
+
+}  // namespace sbroker::fed

@@ -1,0 +1,73 @@
+#include "fed/ring.h"
+
+#include <algorithm>
+
+namespace sbroker::fed {
+
+uint64_t fnv1a64(std::string_view bytes) {
+  uint64_t h = 14695981039346656037ull;
+  for (char c : bytes) {
+    h ^= static_cast<uint8_t>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+uint64_t mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+uint64_t ring_hash(std::string_view bytes) { return mix64(fnv1a64(bytes)); }
+
+Ring::Ring(std::vector<std::string> members, size_t vnodes)
+    : member_names_(std::move(members)), vnodes_(vnodes == 0 ? 1 : vnodes) {
+  points_.reserve(member_names_.size() * vnodes_);
+  for (size_t m = 0; m < member_names_.size(); ++m) {
+    for (size_t v = 0; v < vnodes_; ++v) {
+      // Derive each virtual point from (identity, replica index); the "#"
+      // separator keeps "a"+"11" and "a1"+"1" distinct.
+      std::string label = member_names_[m];
+      label += '#';
+      label += std::to_string(v);
+      points_.push_back(Point{ring_hash(label), m});
+    }
+  }
+  std::sort(points_.begin(), points_.end(), [](const Point& a, const Point& b) {
+    if (a.hash != b.hash) return a.hash < b.hash;
+    return a.member < b.member;
+  });
+}
+
+size_t Ring::successor(uint64_t hash) const {
+  auto it = std::lower_bound(
+      points_.begin(), points_.end(), hash,
+      [](const Point& p, uint64_t h) { return p.hash < h; });
+  if (it == points_.end()) it = points_.begin();  // wrap past the top
+  return static_cast<size_t>(it - points_.begin());
+}
+
+size_t Ring::owner(std::string_view key) const {
+  if (points_.empty()) return kNobody;
+  return points_[successor(ring_hash(key))].member;
+}
+
+double Ring::share(size_t member) const {
+  if (points_.empty()) return 0.0;
+  // A single member owns the whole circle; its arcs sum to 2^64, which the
+  // u64 accumulator below would wrap to zero.
+  if (member_names_.size() == 1) return member == 0 ? 1.0 : 0.0;
+  // Each point owns the arc that *precedes* it (keys hash-map to their
+  // clockwise successor). Sum those arcs per member, wrapping the first.
+  uint64_t owned = 0;
+  for (size_t i = 0; i < points_.size(); ++i) {
+    if (points_[i].member != member) continue;
+    uint64_t prev = points_[i == 0 ? points_.size() - 1 : i - 1].hash;
+    owned += points_[i].hash - prev;  // unsigned wrap handles the seam
+  }
+  return static_cast<double>(owned) / 18446744073709551615.0;
+}
+
+}  // namespace sbroker::fed

@@ -1,0 +1,93 @@
+// Consistent-hash ring for the broker federation.
+//
+// Each federation member is projected onto a 64-bit circle at `vnodes`
+// points (virtual nodes); a key is owned by the member whose virtual node
+// is the first at or clockwise after the key's hash. Virtual nodes give the
+// two properties the tier needs: near-uniform key spread across members
+// (the ring unit test pins a chi-square-style bound) and minimal remapping
+// when a member joins or leaves (only the keys in the arcs touching the
+// changed member's points move).
+//
+// Hashing is FNV-1a 64 run through a splitmix64 finalizer — fixed and
+// explicit, because ownership must agree *across processes*: every node
+// computes the owner of a key locally, and std::hash makes no cross-binary
+// (or even cross-run) promises. FNV alone has weak high-bit avalanche on
+// the near-identical short labels vnodes produce ("host:port#0",
+// "host:port#1", ...), which visibly skews arc lengths; the finalizer
+// restores uniformity while staying just as deterministic. The key is the
+// canonical query — the same bytes core/flight.h keys single-flight on —
+// so one tier-wide fetch per key falls out of ring ownership plus each
+// owner's own single-flight table.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sbroker::fed {
+
+/// FNV-1a 64-bit. Stable across processes, platforms and builds.
+uint64_t fnv1a64(std::string_view bytes);
+
+/// splitmix64 finalizer: full-avalanche bijection on 64 bits. Applied on
+/// top of fnv1a64 for ring placement so short, similar strings land
+/// uniformly on the circle.
+uint64_t mix64(uint64_t x);
+
+/// The ring's placement hash: mix64(fnv1a64(bytes)).
+uint64_t ring_hash(std::string_view bytes);
+
+class Ring {
+ public:
+  /// Fallback ownership for an empty member list or an all-dead tier:
+  /// owner() returns kNobody and callers serve locally.
+  static constexpr size_t kNobody = static_cast<size_t>(-1);
+
+  /// `members[i]` is member i's stable identity (the federation uses
+  /// "127.0.0.1:<port>"; tests use arbitrary names). Identities — not
+  /// indices — are hashed, so every process that agrees on the member list
+  /// computes identical ownership regardless of local ordering concerns.
+  explicit Ring(std::vector<std::string> members, size_t vnodes = 128);
+
+  /// Index (into the constructor's member list) of the key's owner.
+  size_t owner(std::string_view key) const;
+
+  /// Owner with dead members skipped: walks clockwise from the key's point
+  /// until a member for which `alive(index)` holds. This is how survivors
+  /// reroute a dead peer's key range without rebuilding the ring — the arcs
+  /// fall through to each key's successor, exactly as if the member left.
+  template <typename AliveFn>
+  size_t owner_if(std::string_view key, AliveFn&& alive) const {
+    if (points_.empty()) return kNobody;
+    size_t start = successor(ring_hash(key));
+    for (size_t step = 0; step < points_.size(); ++step) {
+      size_t member = points_[(start + step) % points_.size()].member;
+      if (alive(member)) return member;
+    }
+    return kNobody;
+  }
+
+  /// Fraction of the hash circle owned by `member` (arc-length share). The
+  /// admin plane exports this; with ~128 vnodes it sits near 1/members.
+  double share(size_t member) const;
+
+  size_t members() const { return member_names_.size(); }
+  const std::string& member_name(size_t i) const { return member_names_.at(i); }
+  size_t vnodes() const { return vnodes_; }
+
+ private:
+  struct Point {
+    uint64_t hash;
+    size_t member;
+  };
+
+  /// Index into points_ of the first point at or after `hash` (wrapping).
+  size_t successor(uint64_t hash) const;
+
+  std::vector<std::string> member_names_;
+  std::vector<Point> points_;  ///< sorted by hash
+  size_t vnodes_;
+};
+
+}  // namespace sbroker::fed

@@ -72,6 +72,130 @@ void write_histogram_summary(util::JsonWriter& w,
       .end_object();
 }
 
+/// Appends the sbroker_federation_* families (see render_prometheus).
+void append_federation_prometheus(std::string& out,
+                                  const FederationStatus& fed) {
+  append_gauge(out, "sbroker_federation_node",
+               "This node's id within the federation.");
+  append_sample(out, "sbroker_federation_node", "",
+                static_cast<uint64_t>(fed.node_id));
+  append_gauge(out, "sbroker_federation_nodes", "Federation size.");
+  append_sample(out, "sbroker_federation_nodes", "",
+                static_cast<uint64_t>(fed.nodes));
+  append_gauge(out, "sbroker_federation_ring_share",
+               "Fraction of the key space this node owns on the ring.");
+  append_sample(out, "sbroker_federation_ring_share", "", fed.ring_share);
+  append_gauge(out, "sbroker_federation_remote_pressure",
+               "Tier-wide load from gossip entering admission.");
+  append_sample(out, "sbroker_federation_remote_pressure", "",
+                fed.remote_pressure);
+
+  struct Family {
+    const char* name;
+    const char* help;
+    uint64_t value;
+  };
+  const Family kFamilies[] = {
+      {"sbroker_federation_forwards_sent_total",
+       "Cache misses forwarded to their ring owner.", fed.forwards_sent},
+      {"sbroker_federation_forward_replies_total",
+       "Owner answers relayed back to clients.", fed.forward_replies},
+      {"sbroker_federation_forward_fails_total",
+       "Forwards failed over to a local fetch.", fed.forward_fails},
+      {"sbroker_federation_fetches_served_total",
+       "Peer fetches this node answered as owner.", fed.fetches_served},
+      {"sbroker_federation_pushes_sent_total",
+       "Hot-key replication pushes sent (per peer).", fed.pushes_sent},
+      {"sbroker_federation_pushes_received_total",
+       "Hot-key replication pushes installed.", fed.pushes_received},
+      {"sbroker_federation_gossip_sent_total",
+       "Gossip frames sent (per peer).", fed.gossip_sent},
+      {"sbroker_federation_gossip_received_total",
+       "Gossip frames folded into the global view.", fed.gossip_received},
+      {"sbroker_federation_gossip_rounds_total",
+       "Gossip broadcast rounds completed.", fed.gossip_rounds},
+  };
+  for (const auto& fam : kFamilies) {
+    append_counter(out, fam.name, fam.help);
+    append_sample(out, fam.name, "", fam.value);
+  }
+
+  append_gauge(out, "sbroker_federation_peer_connected",
+               "1 when any shard holds a live channel to the peer.");
+  append_gauge(out, "sbroker_federation_peer_fresh",
+               "1 when the peer gossiped within the staleness window.");
+  append_gauge(out, "sbroker_federation_peer_outstanding",
+               "Peer's last gossiped outstanding-request count.");
+  append_counter(out, "sbroker_federation_peer_fetches_total",
+                 "Peer fetches sent to the peer.");
+  append_counter(out, "sbroker_federation_peer_fetch_fails_total",
+                 "Peer exchanges failed (close or timeout).");
+  append_counter(out, "sbroker_federation_peer_drops_total",
+                 "Sends refused while the peer's channel was down.");
+  append_counter(out, "sbroker_federation_peer_dials_total",
+                 "Connection attempts to the peer.");
+  for (const auto& p : fed.peers) {
+    if (p.self) continue;
+    std::string labels = "peer=\"" + std::to_string(p.node) + "\"";
+    append_sample(out, "sbroker_federation_peer_connected", labels,
+                  static_cast<uint64_t>(p.connected ? 1 : 0));
+    append_sample(out, "sbroker_federation_peer_fresh", labels,
+                  static_cast<uint64_t>(p.fresh ? 1 : 0));
+    append_sample(out, "sbroker_federation_peer_outstanding", labels,
+                  static_cast<uint64_t>(p.outstanding));
+    append_sample(out, "sbroker_federation_peer_fetches_total", labels,
+                  p.fetches);
+    append_sample(out, "sbroker_federation_peer_fetch_fails_total", labels,
+                  p.fetch_fails);
+    append_sample(out, "sbroker_federation_peer_drops_total", labels, p.drops);
+    append_sample(out, "sbroker_federation_peer_dials_total", labels, p.dials);
+  }
+}
+
+/// Writes the /statusz "federation" block.
+void write_federation_statusz(util::JsonWriter& w,
+                              const FederationStatus& fed) {
+  w.key("federation").begin_object();
+  w.field("node_id", static_cast<uint64_t>(fed.node_id))
+      .field("nodes", static_cast<uint64_t>(fed.nodes))
+      .field("vnodes", static_cast<uint64_t>(fed.vnodes))
+      .field("ring_share", fed.ring_share)
+      .field("remote_pressure", fed.remote_pressure)
+      .field("forwards_sent", fed.forwards_sent)
+      .field("forward_replies", fed.forward_replies)
+      .field("forward_fails", fed.forward_fails)
+      .field("fetches_served", fed.fetches_served)
+      .field("pushes_sent", fed.pushes_sent)
+      .field("pushes_received", fed.pushes_received)
+      .field("gossip_sent", fed.gossip_sent)
+      .field("gossip_received", fed.gossip_received)
+      .field("gossip_rounds", fed.gossip_rounds)
+      .field("view_updates", fed.view_updates);
+  w.key("peers").begin_array();
+  for (const auto& p : fed.peers) {
+    w.begin_object()
+        .field("node", static_cast<uint64_t>(p.node))
+        .field("identity", p.identity)
+        .field("self", p.self);
+    if (!p.self) {
+      w.field("connected", p.connected)
+          .field("fresh", p.fresh)
+          .field("outstanding", static_cast<uint64_t>(p.outstanding))
+          .field("threshold", p.threshold)
+          .field("overloaded", p.overloaded)
+          .field("fetches", p.fetches)
+          .field("fetch_fails", p.fetch_fails)
+          .field("pushes", p.pushes)
+          .field("gossips", p.gossips)
+          .field("drops", p.drops)
+          .field("dials", p.dials);
+    }
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+}
+
 void write_class_counters(util::JsonWriter& w,
                           const core::BrokerMetrics::ClassCounters& c) {
   w.field("issued", c.issued)
@@ -114,7 +238,8 @@ ShardStatus snapshot_shard(const core::ServiceBroker& broker, size_t shard) {
   return s;
 }
 
-std::string render_prometheus(const std::vector<ShardStatus>& shards) {
+std::string render_prometheus(const std::vector<ShardStatus>& shards,
+                              const FederationStatus* federation) {
   // Fold counters/histograms across shards first; per-shard gauges follow.
   int num_levels = 1;
   for (const auto& s : shards) {
@@ -296,10 +421,12 @@ std::string render_prometheus(const std::vector<ShardStatus>& shards) {
                     r.ewma_ms * 1e-3);
     }
   }
+  if (federation != nullptr) append_federation_prometheus(out, *federation);
   return out;
 }
 
-std::string render_statusz(const std::vector<ShardStatus>& shards) {
+std::string render_statusz(const std::vector<ShardStatus>& shards,
+                           const FederationStatus* federation) {
   int num_levels = 1;
   for (const auto& s : shards) {
     num_levels = std::max(num_levels, s.metrics.num_levels());
@@ -405,6 +532,7 @@ std::string render_statusz(const std::vector<ShardStatus>& shards) {
     w.end_object();
   }
   w.end_array();
+  if (federation != nullptr) write_federation_statusz(w, *federation);
   w.end_object();
   return w.str();
 }
@@ -442,16 +570,24 @@ AdminServer::AdminServer(uint16_t port, StatusFn status, TraceFn trace)
                });
   http_->route("/metrics",
                [this](const http::Request&, HttpServer::Responder respond) {
+                 FederationFn fed = federation_source();
+                 FederationStatus fed_status;
+                 if (fed) fed_status = fed();
                  http::Response resp = http::make_response(
-                     200, render_prometheus(status_()));
+                     200, render_prometheus(status_(),
+                                            fed ? &fed_status : nullptr));
                  resp.headers.set("Content-Type",
                                   "text/plain; version=0.0.4");
                  respond(std::move(resp));
                });
   http_->route("/statusz",
                [this](const http::Request&, HttpServer::Responder respond) {
-                 http::Response resp =
-                     http::make_response(200, render_statusz(status_()));
+                 FederationFn fed = federation_source();
+                 FederationStatus fed_status;
+                 if (fed) fed_status = fed();
+                 http::Response resp = http::make_response(
+                     200, render_statusz(status_(),
+                                         fed ? &fed_status : nullptr));
                  resp.headers.set("Content-Type", "application/json");
                  respond(std::move(resp));
                });
@@ -468,6 +604,16 @@ AdminServer::AdminServer(uint16_t port, StatusFn status, TraceFn trace)
 AdminServer::~AdminServer() {
   reactor_.stop();
   if (thread_.joinable()) thread_.join();
+}
+
+void AdminServer::set_federation(FederationFn federation) {
+  std::lock_guard<std::mutex> lock(federation_mu_);
+  federation_ = std::move(federation);
+}
+
+AdminServer::FederationFn AdminServer::federation_source() {
+  std::lock_guard<std::mutex> lock(federation_mu_);
+  return federation_;
 }
 
 }  // namespace sbroker::net

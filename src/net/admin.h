@@ -13,6 +13,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -57,18 +58,63 @@ struct ShardStatus {
   std::vector<ReplicaStatus> replicas;
 };
 
+/// One federation peer as this node's admin plane reports it: channel
+/// health summed across the node's shards, plus the peer's last gossip.
+struct FederationPeerStatus {
+  uint32_t node = 0;
+  std::string identity;      ///< ring identity, e.g. "127.0.0.1:7001"
+  bool self = false;
+  bool connected = false;    ///< any shard's channel currently connected
+  bool fresh = false;        ///< gossip heard within the staleness window
+  uint32_t outstanding = 0;  ///< last gossiped outstanding count
+  double threshold = 0.0;    ///< last gossiped admission threshold
+  bool overloaded = false;   ///< last gossiped overload flag
+  uint64_t fetches = 0;      ///< kPeerFetch sent to this peer
+  uint64_t fetch_fails = 0;  ///< exchanges failed (close/timeout)
+  uint64_t pushes = 0;       ///< hot-key pushes sent to this peer
+  uint64_t gossips = 0;      ///< gossip frames sent to this peer
+  uint64_t drops = 0;        ///< sends refused while the channel was down
+  uint64_t dials = 0;        ///< connection attempts
+};
+
+/// Federation block for /statusz and /metrics, produced by
+/// fed::FederatedDaemon::admin_status() (net/ only defines the DTO so the
+/// admin plane needs no fed/ dependency).
+struct FederationStatus {
+  uint32_t node_id = 0;
+  size_t nodes = 0;            ///< federation size, self included
+  size_t vnodes = 0;           ///< ring virtual nodes per member
+  double ring_share = 0.0;     ///< this node's owned fraction of key space
+  double remote_pressure = 0.0;  ///< tier load entering admission
+  uint64_t forwards_sent = 0;
+  uint64_t forward_replies = 0;
+  uint64_t forward_fails = 0;
+  uint64_t fetches_served = 0;
+  uint64_t pushes_sent = 0;
+  uint64_t pushes_received = 0;
+  uint64_t gossip_sent = 0;
+  uint64_t gossip_received = 0;
+  uint64_t gossip_rounds = 0;
+  uint64_t view_updates = 0;
+  std::vector<FederationPeerStatus> peers;
+};
+
 /// Builds a ShardStatus from a broker. Must run on the broker's own thread
 /// (or while its daemon is stopped) — it reads single-writer state.
 ShardStatus snapshot_shard(const core::ServiceBroker& broker, size_t shard);
 
 /// Prometheus text exposition of the shard snapshots (counters summed,
-/// latency histograms merged into cumulative `le` buckets).
-std::string render_prometheus(const std::vector<ShardStatus>& shards);
+/// latency histograms merged into cumulative `le` buckets). A non-null
+/// `federation` appends the sbroker_federation_* families.
+std::string render_prometheus(const std::vector<ShardStatus>& shards,
+                              const FederationStatus* federation = nullptr);
 
 /// JSON status document: per-class counters with per-stage latency
 /// percentiles, aggregate stage distributions, transport/lifecycle stats,
-/// and per-shard/per-replica detail.
-std::string render_statusz(const std::vector<ShardStatus>& shards);
+/// and per-shard/per-replica detail. A non-null `federation` adds a
+/// top-level "federation" block.
+std::string render_statusz(const std::vector<ShardStatus>& shards,
+                           const FederationStatus* federation = nullptr);
 
 /// JSON dump of flight-recorder events (caller merges/sorts across shards).
 std::string render_tracez(const std::vector<obs::TraceEvent>& events);
@@ -84,6 +130,7 @@ class AdminServer {
   /// onto shard reactors and wait for the copies).
   using StatusFn = std::function<std::vector<ShardStatus>()>;
   using TraceFn = std::function<std::vector<obs::TraceEvent>()>;
+  using FederationFn = std::function<FederationStatus()>;
 
   /// Binds the admin port and starts the admin reactor thread.
   AdminServer(uint16_t port, StatusFn status, TraceFn trace);
@@ -93,9 +140,19 @@ class AdminServer {
 
   uint16_t port() const { return port_; }
 
+  /// Installs the federation snapshot source; /metrics and /statusz then
+  /// include the federation families/block. Callable after the server is
+  /// already running (mutex-guarded; the daemon wires this post-construction).
+  void set_federation(FederationFn federation);
+
  private:
+  /// Copies the federation source under the lock (admin thread).
+  FederationFn federation_source();
+
   StatusFn status_;
   TraceFn trace_;
+  std::mutex federation_mu_;
+  FederationFn federation_;
   Reactor reactor_;
   std::unique_ptr<HttpServer> http_;
   uint16_t port_ = 0;

@@ -362,44 +362,168 @@ void BrokerDaemon::on_client_bytes(const std::shared_ptr<Conn>& conn,
 bool BrokerDaemon::drain_frames(const std::shared_ptr<Conn>& conn) {
   size_t off = 0;
   while (off < conn->inbox.size()) {
-    frame::Request freq;
+    std::string_view rest = std::string_view(conn->inbox).substr(off);
+    uint8_t kind = frame::peek_kind(rest);
+    if (kind == 0 && rest.size() < frame::kHeaderSize) break;  // header pending
     size_t consumed = 0;
-    auto result = frame::parse_request(
-        std::string_view(conn->inbox).substr(off), freq, &consumed);
-    if (result == frame::ParseResult::kNeedMore) break;
-    if (result == frame::ParseResult::kError) return false;
-    wire_->frames_in += 1;
-    http::BrokerRequest& req = conn->req_scratch;
-    req.request_id = freq.request_id;
-    req.qos_level = freq.qos_level;
-    req.txn_id = 0;
-    req.txn_step = 0;
-    req.deadline_ms = freq.deadline_ms;
-    req.payload.assign(freq.query);  // reuses capacity in steady state
-    off += consumed;
-
-    // Fast path: a cache-answerable request is served entirely out of the
-    // scratch arena (value copy + reply view), with the reply bytes queued
-    // for the cycle-end coalesced flush. Only a true miss pays for the
-    // owning std::function + context arena of the full path.
-    scratch_.reset();
-    bool served = broker_.try_submit_fast(
-        reactor_.now(), req, scratch_, [&](const core::ReplyView& r) {
-          queue_frame_reply(conn, r.request_id, r.fidelity, r.payload);
-        });
-    if (served) {
-      wire_->fast_hits += 1;
-      continue;
+    if (kind == frame::kKindRequest) {
+      frame::Request freq;
+      auto result = frame::parse_request(rest, freq, &consumed);
+      if (result == frame::ParseResult::kNeedMore) break;
+      if (result == frame::ParseResult::kError) return false;
+      off += consumed;
+      handle_client_frame(conn, freq);
+    } else if (kind == frame::kKindPeerFetch && fed_ != nullptr) {
+      frame::Request freq;
+      auto result = frame::parse_peer_fetch(rest, freq, &consumed);
+      if (result == frame::ParseResult::kNeedMore) break;
+      if (result == frame::ParseResult::kError) return false;
+      off += consumed;
+      handle_peer_fetch(conn, freq);
+    } else if (kind == frame::kKindPeerPush && fed_ != nullptr) {
+      frame::Push push;
+      auto result = frame::parse_push(rest, push, &consumed);
+      if (result == frame::ParseResult::kNeedMore) break;
+      if (result == frame::ParseResult::kError) return false;
+      off += consumed;
+      // Shared striped cache: one insert serves every shard's lookups.
+      broker_.cache().put(push.key, std::string(push.value), reactor_.now());
+      fed_->on_push(push);
+    } else if (kind == frame::kKindGossip && fed_ != nullptr) {
+      frame::Gossip gossip;
+      auto result = frame::parse_gossip(rest, gossip, &consumed);
+      if (result == frame::ParseResult::kNeedMore) break;
+      if (result == frame::ParseResult::kError) return false;
+      off += consumed;
+      fed_->on_gossip(gossip);
+    } else {
+      // Reply kinds inbound on a serving connection, unknown kinds, and
+      // peer kinds without a federation installed are protocol errors.
+      return false;
     }
-    broker_.submit_miss(reactor_.now(), req,
-                        [this, conn](const http::BrokerReply& reply) {
-                          if (conn->tcp->closed()) return;
-                          queue_frame_reply(conn, reply.request_id,
-                                            reply.fidelity, reply.payload);
-                        });
   }
   if (off > 0) conn->inbox.erase(0, off);
   return true;
+}
+
+void BrokerDaemon::handle_client_frame(const std::shared_ptr<Conn>& conn,
+                                       const frame::Request& freq) {
+  wire_->frames_in += 1;
+  http::BrokerRequest& req = conn->req_scratch;
+  req.request_id = freq.request_id;
+  req.qos_level = freq.qos_level;
+  req.txn_id = 0;
+  req.txn_step = 0;
+  req.deadline_ms = freq.deadline_ms;
+  req.payload.assign(freq.query);  // reuses capacity in steady state
+
+  // Fast path: a cache-answerable request is served entirely out of the
+  // scratch arena (value copy + reply view), with the reply bytes queued
+  // for the cycle-end coalesced flush. Only a true miss pays for the
+  // owning std::function + context arena of the full path.
+  scratch_.reset();
+  bool served = broker_.try_submit_fast(
+      reactor_.now(), req, scratch_, [&](const core::ReplyView& r) {
+        queue_frame_reply(conn, r.request_id, r.fidelity, r.payload);
+        if (fed_ != nullptr) fed_->on_served(req.payload, r.payload, r.fidelity);
+      });
+  if (served) {
+    wire_->fast_hits += 1;
+    return;
+  }
+  // The fast path counted nothing on a miss, so exactly one node's broker
+  // sees each request: the forwarding path hands it to the owner (which
+  // counts it), the local path submits it here. Tier-wide issued+cache_hits
+  // therefore equals client replies whichever route a request takes.
+  if (fed_ != nullptr && try_forward_miss(conn, req)) return;
+  broker_.submit_miss(reactor_.now(), req,
+                      [this, conn, key = req.payload](const http::BrokerReply& reply) {
+                        if (!conn->tcp->closed()) {
+                          queue_frame_reply(conn, reply.request_id,
+                                            reply.fidelity, reply.payload);
+                        }
+                        if (fed_ != nullptr) {
+                          fed_->on_served(key, reply.payload, reply.fidelity);
+                        }
+                      });
+}
+
+bool BrokerDaemon::try_forward_miss(const std::shared_ptr<Conn>& conn,
+                                    const http::BrokerRequest& req) {
+  double submitted = reactor_.now();
+  // The scratch request is reused per frame; the forward callback needs a
+  // stable copy for the local-fallback resubmission.
+  auto kept = std::make_shared<http::BrokerRequest>(req);
+  return fed_->try_forward(
+      req, [this, conn, kept, submitted](FederationHook::ForwardResult result) {
+        if (result.ok) {
+          // Relay the owner's answer verbatim — fidelity and flag bits
+          // (cache-served, degraded, ...) describe how the owner produced it.
+          if (!conn->tcp->closed()) {
+            queue_reply_frame(conn, frame::kKindReply, kept->request_id,
+                              result.fidelity, result.flags, result.payload);
+          }
+          return;
+        }
+        // Owner unreachable (dead channel / exchange timeout): fetch locally
+        // with whatever budget the client has left, clamped to >= 1ms so the
+        // request sheds through the normal deadline path instead of hanging.
+        if (kept->deadline_ms > 0) {
+          double elapsed_ms = (reactor_.now() - submitted) * 1e3;
+          double remaining = static_cast<double>(kept->deadline_ms) - elapsed_ms;
+          kept->deadline_ms =
+              remaining >= 1.0 ? static_cast<uint32_t>(remaining) : 1u;
+        }
+        broker_.submit_miss(
+            reactor_.now(), *kept,
+            [this, conn, key = kept->payload](const http::BrokerReply& reply) {
+              if (!conn->tcp->closed()) {
+                queue_frame_reply(conn, reply.request_id, reply.fidelity,
+                                  reply.payload);
+              }
+              if (fed_ != nullptr) {
+                fed_->on_served(key, reply.payload, reply.fidelity);
+              }
+            });
+        rearm_tick();  // the fallback may carry the earliest deadline
+      });
+}
+
+void BrokerDaemon::handle_peer_fetch(const std::shared_ptr<Conn>& conn,
+                                     const frame::Request& freq) {
+  wire_->frames_in += 1;
+  fed_->on_peer_fetch();
+  http::BrokerRequest& req = conn->req_scratch;
+  req.request_id = freq.request_id;
+  req.qos_level = freq.qos_level;
+  req.txn_id = 0;
+  req.txn_step = 0;
+  req.deadline_ms = freq.deadline_ms;  // the forwarder's remaining budget
+  req.payload.assign(freq.query);
+
+  // Serve as owner: cache, else local fetch. Never re-forwarded — the owner
+  // answers a peer fetch itself by construction, so forwarding cannot loop.
+  scratch_.reset();
+  bool served = broker_.try_submit_fast(
+      reactor_.now(), req, scratch_, [&](const core::ReplyView& r) {
+        queue_reply_frame(conn, frame::kKindPeerReply, r.request_id, r.fidelity,
+                          frame::flags_for(r.fidelity), r.payload);
+        fed_->on_served(req.payload, r.payload, r.fidelity);
+      });
+  if (served) {
+    wire_->fast_hits += 1;
+    return;
+  }
+  broker_.submit_miss(
+      reactor_.now(), req,
+      [this, conn, key = req.payload](const http::BrokerReply& reply) {
+        if (!conn->tcp->closed()) {
+          queue_reply_frame(conn, frame::kKindPeerReply, reply.request_id,
+                            reply.fidelity, frame::flags_for(reply.fidelity),
+                            reply.payload);
+        }
+        if (fed_ != nullptr) fed_->on_served(key, reply.payload, reply.fidelity);
+      });
 }
 
 bool BrokerDaemon::drain_legacy(const std::shared_ptr<Conn>& conn) {
@@ -446,9 +570,22 @@ bool BrokerDaemon::drain_http(const std::shared_ptr<Conn>& conn) {
 void BrokerDaemon::queue_frame_reply(const std::shared_ptr<Conn>& conn,
                                      uint64_t request_id, http::Fidelity fidelity,
                                      std::string_view payload) {
+  queue_reply_frame(conn, frame::kKindReply, request_id, fidelity,
+                    frame::flags_for(fidelity), payload);
+}
+
+void BrokerDaemon::queue_reply_frame(const std::shared_ptr<Conn>& conn,
+                                     uint8_t kind, uint64_t request_id,
+                                     http::Fidelity fidelity, uint8_t flags,
+                                     std::string_view payload) {
   conn->encode_scratch.clear();
-  frame::encode_reply(request_id, fidelity, frame::flags_for(fidelity), payload,
-                      conn->encode_scratch);
+  if (kind == frame::kKindPeerReply) {
+    frame::encode_peer_reply(request_id, fidelity, flags, payload,
+                             conn->encode_scratch);
+  } else {
+    frame::encode_reply(request_id, fidelity, flags, payload,
+                        conn->encode_scratch);
+  }
   conn->tcp->queue(conn->encode_scratch);
   wire_->flushed_responses += 1;
   schedule_flush(conn);

@@ -17,6 +17,7 @@
 
 #include "core/backend.h"
 #include "core/broker.h"
+#include "net/fed_hook.h"
 #include "net/http_server.h"
 #include "net/tcp.h"
 #include "net/udp.h"
@@ -159,6 +160,17 @@ class BrokerDaemon {
   /// while stopped).
   WireStats wire_stats() const { return *wire_; }
 
+  /// Installs this shard's federation endpoint (see net/fed_hook.h). Call
+  /// before traffic flows; the hook must outlive the daemon's traffic. With
+  /// a hook installed the frame path gains the federation behaviours:
+  /// cache-missed client frames are offered to try_forward() before
+  /// fetching locally, and the peer kinds (kPeerFetch / kPeerPush /
+  /// kGossip) are accepted on the same sniffed port. Without one, peer
+  /// frames are a protocol error and the daemon behaves exactly as before.
+  /// Federation applies to the binary frame protocol only — the legacy,
+  /// HTTP and UDP ingresses always fetch locally.
+  void set_federation(FederationHook* federation) { fed_ = federation; }
+
  private:
   struct Conn;
   /// (Re-)arms the tick timer for min(now + tick_interval, broker
@@ -169,11 +181,30 @@ class BrokerDaemon {
   bool drain_frames(const std::shared_ptr<Conn>& conn);
   bool drain_legacy(const std::shared_ptr<Conn>& conn);
   bool drain_http(const std::shared_ptr<Conn>& conn);
+  /// One decoded client request frame: cache fast path, then federation
+  /// forward (hook installed and a live peer owns the key), then local fetch.
+  void handle_client_frame(const std::shared_ptr<Conn>& conn,
+                           const frame::Request& freq);
+  /// One decoded kPeerFetch: serve as owner (cache or local fetch; never
+  /// re-forwarded, so forwarding chains cannot loop) and answer kPeerReply.
+  void handle_peer_fetch(const std::shared_ptr<Conn>& conn,
+                         const frame::Request& freq);
+  /// Offers a cache-missed client frame to the federation. True when the
+  /// fetch went to the owner (the forward callback owns the reply or the
+  /// local fallback from here on).
+  bool try_forward_miss(const std::shared_ptr<Conn>& conn,
+                        const http::BrokerRequest& req);
   /// Queues one encoded reply on the connection and arms the per-cycle
   /// coalesced flush (one writev/io_uring submission per reactor wakeup per
   /// connection, however many replies landed in it).
   void queue_frame_reply(const std::shared_ptr<Conn>& conn, uint64_t request_id,
                          http::Fidelity fidelity, std::string_view payload);
+  /// queue_frame_reply with explicit flags (relaying an owner's reply keeps
+  /// the owner's flag bits) and a selectable kind (kKindReply for clients,
+  /// kKindPeerReply for peer fetches).
+  void queue_reply_frame(const std::shared_ptr<Conn>& conn, uint8_t kind,
+                         uint64_t request_id, http::Fidelity fidelity,
+                         uint8_t flags, std::string_view payload);
   void queue_http_reply(const std::shared_ptr<Conn>& conn,
                         const http::BrokerReply& reply);
   void schedule_flush(const std::shared_ptr<Conn>& conn);
@@ -196,6 +227,8 @@ class BrokerDaemon {
   std::shared_ptr<WireStats> wire_ = std::make_shared<WireStats>();
   /// Scratch arena for the allocation-free cache fast path; reset per frame.
   core::Arena scratch_;
+  /// This shard's federation endpoint; null = single-node behaviour.
+  FederationHook* fed_ = nullptr;
 };
 
 }  // namespace sbroker::net

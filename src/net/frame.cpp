@@ -51,11 +51,11 @@ ParseResult parse_header(std::string_view bytes, uint8_t expected_kind,
   return ParseResult::kFrame;
 }
 
-}  // namespace
-
-ParseResult parse_request(std::string_view bytes, Request& out, size_t* consumed) {
+// Request and peer-fetch share a section layout; only the kind byte differs.
+ParseResult parse_request_like(std::string_view bytes, uint8_t kind, Request& out,
+                               size_t* consumed) {
   std::string_view section;
-  ParseResult result = parse_header(bytes, kKindRequest, section, consumed);
+  ParseResult result = parse_header(bytes, kind, section, consumed);
   if (result != ParseResult::kFrame) return result;
   if (section.size() < kRequestFixed) return ParseResult::kError;
   out.qos_level = static_cast<uint8_t>(bytes[3]);
@@ -65,9 +65,11 @@ ParseResult parse_request(std::string_view bytes, Request& out, size_t* consumed
   return ParseResult::kFrame;
 }
 
-ParseResult parse_reply(std::string_view bytes, Reply& out, size_t* consumed) {
+// Reply and peer-reply likewise differ only in the kind byte.
+ParseResult parse_reply_like(std::string_view bytes, uint8_t kind, Reply& out,
+                             size_t* consumed) {
   std::string_view section;
-  ParseResult result = parse_header(bytes, kKindReply, section, consumed);
+  ParseResult result = parse_header(bytes, kind, section, consumed);
   if (result != ParseResult::kFrame) return result;
   if (section.size() < kReplyFixed) return ParseResult::kError;
   uint8_t status = static_cast<uint8_t>(bytes[3]);
@@ -79,17 +81,12 @@ ParseResult parse_reply(std::string_view bytes, Reply& out, size_t* consumed) {
   return ParseResult::kFrame;
 }
 
-size_t frame_size(std::string_view bytes) {
-  if (bytes.size() < kHeaderSize) return 0;
-  return kHeaderSize + static_cast<size_t>(get_u32(bytes.data() + 4));
-}
-
-void encode_request(const Request& request, std::string& out) {
+void encode_request_like(uint8_t kind, const Request& request, std::string& out) {
   uint32_t length = static_cast<uint32_t>(kRequestFixed + request.query.size());
   out.reserve(out.size() + kHeaderSize + length);
   out.push_back(static_cast<char>(kMagic));
   out.push_back(static_cast<char>(kVersion));
-  out.push_back(static_cast<char>(kKindRequest));
+  out.push_back(static_cast<char>(kind));
   out.push_back(static_cast<char>(request.qos_level));
   put_u32(length, out);
   put_u64(request.request_id, out);
@@ -97,18 +94,117 @@ void encode_request(const Request& request, std::string& out) {
   out.append(request.query);
 }
 
-void encode_reply(uint64_t request_id, http::Fidelity fidelity, uint8_t flags,
-                  std::string_view payload, std::string& out) {
+void encode_reply_like(uint8_t kind, uint64_t request_id, http::Fidelity fidelity,
+                       uint8_t flags, std::string_view payload, std::string& out) {
   uint32_t length = static_cast<uint32_t>(kReplyFixed + payload.size());
   out.reserve(out.size() + kHeaderSize + length);
   out.push_back(static_cast<char>(kMagic));
   out.push_back(static_cast<char>(kVersion));
-  out.push_back(static_cast<char>(kKindReply));
+  out.push_back(static_cast<char>(kind));
   out.push_back(static_cast<char>(fidelity));
   put_u32(length, out);
   put_u64(request_id, out);
   out.push_back(static_cast<char>(flags));
   out.append(payload);
+}
+
+}  // namespace
+
+ParseResult parse_request(std::string_view bytes, Request& out, size_t* consumed) {
+  return parse_request_like(bytes, kKindRequest, out, consumed);
+}
+
+ParseResult parse_reply(std::string_view bytes, Reply& out, size_t* consumed) {
+  return parse_reply_like(bytes, kKindReply, out, consumed);
+}
+
+ParseResult parse_peer_fetch(std::string_view bytes, Request& out, size_t* consumed) {
+  return parse_request_like(bytes, kKindPeerFetch, out, consumed);
+}
+
+ParseResult parse_peer_reply(std::string_view bytes, Reply& out, size_t* consumed) {
+  return parse_reply_like(bytes, kKindPeerReply, out, consumed);
+}
+
+ParseResult parse_push(std::string_view bytes, Push& out, size_t* consumed) {
+  std::string_view section;
+  ParseResult result = parse_header(bytes, kKindPeerPush, section, consumed);
+  if (result != ParseResult::kFrame) return result;
+  if (section.size() < kPushFixed) return ParseResult::kError;
+  uint32_t key_len = get_u32(section.data());
+  if (key_len > section.size() - kPushFixed) return ParseResult::kError;
+  out.key = section.substr(kPushFixed, key_len);
+  out.value = section.substr(kPushFixed + key_len);
+  return ParseResult::kFrame;
+}
+
+ParseResult parse_gossip(std::string_view bytes, Gossip& out, size_t* consumed) {
+  std::string_view section;
+  ParseResult result = parse_header(bytes, kKindGossip, section, consumed);
+  if (result != ParseResult::kFrame) return result;
+  if (section.size() != kGossipFixed) return ParseResult::kError;
+  out.node = get_u32(section.data());
+  out.outstanding = get_u32(section.data() + 4);
+  uint64_t bits = get_u64(section.data() + 8);
+  std::memcpy(&out.threshold, &bits, sizeof(out.threshold));
+  out.overloaded = section[16] != 0;
+  return ParseResult::kFrame;
+}
+
+uint8_t peek_kind(std::string_view bytes) {
+  if (bytes.size() < 3) return 0;
+  return static_cast<uint8_t>(bytes[2]);
+}
+
+size_t frame_size(std::string_view bytes) {
+  if (bytes.size() < kHeaderSize) return 0;
+  return kHeaderSize + static_cast<size_t>(get_u32(bytes.data() + 4));
+}
+
+void encode_request(const Request& request, std::string& out) {
+  encode_request_like(kKindRequest, request, out);
+}
+
+void encode_reply(uint64_t request_id, http::Fidelity fidelity, uint8_t flags,
+                  std::string_view payload, std::string& out) {
+  encode_reply_like(kKindReply, request_id, fidelity, flags, payload, out);
+}
+
+void encode_peer_fetch(const Request& request, std::string& out) {
+  encode_request_like(kKindPeerFetch, request, out);
+}
+
+void encode_peer_reply(uint64_t request_id, http::Fidelity fidelity, uint8_t flags,
+                       std::string_view payload, std::string& out) {
+  encode_reply_like(kKindPeerReply, request_id, fidelity, flags, payload, out);
+}
+
+void encode_push(std::string_view key, std::string_view value, std::string& out) {
+  uint32_t length = static_cast<uint32_t>(kPushFixed + key.size() + value.size());
+  out.reserve(out.size() + kHeaderSize + length);
+  out.push_back(static_cast<char>(kMagic));
+  out.push_back(static_cast<char>(kVersion));
+  out.push_back(static_cast<char>(kKindPeerPush));
+  out.push_back(0);
+  put_u32(length, out);
+  put_u32(static_cast<uint32_t>(key.size()), out);
+  out.append(key);
+  out.append(value);
+}
+
+void encode_gossip(const Gossip& gossip, std::string& out) {
+  out.reserve(out.size() + kHeaderSize + kGossipFixed);
+  out.push_back(static_cast<char>(kMagic));
+  out.push_back(static_cast<char>(kVersion));
+  out.push_back(static_cast<char>(kKindGossip));
+  out.push_back(0);
+  put_u32(static_cast<uint32_t>(kGossipFixed), out);
+  put_u32(gossip.node, out);
+  put_u32(gossip.outstanding, out);
+  uint64_t bits = 0;
+  std::memcpy(&bits, &gossip.threshold, sizeof(bits));
+  put_u64(bits, out);
+  out.push_back(gossip.overloaded ? 1 : 0);
 }
 
 uint8_t flags_for(http::Fidelity fidelity) {

@@ -25,6 +25,20 @@
 // Flags on a reply describe how the answer was produced (cache-served,
 // degraded rewrite, shed, error) so binary clients get the fidelity detail
 // the HTTP gateway spells as X-Fidelity + status code.
+//
+// Federation (src/fed/) rides the same framing on the same sniffed port,
+// with four broker-to-broker kinds:
+//
+//   kind 3 kPeerFetch — a non-owner forwarding a cache miss to the key's
+//     ring owner. Section layout identical to a request (the deadline_ms
+//     field carries the *remaining* budget, so a slow owner cannot strand
+//     the client past its original deadline).
+//   kind 4 kPeerReply — the owner's answer; layout identical to a reply.
+//   kind 5 kPeerPush  — hot-key replication: u32 key length, key bytes,
+//     value bytes (rest). Fire-and-forget, status byte unused.
+//   kind 6 kGossip    — periodic load exchange: u32 sender node id,
+//     u32 outstanding requests, f64 effective admission threshold (IEEE
+//     bits), u8 overload-mode flag. Fire-and-forget.
 #pragma once
 
 #include <cstdint>
@@ -39,11 +53,19 @@ inline constexpr uint8_t kMagic = 0xB7;
 inline constexpr uint8_t kVersion = 1;
 inline constexpr uint8_t kKindRequest = 1;
 inline constexpr uint8_t kKindReply = 2;
+inline constexpr uint8_t kKindPeerFetch = 3;
+inline constexpr uint8_t kKindPeerReply = 4;
+inline constexpr uint8_t kKindPeerPush = 5;
+inline constexpr uint8_t kKindGossip = 6;
 inline constexpr size_t kHeaderSize = 8;
 /// Request section carries id + deadline before the query bytes.
 inline constexpr size_t kRequestFixed = 12;
 /// Reply section carries id + flags before the payload bytes.
 inline constexpr size_t kReplyFixed = 9;
+/// Push section carries the key length before the key + value bytes.
+inline constexpr size_t kPushFixed = 4;
+/// Gossip section is fixed-size: node + outstanding + threshold + mode.
+inline constexpr size_t kGossipFixed = 17;
 /// Upper bound on the kind-specific section; larger lengths are a protocol
 /// error, not a "wait for more bytes" state (same 64 MiB cap as the legacy
 /// codec's string limit).
@@ -72,6 +94,21 @@ struct Reply {
   std::string_view payload;
 };
 
+/// Decoded hot-key replication push; both views share the receive-buffer
+/// lifetime rule.
+struct Push {
+  std::string_view key;
+  std::string_view value;
+};
+
+/// Decoded load-gossip frame (fixed-size section, nothing borrowed).
+struct Gossip {
+  uint32_t node = 0;         ///< sender's node id within the federation
+  uint32_t outstanding = 0;  ///< sender's shared outstanding-request count
+  double threshold = 0.0;    ///< sender's live effective admission threshold
+  bool overloaded = false;   ///< sender's declared overload mode
+};
+
 enum class ParseResult {
   kNeedMore,  ///< not enough bytes for a full frame yet
   kFrame,     ///< one frame decoded; *consumed bytes were used
@@ -84,6 +121,23 @@ ParseResult parse_request(std::string_view bytes, Request& out, size_t* consumed
 /// Decodes one reply frame from the front of `bytes` without copying.
 ParseResult parse_reply(std::string_view bytes, Reply& out, size_t* consumed);
 
+/// Decodes one peer-fetch frame (request layout under kind kPeerFetch).
+ParseResult parse_peer_fetch(std::string_view bytes, Request& out, size_t* consumed);
+
+/// Decodes one peer-reply frame (reply layout under kind kPeerReply).
+ParseResult parse_peer_reply(std::string_view bytes, Reply& out, size_t* consumed);
+
+/// Decodes one hot-key push frame.
+ParseResult parse_push(std::string_view bytes, Push& out, size_t* consumed);
+
+/// Decodes one gossip frame.
+ParseResult parse_gossip(std::string_view bytes, Gossip& out, size_t* consumed);
+
+/// Kind byte of the frame at the front of `bytes`; 0 while fewer than three
+/// bytes are buffered. The daemon's ingress loop dispatches on this before
+/// picking a kind-specific parser.
+uint8_t peek_kind(std::string_view bytes);
+
 /// Total frame size announced by a header, or 0 when fewer than kHeaderSize
 /// bytes are available (the receiver can size its read-ahead off this).
 size_t frame_size(std::string_view bytes);
@@ -95,6 +149,19 @@ void encode_request(const Request& request, std::string& out);
 /// `flags` travels in the reply section.
 void encode_reply(uint64_t request_id, http::Fidelity fidelity, uint8_t flags,
                   std::string_view payload, std::string& out);
+
+/// Appends an encoded peer-fetch frame (request layout, kind kPeerFetch).
+void encode_peer_fetch(const Request& request, std::string& out);
+
+/// Appends an encoded peer-reply frame (reply layout, kind kPeerReply).
+void encode_peer_reply(uint64_t request_id, http::Fidelity fidelity, uint8_t flags,
+                       std::string_view payload, std::string& out);
+
+/// Appends an encoded hot-key push frame.
+void encode_push(std::string_view key, std::string_view value, std::string& out);
+
+/// Appends an encoded gossip frame.
+void encode_gossip(const Gossip& gossip, std::string& out);
 
 /// Flags a reply should carry for a fidelity (kCacheServed for kCached,
 /// kShed for kBusy, ...). The daemon ORs in kFlagDegraded itself.

@@ -104,6 +104,19 @@ class ShardedBrokerDaemon {
   /// stopped, or from that shard's own reactor thread.
   BrokerDaemon& shard(size_t i) { return *shards_.at(i)->daemon; }
 
+  /// One shard's reactor. The object reference is valid for the daemon's
+  /// lifetime; the usual rules apply to what may be called on it from other
+  /// threads (post()/stop() only while running). The federation layer hangs
+  /// its peer channels and gossip timer off these.
+  Reactor& shard_reactor(size_t i) { return *shards_.at(i)->reactor; }
+
+  /// Installs the admin plane's federation snapshot source (no-op when the
+  /// admin plane is disabled). /metrics and /statusz then carry the
+  /// federation families/block.
+  void set_federation_status(AdminServer::FederationFn federation) {
+    if (admin_) admin_->set_federation(std::move(federation));
+  }
+
   /// Per-class metrics folded across all shards. Safe from any non-shard
   /// thread: while running it snapshots each shard via Reactor::post(),
   /// when stopped it reads directly.

@@ -1,0 +1,82 @@
+// fed::GlobalView: gossip folding, staleness, and the remote-pressure rule
+// (mean of fresh peers, floored by any overloaded peer's outstanding).
+#include "fed/global_view.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+namespace sbroker::fed {
+namespace {
+
+net::frame::Gossip gossip(uint32_t node, uint32_t outstanding,
+                          bool overloaded = false, double threshold = 50.0) {
+  net::frame::Gossip g;
+  g.node = node;
+  g.outstanding = outstanding;
+  g.threshold = threshold;
+  g.overloaded = overloaded;
+  return g;
+}
+
+TEST(GlobalViewTest, NoGossipMeansNoPressure) {
+  // Bootstrap / all-peers-dead: the node must fall back to purely local
+  // admission, not fail closed on phantom tier load.
+  GlobalView view(3, /*stale_after=*/10.0);
+  EXPECT_DOUBLE_EQ(view.remote_pressure(), 0.0);
+  EXPECT_EQ(view.updates(), 0u);
+}
+
+TEST(GlobalViewTest, PressureIsMeanOfFreshPeers) {
+  GlobalView view(3, 10.0);
+  view.update(gossip(1, 10));
+  view.update(gossip(2, 30));
+  EXPECT_DOUBLE_EQ(view.remote_pressure(), 20.0);
+  EXPECT_EQ(view.updates(), 2u);
+}
+
+TEST(GlobalViewTest, OverloadedPeerFloorsThePressure) {
+  // One drowning node must not be averaged away by idle peers: the mean of
+  // (120, 0, 0) is 40, but the overloaded peer's own count wins.
+  GlobalView view(4, 10.0);
+  view.update(gossip(1, 120, /*overloaded=*/true));
+  view.update(gossip(2, 0));
+  view.update(gossip(3, 0));
+  EXPECT_DOUBLE_EQ(view.remote_pressure(), 120.0);
+}
+
+TEST(GlobalViewTest, StaleGossipCarriesNoWeight) {
+  GlobalView view(2, /*stale_after=*/0.05);
+  view.update(gossip(1, 500, /*overloaded=*/true));
+  EXPECT_DOUBLE_EQ(view.remote_pressure(), 500.0);
+  std::this_thread::sleep_for(std::chrono::milliseconds(80));
+  // The dead peer's last report must not pin tier pressure forever.
+  EXPECT_DOUBLE_EQ(view.remote_pressure(), 0.0);
+  auto snap = view.snapshot();
+  ASSERT_EQ(snap.size(), 2u);
+  EXPECT_FALSE(snap[1].fresh);
+  EXPECT_EQ(snap[1].outstanding, 500u);  // last value still visible to admin
+}
+
+TEST(GlobalViewTest, OutOfRangeNodeIgnored) {
+  GlobalView view(2, 10.0);
+  view.update(gossip(7, 100, true));
+  EXPECT_DOUBLE_EQ(view.remote_pressure(), 0.0);
+  EXPECT_EQ(view.updates(), 0u);
+}
+
+TEST(GlobalViewTest, SnapshotCarriesGossipFields) {
+  GlobalView view(2, 10.0);
+  view.update(gossip(1, 42, true, 17.5));
+  auto snap = view.snapshot();
+  ASSERT_EQ(snap.size(), 2u);
+  EXPECT_EQ(snap[0].node, 0u);
+  EXPECT_FALSE(snap[0].fresh);  // self slot never gossiped
+  EXPECT_TRUE(snap[1].fresh);
+  EXPECT_EQ(snap[1].outstanding, 42u);
+  EXPECT_TRUE(snap[1].overloaded);
+  EXPECT_DOUBLE_EQ(snap[1].threshold, 17.5);
+}
+
+}  // namespace
+}  // namespace sbroker::fed

@@ -1,0 +1,171 @@
+// fed::Ring consistent hashing: uniform spread, minimal remapping on
+// membership change, deterministic cross-process ownership, and liveness-
+// filtered ownership (owner_if).
+#include "fed/ring.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+namespace sbroker::fed {
+namespace {
+
+std::vector<std::string> members(size_t n, uint16_t base = 7000) {
+  std::vector<std::string> out;
+  for (size_t i = 0; i < n; ++i) {
+    out.push_back("127.0.0.1:" + std::to_string(base + i));
+  }
+  return out;
+}
+
+std::string key(int i) { return "/object-" + std::to_string(i); }
+
+TEST(RingTest, EmptyRingOwnsNothing) {
+  Ring ring({}, 128);
+  EXPECT_EQ(ring.owner("/anything"), Ring::kNobody);
+  EXPECT_EQ(ring.owner_if("/anything", [](size_t) { return true; }),
+            Ring::kNobody);
+}
+
+TEST(RingTest, SingleMemberOwnsEverything) {
+  Ring ring(members(1), 128);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(ring.owner(key(i)), 0u);
+  }
+  EXPECT_DOUBLE_EQ(ring.share(0), 1.0);
+}
+
+TEST(RingTest, OwnershipIsDeterministicAcrossInstances) {
+  // Two independently-built rings over the same membership (what two daemon
+  // processes hold) must agree on every key, or forwarding would bounce.
+  Ring a(members(3), 128);
+  Ring b(members(3), 128);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(a.owner(key(i)), b.owner(key(i))) << key(i);
+  }
+}
+
+TEST(RingTest, SpreadIsRoughlyUniform) {
+  // Chi-squared-style bound: with 3 members x 128 vnodes and 30k keys, each
+  // member expects ~10k. Allow a generous 25% relative deviation — the
+  // bound guards against gross imbalance (bad hash, vnode bug), not
+  // statistical noise.
+  constexpr size_t kMembers = 3;
+  constexpr int kKeys = 30000;
+  Ring ring(members(kMembers), 128);
+  std::vector<int> counts(kMembers, 0);
+  for (int i = 0; i < kKeys; ++i) {
+    size_t owner = ring.owner(key(i));
+    ASSERT_LT(owner, kMembers);
+    ++counts[owner];
+  }
+  const double expected = static_cast<double>(kKeys) / kMembers;
+  for (size_t m = 0; m < kMembers; ++m) {
+    EXPECT_GT(counts[m], expected * 0.75) << "member " << m;
+    EXPECT_LT(counts[m], expected * 1.25) << "member " << m;
+  }
+  // share() (arc-length view) should roughly match the empirical spread.
+  double total_share = 0.0;
+  for (size_t m = 0; m < kMembers; ++m) {
+    double s = ring.share(m);
+    EXPECT_GT(s, 0.20) << "member " << m;
+    EXPECT_LT(s, 0.47) << "member " << m;
+    total_share += s;
+  }
+  EXPECT_NEAR(total_share, 1.0, 1e-9);
+}
+
+TEST(RingTest, JoinRemapsOnlyAFraction) {
+  // Adding a 4th member to a 3-ring must move only the keys the newcomer
+  // takes (~1/4), not reshuffle the world (the consistent-hashing point).
+  constexpr int kKeys = 10000;
+  Ring three(members(3), 128);
+  Ring four(members(4), 128);
+  int moved = 0;
+  for (int i = 0; i < kKeys; ++i) {
+    size_t before = three.owner(key(i));
+    size_t after = four.owner(key(i));
+    if (before != after) {
+      ++moved;
+      // A key that moved must have moved *to the newcomer*: members 0..2
+      // never trade keys among themselves on a join.
+      EXPECT_EQ(after, 3u) << key(i);
+    }
+  }
+  EXPECT_GT(moved, kKeys / 10);  // the newcomer really takes a share
+  EXPECT_LT(moved, kKeys / 2);   // ...but far from a full reshuffle
+}
+
+TEST(RingTest, LeaveRemapsOnlyTheDepartedShare) {
+  constexpr int kKeys = 10000;
+  Ring three(members(3), 128);
+  std::vector<std::string> two = members(3);
+  two.erase(two.begin() + 1);  // member "7001" leaves
+  Ring after(two, 128);
+  int moved = 0;
+  for (int i = 0; i < kKeys; ++i) {
+    size_t before = three.owner(key(i));
+    // Map the 2-ring's indices back onto the 3-ring's: index 1 in `after`
+    // is member "7002" == index 2 before.
+    size_t now = after.owner(key(i));
+    size_t now_as_before = now == 1 ? 2 : now;
+    if (before != now_as_before) {
+      ++moved;
+      EXPECT_EQ(before, 1u) << key(i);  // only the departed member's keys move
+    }
+  }
+  EXPECT_GT(moved, kKeys / 10);
+  EXPECT_LT(moved, kKeys / 2);
+}
+
+TEST(RingTest, OwnerIfSkipsDeadMembersAndFallsBack) {
+  Ring ring(members(3), 128);
+  // Find a key owned by member 1.
+  std::string k;
+  for (int i = 0;; ++i) {
+    if (ring.owner(key(i)) == 1) {
+      k = key(i);
+      break;
+    }
+    ASSERT_LT(i, 10000);
+  }
+  // All alive: owner_if agrees with owner().
+  EXPECT_EQ(ring.owner_if(k, [](size_t) { return true; }), 1u);
+  // Member 1 dead: ownership falls to a ring successor, deterministically.
+  size_t fallback = ring.owner_if(k, [](size_t m) { return m != 1; });
+  EXPECT_NE(fallback, 1u);
+  EXPECT_NE(fallback, Ring::kNobody);
+  EXPECT_EQ(ring.owner_if(k, [](size_t m) { return m != 1; }), fallback);
+  // Everyone dead: nobody.
+  EXPECT_EQ(ring.owner_if(k, [](size_t) { return false; }), Ring::kNobody);
+}
+
+TEST(RingTest, FailoverSpreadsAcrossSurvivors) {
+  // When member 0 dies, its keys should land on *both* survivors (vnodes
+  // interleave arcs), not all on one — that is the vnode point.
+  Ring ring(members(3), 128);
+  std::set<size_t> fallback_owners;
+  for (int i = 0; i < 2000; ++i) {
+    if (ring.owner(key(i)) != 0) continue;
+    fallback_owners.insert(ring.owner_if(key(i), [](size_t m) { return m != 0; }));
+  }
+  EXPECT_EQ(fallback_owners.size(), 2u);
+}
+
+TEST(RingTest, Fnv1aMatchesReferenceVectors) {
+  // Pinned so the hash (and thus cross-process ownership) can never drift
+  // silently. Reference: FNV-1a 64-bit test vectors.
+  EXPECT_EQ(fnv1a64(""), 14695981039346656037ull);
+  EXPECT_EQ(fnv1a64("a"), 12638187200555641996ull);
+  EXPECT_EQ(fnv1a64("foobar"), 0x85944171f73967e8ull);
+  // splitmix64 finalizer: mix64(0) is the first output of a splitmix64
+  // stream seeded with 0 (Vigna's reference implementation).
+  EXPECT_EQ(mix64(0), 0xe220a8397b1dcdafull);
+  EXPECT_EQ(mix64(1), 0x910a2dec89025cc1ull);
+  EXPECT_EQ(ring_hash(""), mix64(14695981039346656037ull));
+}
+
+}  // namespace
+}  // namespace sbroker::fed

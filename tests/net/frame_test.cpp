@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cstring>
 #include <string>
 
 namespace sbroker::net::frame {
@@ -174,6 +175,144 @@ TEST(FrameTest, FlagsForFidelity) {
   EXPECT_EQ(flags_for(http::Fidelity::kBusy), kFlagShed);
   EXPECT_EQ(flags_for(http::Fidelity::kError), kFlagError);
   EXPECT_EQ(flags_for(http::Fidelity::kDegraded), kFlagDegraded);
+}
+
+TEST(PeerFrameTest, PeerFetchRoundTrip) {
+  Request in;
+  in.request_id = 0xABCDEF0123456789ull;
+  in.qos_level = 2;
+  in.deadline_ms = 750;  // the forwarder's *remaining* budget
+  in.query = "/forwarded-key";
+  std::string wire;
+  encode_peer_fetch(in, wire);
+  EXPECT_EQ(static_cast<uint8_t>(wire[2]), kKindPeerFetch);
+
+  Request out;
+  size_t consumed = 0;
+  ASSERT_EQ(parse_peer_fetch(wire, out, &consumed), ParseResult::kFrame);
+  EXPECT_EQ(consumed, wire.size());
+  EXPECT_EQ(out.request_id, in.request_id);
+  EXPECT_EQ(out.qos_level, in.qos_level);
+  EXPECT_EQ(out.deadline_ms, in.deadline_ms);
+  EXPECT_EQ(out.query, in.query);
+  // The kinds are disjoint: a peer fetch is not a client request.
+  EXPECT_EQ(parse_request(wire, out, &consumed), ParseResult::kError);
+}
+
+TEST(PeerFrameTest, PeerReplyRoundTrip) {
+  std::string wire;
+  encode_peer_reply(42, http::Fidelity::kCached, kFlagCacheServed,
+                    "owner cache body", wire);
+  Reply out;
+  size_t consumed = 0;
+  ASSERT_EQ(parse_peer_reply(wire, out, &consumed), ParseResult::kFrame);
+  EXPECT_EQ(consumed, wire.size());
+  EXPECT_EQ(out.request_id, 42u);
+  EXPECT_EQ(out.fidelity, http::Fidelity::kCached);
+  EXPECT_EQ(out.flags, kFlagCacheServed);
+  EXPECT_EQ(out.payload, "owner cache body");
+  EXPECT_EQ(parse_reply(wire, out, &consumed), ParseResult::kError);
+}
+
+TEST(PeerFrameTest, PushRoundTrip) {
+  std::string wire;
+  encode_push("/hot-key", "hot value bytes", wire);
+  Push out;
+  size_t consumed = 0;
+  ASSERT_EQ(parse_push(wire, out, &consumed), ParseResult::kFrame);
+  EXPECT_EQ(consumed, wire.size());
+  EXPECT_EQ(out.key, "/hot-key");
+  EXPECT_EQ(out.value, "hot value bytes");
+}
+
+TEST(PeerFrameTest, PushWithEmptyValue) {
+  std::string wire;
+  encode_push("/k", "", wire);
+  Push out;
+  ASSERT_EQ(parse_push(wire, out, nullptr), ParseResult::kFrame);
+  EXPECT_EQ(out.key, "/k");
+  EXPECT_TRUE(out.value.empty());
+}
+
+TEST(PeerFrameTest, PushKeyLengthBeyondSectionIsError) {
+  std::string wire;
+  encode_push("/abcdef", "v", wire);
+  // Corrupt the key length (first section field) to exceed the section.
+  uint32_t huge = 1000;
+  std::memcpy(wire.data() + kHeaderSize, &huge, sizeof(huge));
+  Push out;
+  EXPECT_EQ(parse_push(wire, out, nullptr), ParseResult::kError);
+}
+
+TEST(PeerFrameTest, GossipRoundTrip) {
+  Gossip in;
+  in.node = 2;
+  in.outstanding = 137;
+  in.threshold = 48.625;  // exact in IEEE-754: byte-identical round trip
+  in.overloaded = true;
+  std::string wire;
+  encode_gossip(in, wire);
+  ASSERT_EQ(wire.size(), kHeaderSize + kGossipFixed);
+
+  Gossip out;
+  size_t consumed = 0;
+  ASSERT_EQ(parse_gossip(wire, out, &consumed), ParseResult::kFrame);
+  EXPECT_EQ(consumed, wire.size());
+  EXPECT_EQ(out.node, 2u);
+  EXPECT_EQ(out.outstanding, 137u);
+  EXPECT_DOUBLE_EQ(out.threshold, 48.625);
+  EXPECT_TRUE(out.overloaded);
+}
+
+TEST(PeerFrameTest, GossipWrongSectionSizeIsError) {
+  Gossip in;
+  std::string wire;
+  encode_gossip(in, wire);
+  // Announce one byte short in the header length and truncate to match.
+  uint32_t short_len = kGossipFixed - 1;
+  std::memcpy(wire.data() + 4, &short_len, sizeof(short_len));
+  wire.resize(kHeaderSize + short_len);
+  Gossip out;
+  EXPECT_EQ(parse_gossip(wire, out, nullptr), ParseResult::kError);
+}
+
+TEST(PeerFrameTest, PeekKindDispatches) {
+  EXPECT_EQ(peek_kind(""), 0);
+  EXPECT_EQ(peek_kind(std::string_view("\xb7\x01", 2)), 0);  // header pending
+  std::string wire;
+  encode_push("/k", "v", wire);
+  EXPECT_EQ(peek_kind(wire), kKindPeerPush);
+  wire.clear();
+  Gossip g;
+  encode_gossip(g, wire);
+  EXPECT_EQ(peek_kind(wire), kKindGossip);
+  wire.clear();
+  Request r;
+  encode_request(r, wire);
+  EXPECT_EQ(peek_kind(wire), kKindRequest);
+  wire.clear();
+  encode_peer_fetch(r, wire);
+  EXPECT_EQ(peek_kind(wire), kKindPeerFetch);
+}
+
+TEST(PeerFrameTest, TruncatedPeerFramesNeedMore) {
+  std::string wire;
+  encode_push("/key", "value", wire);
+  for (size_t len = 0; len < wire.size(); ++len) {
+    Push out;
+    EXPECT_EQ(parse_push(std::string_view(wire).substr(0, len), out, nullptr),
+              ParseResult::kNeedMore)
+        << len;
+  }
+  wire.clear();
+  Gossip g;
+  encode_gossip(g, wire);
+  for (size_t len = 0; len < wire.size(); ++len) {
+    Gossip out;
+    EXPECT_EQ(parse_gossip(std::string_view(wire).substr(0, len), out, nullptr),
+              ParseResult::kNeedMore)
+        << len;
+  }
 }
 
 }  // namespace
