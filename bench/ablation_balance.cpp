@@ -19,6 +19,7 @@
 #include "util/table_printer.h"
 #include "wl/ab_client.h"
 #include "wl/query_gen.h"
+#include "util/rng.h"
 
 using namespace sbroker;
 
@@ -39,7 +40,7 @@ double run_once(core::BalancePolicy policy, uint64_t requests, size_t concurrenc
   for (int i = 0; i < 3; ++i) {
     srv::DbBackendConfig backend_cfg;
     backend_cfg.capacity = 4;
-    backend_cfg.link_seed = 100 + static_cast<uint64_t>(i);
+    backend_cfg.link_seed = util::derive_seed(100, static_cast<uint64_t>(i));
     backend_cfg.cost.fixed_seconds = 0.010;
     backend_cfg.cost.per_repeat_seconds = 0.005;
     if (i == 2) {

@@ -116,13 +116,47 @@
 //             (the closed-loop user reading the "system is busy" page).
 //             Without it a drop is instant and the rejected crowd re-offers
 //             at wire speed, so on a small host the drop storm itself
-//             starves the backend — real browsers do not do that (default 0)
+//             starves the backend — real browsers do not do that. The sleep
+//             is part of the logical request: latency is stamped once at the
+//             first attempt and the eventual useful reply reports first
+//             attempt + backoff + retry, not just the last leg (default 0)
+//   arrivals  comma list of arrival processes swept per combination, from:
+//               closed   the historic closed-loop clients (think-time zero,
+//                        next request the moment the previous completes)
+//               poisson / bursty / diurnal
+//                        open-loop schedules (wl::ArrivalSchedule): requests
+//                        are *due* at scheduled times whether or not the
+//                        system keeps up. Latency is measured from each
+//                        request's intended send time, so a stalled broker
+//                        shows up in the tail instead of silently shedding
+//                        offered load — the coordinated-omission fix. The
+//                        biased from-actual-send view is reported alongside.
+//             Open modes require rate>0, crowd=1, burst=1, backoff=0
+//             (default "closed")
+//   rate      total offered load for open-loop modes, requests/second,
+//             split evenly across the client threads (each runs its own
+//             deterministic schedule seeded from seed+thread; superposed
+//             Poisson streams are again Poisson)       (default 0)
+//   seed      run seed for the open-loop schedules and the link shim's
+//             jitter streams (util::derive_seed fans it out) (default 1)
+//   duty      bursty: on-fraction of each period       (default 0.3)
+//   period    bursty/diurnal cycle length, seconds     (default 1.0)
+//   floor     diurnal: trough rate as fraction of peak (default 0.2)
+//   link      degrade the daemon->backend channel through a userspace
+//             netem-style TCP proxy (net/netem_proxy.h), one per replica:
+//               none   direct connection (the historic wiring)
+//               wan    ~40 ms ± 20 ms jitter
+//               cell   ~50 ms ± 30 ms + looping cellular bandwidth trace
+//                      (sags to dial-up-class throughput mid-cycle)
+//               custom:<lat_ms>:<jitter_ms>:<kbps>
+//             (default none)
 //   out       JSON result file; "" = stdout only      (default BENCH_daemon.json)
 #include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <memory>
+#include <optional>
 #include <string>
 #include <thread>
 #include <vector>
@@ -131,10 +165,13 @@
 #include "core/overload.h"
 #include "net/http_server.h"
 #include "net/http_client.h"
+#include "net/netem_proxy.h"
 #include "net/pipelined_backend.h"
 #include "net/reactor.h"
 #include "net/sharded_daemon.h"
+#include "sim/link.h"
 #include "srv/service_profile.h"
+#include "wl/arrival.h"
 #include "util/config.h"
 #include "util/json.h"
 #include "util/rng.h"
@@ -203,6 +240,21 @@ struct RunResult {
   bool phased = false;         // crowd>1: pre/crowd_phase are meaningful
   PhaseStats pre;
   PhaseStats crowd_phase;
+  // Open-loop view of the run (the arrivals=/rate= dimensions): schedule
+  // accounting and the biased from-actual-send latency kept next to the
+  // coordinated-omission-corrected r.latency.
+  std::string arrivals = "closed";
+  bool open_loop = false;
+  double offered_rate = 0.0;   // requests/second the schedule offered
+  uint64_t scheduled = 0;      // arrivals the schedules produced in-window
+  uint64_t sent = 0;           // arrivals actually put on the wire
+  uint64_t queued_behind = 0;  // arrivals sent >1ms late (sender was busy)
+  double max_lag = 0.0;        // worst send lag behind schedule, seconds
+  util::Histogram service_latency;  // from actual send (the biased view)
+  // Link-degradation shim (the link= dimension).
+  std::string link = "none";
+  double proxy_max_delay = 0.0;  // worst single-chunk delay applied, seconds
+  uint64_t proxy_bytes = 0;
 };
 
 /// Anti-stampede knobs swept through to the broker config (see the dup=,
@@ -239,6 +291,26 @@ struct OverloadKnobs {
   double backoff_ms = 0.0; // client sleep after a busy/error reply
 };
 
+/// Arrival-process knobs swept through to the client threads (the arrivals=,
+/// rate=, seed=, duty=, period=, floor= parameters). kind empty = the
+/// historic closed loop.
+struct ArrivalKnobs {
+  std::string name = "closed";
+  std::optional<wl::ArrivalKind> kind;
+  double rate = 0.0;  // total offered requests/second, split across clients
+  uint64_t seed = 1;
+  double duty = 0.3;
+  double period = 1.0;
+  double floor_frac = 0.2;
+};
+
+/// Backend-link degradation (the link= parameter): when set, every replica
+/// sits behind its own NetemProxy applying this profile.
+struct LinkKnobs {
+  std::string name = "none";
+  std::optional<sim::Link::Params> profile;
+};
+
 double monotonic_seconds() {
   return std::chrono::duration<double>(
              std::chrono::steady_clock::now().time_since_epoch())
@@ -265,7 +337,7 @@ class BackendPool {
         profile.multiplier = rk.skew;
         profile.degrade_after = rk.degrade;
       }
-      auto rng = std::make_shared<util::Rng>(0xb0c0 + i);
+      auto rng = std::make_shared<util::Rng>(util::derive_seed(0xb0c0, i));
       auto busy_until = std::make_shared<double>(0.0);
       auto parked = parked_;
       servers_.push_back(std::make_unique<net::HttpServer>(
@@ -334,9 +406,22 @@ RunResult run_one(size_t shards, bool pipelined, size_t clients, double seconds,
                   uint32_t timeout_ms, uint64_t stallpct, int attempts,
                   bool obs_on, bool scrape, const CacheKnobs& knobs,
                   const std::string& proto, size_t burst, bool iouring,
-                  const ReplicaKnobs& rk, const OverloadKnobs& ok) {
+                  const ReplicaKnobs& rk, const OverloadKnobs& ok,
+                  const ArrivalKnobs& ak, const LinkKnobs& lk) {
   BackendPool backends(rk);
+  // link=: interpose a netem-style proxy per replica; the daemon's backend
+  // channels then ride the degraded path while the loadgen-facing side stays
+  // clean. Jitter streams decorrelate per replica via derive_seed.
+  std::vector<std::unique_ptr<net::NetemProxy>> proxies;
+  if (lk.profile) {
+    for (size_t i = 0; i < rk.replicas; ++i) {
+      proxies.push_back(std::make_unique<net::NetemProxy>(
+          backends.port(i), *lk.profile,
+          util::derive_seed(ak.seed, 0x10000 + i)));
+    }
+  }
   net::ShardedBrokerDaemonConfig cfg;
+  cfg.broker.rng_seed = util::derive_seed(ak.seed, 0x5eed);
   cfg.broker.rules = core::QosRules{3, threshold};
   cfg.broker.overload = ok.config;
   cfg.broker.dispatch_window = ok.window;
@@ -358,7 +443,8 @@ RunResult run_one(size_t shards, bool pipelined, size_t clients, double seconds,
   net::ShardedBrokerDaemon daemon("loadgen-broker", cfg);
   core::PoolConfig pool = cfg.broker.pool;
   for (size_t i = 0; i < rk.replicas; ++i) {
-    uint16_t backend_port = backends.port(i);
+    uint16_t backend_port =
+        proxies.empty() ? backends.port(i) : proxies[i]->port();
     daemon.add_backend([backend_port, pipelined, pool](net::Reactor& reactor,
                                                        size_t) -> std::shared_ptr<core::Backend> {
       if (pipelined) {
@@ -377,6 +463,15 @@ RunResult run_one(size_t shards, bool pipelined, size_t clients, double seconds,
   std::vector<uint64_t> counts(total_clients, 0);
   std::vector<uint64_t> failures(total_clients, 0);
   std::vector<std::vector<double>> latencies(total_clients);
+  // Open-loop accounting (arrivals != closed): per-thread schedule counters
+  // and the biased from-actual-send latencies kept next to the corrected
+  // ones above.
+  bool open_loop = ak.kind.has_value();
+  std::vector<uint64_t> scheduled_counts(total_clients, 0);
+  std::vector<uint64_t> sent_counts(total_clients, 0);
+  std::vector<uint64_t> queued_counts(total_clients, 0);
+  std::vector<double> lag_max(total_clients, 0.0);
+  std::vector<std::vector<double>> service_lats(total_clients);
   // Flash-crowd phase records: reply completion time relative to t0, its
   // latency, and the useful/good classification (only kept with crowd>1).
   struct ReplyRec {
@@ -420,8 +515,10 @@ RunResult run_one(size_t shards, bool pipelined, size_t clients, double seconds,
       uint64_t rng = 0x9e3779b97f4a7c15ULL + c;
       uint64_t id = c << 32;
       latencies[c].reserve(1 << 16);
-      std::vector<std::string> batch;  // proto=bin burst>1 only
-      while (!stop_flag.load(std::memory_order_relaxed)) {
+      // Draws the next target off the per-thread trace: the dup= hot-key
+      // bias, the QoS class, and the stallpct mute-route mapping, shared by
+      // both loop shapes.
+      auto next_payload = [&](uint8_t& qos) {
         rng = rng * 6364136223846793005ULL + 1442695040888963407ULL;
         uint64_t key = (rng >> 33) % keys;
         // dup: this fraction of requests targets the single hottest key —
@@ -430,14 +527,127 @@ RunResult run_one(size_t shards, bool pipelined, size_t clients, double seconds,
           rng = rng * 6364136223846793005ULL + 1442695040888963407ULL;
           if (static_cast<double>(rng >> 40) / 16777216.0 < knobs.dup) key = 0;
         }
-        uint8_t qos = static_cast<uint8_t>(1 + key % 3);
+        qos = static_cast<uint8_t>(1 + key % 3);
         // The bottom stallpct% of the keyspace maps to the backend's mute
         // route: the exchange stalls half-open and only the deadline (via
         // the broker's cancel token) resolves it.
         bool stalled = keys > 0 && (key * 100) / keys < stallpct;
-        std::string payload =
-            (stalled ? "/stall-" : "/object-") + std::to_string(key);
-        double start = monotonic_seconds();
+        return (stalled ? "/stall-" : "/object-") + std::to_string(key);
+      };
+      // Useful = the reply carried a usable result (full/cached/degraded
+      // fidelity, or HTTP 200) — busy notices and errors are completed but
+      // not useful, the distinction goodput accounting rests on.
+      struct CallOutcome {
+        bool got_reply = false;
+        bool matched = false;
+        bool useful = false;
+      };
+      auto call_once = [&](uint64_t rid, const std::string& payload,
+                           uint8_t qos) {
+        CallOutcome o;
+        if (bin_client) {
+          auto reply = bin_client->call(rid, payload, qos, timeout_ms);
+          o.got_reply = reply.has_value();
+          o.matched = reply && reply->request_id == rid;
+          o.useful = o.matched && reply->fidelity != http::Fidelity::kBusy &&
+                     reply->fidelity != http::Fidelity::kError;
+        } else if (http_client) {
+          http::Request hreq;
+          hreq.target = payload;
+          hreq.set_qos_level(qos);
+          if (timeout_ms > 0) {
+            hreq.headers.set(std::string(http::kDeadlineHeader),
+                             std::to_string(timeout_ms));
+          }
+          auto resp = http_client->call(hreq);
+          o.got_reply = resp.has_value();
+          o.matched = o.got_reply;  // HTTP/1.1: responses arrive in order
+          o.useful = o.got_reply && resp->status == 200;
+        } else {
+          http::BrokerRequest req;
+          req.request_id = rid;
+          req.qos_level = qos;
+          req.service = "web";
+          req.deadline_ms = timeout_ms;
+          req.payload = payload;
+          auto reply = wire_client->call(req);
+          o.got_reply = reply.has_value();
+          o.matched = reply && reply->request_id == rid;
+          o.useful = o.matched && reply->fidelity != http::Fidelity::kBusy &&
+                     reply->fidelity != http::Fidelity::kError;
+        }
+        return o;
+      };
+
+      if (open_loop) {
+        // Open loop: requests are *due* at schedule times whether or not the
+        // broker keeps up. Latency is measured from the intended send time,
+        // so a request that had to wait for its (serial) sender reports the
+        // wait — the coordinated-omission fix. The schedule is a pure
+        // function of (config, seed): every sweep offers the identical
+        // trace.
+        wl::ArrivalConfig acfg;
+        acfg.kind = *ak.kind;
+        acfg.rate = ak.rate / static_cast<double>(clients);
+        acfg.duty = ak.duty;
+        acfg.period = ak.period;
+        acfg.floor_frac = ak.floor_frac;
+        wl::ArrivalSchedule schedule(acfg, util::derive_seed(ak.seed, c));
+        service_lats[c].reserve(1 << 14);
+        // Safety valve for a wedged run: anything still unsent by then stays
+        // scheduled-but-unsent and fails the check gate loudly.
+        double hard_stop = t0 + seconds + std::max(5.0, 2.0 * seconds);
+        for (;;) {
+          double offset = schedule.next();
+          if (offset >= seconds) break;  // window's schedule fully consumed
+          ++scheduled_counts[c];
+          double intended = t0 + offset;
+          for (;;) {
+            double now = monotonic_seconds();
+            if (now >= intended) break;
+            std::this_thread::sleep_for(std::chrono::duration<double>(
+                std::min(intended - now, 0.002)));
+          }
+          double send_at = monotonic_seconds();
+          if (send_at > hard_stop) break;
+          if (send_at - intended > 0.001) {
+            ++queued_counts[c];
+            lag_max[c] = std::max(lag_max[c], send_at - intended);
+          }
+          uint8_t qos = 1;
+          std::string payload = next_payload(qos);
+          uint64_t rid = ++id;
+          ++sent_counts[c];
+          CallOutcome o = call_once(rid, payload, qos);
+          double end = monotonic_seconds();
+          if (o.matched) {
+            ++counts[c];
+            latencies[c].push_back(end - intended);    // corrected
+            service_lats[c].push_back(end - send_at);  // the biased view
+          } else {
+            ++failures[c];
+            if (!o.got_reply) break;  // connection is gone; stop this client
+          }
+        }
+        return;
+      }
+
+      std::vector<std::string> batch;  // proto=bin burst>1 only
+      // Closed loop. `start` stamps once per *logical* request: after a busy
+      // reply with backoff the client sleeps and retries the same target
+      // WITHOUT re-stamping, so the eventual useful reply reports first
+      // attempt + backoff + retry. Re-stamping after the sleep (the old
+      // behavior) hid the entire backoff from p50/p99.
+      bool retry_pending = false;
+      double start = 0.0;
+      uint8_t qos = 1;
+      std::string payload;
+      while (!stop_flag.load(std::memory_order_relaxed)) {
+        if (!retry_pending) {
+          payload = next_payload(qos);
+          start = monotonic_seconds();
+        }
+        retry_pending = false;
         if (bin_client && burst > 1) {
           // Pipelined burst: `burst` frames in one send, replies collected
           // after — the shape that exercises the cycle-end write coalescing.
@@ -456,61 +666,29 @@ RunResult run_one(size_t shards, bool pipelined, size_t clients, double seconds,
           continue;
         }
         uint64_t rid = ++id;
-        bool got_reply = false;
-        bool matched = false;
-        // Useful = the reply carried a usable result (full/cached/degraded
-        // fidelity, or HTTP 200) — busy notices and errors are completed but
-        // not useful, the distinction goodput accounting rests on.
-        bool useful = false;
-        if (bin_client) {
-          auto reply = bin_client->call(rid, payload, qos, timeout_ms);
-          got_reply = reply.has_value();
-          matched = reply && reply->request_id == rid;
-          useful = matched && reply->fidelity != http::Fidelity::kBusy &&
-                   reply->fidelity != http::Fidelity::kError;
-        } else if (http_client) {
-          http::Request hreq;
-          hreq.target = payload;
-          hreq.set_qos_level(qos);
-          if (timeout_ms > 0) {
-            hreq.headers.set(std::string(http::kDeadlineHeader),
-                             std::to_string(timeout_ms));
-          }
-          auto resp = http_client->call(hreq);
-          got_reply = resp.has_value();
-          matched = got_reply;  // HTTP/1.1: responses arrive strictly in order
-          useful = got_reply && resp->status == 200;
-        } else {
-          http::BrokerRequest req;
-          req.request_id = rid;
-          req.qos_level = qos;
-          req.service = "web";
-          req.deadline_ms = timeout_ms;
-          req.payload = payload;
-          auto reply = wire_client->call(req);
-          got_reply = reply.has_value();
-          matched = reply && reply->request_id == rid;
-          useful = matched && reply->fidelity != http::Fidelity::kBusy &&
-                   reply->fidelity != http::Fidelity::kError;
-        }
+        CallOutcome o = call_once(rid, payload, qos);
         double elapsed = monotonic_seconds() - start;
-        if (matched) {
+        if (o.matched) {
           ++counts[c];
-          latencies[c].push_back(elapsed);
+          // A busy reply about to be retried is not the end of the logical
+          // request — its latency lands on the eventual useful reply.
+          bool will_retry = !o.useful && ok.backoff_ms > 0.0;
+          if (!will_retry) latencies[c].push_back(elapsed);
           if (ok.crowd > 1) {
             // Good = useful and within the client deadline (5ms wire slack).
-            bool good = useful && (timeout_ms == 0 ||
-                                   elapsed <= timeout_ms * 1e-3 + 0.005);
+            bool good = o.useful && (timeout_ms == 0 ||
+                                     elapsed <= timeout_ms * 1e-3 + 0.005);
             records[c].push_back({static_cast<float>(start + elapsed - t0),
-                                  static_cast<float>(elapsed), useful, good});
+                                  static_cast<float>(elapsed), o.useful, good});
+          }
+          if (will_retry) {
+            std::this_thread::sleep_for(
+                std::chrono::duration<double>(ok.backoff_ms * 1e-3));
+            retry_pending = true;
           }
         } else {
           ++failures[c];
-          if (!got_reply) break;  // connection is gone; stop this client
-        }
-        if (matched && !useful && ok.backoff_ms > 0.0) {
-          std::this_thread::sleep_for(
-              std::chrono::duration<double>(ok.backoff_ms * 1e-3));
+          if (!o.got_reply) break;  // connection is gone; stop this client
         }
       }
     });
@@ -563,10 +741,23 @@ RunResult run_one(size_t shards, bool pipelined, size_t clients, double seconds,
   r.window = ok.window;
   r.crowd = ok.crowd;
   r.ramp = ok.ramp;
+  r.arrivals = ak.name;
+  r.open_loop = open_loop;
+  r.offered_rate = ak.rate;
+  r.link = lk.name;
+  for (const auto& proxy : proxies) {
+    r.proxy_max_delay = std::max(r.proxy_max_delay, proxy->max_delay());
+    r.proxy_bytes += proxy->bytes_relayed();
+  }
   for (size_t c = 0; c < total_clients; ++c) {
     r.requests += counts[c];
     r.failures += failures[c];
     for (double s : latencies[c]) r.latency.add(s);
+    r.scheduled += scheduled_counts[c];
+    r.sent += sent_counts[c];
+    r.queued_behind += queued_counts[c];
+    r.max_lag = std::max(r.max_lag, lag_max[c]);
+    for (double s : service_lats[c]) r.service_latency.add(s);
   }
   if (ok.crowd > 1) {
     r.phased = true;
@@ -752,6 +943,65 @@ std::vector<OverloadKnobs> parse_overload_list(
   return values;
 }
 
+/// Parses the arrivals= comma list; empty result means a parse error.
+std::vector<ArrivalKnobs> parse_arrival_list(const std::string& list) {
+  std::vector<ArrivalKnobs> values;
+  for (size_t pos = 0; pos < list.size();) {
+    size_t comma = list.find(',', pos);
+    if (comma == std::string::npos) comma = list.size();
+    std::string token = list.substr(pos, comma - pos);
+    ArrivalKnobs ak;
+    ak.name = token;
+    if (token != "closed") {
+      auto kind = wl::ArrivalSchedule::parse_kind(token);
+      if (!kind) return {};
+      ak.kind = *kind;
+    }
+    values.push_back(std::move(ak));
+    pos = comma + 1;
+  }
+  return values;
+}
+
+/// Parses link= (none | wan | cell | custom:<lat_ms>:<jitter_ms>:<kbps>)
+/// into a shim profile. Returns false on a parse error.
+bool parse_link_spec(const std::string& spec, LinkKnobs& lk) {
+  lk.name = spec;
+  if (spec == "none") return true;
+  if (spec == "wan") {
+    lk.profile = sim::wan_profile();
+    return true;
+  }
+  if (spec == "cell") {
+    lk.profile = sim::cellular_profile();
+    return true;
+  }
+  if (spec.rfind("custom:", 0) == 0) {
+    double v[3];
+    size_t pos = 7;
+    for (int i = 0; i < 3; ++i) {
+      size_t end = (i == 2) ? spec.size() : spec.find(':', pos);
+      if (end == std::string::npos) return false;
+      std::string token = spec.substr(pos, end - pos);
+      try {
+        size_t consumed = 0;
+        v[i] = std::stod(token, &consumed);
+        if (consumed != token.size() || v[i] < 0.0) return false;
+      } catch (const std::exception&) {
+        return false;
+      }
+      pos = end + 1;
+    }
+    sim::Link::Params p;
+    p.latency = v[0] * 1e-3;
+    p.jitter = v[1] * 1e-3;
+    p.bytes_per_second = v[2] * 125.0;  // kbit/s -> bytes/s
+    lk.profile = p;
+    return true;
+  }
+  return false;
+}
+
 /// The bench smoke invariants: every request issued at some shard was
 /// answered exactly once, partitioned cleanly into the four outcomes, and
 /// every client got every reply it waited for.
@@ -831,6 +1081,13 @@ int main(int argc, char** argv) {
   size_t crowd_mult = static_cast<size_t>(cfg.get_int("crowd", 1));
   double ramp = cfg.get_double("ramp", seconds / 3.0);
   double backoff = cfg.get_double("backoff", 0.0);
+  std::string arrivals_list = cfg.get_string("arrivals", "closed");
+  double rate = cfg.get_double("rate", 0.0);
+  uint64_t run_seed = static_cast<uint64_t>(cfg.get_int("seed", 1));
+  double duty = cfg.get_double("duty", 0.3);
+  double arr_period = cfg.get_double("period", 1.0);
+  double floor_frac = cfg.get_double("floor", 0.2);
+  std::string link_spec = cfg.get_string("link", "none");
   std::string out = cfg.get_string("out", "BENCH_daemon.json");
 
   std::vector<size_t> sweep = parse_list(shard_list, 1);
@@ -962,6 +1219,49 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "error: backoff must be >= 0\n");
     return 1;
   }
+  std::vector<ArrivalKnobs> arrival_sweep = parse_arrival_list(arrivals_list);
+  if (arrival_sweep.empty()) {
+    std::fprintf(stderr,
+                 "error: arrivals=%s must be a comma list drawn from "
+                 "closed,poisson,bursty,diurnal\n", arrivals_list.c_str());
+    return 1;
+  }
+  bool any_open = false;
+  for (ArrivalKnobs& ak : arrival_sweep) {
+    ak.rate = rate;
+    ak.seed = run_seed;
+    ak.duty = duty;
+    ak.period = arr_period;
+    ak.floor_frac = floor_frac;
+    any_open = any_open || ak.kind.has_value();
+  }
+  if (any_open) {
+    if (rate <= 0.0) {
+      std::fprintf(stderr,
+                   "error: open-loop arrivals need rate>0 (total offered "
+                   "requests/second)\n");
+      return 1;
+    }
+    if (duty <= 0.0 || duty > 1.0 || arr_period <= 0.0 || floor_frac < 0.0 ||
+        floor_frac > 1.0) {
+      std::fprintf(stderr,
+                   "error: need 0<duty<=1, period>0, 0<=floor<=1\n");
+      return 1;
+    }
+    if (crowd_mult > 1 || burst > 1 || backoff > 0.0) {
+      std::fprintf(stderr,
+                   "error: open-loop arrivals require crowd=1, burst=1, "
+                   "backoff=0 — the schedule itself shapes the load\n");
+      return 1;
+    }
+  }
+  LinkKnobs lk_knobs;
+  if (!parse_link_spec(link_spec, lk_knobs)) {
+    std::fprintf(stderr,
+                 "error: link=%s must be none, wan, cell, or "
+                 "custom:<lat_ms>:<jitter_ms>:<kbps>\n", link_spec.c_str());
+    return 1;
+  }
   for (OverloadKnobs& ok : overloads) {
     ok.window = window;
     ok.crowd = crowd_mult;
@@ -977,14 +1277,15 @@ int main(int argc, char** argv) {
       "coalesce=%d, proto=%s, burst=%zu, iouring=%d, policy=%s, "
       "replicas=%zu, svc=%.3gms, svcjitter=%.3g, skew=%s, degrade=%.3g, "
       "overload=%s, window=%zu, oeval=%.3g, crowd=%zu, ramp=%.3g, "
-      "backoff=%.3g, %u cpus\n",
+      "backoff=%.3g, arrivals=%s, rate=%.3g, seed=%llu, link=%s, %u cpus\n",
       clients, seconds, static_cast<unsigned long long>(keys), cache ? 1 : 0,
       timeout_ms, static_cast<unsigned long long>(stallpct), attempts,
       obs_on ? 1 : 0, scrape ? 1 : 0, dup_list.c_str(), knobs.ttl, knobs.grace,
       knobs.jitter, knobs.negttl, knobs.coalesce ? 1 : 0, proto_list.c_str(),
       burst, iouring ? 1 : 0, policy_list.c_str(), rk.replicas, rk.svc_ms,
       rk.svc_jitter, skew_list.c_str(), rk.degrade, overload_list.c_str(),
-      window, oeval, crowd_mult, ramp, backoff, cpus);
+      window, oeval, crowd_mult, ramp, backoff, arrivals_list.c_str(), rate,
+      static_cast<unsigned long long>(run_seed), link_spec.c_str(), cpus);
   std::printf("%-5s %-5s %-9s %-11s %-4s %-7s %-9s %-8s %10s %10s %9s %9s %9s %9s %10s %8s %8s %9s %9s %9s %7s\n",
               "proto", "dup", "policy", "overload", "skew", "shards", "channel",
               "accept", "requests", "req/s", "p50 ms", "p99 ms", "brk p50",
@@ -993,6 +1294,7 @@ int main(int argc, char** argv) {
 
   bool conservation_ok = true;
   std::vector<RunResult> results;
+  for (const ArrivalKnobs& ak : arrival_sweep) {
   for (const std::string& proto : protos) {
   for (double dup : dups) {
   knobs.dup = dup;
@@ -1006,7 +1308,7 @@ int main(int argc, char** argv) {
       RunResult r = run_one(shards, mode != 0, clients, seconds, keys,
                             threshold, cache, fallback, timeout_ms, stallpct,
                             attempts, obs_on, scrape, knobs, proto, burst,
-                            iouring, rk, ok);
+                            iouring, rk, ok, ak, lk_knobs);
       core::BrokerMetrics::ClassCounters total = r.metrics.total();
       std::printf("%-5s %-5.2f %-9.9s %-11.11s %-4.3g %-7zu %-9s %-8s %10llu %10.0f %9.3f %9.3f %9.3f %8.1f%% "
                   "%10llu %8llu %8llu %9llu %9llu %9llu %6.1f%%\n",
@@ -1042,6 +1344,41 @@ int main(int argc, char** argv) {
             static_cast<unsigned long long>(r.crowd_phase.replies),
             static_cast<unsigned long long>(r.crowd_phase.good),
             r.crowd_phase.goodput, r.crowd_phase.p99_ms);
+      }
+      if (r.open_loop) {
+        std::printf(
+            "      open-loop %s @ %.0f/s: scheduled %llu sent %llu "
+            "queued-behind %llu maxlag %.1fms | p99 %.2fms corrected vs "
+            "%.2fms uncorrected\n",
+            r.arrivals.c_str(), r.offered_rate,
+            static_cast<unsigned long long>(r.scheduled),
+            static_cast<unsigned long long>(r.sent),
+            static_cast<unsigned long long>(r.queued_behind),
+            r.max_lag * 1e3, r.latency.p99() * 1e3,
+            r.service_latency.p99() * 1e3);
+      }
+      if (check && r.open_loop) {
+        // Open-loop honesty gates: every scheduled arrival was put on the
+        // wire (an overloaded run queues behind, it never elides), and
+        // correcting latency back to the intended send time can only raise
+        // percentiles relative to the biased from-actual-send view.
+        if (r.scheduled == 0 || r.sent != r.scheduled) {
+          std::fprintf(stderr,
+                       "open-loop omission check FAILED: scheduled %llu != "
+                       "sent %llu (arrivals=%s shards=%zu pipeline=%zu)\n",
+                       static_cast<unsigned long long>(r.scheduled),
+                       static_cast<unsigned long long>(r.sent),
+                       r.arrivals.c_str(), shards, mode);
+          conservation_ok = false;
+        }
+        if (r.latency.p99() + 1e-9 < r.service_latency.p99()) {
+          std::fprintf(stderr,
+                       "open-loop correction check FAILED: corrected p99 "
+                       "%.3fms below uncorrected %.3fms (arrivals=%s)\n",
+                       r.latency.p99() * 1e3, r.service_latency.p99() * 1e3,
+                       r.arrivals.c_str());
+          conservation_ok = false;
+        }
       }
       if (check && r.picks_total != r.metrics.transport.calls) {
         // Every balancer pick carries exactly one backend invoke (the
@@ -1123,9 +1460,12 @@ int main(int argc, char** argv) {
                        "statusz parsed=%d (shards=%zu pipeline=%zu)\n",
                        r.admin_live ? 1 : 0, r.scraped ? 1 : 0, shards, mode);
           conservation_ok = false;
-        } else if (obs_on &&
+        } else if (obs_on && backoff == 0.0 &&
                    r.broker_total.p50 >
                        r.latency.percentile(0.5) * 1.05 + 0.0005) {
+          // (backoff>0 voids the subset premise: the client folds busy
+          // attempts into one logical latency sample while the broker still
+          // times every wire request individually.)
           std::fprintf(stderr,
                        "broker-side p50 %.3fms exceeds client-side p50 "
                        "%.3fms (shards=%zu pipeline=%zu)\n",
@@ -1142,6 +1482,7 @@ int main(int argc, char** argv) {
   }
   }
   }
+  }
 
   if (check && max_skew >= 4.0 && rk.replicas >= 2) {
     // The point of the policy dimension: at heavy skew the latency-aware
@@ -1151,9 +1492,9 @@ int main(int argc, char** argv) {
       if (rr_run.policy != "round-robin" || rr_run.skew < 4.0) continue;
       for (const RunResult& r : results) {
         if ((r.policy != "ewma" && r.policy != "p2c") ||
-            r.proto != rr_run.proto || r.dup != rr_run.dup ||
-            r.skew != rr_run.skew || r.shards != rr_run.shards ||
-            r.pipelined != rr_run.pipelined) {
+            r.arrivals != rr_run.arrivals || r.proto != rr_run.proto ||
+            r.dup != rr_run.dup || r.skew != rr_run.skew ||
+            r.shards != rr_run.shards || r.pipelined != rr_run.pipelined) {
           continue;
         }
         if (r.slow_share >= rr_run.slow_share) {
@@ -1177,10 +1518,10 @@ int main(int argc, char** argv) {
     for (const RunResult& base : results) {
       if (base.overload != "static") continue;
       for (const RunResult& r : results) {
-        if (r.overload == "static" || r.proto != base.proto ||
-            r.dup != base.dup || r.policy != base.policy ||
-            r.skew != base.skew || r.shards != base.shards ||
-            r.pipelined != base.pipelined) {
+        if (r.overload == "static" || r.arrivals != base.arrivals ||
+            r.proto != base.proto || r.dup != base.dup ||
+            r.policy != base.policy || r.skew != base.skew ||
+            r.shards != base.shards || r.pipelined != base.pipelined) {
           continue;
         }
         if (r.crowd_phase.goodput < base.crowd_phase.goodput) {
@@ -1226,6 +1567,13 @@ int main(int argc, char** argv) {
       .field("crowd", static_cast<uint64_t>(crowd_mult))
       .field("ramp_seconds", ramp)
       .field("busy_backoff_ms", backoff)
+      .field("arrivals", arrivals_list)
+      .field("offered_rate", rate)
+      .field("arrival_seed", run_seed)
+      .field("bursty_duty", duty)
+      .field("arrival_period", arr_period)
+      .field("diurnal_floor", floor_frac)
+      .field("link", link_spec)
       .key("runs")
       .begin_array();
   for (const RunResult& r : results) {
@@ -1235,6 +1583,8 @@ int main(int argc, char** argv) {
         .field("dup", r.dup)
         .field("policy", r.policy)
         .field("overload", r.overload)
+        .field("arrivals", r.arrivals)
+        .field("link", r.link)
         .field("skew", r.skew)
         .field("replicas", static_cast<uint64_t>(r.replicas))
         .field("shards", r.shards)
@@ -1301,6 +1651,22 @@ int main(int argc, char** argv) {
       json.value(r.metrics.at(level).drop_ratio());
     }
     json.end_array();
+    if (r.open_loop) {
+      // Schedule accounting plus the biased from-actual-send percentiles;
+      // latency_p50_ms/latency_p99_ms above are the corrected numbers.
+      json.field("open_loop", true)
+          .field("offered_rate", r.offered_rate)
+          .field("scheduled", r.scheduled)
+          .field("sent", r.sent)
+          .field("queued_behind", r.queued_behind)
+          .field("max_send_lag_ms", r.max_lag * 1e3)
+          .field("uncorrected_p50_ms", r.service_latency.percentile(0.5) * 1e3)
+          .field("uncorrected_p99_ms", r.service_latency.p99() * 1e3);
+    }
+    if (r.link != "none") {
+      json.field("proxy_max_delay_ms", r.proxy_max_delay * 1e3)
+          .field("proxy_bytes_relayed", r.proxy_bytes);
+    }
     if (r.phased) {
       // Flash-crowd phase split: pre = [0, ramp), crowd = [ramp, end).
       json.key("phases").begin_array();

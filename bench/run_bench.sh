@@ -76,6 +76,22 @@
 #   BENCH_OEVAL          controller feedback interval, s    (default 0.1)
 #   BENCH_OVERLOAD_SWEEP set to 0 to skip the overload sweep entirely
 #
+# Open-loop arrivals sweep knobs (the fourth loadgen invocation below; its
+# runs land in BENCH_daemon.json under "arrivals"): closed-loop baseline vs
+# open-loop schedules at the same offered rate, coordinated-omission-corrected
+# latency next to the biased from-actual-send view, optionally through the
+# userspace link-degradation proxy.
+#   BENCH_ARRIVALS       comma list of shapes (default "closed,poisson,bursty")
+#   BENCH_RATE           open-loop offered rate, req/s     (default 500)
+#   BENCH_ARRIVAL_SEED   schedule seed                     (default 42)
+#   BENCH_DUTY           bursty on-fraction per period     (default 0.3)
+#   BENCH_PERIOD         bursty/diurnal cycle length, s    (default 1)
+#   BENCH_FLOOR          diurnal trough fraction of peak   (default 0.2)
+#   BENCH_LINK           link shaping: none|wan|cell|custom:<lat_ms>:<jit_ms>:<kbps>
+#                                                          (default none)
+#   BENCH_ARRIVALS_CLIENTS  sender connections             (default 16)
+#   BENCH_ARRIVALS_SWEEP set to 0 to skip the arrivals sweep entirely
+#
 # Federation sweep knobs (the federation_demo invocation below; its runs —
 # a single-node baseline followed by a BENCH_PEERS-member tier over the
 # identical workload — land in BENCH_daemon.json under "federation"):
@@ -107,6 +123,7 @@ tmp_main="$build_dir/bench_daemon_main.json"
 tmp_policy="$build_dir/bench_daemon_policy.json"
 tmp_overload="$build_dir/bench_daemon_overload.json"
 tmp_fed="$build_dir/bench_daemon_federation.json"
+tmp_arrivals="$build_dir/bench_daemon_arrivals.json"
 
 echo "== daemon loadgen (channel/cache sweep)"
 "$build_dir/bench/daemon_loadgen" \
@@ -191,6 +208,35 @@ else
   printf 'null\n' > "$tmp_overload"
 fi
 
+if [ "${BENCH_ARRIVALS_SWEEP:-1}" = "1" ]; then
+  # Open-loop arrivals sweep: the closed-loop baseline first, then the same
+  # offered load replayed open-loop so stalls charge latency to the requests
+  # that were due during them. check=1 gates sent == scheduled (no elision)
+  # and corrected p99 >= uncorrected p99.
+  echo "== daemon loadgen (open-loop arrivals sweep)"
+  "$build_dir/bench/daemon_loadgen" \
+    shards=1 \
+    pipeline=1 \
+    "clients=${BENCH_ARRIVALS_CLIENTS:-16}" \
+    "seconds=${BENCH_SECONDS:-2}" \
+    "keys=${BENCH_KEYS:-512}" \
+    cache=0 \
+    "obs=${BENCH_OBS:-1}" \
+    "scrape=${BENCH_SCRAPE:-1}" \
+    "arrivals=${BENCH_ARRIVALS:-closed,poisson,bursty}" \
+    "rate=${BENCH_RATE:-500}" \
+    "seed=${BENCH_ARRIVAL_SEED:-42}" \
+    "duty=${BENCH_DUTY:-0.3}" \
+    "period=${BENCH_PERIOD:-1}" \
+    "floor=${BENCH_FLOOR:-0.2}" \
+    "link=${BENCH_LINK:-none}" \
+    "iouring=${BENCH_IOURING:-0}" \
+    check=1 \
+    "out=$tmp_arrivals"
+else
+  printf 'null\n' > "$tmp_arrivals"
+fi
+
 if [ "${BENCH_FED_SWEEP:-1}" = "1" ]; then
   # Federation sweep: a 1-node baseline then a BENCH_PEERS-process tier over
   # the identical round-robin keyed workload (forked daemons, one shared
@@ -212,7 +258,8 @@ fi
 # Compose the sweeps into one artifact: the channel/cache sweep's document
 # under "main" (its "runs" array is the historical trajectory), the
 # replica-selection sweep under "policy", the flash-crowd overload sweep
-# under "overload", the 1-vs-N federation comparison under "federation".
+# under "overload", the open-loop arrivals sweep under "arrivals", the 1-vs-N
+# federation comparison under "federation".
 {
   printf '{"bench":"daemon_loadgen","main":'
   cat "$tmp_main"
@@ -220,10 +267,12 @@ fi
   cat "$tmp_policy"
   printf ',"overload":'
   cat "$tmp_overload"
+  printf ',"arrivals":'
+  cat "$tmp_arrivals"
   printf ',"federation":'
   cat "$tmp_fed"
   printf '}\n'
 } > "$repo_root/BENCH_daemon.json"
-rm -f "$tmp_main" "$tmp_policy" "$tmp_overload" "$tmp_fed"
+rm -f "$tmp_main" "$tmp_policy" "$tmp_overload" "$tmp_arrivals" "$tmp_fed"
 
 echo "== wrote $repo_root/BENCH_core.json and $repo_root/BENCH_daemon.json"

@@ -42,6 +42,14 @@ run_tsan() {
     shards=1 pipeline=1 clients=6 seconds=2.4 ramp=0.4 crowd=10 keys=64 \
     cache=0 timeout=150 svc=10 replicas=1 window=2 threshold=150 backoff=20 \
     oeval=0.1 overload=static,aimd,aimd+lifo check=1 out=
+  # Open-loop smoke under TSan: the arrival-schedule sender threads, the
+  # netem relay reactor and the shard reactors all run instrumented; check=1
+  # gates sent == scheduled (no coordinated omission) and corrected p99 >=
+  # uncorrected p99 (the plain tree runs the same commands via ctest
+  # bench_daemon_openloop_smoke / bench_daemon_link_smoke).
+  TSAN_OPTIONS="halt_on_error=0" "$repo_root/build-tsan/bench/daemon_loadgen" \
+    shards=1 pipeline=1 clients=8 seconds=0.6 keys=64 cache=0 \
+    arrivals=poisson rate=800 seed=7 link=custom:2:2:0 check=1 out=
   # Federation smokes under TSan: every forked member daemon (peer channels,
   # gossip timers, admin scrapes) runs instrumented; the conservation and
   # kill-failover gates are the same ones ctest runs in the plain tree.

@@ -5,15 +5,30 @@
 #include <stdexcept>
 
 #include "util/log.h"
+#include "util/rng.h"
 
 namespace sbroker::core {
+namespace {
+
+/// Fills in the TTL-jitter salt from the broker's run seed when the caller
+/// left it unset, so sibling brokers de-synchronize their expiries while
+/// staying reproducible from rng_seed alone.
+CacheTuning salted(CacheTuning tuning, uint64_t rng_seed) {
+  if (tuning.jitter_salt == 0) {
+    tuning.jitter_salt = util::derive_seed(rng_seed, 0x7711);
+  }
+  return tuning;
+}
+
+}  // namespace
 
 ServiceBroker::ServiceBroker(std::string name, BrokerConfig config)
     : name_(std::move(name)),
       config_(config),
       admission_(config.rules, config.overload),
-      cache_(std::make_shared<ResultCache>(config.cache_capacity, config.cache_ttl,
-                                           config.cache_tuning)),
+      cache_(std::make_shared<ResultCache>(
+          config.cache_capacity, config.cache_ttl,
+          salted(config.cache_tuning, config.rng_seed))),
       load_(std::make_shared<LoadTracker>()),
       cluster_(config.cluster),
       pool_(config.pool),

@@ -24,8 +24,10 @@ double ResultCache::effective_ttl(std::string_view key) const {
   if (ttl_ <= 0.0) return 0.0;  // expiry disabled
   if (tuning_.ttl_jitter <= 0.0) return ttl_;
   // Deterministic per-key jitter in [-ttl_jitter, +ttl_jitter]: a second
-  // hash pass (golden-ratio mix) decorrelates it from the stripe selector.
-  uint64_t h = std::hash<std::string_view>{}(key) * 0x9e3779b97f4a7c15ULL;
+  // hash pass (golden-ratio mix) decorrelates it from the stripe selector,
+  // and the per-instance salt decorrelates it across broker instances.
+  uint64_t h = (std::hash<std::string_view>{}(key) ^ tuning_.jitter_salt) *
+               0x9e3779b97f4a7c15ULL;
   double u = static_cast<double>(h >> 11) / static_cast<double>(1ULL << 53);
   return ttl_ * (1.0 + tuning_.ttl_jitter * (2.0 * u - 1.0));
 }

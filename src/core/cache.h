@@ -45,6 +45,11 @@ struct CacheTuning {
   /// TTL for negative (error-reply) entries, seconds. 0 disables negative
   /// caching entirely (put_negative becomes a no-op).
   double negative_ttl = 0.0;
+  /// Salt mixed into the per-key jitter hash. Without it every cache
+  /// instance jitters identically (same key -> same effective TTL on every
+  /// broker), so a federation's members still expire a hot key in lockstep.
+  /// 0 = unsalted; brokers fill it from their rng_seed via derive_seed.
+  uint64_t jitter_salt = 0;
 };
 
 /// Classified result of ResultCacheBase::lookup().

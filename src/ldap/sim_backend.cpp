@@ -2,6 +2,7 @@
 
 #include "core/cluster.h"
 #include "util/strings.h"
+#include "util/rng.h"
 
 namespace sbroker::ldap {
 
@@ -70,8 +71,10 @@ SimLdapBackend::SimLdapBackend(sim::Simulation& sim, Directory& dir,
       dir_(dir),
       config_(config),
       station_(sim, config.capacity, config.queue_limit),
-      request_link_(sim, config.link, util::Rng(config.link_seed)),
-      response_link_(sim, config.link, util::Rng(config.link_seed + 1)) {}
+      request_link_(sim, config.link,
+                    util::Rng(util::derive_seed(config.link_seed, 0))),
+      response_link_(sim, config.link,
+                     util::Rng(util::derive_seed(config.link_seed, 1))) {}
 
 void SimLdapBackend::invoke(const Call& call, Completion done) {
   ++calls_;

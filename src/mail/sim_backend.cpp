@@ -2,6 +2,7 @@
 
 #include "core/cluster.h"
 #include "util/strings.h"
+#include "util/rng.h"
 
 namespace sbroker::mail {
 
@@ -50,8 +51,10 @@ SimMailBackend::SimMailBackend(sim::Simulation& sim, MailStore& store,
       store_(store),
       config_(config),
       station_(sim, config.capacity, config.queue_limit),
-      request_link_(sim, config.link, util::Rng(config.link_seed)),
-      response_link_(sim, config.link, util::Rng(config.link_seed + 1)) {}
+      request_link_(sim, config.link,
+                    util::Rng(util::derive_seed(config.link_seed, 0))),
+      response_link_(sim, config.link,
+                     util::Rng(util::derive_seed(config.link_seed, 1))) {}
 
 void SimMailBackend::invoke(const Call& call, Completion done) {
   ++calls_;

@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "util/log.h"
+#include "util/rng.h"
 
 namespace sbroker::net {
 namespace {
@@ -31,6 +32,13 @@ ShardedBrokerDaemon::ShardedBrokerDaemon(std::string name,
                                          ShardedBrokerDaemonConfig config)
     : name_(std::move(name)), config_(std::move(config)) {
   if (config_.shards == 0) config_.shards = 1;
+  // Salt the shared cache's TTL jitter from this daemon's run seed: two
+  // daemon instances (federation members) must not expire the same hot key
+  // in lockstep. The salted tuning also flows into every shard broker below.
+  if (config_.broker.cache_tuning.jitter_salt == 0) {
+    config_.broker.cache_tuning.jitter_salt =
+        util::derive_seed(config_.broker.rng_seed, 0x7711);
+  }
   cache_ = std::make_shared<core::StripedResultCache>(
       config_.broker.cache_capacity, config_.broker.cache_ttl,
       config_.cache_stripes, config_.broker.cache_tuning);
@@ -50,8 +58,10 @@ ShardedBrokerDaemon::ShardedBrokerDaemon(std::string name,
 
     BrokerDaemonConfig cfg;
     cfg.broker = config_.broker;
-    // De-correlate the shards' random balancer choices.
-    cfg.broker.rng_seed = config_.broker.rng_seed + i;
+    // De-correlate the shards' random balancer choices. derive_seed, not
+    // seed+i: adjacent offsets collide across sibling instances (shard i's
+    // seed+1 IS shard i+1's seed), replaying identical streams.
+    cfg.broker.rng_seed = util::derive_seed(config_.broker.rng_seed, i);
     cfg.tick_interval = config_.tick_interval;
     cfg.io_uring = config_.io_uring;
     if (kernel_sharding) {

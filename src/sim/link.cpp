@@ -1,29 +1,78 @@
 #include "sim/link.h"
 
+#include <algorithm>
+#include <cmath>
+
 namespace sbroker::sim {
 
 Link::Link(Simulation& sim, Params params, util::Rng rng)
-    : sim_(sim), params_(params), rng_(rng) {}
+    : sim_(sim), params_(std::move(params)), rng_(rng), created_at_(sim.now()) {}
+
+double Link::bandwidth_at(Time t) const {
+  if (params_.bandwidth_trace.empty()) return params_.bytes_per_second;
+  Duration offset = std::max(0.0, t - created_at_);
+  if (params_.trace_period > 0.0) offset = std::fmod(offset, params_.trace_period);
+  // Last step with at <= offset; the trace is sorted and starts at 0.
+  double bw = params_.bandwidth_trace.front().bytes_per_second;
+  for (const BandwidthStep& step : params_.bandwidth_trace) {
+    if (step.at > offset) break;
+    bw = step.bytes_per_second;
+  }
+  return bw;
+}
 
 bool Link::deliver(std::function<void()> on_arrival, size_t bytes) {
   if (down_) {
     ++dropped_;
     return false;
   }
-  Duration delay = params_.latency;
-  if (params_.jitter > 0) delay += rng_.uniform_real(0.0, params_.jitter);
-  if (params_.bytes_per_second > 0 && bytes > 0) {
-    delay += static_cast<double>(bytes) / params_.bytes_per_second;
+  Time now = sim_.now();
+  // One channel: this message's transmission starts when the previous one's
+  // finished, at whatever bandwidth the trace grants at that moment.
+  Time tx_end = std::max(now, tx_free_at_);
+  if (bytes > 0) {
+    double bw = bandwidth_at(tx_end);
+    if (bw > 0) tx_end += static_cast<double>(bytes) / bw;
   }
+  tx_free_at_ = tx_end;
+  Duration tail = params_.latency;
+  if (params_.jitter > 0) tail += rng_.uniform_real(0.0, params_.jitter);
+  Time arrival = tx_end + tail;
+  // FIFO: a small jitter draw must not let this message overtake an earlier
+  // one still in flight (pipelined channels downstream match replies by
+  // arrival order).
+  if (arrival < last_arrival_) {
+    arrival = last_arrival_;
+    ++fifo_holds_;
+  }
+  last_arrival_ = arrival;
   ++delivered_;
-  sim_.after(delay, std::move(on_arrival));
+  sim_.at(arrival, std::move(on_arrival));
   return true;
 }
 
-Link::Params lan_profile() { return Link::Params{0.0002, 0.0, 0.0}; }
+Link::Params lan_profile() { return Link::Params{0.0002, 0.0, 0.0, {}, 0.0}; }
 
-Link::Params wan_profile() { return Link::Params{0.040, 0.020, 0.0}; }
+Link::Params wan_profile() { return Link::Params{0.040, 0.020, 0.0, {}, 0.0}; }
 
-Link::Params ipc_profile() { return Link::Params{0.00002, 0.0, 0.0}; }
+Link::Params ipc_profile() { return Link::Params{0.00002, 0.0, 0.0, {}, 0.0}; }
+
+Link::Params cellular_profile() {
+  // Shaped after the cellular uplink traces the ns3 congestion-control
+  // harnesses replay: a few seconds of decent throughput, a deep sag (handoff
+  // / congested cell), partial recovery, repeating. Values in bytes/second.
+  Link::Params p;
+  p.latency = 0.050;
+  p.jitter = 0.030;
+  p.bandwidth_trace = {
+      {0.0, 1'250'000.0},   // ~10 Mbit/s
+      {2.0, 500'000.0},     // ~4 Mbit/s
+      {3.5, 60'000.0},      // sag: ~0.5 Mbit/s
+      {5.0, 250'000.0},     // ~2 Mbit/s
+      {7.0, 900'000.0},     // recovery: ~7 Mbit/s
+  };
+  p.trace_period = 9.0;
+  return p;
+}
 
 }  // namespace sbroker::sim

@@ -7,10 +7,26 @@
 // be taken down to inject failures: messages sent while down are dropped
 // (with an optional notification), matching the paper's congested-channel
 // transaction-abort scenario.
+//
+// Degraded-link modelling (the ROADMAP's trace-shaped workloads item):
+//   * Bandwidth variation — `Params::bandwidth_trace` is a step function of
+//     bytes/second over time since link creation (optionally looping every
+//     `trace_period` seconds), the shape cellular uplink traces take in the
+//     ns3 congestion-control harnesses. When set it overrides the constant
+//     `bytes_per_second`.
+//   * Transmission serialization — a link is one channel: a message's
+//     transmission starts only when the previous one's finished, so a
+//     bandwidth sag queues traffic behind it instead of delaying each
+//     message independently.
+//   * FIFO delivery — two `deliver()` calls on one link arrive in send
+//     order even when independent jitter draws cross; the pipelined
+//     backend channels downstream assume FIFO and would mis-match replies
+//     otherwise. Delivery times are clamped monotone per link.
 #pragma once
 
 #include <cstdint>
 #include <functional>
+#include <vector>
 
 #include "sim/simulation.h"
 #include "util/rng.h"
@@ -19,23 +35,42 @@ namespace sbroker::sim {
 
 class Link {
  public:
+  /// One step of a bandwidth trace: from `at` seconds (since link creation)
+  /// onward the link serves `bytes_per_second`, until the next step.
+  struct BandwidthStep {
+    Duration at = 0.0;
+    double bytes_per_second = 0.0;  ///< 0 = no transmission delay this step
+  };
+
   struct Params {
     Duration latency = 0.0002;        ///< one-way propagation delay (s)
     Duration jitter = 0.0;            ///< max extra uniform delay (s)
     double bytes_per_second = 0.0;    ///< 0 disables transmission delay
+    /// Step-function bandwidth over time; overrides bytes_per_second when
+    /// non-empty. Steps must be sorted by `at`, first step at 0.
+    std::vector<BandwidthStep> bandwidth_trace;
+    /// Loop the trace every this many seconds; 0 holds the last step.
+    Duration trace_period = 0.0;
   };
 
   Link(Simulation& sim, Params params, util::Rng rng = util::Rng(1));
 
-  /// Delivers `on_arrival` after latency (+ jitter + size/bandwidth).
-  /// Returns false and drops the message when the link is down.
+  /// Delivers `on_arrival` after latency (+ jitter + transmission time at
+  /// the current bandwidth). Returns false and drops the message when the
+  /// link is down. Delivery order always matches call order (FIFO).
   bool deliver(std::function<void()> on_arrival, size_t bytes = 0);
 
   void set_down(bool down) { down_ = down; }
   bool is_down() const { return down_; }
 
+  /// Bandwidth in effect at simulation time `t` (absolute, like sim.now()).
+  double bandwidth_at(Time t) const;
+
   uint64_t delivered() const { return delivered_; }
   uint64_t dropped() const { return dropped_; }
+  /// Deliveries whose raw latency+jitter draw would have overtaken an
+  /// earlier message and were clamped behind it instead.
+  uint64_t fifo_holds() const { return fifo_holds_; }
   const Params& params() const { return params_; }
 
  private:
@@ -43,13 +78,20 @@ class Link {
   Params params_;
   util::Rng rng_;
   bool down_ = false;
+  Time created_at_ = 0.0;
+  Time tx_free_at_ = 0.0;     ///< when the channel finishes its current send
+  Time last_arrival_ = 0.0;   ///< monotone-delivery clamp
   uint64_t delivered_ = 0;
   uint64_t dropped_ = 0;
+  uint64_t fifo_holds_ = 0;
 };
 
 /// Canonical link profiles for the testbeds in this repo.
 Link::Params lan_profile();   ///< ~0.2 ms, no jitter — tightly coupled
 Link::Params wan_profile();   ///< ~40 ms ± 20 ms jitter — loosely coupled
 Link::Params ipc_profile();   ///< ~20 µs — web app process <-> local broker
+/// ~50 ms ± 30 ms with a looping cellular-style bandwidth trace (sags to
+/// dial-up-class throughput mid-cycle) — the congested channel of §I.
+Link::Params cellular_profile();
 
 }  // namespace sbroker::sim

@@ -1,4 +1,5 @@
 #include "srv/broker_host.h"
+#include "util/rng.h"
 
 namespace sbroker::srv {
 
@@ -7,8 +8,8 @@ BrokerHost::BrokerHost(sim::Simulation& sim, std::string name,
                        uint64_t link_seed)
     : sim_(sim),
       broker_(std::move(name), config),
-      inbound_(sim, ipc, util::Rng(link_seed)),
-      outbound_(sim, ipc, util::Rng(link_seed + 1)) {
+      inbound_(sim, ipc, util::Rng(util::derive_seed(link_seed, 0))),
+      outbound_(sim, ipc, util::Rng(util::derive_seed(link_seed, 1))) {
   // A retry scheduled from inside a backend completion can move the next
   // due time earlier than the armed timer; the broker tells us to re-arm.
   broker_.set_wakeup([this]() { arm_timer(); });

@@ -1,6 +1,7 @@
 #include "srv/cgi_backend.h"
 
 #include "core/cluster.h"
+#include "util/rng.h"
 
 namespace sbroker::srv {
 
@@ -10,8 +11,10 @@ SimCgiBackend::SimCgiBackend(sim::Simulation& sim, std::string name,
       name_(std::move(name)),
       config_(config),
       station_(sim, config.capacity, config.queue_limit),
-      request_link_(sim, config.link, util::Rng(config.link_seed)),
-      response_link_(sim, config.link, util::Rng(config.link_seed + 1)) {}
+      request_link_(sim, config.link,
+                    util::Rng(util::derive_seed(config.link_seed, 0))),
+      response_link_(sim, config.link,
+                     util::Rng(util::derive_seed(config.link_seed, 1))) {}
 
 void SimCgiBackend::invoke(const Call& call, Completion done) {
   ++calls_;

@@ -3,6 +3,7 @@
 #include "core/cluster.h"
 #include "db/executor.h"
 #include "db/parser.h"
+#include "util/rng.h"
 
 namespace sbroker::srv {
 
@@ -12,9 +13,11 @@ SimDbBackend::SimDbBackend(sim::Simulation& sim, db::Database& db,
       db_(db),
       config_(config),
       station_(sim, config.capacity, config.queue_limit),
-      request_link_(sim, config.link, util::Rng(config.link_seed)),
-      response_link_(sim, config.link, util::Rng(config.link_seed + 1)),
-      profile_rng_(config.link_seed + 2) {}
+      request_link_(sim, config.link,
+                    util::Rng(util::derive_seed(config.link_seed, 0))),
+      response_link_(sim, config.link,
+                     util::Rng(util::derive_seed(config.link_seed, 1))),
+      profile_rng_(util::derive_seed(config.link_seed, 2)) {}
 
 SimDbBackend::Execution SimDbBackend::execute_payload(const std::string& payload) const {
   Execution result;

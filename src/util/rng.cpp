@@ -17,6 +17,15 @@ uint64_t rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
 
 }  // namespace
 
+uint64_t derive_seed(uint64_t run_seed, uint64_t index) {
+  // Two SplitMix64 rounds with the index folded in between: a plain
+  // `run_seed + index` would make (seed, i+1) and (seed+1, i) identical.
+  uint64_t state = run_seed;
+  uint64_t mixed = splitmix64(state);
+  state = mixed ^ (index * 0xd1342543de82ef95ULL + 0x2545f4914f6cdd1dULL);
+  return splitmix64(state);
+}
+
 Rng::Rng(uint64_t seed) {
   uint64_t sm = seed;
   for (auto& s : s_) s = splitmix64(sm);

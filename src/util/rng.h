@@ -11,6 +11,16 @@
 
 namespace sbroker::util {
 
+/// Derives a decorrelated per-instance seed from a run-level seed and an
+/// instance index (SplitMix64 over the mixed pair). Sibling actors — shard
+/// brokers, backend replicas, the two directions of a link — must NOT build
+/// their RNGs from `seed + k`: adjacent offsets collide across instances
+/// (replica i's `seed+1` stream IS replica i+1's `seed+0` stream), so two
+/// "independent" links end up replaying the same jitter trace. Deriving from
+/// (run_seed, index) keeps runs reproducible from the single run seed while
+/// giving every instance its own stream.
+uint64_t derive_seed(uint64_t run_seed, uint64_t index);
+
 /// xoshiro256** PRNG with convenience distributions.
 class Rng {
  public:

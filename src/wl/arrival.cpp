@@ -1,0 +1,73 @@
+#include "wl/arrival.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace sbroker::wl {
+
+ArrivalSchedule::ArrivalSchedule(ArrivalConfig config, uint64_t seed)
+    : config_(config), rng_(seed) {
+  assert(config_.rate > 0.0);
+  switch (config_.kind) {
+    case ArrivalKind::kPoisson:
+      peak_rate_ = config_.rate;
+      break;
+    case ArrivalKind::kBursty:
+      assert(config_.period > 0.0 && config_.duty > 0.0 && config_.duty <= 1.0);
+      peak_rate_ = config_.rate / config_.duty;
+      break;
+    case ArrivalKind::kDiurnal:
+      assert(config_.period > 0.0);
+      assert(config_.floor_frac >= 0.0 && config_.floor_frac <= 1.0);
+      // Sinusoid between floor and peak has mean (floor+peak)/2 = rate.
+      peak_rate_ = 2.0 * config_.rate / (1.0 + config_.floor_frac);
+      break;
+  }
+}
+
+double ArrivalSchedule::rate_at(double t) const {
+  switch (config_.kind) {
+    case ArrivalKind::kPoisson:
+      return config_.rate;
+    case ArrivalKind::kBursty: {
+      double phase = std::fmod(t, config_.period);
+      return phase < config_.duty * config_.period ? peak_rate_ : 0.0;
+    }
+    case ArrivalKind::kDiurnal: {
+      double floor = config_.floor_frac * peak_rate_;
+      double phase = 2.0 * M_PI * t / config_.period;
+      return floor + (peak_rate_ - floor) * 0.5 * (1.0 - std::cos(phase));
+    }
+  }
+  return config_.rate;
+}
+
+double ArrivalSchedule::next() {
+  // Lewis–Shedler thinning: candidate arrivals at the constant peak rate,
+  // each accepted with probability rate(t)/peak. For poisson the acceptance
+  // is always 1 and this reduces to plain exponential inter-arrivals.
+  for (;;) {
+    t_ += rng_.exponential(1.0 / peak_rate_);
+    if (config_.kind == ArrivalKind::kPoisson) return t_;
+    double accept = rate_at(t_) / peak_rate_;
+    if (accept >= 1.0 || rng_.next_double() < accept) return t_;
+  }
+}
+
+std::optional<ArrivalKind> ArrivalSchedule::parse_kind(std::string_view name) {
+  if (name == "poisson") return ArrivalKind::kPoisson;
+  if (name == "bursty") return ArrivalKind::kBursty;
+  if (name == "diurnal") return ArrivalKind::kDiurnal;
+  return std::nullopt;
+}
+
+const char* ArrivalSchedule::kind_name(ArrivalKind kind) {
+  switch (kind) {
+    case ArrivalKind::kPoisson: return "poisson";
+    case ArrivalKind::kBursty: return "bursty";
+    case ArrivalKind::kDiurnal: return "diurnal";
+  }
+  return "?";
+}
+
+}  // namespace sbroker::wl

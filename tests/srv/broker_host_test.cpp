@@ -49,7 +49,7 @@ TEST_F(BrokerHostTest, EndToEndQueryThroughHost) {
 }
 
 TEST_F(BrokerHostTest, IpcLatencyAppearsInResponseTime) {
-  sim::Link::Params slow_ipc{0.25, 0.0, 0.0};
+  sim::Link::Params slow_ipc{.latency = 0.25};
   BrokerHost host(sim_, "db-broker", config(), slow_ipc);
   host.broker().add_backend(backend_);
   double replied_at = -1;

@@ -96,6 +96,32 @@ TEST(Rng, ForkIndependentStreams) {
   EXPECT_TRUE(differ);
 }
 
+TEST(DeriveSeed, DeterministicAndDistinct) {
+  EXPECT_EQ(derive_seed(123, 4), derive_seed(123, 4));
+  std::set<uint64_t> seen;
+  for (uint64_t s = 0; s < 32; ++s) {
+    for (uint64_t i = 0; i < 32; ++i) seen.insert(derive_seed(s, i));
+  }
+  EXPECT_EQ(seen.size(), 32u * 32u);
+}
+
+// Regression for the seed+k idiom this helper replaced: instance i's
+// "seed + (i+1)" stream IS instance i+1's "seed + i" stream, so sibling
+// components (shards, links, backends) replayed each other's randomness.
+TEST(DeriveSeed, NoSiblingInstanceCollisions) {
+  for (uint64_t s = 1; s < 16; ++s) {
+    for (uint64_t i = 0; i < 16; ++i) {
+      EXPECT_NE(derive_seed(s, i + 1), derive_seed(s + 1, i))
+          << "s=" << s << " i=" << i;
+    }
+  }
+  // And the derived streams themselves diverge.
+  Rng a(derive_seed(1, 1)), b(derive_seed(2, 0));
+  bool differ = false;
+  for (int i = 0; i < 10 && !differ; ++i) differ = a.next_u64() != b.next_u64();
+  EXPECT_TRUE(differ);
+}
+
 TEST(Zipf, UniformWhenThetaZero) {
   Rng rng(37);
   ZipfGenerator zipf(10, 0.0);
